@@ -1,0 +1,20 @@
+"""Energy-per-product comparison (the paper's Sec. VII power argument).
+
+Not a paper figure — the paper explicitly declines a numeric power
+comparison — but its qualitative claim ("it would be reasonable to assume
+that the dynamic power would be correspondingly lower") is quantified on
+the reproduction's own models here.
+"""
+
+from conftest import run_once
+
+from repro.bench.efficiency import efficiency_comparison
+
+
+def test_efficiency_comparison(benchmark, record_result):
+    result = record_result(run_once(benchmark, efficiency_comparison))
+    for row in result.rows:
+        assert row["energy_gain"] > 10, row  # orders of magnitude, in fact
+    # The gain is largest where the GPU is latency-bound (small dims burn
+    # TDP-scale power waiting on the floor).
+    assert result.rows[0]["energy_gain"] > result.rows[-1]["energy_gain"] * 0.5

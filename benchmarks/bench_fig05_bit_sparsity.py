@@ -1,0 +1,28 @@
+"""Fig. 5: hardware utilization vs bit-sparsity of a 64x64 matrix.
+
+Paper shape: "the total hardware cost of our architecture is linear with
+respect to the number of bits set in the weight matrix."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig05_bit_sparsity
+from repro.bench.shapes import linear_fit_r_squared
+
+
+def test_fig05_bit_sparsity(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig05_bit_sparsity))
+    ones = result.column("ones")
+    luts = result.column("lut")
+    ffs = result.column("ff")
+    lutrams = result.column("lutram")
+    # Linear in ones (the paper's headline Sec. IV claim).
+    assert linear_fit_r_squared(ones, luts) > 0.999
+    assert linear_fit_r_squared(ones, ffs) > 0.999
+    # Monotone decreasing cost with increasing sparsity.
+    assert all(b <= a for a, b in zip(luts, luts[1:]))
+    # FF ~ 2x LUT for non-trivial designs.
+    for lut, ff in zip(luts[:-1], ffs[:-1]):
+        assert 1.7 < ff / lut < 2.6
+    # LUTRAM is flat (I/O shift registers only).
+    assert max(lutrams) == min(lutrams)

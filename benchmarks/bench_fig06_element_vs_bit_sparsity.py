@@ -1,0 +1,19 @@
+"""Fig. 6: element-sparse matrices cost the same as bit-sparse matrices.
+
+Paper shape: "The two lines are nearly identical, which means that we
+don't have to make any concessions to support element-sparse designs."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig06_element_vs_bit_sparsity
+
+
+def test_fig06_element_vs_bit_sparsity(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig06_element_vs_bit_sparsity))
+    for row in result.rows:
+        if row["lut_bs"] > 2000:  # skip near-empty endpoints (pure noise)
+            gap = abs(row["lut_es"] - row["lut_bs"]) / row["lut_bs"]
+            assert gap < 0.10, f"element/bit sparse LUT gap {gap:.1%} at {row}"
+            ff_gap = abs(row["ff_es"] - row["ff_bs"]) / row["ff_bs"]
+            assert ff_gap < 0.10

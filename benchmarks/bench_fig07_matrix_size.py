@@ -1,0 +1,23 @@
+"""Fig. 7: utilization vs matrix size for random 8-bit matrices.
+
+Paper shape: "The cost is quadratic with respect to matrix dimension and
+therefore linear with respect to the number of elements."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig07_matrix_size
+from repro.bench.shapes import linear_fit_r_squared
+
+
+def test_fig07_matrix_size(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig07_matrix_size))
+    elements = result.column("elements")
+    luts = result.column("lut")
+    ffs = result.column("ff")
+    assert linear_fit_r_squared(elements, luts) > 0.999
+    assert linear_fit_r_squared(elements, ffs) > 0.999
+    # Doubling the dimension roughly quadruples the cost at scale.
+    big = result.rows[-1]
+    prev = result.rows[-2]
+    assert 3.3 < big["lut"] / prev["lut"] < 4.7

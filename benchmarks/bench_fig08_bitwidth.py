@@ -1,0 +1,22 @@
+"""Fig. 8: utilization of a 64x64 matrix vs weight bitwidth.
+
+Paper shape: "we observe a linear LUT and FF cost with respect to the
+bit-width of the weights" (no cross-bit optimization).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig08_bitwidth
+from repro.bench.shapes import linear_fit_r_squared
+
+
+def test_fig08_bitwidth(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig08_bitwidth))
+    widths = result.column("bitwidth")
+    luts = result.column("lut")
+    ffs = result.column("ff")
+    assert linear_fit_r_squared(widths, luts) > 0.999
+    assert linear_fit_r_squared(widths, ffs) > 0.999
+    # 32-bit weights cost ~4x what 8-bit weights cost.
+    by_width = {row["bitwidth"]: row["lut"] for row in result.rows}
+    assert 3.3 < by_width[32] / by_width[8] < 4.7

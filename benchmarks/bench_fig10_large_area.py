@@ -1,0 +1,44 @@
+"""Fig. 10: large-scale area — FPGA resources vs matrix ones.
+
+Paper shape: "The very strong linear relationship between matrix ones and
+FPGA resources is obvious.  LUTs are essentially equivalent to the number
+of ones, and there are two registers per LUT.  CSD reduces both the number
+of ones in the matrix and the resulting resource counts."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig10_large_area
+from repro.bench.shapes import linear_fit_r_squared
+
+
+def test_fig10_large_area(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig10_large_area))
+    ones = result.column("ones")
+    luts = result.column("lut")
+    ffs = result.column("ff")
+    # Strong linear relationship across the whole sweep.
+    assert linear_fit_r_squared(ones, luts) > 0.999
+    assert linear_fit_r_squared(ones, ffs) > 0.99
+    for row in result.rows:
+        # LUTs essentially equal to ones.
+        assert abs(row["lut"] - row["ones"]) / row["ones"] < 0.05
+        # Two registers per LUT (alignment flops push the sparsest points up).
+        assert 1.8 < row["ff"] / row["lut"] < 3.0
+    # Aggregate over the sweep, the ratio is ~2 as the paper states.
+    total_ffs = sum(result.column("ff"))
+    total_luts = sum(result.column("lut"))
+    assert 1.9 < total_ffs / total_luts < 2.3
+    # CSD strictly reduces ones for every (dim, sparsity) pair.
+    by_config = {}
+    for row in result.rows:
+        by_config.setdefault(
+            (row["dim"], row["element_sparsity_pct"]), {}
+        )[row["scheme"]] = row["ones"]
+    for config, schemes in by_config.items():
+        assert schemes["csd"] < schemes["pn"], config
+    # The paper's largest design: ~1.5M ones at 1024/60%, still fitting.
+    largest = max(result.rows, key=lambda r: r["ones"])
+    assert largest["dim"] == 1024
+    assert 1_300_000 < largest["ones"] < 1_700_000
+    assert largest["fits"]

@@ -1,0 +1,26 @@
+"""Fig. 11: large-scale frequency results.
+
+Paper shape: "Within one SLR, the frequencies range from 597MHz to 445MHz.
+Designs requiring 2 SLRs range from 296MHz to 400MHz.  Matrices bigger
+than 2 SLRs seem relatively consistent between 225MHz and 250MHz."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11_frequency
+
+
+def test_fig11_frequency(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig11_frequency))
+    for row in result.rows:
+        fmax = row["fmax_mhz"]
+        span = row["slr_span"]
+        if span == 1:
+            assert 440 <= fmax <= 600, row
+        elif span == 2:
+            assert 290 <= fmax <= 410, row
+        else:
+            assert 215 <= fmax <= 290, row
+    # Bigger matrices run slower: frequency anti-correlates with LUTs.
+    ordered = sorted(result.rows, key=lambda r: r["lut"])
+    assert ordered[0]["fmax_mhz"] > ordered[-1]["fmax_mhz"]

@@ -1,0 +1,27 @@
+"""Fig. 12: large-scale power at the maximum achievable frequency.
+
+Paper shape: "Note the sublinear increase due to the decreasing achievable
+frequency.  Under medium cooling assumptions, this FPGA has a limit of
+about 150W" — approached at high dimension and low sparsity.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12_power
+from repro.bench.shapes import linear_fit_r_squared
+
+
+def test_fig12_power(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig12_power))
+    rows = [r for r in result.rows if r["fits"]]
+    # Every design respects the ~150 W thermal envelope (small margin).
+    for row in rows:
+        assert row["power_w"] <= 155.0, row
+    # The largest design approaches the limit.
+    largest = max(rows, key=lambda r: r["ones"])
+    assert largest["power_w"] > 130.0
+    # Sublinear in ones: power per one *decreases* as designs grow
+    # (the clock slows down), so a linear fit through the origin overshoots
+    # at the low end. Check the ratio falls from small to large designs.
+    small = min(rows, key=lambda r: r["ones"])
+    assert small["power_w"] / small["ones"] > largest["power_w"] / largest["ones"]

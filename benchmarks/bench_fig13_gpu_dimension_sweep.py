@@ -1,0 +1,31 @@
+"""Figs. 13-14: GPU latency and speedup vs matrix dimension (98% sparse).
+
+Paper shape: "in all cases, our FPGA latency is less than 120ns, whereas
+the GPU cannot break the 1 us barrier. [...] we see our speedup fall from
+86x to 60x [in the latency-bound regime ...] we see our speedup leveling
+off at 50x due to the slower clock."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig13_14_gpu_dimension
+from repro.bench.shapes import all_within_band, within_band
+
+
+def test_fig13_14_gpu_dimension(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig13_14_gpu_dimension))
+    # FPGA stays in the nanosecond regime; both GPU kernels above 1 us.
+    assert all_within_band(result.column("fpga_ns"), 0, 150)
+    assert all(ns > 1000 for ns in result.column("cusparse_ns"))
+    assert all(ns > 1000 for ns in result.column("optimized_ns"))
+    # Speedup vs the stronger baseline stays in the paper's ~50-90x band.
+    for row in result.rows:
+        assert within_band(row["speedup_optimized"], 40, 120), row
+    # cuSPARSE (weaker baseline) grows with dimension once utilized.
+    by_dim = {row["dim"]: row for row in result.rows}
+    assert by_dim[4096]["speedup_cusparse"] > by_dim[256]["speedup_cusparse"]
+    # Latency-bound regime: GPU latency ~flat below 512.
+    assert by_dim[256]["optimized_ns"] < by_dim[64]["optimized_ns"] * 1.25
+    # Eq. 5's worked example is visible in the FPGA column: 1024 runs in
+    # 28 cycles, i.e. tens of nanoseconds.
+    assert by_dim[1024]["fpga_ns"] < 120

@@ -1,0 +1,30 @@
+"""Figs. 15-16: GPU latency and speedup vs element sparsity (1024x1024).
+
+Paper shape: "increasing sparsity from 70% to 85% sees large reductions in
+latency [...] As sparsity increases further, the GPU again becomes
+underutilized and both the latency and speedup level off [...] the GPU is
+unable to break the 1 us barrier, whereas our solution stays under 120ns."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig15_16_gpu_sparsity
+from repro.bench.shapes import all_within_band, is_monotone_decreasing
+
+
+def test_fig15_16_gpu_sparsity(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig15_16_gpu_sparsity))
+    assert all_within_band(result.column("fpga_ns"), 0, 150)
+    # GPU latency falls monotonically with sparsity but never below 1 us.
+    assert is_monotone_decreasing(result.column("cusparse_ns"))
+    assert is_monotone_decreasing(result.column("optimized_ns"))
+    assert all(ns > 1000 for ns in result.column("optimized_ns"))
+    # cuSPARSE's 70% -> 85% drop is large ("large reductions in latency").
+    by_sparsity = {row["element_sparsity_pct"]: row for row in result.rows}
+    assert (
+        by_sparsity[70]["cusparse_ns"] / by_sparsity[85]["cusparse_ns"] > 1.5
+    )
+    # Speedup vs the stronger baseline: decreasing trend, paper band.
+    speedups = result.column("speedup_optimized")
+    assert speedups[0] > speedups[-1]
+    assert all_within_band(speedups, 50, 120)

@@ -1,0 +1,31 @@
+"""Fig. 17: speedup vs batch size against the V100, 1024x1024 at 95%.
+
+Paper shape: "the latency for the GPU solution scales sub-linearly with
+respect to batch size [... ours] yields linear scaling. [...] In the 1024
+case, our solution is still marginally better" at batch 64.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig17_gpu_batching_1024
+from repro.bench.shapes import is_monotone_decreasing
+
+
+def test_fig17_gpu_batching_1024(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig17_gpu_batching_1024))
+    # Speedups decrease monotonically with batch size for both kernels.
+    assert is_monotone_decreasing(result.column("speedup_cusparse"))
+    assert is_monotone_decreasing(result.column("speedup_optimized"))
+    # FPGA latency is linear in batch (up to table rounding).
+    fpga = result.column("fpga_ns")
+    batches = result.column("batch")
+    assert abs(fpga[-1] / fpga[0] - batches[-1] / batches[0]) < 0.1
+    # GPU latency is sublinear in batch.
+    opt = result.column("optimized_ns")
+    assert opt[-1] / opt[0] < 0.25 * (batches[-1] / batches[0])
+    # Still ahead at batch 64 (the paper's "marginally better").
+    last = result.rows[-1]
+    assert last["speedup_optimized"] >= 1.0
+    assert last["speedup_cusparse"] >= 1.0
+    # Batch-1 point is the pure-latency comparison from Fig. 15/16.
+    assert result.rows[0]["speedup_cusparse"] > 100

@@ -1,0 +1,23 @@
+"""Fig. 18: speedup vs batch size against the V100, 64x64 at 95%.
+
+Paper shape: "With 64x64, the GPU has more computational intensity to fill
+before it becomes utilized" — GPU latency is nearly flat in batch, so the
+speedup decays as the FPGA's linear batch cost grows, but stays >= 1.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig18_gpu_batching_64
+from repro.bench.shapes import is_monotone_decreasing
+
+
+def test_fig18_gpu_batching_64(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig18_gpu_batching_64))
+    assert is_monotone_decreasing(result.column("speedup_cusparse"))
+    assert is_monotone_decreasing(result.column("speedup_optimized"))
+    # The tiny matrix leaves the GPU underutilized: latency ~flat with batch.
+    opt = result.column("optimized_ns")
+    assert opt[-1] < opt[0] * 1.1
+    # FPGA still ahead at batch 64.
+    assert result.rows[-1]["speedup_optimized"] >= 1.0
+    assert result.rows[-1]["speedup_cusparse"] >= 1.0

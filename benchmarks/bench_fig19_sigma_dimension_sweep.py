@@ -1,0 +1,31 @@
+"""Figs. 19-20: latency and speedup vs SIGMA across dimensions (98% sparse).
+
+Paper shape: "For small dimensions, SIGMA does report nanosecond-scale
+latency [...] However, after 1024x1024, the elements no longer fit in the
+PE grid and the computation must be tiled [...] This yields a 4.1x speedup
+for our solution in the worst case, but we quickly gain a 25x advantage as
+the matrix size increases."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig19_20_sigma_dimension
+from repro.bench.shapes import within_band
+
+
+def test_fig19_20_sigma_dimension(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig19_20_sigma_dimension))
+    by_dim = {row["dim"]: row for row in result.rows}
+    # Untiled below 1024 at 98% sparsity; tiled at and beyond.
+    for dim in (64, 128, 256, 512):
+        assert not by_dim[dim]["tiled"]
+        assert by_dim[dim]["sigma_ns"] < 1000  # nanosecond-scale
+    for dim in (1024, 2048, 4096):
+        assert by_dim[dim]["tiled"]
+    # The FPGA wins everywhere; worst case a small single-digit factor.
+    worst = min(row["speedup"] for row in result.rows)
+    assert within_band(worst, 2.5, 6.0), f"worst-case speedup {worst}"
+    # Large advantage at 4096 (paper: ~25x once memory-bound).
+    assert within_band(by_dim[4096]["speedup"], 15, 50)
+    # Memory-bound linear scaling: 4096 has ~4x the speedup of 2048.
+    assert by_dim[4096]["speedup"] > by_dim[2048]["speedup"] > by_dim[1024]["speedup"]

@@ -1,0 +1,28 @@
+"""Figs. 21-22: latency and speedup vs SIGMA across sparsities (1024x1024).
+
+Paper shape: "SIGMA sees huge latency improvements as sparsity increases,
+taking it into the nanosecond regime.  However, even 90% sparsity and
+below is enough to push it back into the microsecond regime, which yields
+a large advantage to our design."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig21_22_sigma_sparsity
+from repro.bench.shapes import is_monotone_decreasing
+
+
+def test_fig21_22_sigma_sparsity(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig21_22_sigma_sparsity))
+    by_sparsity = {row["element_sparsity_pct"]: row for row in result.rows}
+    # SIGMA latency falls steeply as sparsity rises.
+    assert is_monotone_decreasing(result.column("sigma_ns"))
+    # Microsecond regime at 90% and below; approaching nanoseconds at 98%.
+    for sparsity in (70, 80, 90):
+        assert by_sparsity[sparsity]["sigma_ns"] > 900
+    assert by_sparsity[98]["sigma_ns"] < 500
+    # The advantage shrinks with sparsity but the FPGA always wins.
+    speedups = result.column("speedup")
+    assert speedups[0] > speedups[-1]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[0] > 15  # large advantage at 70%

@@ -1,0 +1,25 @@
+"""Fig. 23: speedup vs SIGMA across batch sizes (1024x1024, 95% sparse).
+
+Paper shape: "At batch-size 2, SIGMA does find opportunity to utilize more
+PEs and our advantage decreases.  However, batch-size 4 and beyond quickly
+see SIGMA in the memory-bound region again, which causes the speedup to
+saturate at 5.4x."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig23_sigma_batching
+from repro.bench.shapes import is_monotone_decreasing, within_band
+
+
+def test_fig23_sigma_batching(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig23_sigma_batching))
+    speedups = result.column("speedup")
+    # Monotone decrease toward an asymptote.
+    assert is_monotone_decreasing(speedups)
+    # Saturation: the last two batch points are within a few percent.
+    assert speedups[-1] > speedups[-2] * 0.9
+    # The asymptote is a small-multiple advantage (paper: 5.4x).
+    assert within_band(speedups[-1], 3.0, 8.0)
+    # Batch-1 matches the Fig. 21/22 point at 95%.
+    assert within_band(speedups[0], 8.0, 25.0)

@@ -1,0 +1,41 @@
+"""Measured simulator throughput: object engine vs vectorized engine.
+
+Real wall-clock numbers (pytest-benchmark, multiple rounds) for one
+cycle-accurate product on a 64x64 CSD-recoded matrix — the evidence
+behind shipping two simulation engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.fast import FastCircuit
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(7)
+    matrix = rng.integers(-128, 128, size=(64, 64))
+    matrix[rng.random((64, 64)) < 0.5] = 0
+    plan = plan_matrix(matrix, input_width=8, scheme="csd", rng=rng)
+    circuit = build_circuit(plan)
+    fast = FastCircuit.from_compiled(circuit)
+    vector = rng.integers(-128, 128, size=64)
+    golden = vector @ matrix
+    return circuit, fast, vector, golden
+
+
+def test_object_engine_product(benchmark, compiled):
+    circuit, __, vector, golden = compiled
+    result = benchmark(lambda: circuit.multiply(vector))
+    assert np.array_equal(result, golden)
+
+
+def test_vectorized_engine_product(benchmark, compiled):
+    __, fast, vector, golden = compiled
+    result = benchmark(lambda: fast.multiply(vector))
+    assert np.array_equal(result, golden)
+    # The vectorized engine should complete a 64x64 gate-accurate product
+    # in single-digit milliseconds on any modern machine.
+    assert benchmark.stats.stats.mean < 0.05

@@ -1,0 +1,14 @@
+"""Table I: the bit-serial addition example (3 + 7 = 10)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import table1_bitserial_addition
+
+
+def test_table1_bitserial_addition(benchmark, record_result):
+    result = record_result(run_once(benchmark, table1_bitserial_addition))
+    # The paper's exact rows.
+    assert [r["cin"] for r in result.rows] == [0, 1, 1, 1]
+    assert [r["s"] for r in result.rows] == [0, 1, 0, 1]
+    assert [r["cout"] for r in result.rows] == [1, 1, 1, 0]
+    assert [r["result"] for r in result.rows] == ["0000", "1000", "0100", "1010"]

@@ -1,0 +1,39 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`
+exactly once under pytest-benchmark timing, prints the paper-style table,
+writes it to ``benchmarks/results/<id>.txt``, and asserts the qualitative
+shape the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist and print a finished experiment; returns it for asserts."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_experiment(result)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""How much does Canonical Signed Digit recoding save?
+
+Sec. V of the paper measures ~17% LUT savings from CSD on uniform 8-bit
+weights and expects "these savings to improve for larger weight
+bitwidths".  This example quantifies both claims — per-bitwidth ones
+savings from the paper's Listing 1, compared against the optimal
+non-adjacent form — and shows the effect on a compiled design.
+
+Run:  python examples/csd_exploration.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.core import FixedMatrixMultiplier, convert_to_naf, csd_value
+from repro.core.bits import popcount
+from repro.workloads import element_sparse_matrix, rng_from_seed
+
+
+def average_weights(width: int, rng: np.random.Generator) -> dict:
+    """Average set-bit counts over uniform values of one bitwidth."""
+    values = rng.integers(0, 1 << width, size=4000)
+    plain = np.mean([popcount(int(v)) for v in values])
+    listing1 = np.mean(
+        [sum(map(popcount, csd_value(int(v), width, rng))) for v in values]
+    )
+    naf = np.mean(
+        [sum(1 for d in convert_to_naf(int(v), width) if d) for v in values]
+    )
+    return {
+        "bitwidth": width,
+        "plain_bits": round(plain, 2),
+        "listing1_bits": round(listing1, 2),
+        "naf_bits": round(naf, 2),
+        "listing1_saving": f"{1 - listing1 / plain:.1%}",
+        "naf_saving": f"{1 - naf / plain:.1%}",
+    }
+
+
+def main() -> None:
+    rng = rng_from_seed(0)
+    rows = [average_weights(width, rng) for width in (4, 6, 8, 12, 16, 24, 32)]
+    print("average set bits per weight (uniform values)")
+    print(format_table(rows))
+    print()
+    print("savings grow with bitwidth, as Sec. V predicts; the paper's")
+    print("Listing 1 recoder sits close to the provably-minimal NAF.")
+    print()
+
+    matrix = element_sparse_matrix(64, 64, width=8, element_sparsity=0.5, rng=rng)
+    pn = FixedMatrixMultiplier(matrix, scheme="pn")
+    csd = FixedMatrixMultiplier(matrix, scheme="csd", rng=rng)
+    saving = 1 - csd.resources.luts / pn.resources.luts
+    print(
+        f"compiled 64x64 @50% sparse: PN {pn.resources.luts} LUTs -> "
+        f"CSD {csd.resources.luts} LUTs ({saving:.1%} saved)"
+    )
+
+
+if __name__ == "__main__":
+    main()

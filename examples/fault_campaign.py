@@ -1,0 +1,41 @@
+"""Fault-injection campaign over a compiled multiplier.
+
+Verification-side companion to the compiler: inject stuck-at faults into
+every primitive of a compiled circuit and measure how many a small random
+stimulus set exposes.  Because culling removes every gate that does not
+contribute to an output, coverage is high with very few vectors — the
+architecture carries no dead logic.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.core.plan import plan_matrix
+from repro.hwsim import build_circuit
+from repro.hwsim.faults import fault_campaign
+from repro.workloads import element_sparse_matrix, random_input_batch, rng_from_seed
+
+
+def main() -> None:
+    rng = rng_from_seed(9)
+    matrix = element_sparse_matrix(12, 8, width=6, element_sparsity=0.4, rng=rng)
+    plan = plan_matrix(matrix, input_width=6, scheme="csd", rng=rng)
+    circuit = build_circuit(plan)
+    print(
+        f"compiled 12x8 matrix: {len(circuit.netlist)} components, "
+        f"decode delta {circuit.decode_delta}"
+    )
+
+    for num_vectors in (1, 2, 4, 8):
+        vectors = random_input_batch(num_vectors, 12, width=6, rng=rng_from_seed(1))
+        report = fault_campaign(circuit, vectors)
+        print(
+            f"  {num_vectors} stimulus vector(s): "
+            f"{report['detected']}/{report['injected']} stuck-at-1 faults "
+            f"detected ({report['coverage']:.1%} coverage)"
+        )
+
+    print("\ncoverage saturates quickly: every surviving gate feeds an output.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""NARMA-10 system identification with a hardware-compiled reservoir.
+
+The paper's end-to-end story: a fixed random sparse reservoir, quantized
+to integers (Kleyko et al.), compiled to the spatial bit-serial
+architecture, and driven through the classic NARMA-10 task with every
+recurrent product produced by the compiled multiplier.  Only the linear
+readout is trained.
+
+Run:  python examples/reservoir_narma.py
+"""
+
+import numpy as np
+
+from repro.reservoir import (
+    HardwareESN,
+    RidgeReadout,
+    narma10,
+    nrmse,
+    quantize_esn,
+    random_input_weights,
+    random_reservoir,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dim = 200
+    sparsity = 0.80
+
+    print(f"building a {dim}-neuron reservoir at {sparsity:.0%} element sparsity")
+    w = random_reservoir(dim, element_sparsity=sparsity, rng=rng)
+    w_in = random_input_weights(dim, 1, rng=rng)
+    esn = quantize_esn(w, w_in, weight_width=6, state_width=8)
+
+    hw = HardwareESN(esn, scheme="csd", backend="functional")
+    mult = hw.multiplier
+    print(
+        f"compiled recurrent matrix: {mult.ones} ones -> {mult.resources.luts} LUTs, "
+        f"{mult.fmax_hz() / 1e6:.0f} MHz, {mult.latency_ns():.0f} ns per state update"
+    )
+
+    data = narma10(3000, np.random.default_rng(0))
+    u_q = esn.quantize_inputs(2.0 * data.inputs - 0.5)
+
+    washout = 100
+    print("harvesting reservoir states (every gemv on the compiled multiplier)...")
+    states = hw.run(u_q, washout=washout).astype(float)
+    targets = data.targets[washout:]
+
+    cut = int(len(states) * 0.7)
+    readout = RidgeReadout(alpha=1e-4).fit(states[:cut], targets[:cut])
+    predictions = readout.predict(states[cut:])
+    error = nrmse(predictions, targets[cut:])
+
+    print(f"NARMA-10 test NRMSE: {error:.3f}  (mean predictor = 1.0)")
+
+    # Sanity: hardware states are bit-identical to the software integer ESN.
+    sw_states = esn.run(u_q, washout=washout).astype(float)
+    assert np.array_equal(states, sw_states)
+    print("hardware and software reservoir trajectories are bit-identical.")
+
+    steps_per_second = 1.0 / hw.step_latency_s()
+    print(
+        f"modelled hardware throughput: {steps_per_second / 1e6:.1f} M reservoir "
+        "updates/second"
+    )
+
+
+if __name__ == "__main__":
+    main()

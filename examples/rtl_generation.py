@@ -1,0 +1,69 @@
+"""Generate synthesizable SystemVerilog plus a self-checking testbench.
+
+This is the paper's actual design flow: the matrix contents are compiled
+into RTL ("We coded our design in SystemVerilog and ran synthesis in
+Xilinx Vivado 2020.2").  The emitted module and testbench land in
+``examples/out/`` and can be handed to any SystemVerilog simulator or to
+Vivado; the testbench self-checks against golden integer results.
+
+The example also executes the emitted RTL with the library's built-in
+interpreter to prove the text is functionally correct before you ever
+leave Python.
+
+Run:  python examples/rtl_generation.py
+"""
+
+import pathlib
+
+import numpy as np
+
+from repro.core.bits import from_twos_complement_bits, sign_extended_stream
+from repro.core.plan import plan_matrix
+from repro.hwsim import build_circuit
+from repro.rtl import emit_testbench, emit_verilog_from_circuit
+from repro.rtl.interp import parse_module
+from repro.workloads import element_sparse_matrix, random_input_batch, rng_from_seed
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def main() -> None:
+    rng = rng_from_seed(3)
+    matrix = element_sparse_matrix(8, 8, width=6, element_sparsity=0.5, rng=rng)
+    plan = plan_matrix(matrix, input_width=6, scheme="csd", rng=rng)
+    circuit = build_circuit(plan)
+
+    verilog = emit_verilog_from_circuit(circuit, "sparse_mult8")
+    vectors = random_input_batch(4, 8, width=6, rng=rng)
+    testbench = emit_testbench(plan, vectors, module_name="sparse_mult8")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "sparse_mult8.sv").write_text(verilog)
+    (OUT_DIR / "sparse_mult8_tb.sv").write_text(testbench)
+    print(f"wrote {OUT_DIR / 'sparse_mult8.sv'} ({len(verilog.splitlines())} lines)")
+    print(f"wrote {OUT_DIR / 'sparse_mult8_tb.sv'} ({len(testbench.splitlines())} lines)")
+
+    # Execute the emitted text with RTL semantics and check one vector.
+    module = parse_module(verilog)
+    vector = vectors[0]
+    golden = vector @ matrix
+    streams = [sign_extended_stream(int(v), 6, circuit.run_cycles) for v in vector]
+    outs = []
+    for cycle in range(circuit.run_cycles):
+        module.clock([streams[r][cycle] for r in range(8)])
+        outs.append(module.out_bits())
+    delta = circuit.decode_delta - 1
+    width = plan.result_width
+    decoded = np.array(
+        [
+            from_twos_complement_bits([outs[delta + k][j] for k in range(width)])
+            for j in range(8)
+        ]
+    )
+    assert np.array_equal(decoded, golden)
+    print(f"emitted RTL verified against golden math: {decoded.tolist()}")
+    print("hand sparse_mult8_tb.sv to any SV simulator for the full batch check.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of "Direct Spatial Implementation of Sparse Matrix
+Multipliers for Reservoir Computing" (Denton & Schmit, HPCA 2022).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — matrix-to-circuit compiler, CSD recoding, cost census;
+* :mod:`repro.hwsim` — cycle-accurate gate-level simulator;
+* :mod:`repro.fpga` — XCVU13P device model, mapping, area/timing/power;
+* :mod:`repro.rtl` — SystemVerilog emission;
+* :mod:`repro.workloads` — the paper's random matrix generators;
+* :mod:`repro.reservoir` — Echo State Network library and tasks;
+* :mod:`repro.baselines` — GPU latency models and the SIGMA simulator;
+* :mod:`repro.bench` — per-figure experiment harness.
+"""
+
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.core.plan import plan_matrix
+from repro.core.split import split_matrix
+
+__version__ = "1.0.0"
+
+__all__ = ["FixedMatrixMultiplier", "plan_matrix", "split_matrix", "__version__"]

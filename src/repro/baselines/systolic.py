@@ -1,0 +1,175 @@
+"""Dense weight-stationary systolic array — the paper's introduction foil.
+
+"Current ML accelerators use matrix multiplication as the basic building
+block.  These matrix multiplication units are primarily: Dense [...]
+Small [...] Two-operand." (Sec. I)  The TPU-style systolic array is the
+canonical such unit; this module provides both:
+
+* :class:`SystolicArraySimulator` — a *functional* cycle-stepped
+  simulation of a weight-stationary MAC grid: weights preloaded into PEs,
+  activations skewed in from the left, partial sums flowing down.  It
+  computes real products and exposes per-cycle state, so tests verify it
+  bit-exactly against numpy;
+* :class:`SystolicModel` — the tiled-latency model for arbitrary matrix
+  sizes: a fixed ``grid x grid`` array processes a large matrix as
+  ``ceil(R/grid) x ceil(C/grid)`` tiles, paying a weight-load phase per
+  tile.  Utilization on a sparse matrix equals its density — the dense
+  unit multiplies every zero ("most of the computation performed in
+  inference using the full matrix is wasted").
+
+Together with the spatial multiplier these quantify the intro's argument:
+indexing/tiling-free spatial sparsity versus dense generality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SystolicArraySimulator", "SystolicModel", "SystolicEstimate"]
+
+
+class SystolicArraySimulator:
+    """Functional weight-stationary systolic array (one tile).
+
+    The array holds a ``rows x cols`` weight tile.  Activations enter
+    skewed (row ``i`` delayed ``i`` cycles); each PE computes
+    ``psum_out = psum_in + weight * activation`` per cycle and passes the
+    activation right and the partial sum down.  Column ``j``'s result
+    emerges ``rows + j`` cycles after streaming starts.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        arr = np.asarray(weights, dtype=np.int64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise ValueError(f"weights must be a non-empty 2-D tile, got {arr.shape}")
+        self.weights = arr
+        self.rows, self.cols = arr.shape
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear in-flight activations and partial sums."""
+        # activation[i][j]: the activation currently held at PE (i, j).
+        self._activations = np.zeros((self.rows, self.cols), dtype=np.int64)
+        # psums[i][j]: partial sum leaving PE (i, j) downward this cycle.
+        self._psums = np.zeros((self.rows, self.cols), dtype=np.int64)
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def step(self, incoming: np.ndarray) -> np.ndarray:
+        """One array cycle: feed the left edge, return the bottom edge.
+
+        ``incoming[i]`` is the activation entering row ``i`` this cycle
+        (the caller applies the skew).  Returns the partial sums leaving
+        the bottom of each column this cycle.
+        """
+        incoming = np.asarray(incoming, dtype=np.int64)
+        if incoming.shape != (self.rows,):
+            raise ValueError(f"need {self.rows} incoming activations")
+        # Activations shift right (no wrap); new ones enter column 0.
+        self._activations = np.hstack(
+            [incoming[:, None], self._activations[:, :-1]]
+        )
+        # Partial sums shift down; each PE adds weight * activation.
+        shifted = np.vstack(
+            [np.zeros((1, self.cols), dtype=np.int64), self._psums[:-1]]
+        )
+        self._psums = shifted + self.weights * self._activations
+        self._cycle += 1
+        return self._psums[-1].copy()
+
+    def multiply(self, vector: np.ndarray) -> np.ndarray:
+        """Full ``a^T W`` through the array with correct skew and drain."""
+        vector = np.asarray(vector, dtype=np.int64)
+        if vector.shape != (self.rows,):
+            raise ValueError(f"need a vector of length {self.rows}")
+        self.reset()
+        total_cycles = self.rows + self.cols  # fill + drain
+        outputs = np.zeros(self.cols, dtype=np.int64)
+        for cycle in range(total_cycles):
+            incoming = np.zeros(self.rows, dtype=np.int64)
+            for row in range(self.rows):
+                if cycle == row:  # skew: row i enters at cycle i
+                    incoming[row] = vector[row]
+            bottom = self.step(incoming)
+            # Column j's completed sum exits at cycle rows + j - 1 (0-based).
+            for col in range(self.cols):
+                if cycle == self.rows + col - 1:
+                    outputs[col] = bottom[col]
+        return outputs
+
+    @property
+    def latency_cycles(self) -> int:
+        """Fill + drain latency for one vector through one tile."""
+        return self.rows + self.cols
+
+
+@dataclass(frozen=True)
+class SystolicEstimate:
+    """Tiled execution estimate for a large matrix on a fixed array."""
+
+    grid: int
+    row_tiles: int
+    col_tiles: int
+    weight_load_cycles: int
+    compute_cycles: int
+    total_cycles: int
+    utilization: float
+
+    def latency_s(self, clock_hz: float) -> float:
+        if clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_hz}")
+        return self.total_cycles / clock_hz
+
+
+@dataclass(frozen=True)
+class SystolicModel:
+    """Latency model for a dense ``grid x grid`` weight-stationary array.
+
+    Defaults approximate a small TPU-like inference block: 128x128 MACs
+    at 700 MHz with a weight-load port of one row per cycle.  Because the
+    unit is two-operand ("the matrix and the vector as stored variables"),
+    every tile's weights must be loaded before use — the cost the spatial
+    design eliminates by baking weights into the fabric.
+    """
+
+    grid: int = 128
+    clock_hz: float = 700e6
+    weight_rows_per_cycle: int = 1
+
+    def estimate(self, rows: int, cols: int, density: float, batch: int = 1) -> SystolicEstimate:
+        """Tiled gemv/gemm latency for an ``rows x cols`` matrix."""
+        if rows < 1 or cols < 1:
+            raise ValueError("matrix dimensions must be >= 1")
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        row_tiles = math.ceil(rows / self.grid)
+        col_tiles = math.ceil(cols / self.grid)
+        tiles = row_tiles * col_tiles
+        load_per_tile = math.ceil(self.grid / self.weight_rows_per_cycle)
+        weight_load = tiles * load_per_tile
+        # Per batch element, per tile: fill + drain (grid + grid cycles);
+        # column tiles for the same rows can pipeline back to back.
+        per_vector = row_tiles * col_tiles * (2 * self.grid)
+        compute = batch * per_vector
+        # A dense array multiplies zeros too: useful work fraction is the
+        # density (zero-weight MACs are wasted).
+        return SystolicEstimate(
+            grid=self.grid,
+            row_tiles=row_tiles,
+            col_tiles=col_tiles,
+            weight_load_cycles=weight_load,
+            compute_cycles=compute,
+            total_cycles=weight_load + compute,
+            utilization=density,
+        )
+
+    def latency_s(self, rows: int, cols: int, density: float, batch: int = 1) -> float:
+        return self.estimate(rows, cols, density, batch).latency_s(self.clock_hz)

@@ -1,0 +1,41 @@
+"""Experiment harness: one reproducible entry per paper table/figure."""
+
+from repro.bench.ablations import ABLATIONS
+from repro.bench.efficiency import efficiency_comparison, energy_per_product
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.export import to_csv, write_csv
+from repro.bench.fpga_point import (
+    FpgaDesignPoint,
+    design_point_from_matrix,
+    evaluation_design_point,
+)
+from repro.bench.harness import ExperimentResult, format_experiment, format_table
+from repro.bench.shapes import (
+    all_within_band,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    linear_fit_r_squared,
+    ratio,
+    within_band,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ABLATIONS",
+    "efficiency_comparison",
+    "energy_per_product",
+    "to_csv",
+    "write_csv",
+    "ExperimentResult",
+    "format_experiment",
+    "format_table",
+    "FpgaDesignPoint",
+    "design_point_from_matrix",
+    "evaluation_design_point",
+    "linear_fit_r_squared",
+    "is_monotone_decreasing",
+    "is_monotone_increasing",
+    "within_band",
+    "all_within_band",
+    "ratio",
+]

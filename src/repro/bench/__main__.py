@@ -1,0 +1,102 @@
+"""Command-line runner for the reproduced experiments.
+
+Usage::
+
+    python -m repro.bench list                  # show every experiment id
+    python -m repro.bench <id> [...]            # run and print experiments
+    python -m repro.bench all                   # the full paper evaluation
+    python -m repro.bench ablations             # the reproduction's ablations
+    python -m repro.bench <id> --csv results/   # also write CSV artifacts
+    python -m repro.bench <id> --plot           # add ASCII latency charts
+
+Paper figures (``fig05`` .. ``fig23``, ``table1``), ablations
+(``ablation_*``) and the energy analysis (``efficiency``) are all
+addressable by id.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.ablations import ABLATIONS
+from repro.bench.efficiency import efficiency_comparison
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.export import write_csv
+from repro.bench.harness import format_experiment
+from repro.bench.studies import STUDIES
+
+ALL_RUNNABLE = {
+    **EXPERIMENTS,
+    **ABLATIONS,
+    **STUDIES,
+    "efficiency": efficiency_comparison,
+}
+
+
+_PLOTTABLE = {
+    # experiment id -> (x, [ys], logy)
+    "fig05": ("bit_sparsity_pct", ["lut", "ff"], False),
+    "fig07": ("elements", ["lut", "ff"], False),
+    "fig08": ("bitwidth", ["lut", "ff"], False),
+    "fig10": ("ones", ["lut", "ff"], False),
+    "fig11": ("lut", ["fmax_mhz"], False),
+    "fig12": ("ones", ["power_w"], False),
+    "fig13_14": ("dim", ["fpga_ns", "cusparse_ns", "optimized_ns"], True),
+    "fig15_16": ("element_sparsity_pct", ["fpga_ns", "cusparse_ns", "optimized_ns"], True),
+    "fig17": ("batch", ["speedup_cusparse", "speedup_optimized"], False),
+    "fig18": ("batch", ["speedup_cusparse", "speedup_optimized"], False),
+    "fig19_20": ("dim", ["sigma_ns", "fpga_ns"], True),
+    "fig21_22": ("element_sparsity_pct", ["sigma_ns", "fpga_ns"], True),
+    "fig23": ("batch", ["speedup"], False),
+}
+
+
+def main(argv: list[str]) -> int:
+    csv_dir = None
+    plot = False
+    if "--plot" in argv:
+        plot = True
+        argv = [a for a in argv if a != "--plot"]
+    if "--csv" in argv:
+        at = argv.index("--csv")
+        if at + 1 >= len(argv):
+            print("--csv requires a directory argument", file=sys.stderr)
+            return 2
+        csv_dir = argv[at + 1]
+        argv = argv[:at] + argv[at + 2 :]
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("available experiments:")
+        for name, fn in ALL_RUNNABLE.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:28s} {doc}")
+        return 0
+    if argv == ["all"]:
+        names = list(EXPERIMENTS)
+    elif argv == ["ablations"]:
+        names = list(ABLATIONS)
+    else:
+        names = argv
+    unknown = [n for n in names if n not in ALL_RUNNABLE]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ALL_RUNNABLE)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = ALL_RUNNABLE[name]()
+        print(format_experiment(result))
+        if plot and name in _PLOTTABLE:
+            from repro.bench.ascii_plot import render_chart
+
+            x, ys, logy = _PLOTTABLE[name]
+            print()
+            print(render_chart(result, x, ys, logy=logy))
+        if csv_dir:
+            path = write_csv(result, csv_dir)
+            print(f"(csv written to {path})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

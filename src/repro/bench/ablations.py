@@ -1,0 +1,230 @@
+"""Ablation studies on the reproduction's design choices.
+
+These go beyond the paper's figures and quantify the decisions DESIGN.md
+documents:
+
+* **recoding** — PN vs the paper's Listing 1 CSD vs the optimal NAF
+  (how much is left on the table by the chain-based recoder?);
+* **tree style** — the paper-literal padded trees vs the
+  measurement-consistent compact trees (the alignment-flop blow-up);
+* **broadcast pipelining** — Sec. VIII's proposed registered fanout and
+  chiplet crossings: frequency recovered vs latency cycles added;
+* **CGRA projection** — Sec. VIII's hard serial-adder grid: density and
+  frequency gains plus matrix-swap cost under pipeline reconfiguration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.core.latency import latency_cycles
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.fpga.cgra import DEFAULT_CGRA, compare_fpga_cgra
+from repro.fpga.mapping import MappingRules, map_census
+from repro.fpga.timing import DEFAULT_TIMING
+from repro.workloads.matrices import element_sparse_matrix
+
+__all__ = [
+    "ablation_recoding",
+    "ablation_tree_style",
+    "ablation_pipelined_broadcast",
+    "ablation_cgra",
+    "ablation_tiling",
+    "ABLATIONS",
+]
+
+
+def ablation_recoding(dim: int = 64, width: int = 8, seed: int = 101) -> ExperimentResult:
+    """PN vs CSD (Listing 1) vs NAF ones/LUTs across element sparsities."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for es_pct in (0, 25, 50, 75, 90):
+        matrix = element_sparse_matrix(dim, dim, width, es_pct / 100.0, rng, signed=True)
+        by_scheme = {}
+        for scheme in ("pn", "csd", "naf"):
+            plan = plan_matrix(matrix, scheme=scheme, rng=np.random.default_rng(seed))
+            census = census_plan(plan)
+            by_scheme[scheme] = (census.ones, map_census(census).luts)
+        rows.append(
+            {
+                "element_sparsity_pct": es_pct,
+                "ones_pn": by_scheme["pn"][0],
+                "ones_csd": by_scheme["csd"][0],
+                "ones_naf": by_scheme["naf"][0],
+                "lut_pn": by_scheme["pn"][1],
+                "lut_csd": by_scheme["csd"][1],
+                "lut_naf": by_scheme["naf"][1],
+                "csd_saving_pct": round(
+                    100.0 * (1 - by_scheme["csd"][0] / by_scheme["pn"][0]), 1
+                )
+                if by_scheme["pn"][0]
+                else 0.0,
+                "naf_saving_pct": round(
+                    100.0 * (1 - by_scheme["naf"][0] / by_scheme["pn"][0]), 1
+                )
+                if by_scheme["pn"][0]
+                else 0.0,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_recoding",
+        title="Recoding ablation: PN vs Listing-1 CSD vs optimal NAF",
+        rows=rows,
+        notes=["NAF lower-bounds any chain recoder; Listing 1 should sit close"],
+    )
+
+
+def ablation_tree_style(width: int = 8, seed: int = 102) -> ExperimentResult:
+    """Compact vs padded trees: the alignment-flop cost of Sec. III taken
+    literally, as a function of sparsity and dimension."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for dim, es_pct in ((64, 50), (64, 90), (128, 90), (128, 98), (256, 98)):
+        matrix = element_sparse_matrix(dim, dim, width, es_pct / 100.0, rng, signed=True)
+        stats = {}
+        for style in ("compact", "padded"):
+            census = census_plan(plan_matrix(matrix, tree_style=style))
+            report = map_census(census, MappingRules())
+            stats[style] = (census.serial_adders, census.dffs, report.ffs)
+        rows.append(
+            {
+                "dim": dim,
+                "element_sparsity_pct": es_pct,
+                "adders": stats["compact"][0],
+                "dffs_compact": stats["compact"][1],
+                "dffs_padded": stats["padded"][1],
+                "ff_compact": stats["compact"][2],
+                "ff_padded": stats["padded"][2],
+                "ff_blowup": round(stats["padded"][2] / stats["compact"][2], 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_tree_style",
+        title="Tree-style ablation: compact vs paper-literal padded alignment",
+        rows=rows,
+        notes=[
+            "adder counts are identical by construction; only alignment "
+            "flip-flops differ, exploding for padded trees at high sparsity",
+        ],
+    )
+
+
+def ablation_pipelined_broadcast(seed: int = 103) -> ExperimentResult:
+    """Sec. VIII's registered broadcast: Fmax recovered vs cycles added."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for dim, es_pct in ((512, 70), (1024, 80), (1024, 70), (1024, 60)):
+        matrix = element_sparse_matrix(dim, dim, 8, es_pct / 100.0, rng, signed=True)
+        plan = plan_matrix(matrix, scheme="csd", rng=np.random.default_rng(seed))
+        census = census_plan(plan)
+        luts = map_census(census).luts
+        fanout = census.ones / dim
+        plain = DEFAULT_TIMING.estimate(luts, dim, fanout=fanout)
+        piped = DEFAULT_TIMING.estimate(luts, dim, fanout=fanout, pipelined=True)
+        cycles = latency_cycles(8, 8, dim)
+        plain_ns = cycles / plain.fmax_hz * 1e9
+        piped_ns = (cycles + piped.extra_pipeline_cycles) / piped.fmax_hz * 1e9
+        rows.append(
+            {
+                "dim": dim,
+                "element_sparsity_pct": es_pct,
+                "slr_span": plain.slr_span,
+                "fmax_mhz": round(plain.fmax_hz / 1e6),
+                "fmax_piped_mhz": round(piped.fmax_hz / 1e6),
+                "extra_cycles": piped.extra_pipeline_cycles,
+                "latency_ns": round(plain_ns, 1),
+                "latency_piped_ns": round(piped_ns, 1),
+                "net_gain": round(plain_ns / piped_ns, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_pipelined_broadcast",
+        title="Broadcast/crossing pipelining ablation (Sec. VIII proposal)",
+        rows=rows,
+        notes=["the optimization pays off exactly where Fmax was interconnect-bound"],
+    )
+
+
+def ablation_cgra(seed: int = 104) -> ExperimentResult:
+    """Sec. VIII CGRA projection across design sizes."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for dim, es_pct in ((64, 50), (256, 80), (512, 90), (1024, 95)):
+        matrix = element_sparse_matrix(dim, dim, 8, es_pct / 100.0, rng, signed=True)
+        plan = plan_matrix(matrix, scheme="csd", rng=np.random.default_rng(seed))
+        census = census_plan(plan)
+        luts = map_census(census).luts
+        fmax = DEFAULT_TIMING.estimate(luts, dim, fanout=census.ones / dim).fmax_hz
+        comparison = compare_fpga_cgra(census, fmax, DEFAULT_CGRA)
+        rows.append(
+            {
+                "dim": dim,
+                "element_sparsity_pct": es_pct,
+                "adders": comparison.serial_adders,
+                "density_gain": round(comparison.density_gain, 1),
+                "fmax_fpga_mhz": round(comparison.fpga_fmax_hz / 1e6),
+                "fmax_cgra_mhz": round(comparison.cgra_fmax_hz / 1e6),
+                "frequency_gain": round(comparison.frequency_gain, 2),
+                "matrix_swap_cycles": comparison.matrix_swap_cycles,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_cgra",
+        title="CGRA projection: hard serial-adder grid vs FPGA LUT fabric",
+        rows=rows,
+        notes=[
+            "512-transistor LUT vs 32-transistor cell -> >10x density; "
+            "pipeline reconfiguration swaps matrices in tens of cycles",
+        ],
+    )
+
+
+def ablation_tiling(seed: int = 105) -> ExperimentResult:
+    """Sec. VIII tiling: FPGA reprogram vs CGRA pipeline reconfiguration.
+
+    A matrix is forced through shrinking LUT budgets; per batch of 1000
+    products the table shows how the 200 ms FPGA reconfiguration makes
+    tiling impractical while a CGRA wave makes it nearly free.
+    """
+    from repro.core.tiling import TiledMatrixMultiplier
+
+    rng = np.random.default_rng(seed)
+    matrix = element_sparse_matrix(48, 32, 8, 0.5, rng, signed=True)
+    rows = []
+    for budget in (10**6, 4000, 2000, 1200):
+        tiled = TiledMatrixMultiplier(
+            matrix, lut_budget=budget, rng=np.random.default_rng(seed)
+        )
+        fpga = tiled.execution_estimate(batch=1000)
+        cgra = tiled.execution_estimate(batch=1000, pipeline_reconfiguration=True)
+        rows.append(
+            {
+                "lut_budget": budget,
+                "tiles": tiled.tile_count,
+                "fpga_total_s": round(fpga.total_s, 4),
+                "fpga_reconfig_frac": round(fpga.reconfiguration_fraction, 4),
+                "cgra_total_us": round(cgra.total_s * 1e6, 2),
+                "cgra_reconfig_frac": round(cgra.reconfiguration_fraction, 4),
+                "fpga_vs_cgra": round(fpga.total_s / cgra.total_s, 1),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_tiling",
+        title="Tiling ablation: FPGA 200 ms reprogram vs CGRA pipeline waves",
+        rows=rows,
+        notes=[
+            "once more than one tile is needed, FPGA reconfiguration "
+            "dominates total time; pipeline reconfiguration keeps tiling free",
+        ],
+    )
+
+
+ABLATIONS = {
+    "ablation_recoding": ablation_recoding,
+    "ablation_tree_style": ablation_tree_style,
+    "ablation_pipelined_broadcast": ablation_pipelined_broadcast,
+    "ablation_cgra": ablation_cgra,
+    "ablation_tiling": ablation_tiling,
+}

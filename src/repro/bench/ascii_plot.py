@@ -1,0 +1,72 @@
+"""Terminal charts for experiment results (no plotting dependencies).
+
+Renders an experiment's series as an ASCII scatter chart — enough to see
+the paper's figure shapes (regime changes, crossovers, level-offs)
+straight from ``python -m repro.bench <id> --plot``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox+*#@%"
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return float(value)
+    if value <= 0:
+        raise ValueError("log-scale chart requires positive values")
+    return math.log10(value)
+
+
+def render_chart(
+    result: ExperimentResult,
+    x: str,
+    ys: list[str],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """ASCII chart of one or more series from an experiment's rows."""
+    series = {y: result.series(x, y) for y in ys}
+    series = {y: pts for y, pts in series.items() if pts}
+    if not series:
+        raise ValueError(f"no rows carry both {x!r} and any of {ys!r}")
+    xs_all = [_transform(px, logx) for pts in series.values() for px, __ in pts]
+    ys_all = [_transform(py, logy) for pts in series.values() for __, py in pts]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for px, py in pts:
+            col = round((_transform(px, logx) - x_lo) / x_span * (width - 1))
+            row = round((_transform(py, logy) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    y_top = f"{10 ** y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bot = f"{10 ** y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    x_left = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_right = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    gutter = max(len(y_top), len(y_bot))
+    lines = [f"{result.experiment_id}: {', '.join(series)} vs {x}"
+             + (" (log y)" if logy else "")]
+    for i, row_cells in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{gutter}} |" + "".join(row_cells))
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter + "  " + x_left + " " * (width - len(x_left) - len(x_right)) + x_right
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Export experiment results as CSV for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["to_csv", "write_csv"]
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render an experiment's rows as CSV text (union of columns)."""
+    columns: list[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
+
+
+def write_csv(result: ExperimentResult, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write ``<experiment_id>.csv`` into ``directory``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.csv"
+    path.write_text(to_csv(result))
+    return path

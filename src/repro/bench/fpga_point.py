@@ -1,0 +1,131 @@
+"""FPGA design points: one fully-evaluated matrix configuration.
+
+A design point bundles everything the evaluation figures need about one
+compiled matrix — ones, mapped resources, SLR span, achievable frequency,
+Eq. 5 latency, and modelled power — with an infeasible marker for
+configurations that exceed the device (the paper's sweeps stop where the
+matrix no longer fits: "matrices with up to 1.5 million ones, as large as
+1024x1024 eight-bit matrix at a sparsity of 60%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.latency import latency_cycles
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.fpga.device import XCVU13P, DesignDoesNotFitError, FpgaDevice
+from repro.fpga.mapping import MappingRules, map_census
+from repro.fpga.power import DEFAULT_POWER
+from repro.fpga.timing import DEFAULT_TIMING
+from repro.workloads.matrices import element_sparse_matrix
+
+__all__ = ["FpgaDesignPoint", "design_point_from_matrix", "evaluation_design_point"]
+
+
+@dataclass(frozen=True)
+class FpgaDesignPoint:
+    """One compiled configuration, evaluated through every FPGA model."""
+
+    dim: int
+    element_sparsity: float
+    scheme: str
+    ones: int
+    luts: int
+    ffs: int
+    lutrams: int
+    fits: bool
+    slr_span: int
+    fmax_hz: float
+    cycles: int
+    power_w: float
+
+    @property
+    def latency_s(self) -> float:
+        if not self.fits:
+            raise DesignDoesNotFitError(
+                f"{self.dim}x{self.dim} @ {self.element_sparsity:.0%} does not fit"
+            )
+        return self.cycles / self.fmax_hz
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_s * 1e9
+
+    def batch_latency_s(self, batch: int) -> float:
+        """Sequential vector products (see repro.core.latency.batch_cycles)."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return batch * self.latency_s
+
+
+def design_point_from_matrix(
+    matrix: np.ndarray,
+    element_sparsity: float,
+    input_width: int = 8,
+    scheme: str = "csd",
+    device: FpgaDevice = XCVU13P,
+    seed: int = 0,
+) -> FpgaDesignPoint:
+    """Compile and evaluate one matrix through the full FPGA model stack."""
+    rng = np.random.default_rng(seed)
+    plan = plan_matrix(matrix, input_width=input_width, scheme=scheme, rng=rng)
+    census = census_plan(plan)
+    resources = map_census(census, MappingRules())
+    cycles = latency_cycles(plan.input_width, plan.nominal_weight_width, plan.rows)
+    ones = census.ones
+    try:
+        estimate = DEFAULT_TIMING.estimate(
+            resources.luts, plan.rows, device, fanout=ones / plan.rows
+        )
+        fits = device.fits(resources.luts, resources.ffs, resources.lutrams)
+        fmax = estimate.fmax_hz
+        span = estimate.slr_span
+        power = DEFAULT_POWER.total_w(ones, fmax)
+    except DesignDoesNotFitError:
+        fits = False
+        fmax = float("nan")
+        span = 0
+        power = float("nan")
+    return FpgaDesignPoint(
+        dim=plan.rows,
+        element_sparsity=element_sparsity,
+        scheme=scheme,
+        ones=ones,
+        luts=resources.luts,
+        ffs=resources.ffs,
+        lutrams=resources.lutrams,
+        fits=fits,
+        slr_span=span,
+        fmax_hz=fmax,
+        cycles=cycles,
+        power_w=power,
+    )
+
+
+@lru_cache(maxsize=64)
+def evaluation_design_point(
+    dim: int,
+    element_sparsity: float,
+    scheme: str = "csd",
+    input_width: int = 8,
+    weight_width: int = 8,
+    seed: int = 0,
+) -> FpgaDesignPoint:
+    """Cached design point on the paper's evaluation workload.
+
+    The evaluation sections all use random element-sparse matrices with
+    signed ``weight_width``-bit weights; the cache keeps repeated sweeps
+    (e.g. Figs. 10, 11 and 12 share one) from recompiling.
+    """
+    rng = np.random.default_rng(seed + dim)
+    matrix = element_sparse_matrix(
+        dim, dim, weight_width, element_sparsity, rng, signed=True
+    )
+    return design_point_from_matrix(
+        matrix, element_sparsity, input_width=input_width, scheme=scheme, seed=seed
+    )

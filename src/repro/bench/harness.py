@@ -1,0 +1,81 @@
+"""Experiment harness: structured results and paper-style tables.
+
+Every table and figure in the paper's evaluation maps to one function in
+:mod:`repro.bench.experiments`, each returning an :class:`ExperimentResult`
+whose rows mirror the series the paper plots.  ``format_table`` renders
+them in the same shape for side-by-side comparison with the paper, and the
+``benchmarks/`` suite prints and shape-checks each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "format_table", "format_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, key: str) -> list[Any]:
+        """Extract one column across all rows (missing values -> None)."""
+        return [row.get(key) for row in self.rows]
+
+    def series(self, x: str, y: str) -> list[tuple[Any, Any]]:
+        """(x, y) pairs for rows that have both keys."""
+        return [
+            (row[x], row[y]) for row in self.rows if x in row and y in row
+        ]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render rows as a fixed-width text table (union of keys, in order)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        [_format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(r, widths)) for r in rendered
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render a full experiment: title, table, notes."""
+    parts = [f"== {result.experiment_id}: {result.title} ==", format_table(result.rows)]
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

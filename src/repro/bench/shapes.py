@@ -1,0 +1,65 @@
+"""Qualitative shape assertions for reproduced experiments.
+
+The reproduction's substrate is a simulator, not the authors' testbed, so
+absolute numbers are not expected to match the paper.  What must hold is
+the *shape* of every result: who wins, by roughly what factor, where the
+crossovers and regime changes fall.  These helpers express those checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "linear_fit_r_squared",
+    "is_monotone_decreasing",
+    "is_monotone_increasing",
+    "within_band",
+    "all_within_band",
+    "ratio",
+]
+
+
+def linear_fit_r_squared(xs, ys) -> float:
+    """R-squared of the least-squares line through (xs, ys)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching points")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+
+def is_monotone_decreasing(values, tolerance: float = 0.0) -> bool:
+    """True if each value is <= the previous (within a relative tolerance)."""
+    seq = [float(v) for v in values]
+    return all(
+        b <= a * (1.0 + tolerance) for a, b in zip(seq, seq[1:])
+    )
+
+
+def is_monotone_increasing(values, tolerance: float = 0.0) -> bool:
+    seq = [float(v) for v in values]
+    return all(
+        b >= a * (1.0 - tolerance) for a, b in zip(seq, seq[1:])
+    )
+
+
+def within_band(value: float, lo: float, hi: float) -> bool:
+    """Inclusive band check."""
+    if lo > hi:
+        raise ValueError(f"empty band [{lo}, {hi}]")
+    return lo <= float(value) <= hi
+
+
+def all_within_band(values, lo: float, hi: float) -> bool:
+    return all(within_band(v, lo, hi) for v in values)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        raise ValueError("ratio denominator is zero")
+    return float(numerator) / float(denominator)

@@ -1,0 +1,100 @@
+"""The paper's primary contribution: matrix -> spatial bit-serial circuit."""
+
+from repro.core.bits import (
+    from_twos_complement_bits,
+    from_unsigned_bits,
+    matrix_popcount,
+    popcount,
+    sign_extended_stream,
+    to_twos_complement_bits,
+    to_unsigned_bits,
+)
+from repro.core.csd import (
+    CsdMatrices,
+    convert_to_csd,
+    convert_to_naf,
+    csd_split_unsigned,
+    csd_value,
+    csd_variants,
+    digits_to_pn,
+    digits_to_value,
+    naf_split_unsigned,
+)
+from repro.core.latency import (
+    batch_cycles,
+    latency_cycles,
+    latency_ns,
+    pipelined_reconfig_overhead_cycles,
+)
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.core.plan import MatrixPlan, plan_matrix, signed_width_for_range, tree_depth
+from repro.core.serialize import (
+    census_from_dict,
+    census_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.core.visualize import render_column, summarize_plan
+from repro.core.tiling import (
+    FPGA_RECONFIGURATION_S,
+    TiledMatrixMultiplier,
+    plan_column_tiles,
+)
+from repro.core.sparsity import (
+    bit_sparsity,
+    element_sparsity,
+    element_to_bit_sparsity,
+    nnz,
+    total_ones,
+)
+from repro.core.split import RECODING_SCHEMES, SplitMatrix, pn_split, split_matrix
+from repro.core.stats import CircuitCensus, PlaneCensus, census_plan
+
+__all__ = [
+    "FixedMatrixMultiplier",
+    "TiledMatrixMultiplier",
+    "plan_column_tiles",
+    "FPGA_RECONFIGURATION_S",
+    "plan_to_dict",
+    "plan_from_dict",
+    "census_to_dict",
+    "census_from_dict",
+    "render_column",
+    "summarize_plan",
+    "MatrixPlan",
+    "plan_matrix",
+    "census_plan",
+    "CircuitCensus",
+    "PlaneCensus",
+    "SplitMatrix",
+    "pn_split",
+    "split_matrix",
+    "RECODING_SCHEMES",
+    "convert_to_csd",
+    "convert_to_naf",
+    "csd_split_unsigned",
+    "naf_split_unsigned",
+    "csd_value",
+    "csd_variants",
+    "digits_to_pn",
+    "digits_to_value",
+    "CsdMatrices",
+    "latency_cycles",
+    "latency_ns",
+    "batch_cycles",
+    "pipelined_reconfig_overhead_cycles",
+    "bit_sparsity",
+    "element_sparsity",
+    "element_to_bit_sparsity",
+    "total_ones",
+    "nnz",
+    "popcount",
+    "matrix_popcount",
+    "to_unsigned_bits",
+    "from_unsigned_bits",
+    "to_twos_complement_bits",
+    "from_twos_complement_bits",
+    "sign_extended_stream",
+    "signed_width_for_range",
+    "tree_depth",
+]

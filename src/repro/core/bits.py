@@ -1,0 +1,166 @@
+"""Two's-complement bit streams and popcount utilities.
+
+The bit-serial architecture of the paper streams integers least-significant
+bit first.  Everything in this module therefore uses the *LSb-first*
+convention: ``bits[0]`` is the least significant bit.
+
+Weights travel through the compiler as *unsigned* matrices (the signed case
+is handled by the positive/negative split in :mod:`repro.core.split`), while
+the streamed activations are signed two's-complement values that are
+sign-extended for the duration of the computation (Sec. III of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "unsigned_range",
+    "signed_range",
+    "to_unsigned_bits",
+    "from_unsigned_bits",
+    "to_twos_complement_bits",
+    "from_twos_complement_bits",
+    "sign_extended_stream",
+    "decode_twos_complement_stream",
+    "popcount",
+    "matrix_popcount",
+    "bit_plane",
+    "bit_planes",
+    "min_bits_unsigned",
+]
+
+
+def unsigned_range(width: int) -> tuple[int, int]:
+    """Inclusive ``(lo, hi)`` range of unsigned integers of ``width`` bits."""
+    _check_width(width)
+    return 0, (1 << width) - 1
+
+
+def signed_range(width: int) -> tuple[int, int]:
+    """Inclusive ``(lo, hi)`` range of two's-complement ints of ``width`` bits."""
+    _check_width(width)
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1
+
+
+def _check_width(width: int) -> None:
+    if width < 1:
+        raise ValueError(f"bit width must be >= 1, got {width}")
+
+
+def to_unsigned_bits(value: int, width: int) -> list[int]:
+    """Encode a non-negative integer as ``width`` bits, LSb first.
+
+    >>> to_unsigned_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    _check_width(width)
+    value = int(value)
+    lo, hi = unsigned_range(width)
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} does not fit in u{width} [{lo}, {hi}]")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_unsigned_bits(bits: list[int]) -> int:
+    """Decode an LSb-first unsigned bit list back to an integer."""
+    return sum(int(b) << i for i, b in enumerate(bits))
+
+
+def to_twos_complement_bits(value: int, width: int) -> list[int]:
+    """Encode a signed integer as ``width`` two's-complement bits, LSb first.
+
+    >>> to_twos_complement_bits(-3, 4)
+    [1, 0, 1, 1]
+    """
+    _check_width(width)
+    value = int(value)
+    lo, hi = signed_range(width)
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} does not fit in s{width} [{lo}, {hi}]")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_twos_complement_bits(bits: list[int]) -> int:
+    """Decode an LSb-first two's-complement bit list back to an integer."""
+    if not bits:
+        raise ValueError("cannot decode an empty bit list")
+    magnitude = from_unsigned_bits(bits[:-1])
+    sign = int(bits[-1])
+    return magnitude - (sign << (len(bits) - 1))
+
+
+def sign_extended_stream(value: int, width: int, length: int) -> list[int]:
+    """Two's-complement stream of ``length`` bits with sign extension.
+
+    This is the exact sequence an input shift register presents to the
+    reduction tree: ``width`` value bits LSb first, then the sign bit
+    repeated until ``length`` bits have been emitted ("we sign extend the
+    input a from the shift register until the computation has finished").
+    """
+    if length < width:
+        raise ValueError(f"stream length {length} shorter than width {width}")
+    bits = to_twos_complement_bits(value, width)
+    return bits + [bits[-1]] * (length - width)
+
+
+def decode_twos_complement_stream(stream: list[int], width: int) -> int:
+    """Decode the first ``width`` bits of a serial stream as two's complement."""
+    if len(stream) < width:
+        raise ValueError(f"stream of {len(stream)} bits shorter than {width}")
+    return from_twos_complement_bits(list(stream[:width]))
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    value = int(value)
+    if value < 0:
+        raise ValueError("popcount is defined on non-negative integers")
+    return value.bit_count()
+
+
+def matrix_popcount(matrix: np.ndarray, width: int | None = None) -> int:
+    """Total number of set bits across a non-negative integer matrix.
+
+    This is the paper's cost driver: "the cost should be proportional to the
+    number of bits set".  ``width`` only validates that entries fit.
+    """
+    arr = np.asarray(matrix)
+    if arr.size == 0:
+        return 0
+    if np.any(arr < 0):
+        raise ValueError("matrix_popcount expects a non-negative matrix")
+    if width is not None:
+        hi = unsigned_range(width)[1]
+        if np.any(arr > hi):
+            raise ValueError(f"matrix entries exceed u{width}")
+    arr = arr.astype(np.uint64)
+    total = 0
+    while np.any(arr):
+        total += int(np.count_nonzero(arr & np.uint64(1)))
+        arr >>= np.uint64(1)
+    return total
+
+
+def bit_plane(matrix: np.ndarray, bit: int) -> np.ndarray:
+    """Boolean plane selecting entries whose ``bit``-th bit is set."""
+    if bit < 0:
+        raise ValueError(f"bit index must be >= 0, got {bit}")
+    arr = np.asarray(matrix)
+    if np.any(arr < 0):
+        raise ValueError("bit_plane expects a non-negative matrix")
+    return ((arr.astype(np.int64) >> bit) & 1).astype(bool)
+
+
+def bit_planes(matrix: np.ndarray, width: int) -> list[np.ndarray]:
+    """All ``width`` boolean bit planes of a non-negative matrix, LSb first."""
+    _check_width(width)
+    return [bit_plane(matrix, b) for b in range(width)]
+
+
+def min_bits_unsigned(value: int) -> int:
+    """Minimum number of bits needed to store a non-negative integer."""
+    value = int(value)
+    if value < 0:
+        raise ValueError("min_bits_unsigned expects a non-negative integer")
+    return max(1, value.bit_length())

@@ -1,0 +1,74 @@
+"""Latency models — Eq. 5 of the paper plus streaming/batching extensions.
+
+Equation 5::
+
+    Latency = BW_i + BW_w + log2(R) + 2
+
+"We incur the input width to stream the input in, the output width to
+stream the output out, and our adder tree is logarithmic in depth.  We
+incur a single cycle to accumulate across bit positions and an additional
+cycle to subtract the positive and negative weight matrices."
+
+The worked example is pinned by tests: 8-bit inputs and weights with a
+1024x1024 matrix take ``8 + 8 + log2(1024) + 2 = 28`` cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "latency_cycles",
+    "latency_ns",
+    "batch_cycles",
+    "pipelined_reconfig_overhead_cycles",
+]
+
+
+def latency_cycles(input_width: int, weight_width: int, rows: int) -> int:
+    """Eq. 5: single vector-matrix product latency in cycles."""
+    if input_width < 1 or weight_width < 1:
+        raise ValueError("bit widths must be >= 1")
+    if rows < 1:
+        raise ValueError(f"rows must be >= 1, got {rows}")
+    return input_width + weight_width + max(0, math.ceil(math.log2(rows))) + 2
+
+
+def latency_ns(input_width: int, weight_width: int, rows: int, frequency_hz: float) -> float:
+    """Eq. 5 latency converted to nanoseconds at a given clock."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return latency_cycles(input_width, weight_width, rows) / frequency_hz * 1e9
+
+
+def batch_cycles(
+    input_width: int, weight_width: int, rows: int, batch: int
+) -> int:
+    """Cycles to multiply ``batch`` vectors through the fixed matrix.
+
+    The architecture performs sequential vector products ("we have to
+    stream the columns of the input matrix in one-by-one, which yields
+    linear scaling"): each vector occupies the single serial output wire
+    for the full result width, so vectors cannot overlap and total time is
+    ``batch * latency``.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return batch * latency_cycles(input_width, weight_width, rows)
+
+
+def pipelined_reconfig_overhead_cycles(rows: int, weight_width: int) -> int:
+    """Extra cycles to swap the matrix under pipeline reconfiguration.
+
+    Sec. VIII sketches "waves of configuration travelling down the tree":
+    on a CGRA supporting cycle-by-cycle configuration, each tree level can
+    be reconfigured as soon as the previous matrix's partial sums have
+    passed, hiding reconfiguration behind the pipeline instead of the
+    FPGA's ~200 ms full-device reprogram.  The residual overhead is one
+    configuration wave: the tree depth plus the chain, i.e. the same
+    ``log2(R) + weight_width`` the data itself needs — after which
+    back-to-back matrices stream with zero dead cycles.
+    """
+    if rows < 1:
+        raise ValueError(f"rows must be >= 1, got {rows}")
+    return max(0, math.ceil(math.log2(rows))) + weight_width

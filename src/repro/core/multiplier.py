@@ -1,0 +1,218 @@
+"""Public facade: one object from matrix to circuit, cost, and timing.
+
+:class:`FixedMatrixMultiplier` is the library's main entry point.  It
+compiles a fixed signed integer matrix ``V`` into the paper's spatial
+bit-serial architecture and exposes every analysis the paper performs:
+
+* exact functional multiplication (``multiply``),
+* cycle-accurate gate-level simulation (``simulate``, small matrices),
+* resource demand on the target FPGA (``resources``),
+* Eq. 5 latency, the Fig. 11 frequency model, and the Fig. 12 power model,
+* SystemVerilog emission (``to_verilog``).
+
+Example::
+
+    >>> import numpy as np
+    >>> from repro import FixedMatrixMultiplier
+    >>> mult = FixedMatrixMultiplier(np.array([[3, -1], [0, 2]]), input_width=4)
+    >>> mult.multiply([1, 2]).tolist()
+    [3, 3]
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.latency import batch_cycles, latency_cycles
+from repro.core.plan import MatrixPlan, plan_matrix
+from repro.core.stats import CircuitCensus, census_plan
+from repro.fpga.device import FpgaDevice, XCVU13P
+from repro.fpga.mapping import MappingRules, map_census
+from repro.fpga.power import DEFAULT_POWER, PowerModel
+from repro.fpga.report import ResourceReport
+from repro.fpga.timing import DEFAULT_TIMING, TimingEstimate, TimingModel
+
+__all__ = ["FixedMatrixMultiplier"]
+
+
+class FixedMatrixMultiplier:
+    """A fixed matrix compiled to the spatial bit-serial architecture."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        input_width: int = 8,
+        scheme: str = "pn",
+        rng: np.random.Generator | None = None,
+        device: FpgaDevice = XCVU13P,
+        timing: TimingModel = DEFAULT_TIMING,
+        power: PowerModel = DEFAULT_POWER,
+        mapping: MappingRules | None = None,
+        tree_style: str = "compact",
+    ) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.int64)
+        self.device = device
+        self.timing = timing
+        self.power = power
+        self.mapping = mapping or MappingRules()
+        self.plan: MatrixPlan = plan_matrix(
+            self.matrix,
+            input_width=input_width,
+            scheme=scheme,
+            rng=rng,
+            tree_style=tree_style,
+        )
+
+    # -- structural properties ---------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.plan.rows
+
+    @property
+    def cols(self) -> int:
+        return self.plan.cols
+
+    @property
+    def input_width(self) -> int:
+        return self.plan.input_width
+
+    @property
+    def weight_width(self) -> int:
+        return self.plan.nominal_weight_width
+
+    @property
+    def scheme(self) -> str:
+        return self.plan.split.scheme
+
+    @property
+    def ones(self) -> int:
+        """Set bits across the recoded P/N planes — the cost driver."""
+        return self.plan.split.total_ones()
+
+    @cached_property
+    def census(self) -> CircuitCensus:
+        return census_plan(self.plan)
+
+    @cached_property
+    def resources(self) -> ResourceReport:
+        return map_census(self.census, self.mapping)
+
+    def fits_device(self) -> bool:
+        r = self.resources
+        return self.device.fits(r.luts, r.ffs, r.lutrams)
+
+    # -- performance models --------------------------------------------------
+
+    def latency_cycles(self) -> int:
+        """Eq. 5 latency in cycles."""
+        return latency_cycles(self.input_width, self.weight_width, self.rows)
+
+    def batch_cycles(self, batch: int) -> int:
+        return batch_cycles(self.input_width, self.weight_width, self.rows, batch)
+
+    def timing_estimate(self, pipelined: bool = False) -> TimingEstimate:
+        return self.timing.estimate(
+            self.resources.luts,
+            self.rows,
+            self.device,
+            pipelined=pipelined,
+            fanout=self.ones / self.rows,
+        )
+
+    def fmax_hz(self, pipelined: bool = False) -> float:
+        return self.timing_estimate(pipelined).fmax_hz
+
+    def latency_s(self, batch: int = 1, pipelined: bool = False) -> float:
+        estimate = self.timing_estimate(pipelined)
+        cycles = self.batch_cycles(batch) + estimate.extra_pipeline_cycles
+        return cycles / estimate.fmax_hz
+
+    def latency_ns(self, batch: int = 1, pipelined: bool = False) -> float:
+        return self.latency_s(batch, pipelined) * 1e9
+
+    def power_w(self, pipelined: bool = False) -> float:
+        """Total power when clocked at the achievable Fmax (Fig. 12)."""
+        return self.power.total_w(self.ones, self.fmax_hz(pipelined))
+
+    # -- functional paths -----------------------------------------------------
+
+    def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """Exact integer product ``a^T V`` (functional reference path).
+
+        Falls back to arbitrary-precision Python integers when the serial
+        result is too wide for int64 accumulation (possible with very
+        wide weights *and* inputs on large matrices).
+        """
+        a = np.asarray(vector, dtype=np.int64)
+        if a.ndim != 1 or a.shape[0] != self.rows:
+            raise ValueError(f"expected a vector of length {self.rows}")
+        if self.plan.result_width > 62:
+            exact = a.astype(object) @ self.matrix.astype(object)
+            return np.array([int(v) for v in exact], dtype=object)
+        return a @ self.matrix
+
+    def multiply_batch(self, vectors: np.ndarray) -> np.ndarray:
+        batch = np.asarray(vectors, dtype=np.int64)
+        if batch.ndim != 2 or batch.shape[1] != self.rows:
+            raise ValueError(f"expected vectors of shape (batch, {self.rows})")
+        if self.plan.result_width > 62:
+            return np.stack([self.multiply(row) for row in batch])
+        return batch @ self.matrix
+
+    def build_circuit(self):
+        """Instantiate the gate-level netlist (import deferred: heavy)."""
+        from repro.hwsim.builder import build_circuit
+
+        return build_circuit(self.plan)
+
+    def simulate(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """Cycle-accurate gate-level product (small matrices)."""
+        return self.build_circuit().multiply(vector)
+
+    def to_verilog(self, module_name: str = "fixed_matrix_mult") -> str:
+        """Emit synthesizable SystemVerilog for this multiplier."""
+        from repro.rtl.emitter import emit_verilog
+
+        return emit_verilog(self.plan, module_name)
+
+    # -- reporting --------------------------------------------------------------
+
+    def utilization_report(self) -> str:
+        """Vivado-style utilization/timing/power report for this design."""
+        from repro.fpga.report_text import utilization_report
+
+        return utilization_report(
+            self.census,
+            self.resources,
+            self.device,
+            fmax_hz=self.fmax_hz(),
+            power_w=self.power_w(),
+        )
+
+    def summary(self) -> str:
+        r = self.resources
+        est = self.timing_estimate()
+        lines = [
+            f"FixedMatrixMultiplier {self.rows}x{self.cols} "
+            f"(weights s{self.weight_width}, inputs s{self.input_width}, "
+            f"scheme={self.scheme})",
+            f"  ones:        {self.ones}",
+            f"  LUTs:        {r.luts}",
+            f"  FFs:         {r.ffs}",
+            f"  LUTRAMs:     {r.lutrams}",
+            f"  SLR span:    {est.slr_span}",
+            f"  Fmax:        {est.fmax_hz / 1e6:.0f} MHz",
+            f"  latency:     {self.latency_cycles()} cycles = "
+            f"{self.latency_ns():.1f} ns",
+            f"  power:       {self.power_w():.1f} W",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedMatrixMultiplier(rows={self.rows}, cols={self.cols}, "
+            f"scheme={self.scheme!r}, ones={self.ones})"
+        )

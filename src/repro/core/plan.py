@@ -1,0 +1,272 @@
+"""Matrix-to-circuit compilation plan.
+
+A :class:`MatrixPlan` captures everything the downstream consumers need to
+agree on a single circuit:
+
+* the recoded ``(P, N)`` unsigned planes (:mod:`repro.core.split`),
+* the streamed input bit width,
+* the exact serial result width (how many output bits must be shifted out),
+* the reduction-tree style and the resulting per-column pipeline depths.
+
+Both the O(ones) combinatorial census (:mod:`repro.core.stats`) and the
+gate-level netlist builder (:mod:`repro.hwsim.builder`) consume the same
+plan, which is what lets tests assert that they describe the *same*
+hardware.
+
+Tree styles
+-----------
+
+``"padded"`` is the paper's Sec. III description taken literally: every
+column-bit owns a balanced tree over all ``rows`` leaf slots, and a culled
+node "is acting as a D-flip-flop".  This is simple and correct, but at
+high sparsity the alignment flip-flops dominate (a lone tap in a
+4096-leaf tree drags 12 DFFs behind it), which contradicts the paper's own
+measured data — Fig. 10 shows FFs ≈ 2x LUTs up to 1.5M ones, impossible
+if alignment flops scaled with ``taps * log2(rows)``.
+
+``"compact"`` (the default) is the construction those measurements imply:
+each column-bit reduces only its ``k`` live taps (depth ``ceil(log2 k)``),
+the root is padded with a short DFF chain to the column's reference depth
+so all bit positions stay weight-aligned, and each column's output is
+padded to the design's global reference depth so every column decodes on
+one schedule.  Alignment cost becomes a handful of flops per column-bit.
+
+Both styles produce bit-identical results; tests verify this and DESIGN.md
+records the discrepancy and its resolution.
+
+Circuit structure implied by a plan (Sec. III of the paper):
+
+* ``rows`` input shift registers, broadcast to every column;
+* per plane (P, N), per column, per weight-bit position: a reduction tree
+  whose nodes follow the culling rule — two live children: bit-serial
+  adder; one: D flip-flop; none: absent;
+* per plane, per column: a bit-combination chain from MSb to LSb.  Each
+  link follows the same adder/DFF/absent rule.  The one-cycle register in
+  each link provides the power-of-two weighting ("the result of a bit
+  position is delayed accordingly"), and a DFF link keeps the weighting
+  correct across missing bit positions;
+* per column: a final bit-serial subtractor computing ``P - N`` (degrading
+  to a DFF when N is empty, or a serial negator when P is empty);
+* per column: an output shift register.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bits import signed_range
+from repro.core.split import SplitMatrix, split_matrix
+
+__all__ = [
+    "MatrixPlan",
+    "tree_depth",
+    "compact_depth",
+    "compact_internal_dffs",
+    "signed_width_for_range",
+    "plan_matrix",
+    "TREE_STYLES",
+]
+
+TREE_STYLES = ("compact", "padded")
+
+
+def tree_depth(rows: int) -> int:
+    """Depth of the balanced reduction tree over ``rows`` leaf slots."""
+    if rows < 1:
+        raise ValueError(f"rows must be >= 1, got {rows}")
+    return max(0, math.ceil(math.log2(rows)))
+
+
+def compact_depth(taps: int) -> int:
+    """Depth of a compact balanced tree over ``taps`` live leaves."""
+    if taps < 1:
+        raise ValueError(f"taps must be >= 1, got {taps}")
+    size = taps
+    depth = 0
+    while size > 1:
+        size = (size + 1) // 2
+        depth += 1
+    return depth
+
+
+def compact_internal_dffs(taps: int) -> int:
+    """Pass-through DFFs inside a compact tree (one per odd level size)."""
+    if taps < 0:
+        raise ValueError(f"taps must be >= 0, got {taps}")
+    size = taps
+    dffs = 0
+    while size > 1:
+        if size % 2:
+            dffs += 1
+        size = (size + 1) // 2
+    return dffs
+
+
+def signed_width_for_range(lo: int, hi: int) -> int:
+    """Minimal two's-complement width that can hold every value in [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    width = 1
+    while not (signed_range(width)[0] <= lo and hi <= signed_range(width)[1]):
+        width += 1
+    return width
+
+
+@dataclass(frozen=True)
+class MatrixPlan:
+    """Fully-resolved compilation plan for one fixed matrix multiplier.
+
+    Attributes:
+        split: the recoded ``(P, N)`` planes.
+        input_width: streamed activation bit width (two's complement).
+        nominal_weight_width: the weight width of the original matrix,
+            used by the paper's Eq. 5 latency model.
+        result_width: exact number of serial output bits per column.
+        tree_style: ``"compact"`` or ``"padded"`` (see module docstring).
+    """
+
+    split: SplitMatrix
+    input_width: int
+    nominal_weight_width: int
+    result_width: int
+    tree_style: str
+
+    @property
+    def rows(self) -> int:
+        return self.split.rows
+
+    @property
+    def cols(self) -> int:
+        return self.split.cols
+
+    @property
+    def plane_width(self) -> int:
+        """Unsigned bit width of the P/N planes (CSD widens by one)."""
+        return self.split.width
+
+    @property
+    def full_depth(self) -> int:
+        """Depth of the padded-style tree: ``ceil(log2(rows))``."""
+        return tree_depth(self.rows)
+
+    def column_taps(self, plane: np.ndarray, col: int, bit: int) -> np.ndarray:
+        """Row indices whose ``bit``-th weight bit is set in ``col``."""
+        column = plane[:, col].astype(np.int64)
+        return np.nonzero((column >> bit) & 1)[0]
+
+    def bit_tap_counts(self) -> np.ndarray:
+        """Tap counts ``k`` per (plane, bit, column); shape (2, width, cols).
+
+        Plane index 0 is positive, 1 is negative.
+        """
+        width = self.plane_width
+        counts = np.zeros((2, width, self.cols), dtype=np.int64)
+        for p, plane in enumerate((self.split.positive, self.split.negative)):
+            arr = plane.astype(np.int64)
+            for bit in range(width):
+                counts[p, bit] = ((arr >> bit) & 1).sum(axis=0)
+        return counts
+
+    def column_depths(self) -> np.ndarray:
+        """Reference pipeline depth of each column's tree stage.
+
+        For the padded style this is ``full_depth`` everywhere.  For the
+        compact style it is the deepest live compact tree across both
+        planes and all bit positions (0 for columns with no live taps).
+        """
+        if self.tree_style == "padded":
+            return np.full(self.cols, self.full_depth, dtype=np.int64)
+        counts = self.bit_tap_counts()
+        depth_lut = _depth_lookup(self.rows)
+        depths = depth_lut[counts]  # (2, width, cols)
+        return depths.max(axis=(0, 1))
+
+    def reference_depth(self) -> int:
+        """Global tree-stage depth: every column is padded up to this."""
+        depths = self.column_depths()
+        return int(depths.max()) if depths.size else 0
+
+    def decode_delta(self) -> int:
+        """Cycle at which result bit 0 appears on every column output.
+
+        Tree stage (reference depth) + one cycle to accumulate across bit
+        positions + one cycle for the P-N subtraction.
+        """
+        return self.reference_depth() + 2
+
+    def matrix(self) -> np.ndarray:
+        """The signed matrix this plan implements."""
+        return self.split.reconstruct()
+
+
+def _depth_lookup(rows: int) -> np.ndarray:
+    """Vectorized ``compact_depth`` table for tap counts 0..rows."""
+    lut = np.zeros(rows + 1, dtype=np.int64)
+    for k in range(1, rows + 1):
+        lut[k] = compact_depth(k)
+    return lut
+
+
+def _exact_result_width(split: SplitMatrix, input_width: int) -> int:
+    """Exact serial output width from per-column worst-case ranges.
+
+    ``o_j = a . (P_j - N_j)``; with ``a`` two's complement of
+    ``input_width`` bits the extremes are attained by assigning each
+    ``a_i`` its max (for positive contribution) or min.  Arbitrary-
+    precision Python integers are used for the extremes so wide
+    configurations cannot silently overflow the bound computation.
+    """
+    a_lo, a_hi = signed_range(input_width)
+    col_p = [int(s) for s in split.positive.sum(axis=0, dtype=object)]
+    col_n = [int(s) for s in split.negative.sum(axis=0, dtype=object)]
+    if not col_p:
+        return 1
+    hi = max(max(a_hi * p - a_lo * n for p, n in zip(col_p, col_n)), 0)
+    lo = min(min(a_lo * p - a_hi * n for p, n in zip(col_p, col_n)), 0)
+    return signed_width_for_range(lo, hi)
+
+
+def plan_matrix(
+    matrix: np.ndarray,
+    input_width: int = 8,
+    scheme: str = "pn",
+    rng: np.random.Generator | None = None,
+    tree_style: str = "compact",
+) -> MatrixPlan:
+    """Compile a signed integer matrix into a :class:`MatrixPlan`.
+
+    Args:
+        matrix: 2-D signed integer matrix ``V`` (rows x cols); the circuit
+            computes ``o = a^T V`` for streamed vectors ``a``.
+        input_width: two's-complement bit width of the streamed inputs.
+        scheme: ``"pn"`` or ``"csd"`` recoding (Sec. III vs Sec. V).
+        rng: generator for CSD coin flips (deterministic default).
+        tree_style: ``"compact"`` (default) or ``"padded"``.
+    """
+    if input_width < 1:
+        raise ValueError(f"input_width must be >= 1, got {input_width}")
+    if tree_style not in TREE_STYLES:
+        raise ValueError(f"unknown tree_style {tree_style!r}; use one of {TREE_STYLES}")
+    arr = np.asarray(matrix, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("cannot compile an empty matrix")
+    split = split_matrix(arr, scheme=scheme, rng=rng)
+    lo = int(arr.min())
+    hi = int(arr.max())
+    if lo < 0:
+        nominal = signed_width_for_range(lo, hi)
+    else:
+        # Unsigned weight matrix: natural width of the largest entry.
+        nominal = max(1, hi.bit_length())
+    return MatrixPlan(
+        split=split,
+        input_width=input_width,
+        nominal_weight_width=nominal,
+        result_width=_exact_result_width(split, input_width),
+        tree_style=tree_style,
+    )

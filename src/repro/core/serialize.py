@@ -1,0 +1,120 @@
+"""Plan and report serialization (JSON-compatible dictionaries).
+
+Compiling a large matrix (CSD recoding + census) is the expensive step of
+a deployment flow; serialization lets a build system compile once, store
+the plan next to the generated RTL, and reload it for later analysis
+without recompiling — the same role a synthesis checkpoint plays in the
+paper's Vivado flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.plan import MatrixPlan
+from repro.core.split import SplitMatrix
+from repro.core.stats import CircuitCensus, PlaneCensus
+
+__all__ = ["plan_to_dict", "plan_from_dict", "census_to_dict", "census_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: MatrixPlan) -> dict[str, Any]:
+    """JSON-compatible representation of a compilation plan."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "positive": plan.split.positive.tolist(),
+        "negative": plan.split.negative.tolist(),
+        "plane_width": plan.split.width,
+        "scheme": plan.split.scheme,
+        "input_width": plan.input_width,
+        "nominal_weight_width": plan.nominal_weight_width,
+        "result_width": plan.result_width,
+        "tree_style": plan.tree_style,
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> MatrixPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version: {version!r}")
+    split = SplitMatrix(
+        positive=np.asarray(data["positive"], dtype=np.int64),
+        negative=np.asarray(data["negative"], dtype=np.int64),
+        width=int(data["plane_width"]),
+        scheme=str(data["scheme"]),
+    )
+    return MatrixPlan(
+        split=split,
+        input_width=int(data["input_width"]),
+        nominal_weight_width=int(data["nominal_weight_width"]),
+        result_width=int(data["result_width"]),
+        tree_style=str(data["tree_style"]),
+    )
+
+
+def census_to_dict(census: CircuitCensus) -> dict[str, Any]:
+    """JSON-compatible representation of a circuit census."""
+    def plane(p: PlaneCensus) -> dict[str, int]:
+        return {
+            "tree_adders": p.tree_adders,
+            "tree_dffs": p.tree_dffs,
+            "chain_adders": p.chain_adders,
+            "chain_dffs": p.chain_dffs,
+            "live_roots": p.live_roots,
+        }
+
+    return {
+        "format_version": _FORMAT_VERSION,
+        "rows": census.rows,
+        "cols": census.cols,
+        "input_width": census.input_width,
+        "plane_width": census.plane_width,
+        "result_width": census.result_width,
+        "reference_depth": census.reference_depth,
+        "tree_style": census.tree_style,
+        "ones": census.ones,
+        "positive": plane(census.positive),
+        "negative": plane(census.negative),
+        "subtractors": census.subtractors,
+        "subtract_dffs": census.subtract_dffs,
+        "negators": census.negators,
+        "output_pad_dffs": census.output_pad_dffs,
+    }
+
+
+def census_from_dict(data: dict[str, Any]) -> CircuitCensus:
+    """Rebuild a census from :func:`census_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported census format version: {version!r}")
+
+    def plane(d: dict[str, int]) -> PlaneCensus:
+        return PlaneCensus(
+            tree_adders=int(d["tree_adders"]),
+            tree_dffs=int(d["tree_dffs"]),
+            chain_adders=int(d["chain_adders"]),
+            chain_dffs=int(d["chain_dffs"]),
+            live_roots=int(d["live_roots"]),
+        )
+
+    return CircuitCensus(
+        rows=int(data["rows"]),
+        cols=int(data["cols"]),
+        input_width=int(data["input_width"]),
+        plane_width=int(data["plane_width"]),
+        result_width=int(data["result_width"]),
+        reference_depth=int(data["reference_depth"]),
+        tree_style=str(data["tree_style"]),
+        ones=int(data["ones"]),
+        positive=plane(data["positive"]),
+        negative=plane(data["negative"]),
+        subtractors=int(data["subtractors"]),
+        subtract_dffs=int(data["subtract_dffs"]),
+        negators=int(data["negators"]),
+        output_pad_dffs=int(data["output_pad_dffs"]),
+    )

@@ -1,0 +1,70 @@
+"""Sparsity metrics used throughout the paper.
+
+The paper distinguishes two notions of sparsity:
+
+* **Element sparsity** — the fraction of matrix *entries* that are zero
+  ("75% of the elements being 0, which we henceforth refer to as element
+  sparsity").
+* **Bit sparsity** — the fraction of *bits* that are zero out of the total
+  number of bits ("the bit-sparsity of the weight matrix is the number of
+  bits that are 0 out of the total number of bits").
+
+Bit sparsity is a superset of element sparsity: a zero element contributes
+``width`` zero bits.  The architecture's cost tracks *ones*, i.e.
+``(1 - bit_sparsity) * size * width``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import matrix_popcount
+
+__all__ = [
+    "element_sparsity",
+    "bit_sparsity",
+    "total_ones",
+    "element_to_bit_sparsity",
+    "nnz",
+]
+
+
+def element_sparsity(matrix: np.ndarray) -> float:
+    """Fraction of entries equal to zero."""
+    arr = np.asarray(matrix)
+    if arr.size == 0:
+        raise ValueError("element_sparsity of an empty matrix is undefined")
+    return float(np.count_nonzero(arr == 0)) / arr.size
+
+
+def nnz(matrix: np.ndarray) -> int:
+    """Number of nonzero entries."""
+    return int(np.count_nonzero(np.asarray(matrix)))
+
+
+def bit_sparsity(matrix: np.ndarray, width: int) -> float:
+    """Fraction of zero bits out of ``size * width`` total bits.
+
+    The matrix must be non-negative (apply :func:`repro.core.split.pn_split`
+    first for signed weights; bit sparsity is defined on the unsigned planes).
+    """
+    arr = np.asarray(matrix)
+    if arr.size == 0:
+        raise ValueError("bit_sparsity of an empty matrix is undefined")
+    total_bits = arr.size * width
+    return 1.0 - matrix_popcount(arr, width) / total_bits
+
+
+def total_ones(matrix: np.ndarray, width: int | None = None) -> int:
+    """Total set bits — the paper's fundamental hardware-cost driver."""
+    return matrix_popcount(matrix, width)
+
+
+def element_to_bit_sparsity(matrix: np.ndarray, width: int) -> float:
+    """Bit sparsity of an element-sparse matrix (Sec. IV, Fig. 6).
+
+    The paper "convert[s] the element-sparse value into a bit-sparse value"
+    to compare the two generation schemes on a common x-axis.  This helper
+    performs that conversion for a concrete matrix.
+    """
+    return bit_sparsity(matrix, width)

@@ -1,0 +1,220 @@
+"""Combinatorial circuit census — exact primitive counts in O(ones).
+
+The gate-level builder (:mod:`repro.hwsim.builder`) instantiates one Python
+object per primitive, which is fine for functional verification of small
+and medium matrices but far too slow for the paper's large-scale
+experiments (Figs. 10-12 reach ~1.5 million ones).  This module computes
+the *exact same counts* without materializing gates.
+
+Node rules (identical to the builder):
+
+* tree node: two live children -> serial adder, one -> DFF, zero -> absent;
+* compact style additionally pads each live tree root up to the column's
+  reference depth, and each live column's output up to the design's
+  global reference depth (see :mod:`repro.core.plan`);
+* chain link (MSb..LSb): previous link and tree root both live -> serial
+  adder; exactly one -> DFF; neither -> absent;
+* subtract stage per column: P and N both live -> serial subtractor;
+  only P -> DFF; only N -> serial negator; neither -> constant zero.
+
+Tests in ``tests/core/test_stats_vs_netlist.py`` assert exact agreement
+with the instantiated netlist on random matrices for both tree styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bits import bit_plane
+from repro.core.plan import MatrixPlan, compact_depth, compact_internal_dffs
+
+__all__ = ["CircuitCensus", "census_plan", "PlaneCensus"]
+
+
+@dataclass(frozen=True)
+class PlaneCensus:
+    """Primitive counts contributed by one unsigned plane (P or N).
+
+    ``tree_dffs`` includes alignment flops: for the padded style, every
+    one-live-child node; for the compact style, internal odd-level
+    pass-throughs plus the root pads up to the column reference depth.
+    """
+
+    tree_adders: int
+    tree_dffs: int
+    chain_adders: int
+    chain_dffs: int
+    live_roots: int
+
+
+@dataclass(frozen=True)
+class CircuitCensus:
+    """Exact primitive counts for a compiled fixed-matrix multiplier.
+
+    All counts are totals over the whole design.  ``ones`` is the combined
+    popcount of the P and N planes — the paper's fundamental cost driver.
+    """
+
+    rows: int
+    cols: int
+    input_width: int
+    plane_width: int
+    result_width: int
+    reference_depth: int
+    tree_style: str
+    ones: int
+    positive: PlaneCensus
+    negative: PlaneCensus
+    subtractors: int
+    subtract_dffs: int
+    negators: int
+    output_pad_dffs: int
+
+    @property
+    def serial_adders(self) -> int:
+        """All adder-class primitives (tree + chain + subtract + negate)."""
+        return (
+            self.positive.tree_adders
+            + self.positive.chain_adders
+            + self.negative.tree_adders
+            + self.negative.chain_adders
+            + self.subtractors
+            + self.negators
+        )
+
+    @property
+    def dffs(self) -> int:
+        """All lone D flip-flops (alignment and degraded primitives)."""
+        return (
+            self.positive.tree_dffs
+            + self.positive.chain_dffs
+            + self.negative.tree_dffs
+            + self.negative.chain_dffs
+            + self.subtract_dffs
+            + self.output_pad_dffs
+        )
+
+    @property
+    def input_shift_registers(self) -> int:
+        return self.rows
+
+    @property
+    def output_shift_registers(self) -> int:
+        return self.cols
+
+
+def _padded_plane_census(
+    plane: np.ndarray, width: int, depth: int
+) -> tuple[int, int, np.ndarray]:
+    """Tree counts for the padded style via a dense level walk.
+
+    Returns (tree_adders, tree_dffs, per-bit-per-column root liveness).
+    """
+    rows, cols = plane.shape
+    tree_adders = 0
+    tree_dffs = 0
+    roots = np.zeros((width, cols), dtype=bool)
+    for bit in range(width):
+        live = bit_plane(plane, bit)
+        for _ in range(depth):
+            if live.shape[0] % 2:
+                live = np.vstack([live, np.zeros((1, cols), dtype=bool)])
+            a = live[0::2]
+            b = live[1::2]
+            tree_adders += int(np.count_nonzero(a & b))
+            tree_dffs += int(np.count_nonzero(a ^ b))
+            live = a | b
+        roots[bit] = live[0] if live.shape[0] else np.zeros(cols, dtype=bool)
+    return tree_adders, tree_dffs, roots
+
+
+def _compact_plane_census(
+    counts: np.ndarray, column_depths: np.ndarray, rows: int
+) -> tuple[int, int, np.ndarray]:
+    """Tree counts for the compact style from per-column-bit tap counts.
+
+    ``counts`` has shape (width, cols).  Returns (tree_adders, tree_dffs,
+    root liveness), where tree_dffs includes internal pass-throughs and
+    root pads up to ``column_depths``.
+    """
+    depth_lut = np.array([0] + [compact_depth(k) for k in range(1, rows + 1)])
+    internal_lut = np.array([compact_internal_dffs(k) for k in range(rows + 1)])
+    live = counts > 0
+    tree_adders = int(np.sum(np.maximum(counts - 1, 0)))
+    internal = int(np.sum(internal_lut[counts]))
+    pads = int(np.sum((column_depths[None, :] - depth_lut[counts]) * live))
+    return tree_adders, internal + pads, live
+
+
+def _chain_census(roots: np.ndarray) -> tuple[int, int, np.ndarray]:
+    """Bit-combination chain counts; returns (adders, dffs, column liveness)."""
+    width, cols = roots.shape
+    chain_adders = 0
+    chain_dffs = 0
+    prev = np.zeros(cols, dtype=bool)
+    for bit in reversed(range(width)):
+        both = prev & roots[bit]
+        either = prev ^ roots[bit]
+        chain_adders += int(np.count_nonzero(both))
+        chain_dffs += int(np.count_nonzero(either))
+        prev = prev | roots[bit]
+    return chain_adders, chain_dffs, prev
+
+
+def census_plan(plan: MatrixPlan) -> CircuitCensus:
+    """Compute the exact primitive census of the circuit a plan implies."""
+    width = plan.plane_width
+    column_depths = plan.column_depths()
+    reference_depth = int(column_depths.max()) if column_depths.size else 0
+    if plan.tree_style == "padded":
+        p_adders, p_tree_dffs, p_roots = _padded_plane_census(
+            plan.split.positive, width, plan.full_depth
+        )
+        n_adders, n_tree_dffs, n_roots = _padded_plane_census(
+            plan.split.negative, width, plan.full_depth
+        )
+    else:
+        counts = plan.bit_tap_counts()
+        p_adders, p_tree_dffs, p_roots = _compact_plane_census(
+            counts[0], column_depths, plan.rows
+        )
+        n_adders, n_tree_dffs, n_roots = _compact_plane_census(
+            counts[1], column_depths, plan.rows
+        )
+    p_chain_adders, p_chain_dffs, pos_live = _chain_census(p_roots)
+    n_chain_adders, n_chain_dffs, neg_live = _chain_census(n_roots)
+    subtractors = int(np.count_nonzero(pos_live & neg_live))
+    subtract_dffs = int(np.count_nonzero(pos_live & ~neg_live))
+    negators = int(np.count_nonzero(~pos_live & neg_live))
+    any_live = pos_live | neg_live
+    output_pad_dffs = int(np.sum((reference_depth - column_depths) * any_live))
+    return CircuitCensus(
+        rows=plan.rows,
+        cols=plan.cols,
+        input_width=plan.input_width,
+        plane_width=width,
+        result_width=plan.result_width,
+        reference_depth=reference_depth,
+        tree_style=plan.tree_style,
+        ones=plan.split.total_ones(),
+        positive=PlaneCensus(
+            tree_adders=p_adders,
+            tree_dffs=p_tree_dffs,
+            chain_adders=p_chain_adders,
+            chain_dffs=p_chain_dffs,
+            live_roots=int(np.count_nonzero(p_roots)),
+        ),
+        negative=PlaneCensus(
+            tree_adders=n_adders,
+            tree_dffs=n_tree_dffs,
+            chain_adders=n_chain_adders,
+            chain_dffs=n_chain_dffs,
+            live_roots=int(np.count_nonzero(n_roots)),
+        ),
+        subtractors=subtractors,
+        subtract_dffs=subtract_dffs,
+        negators=negators,
+        output_pad_dffs=output_pad_dffs,
+    )

@@ -1,0 +1,179 @@
+"""Tiled execution for matrices that exceed the device (Sec. VIII).
+
+"Even with these optimizations, there may be instances where the compute
+matrix cannot entirely fit in hardware and must be tiled similar to DNN
+accelerators. [...] The time to modify the interconnect matrix of the
+FPGA is on the order of 200ms, which limits its practicality in moving
+weights during runtime.  However, the feed-forward topology of this
+network allows for the approach of pipeline reconfiguration."
+
+This module implements that discussion end to end:
+
+* :func:`plan_column_tiles` — greedy column partitioning under a LUT
+  budget (columns are independent in this architecture, so column tiling
+  needs no partial-sum plumbing: each tile produces a slice of the output
+  vector);
+* :class:`TiledMatrixMultiplier` — functionally exact tiled products plus
+  a deployment-latency model under two reconfiguration regimes: the
+  FPGA's ~200 ms full reprogram versus a CGRA's pipeline-reconfiguration
+  wave of ``log2(R) + BW_w`` cycles.  The contrast is the paper's closing
+  argument: tiling is impractical on the FPGA and nearly free on the
+  proposed CGRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import pipelined_reconfig_overhead_cycles
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.core.split import split_matrix
+from repro.fpga.device import FpgaDevice, XCVU13P
+
+__all__ = [
+    "plan_column_tiles",
+    "TiledMatrixMultiplier",
+    "FPGA_RECONFIGURATION_S",
+]
+
+FPGA_RECONFIGURATION_S = 0.2
+"""Full-device reprogram time: "on the order of 200ms" (Sec. VIII)."""
+
+
+def plan_column_tiles(
+    matrix: np.ndarray,
+    lut_budget: int,
+    scheme: str = "csd",
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, int]]:
+    """Greedy column partition so each tile's LUT demand fits the budget.
+
+    Columns are packed left to right; a column's LUT demand is estimated
+    from its recoded ones (LUTs ~ ones, the Sec. IV model) plus chain and
+    subtract overhead.  Returns ``[start, stop)`` column ranges.
+    """
+    arr = np.asarray(matrix, dtype=np.int64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError(f"expected a non-empty 2-D matrix, got shape {arr.shape}")
+    if lut_budget < 1:
+        raise ValueError(f"lut_budget must be >= 1, got {lut_budget}")
+    split = split_matrix(arr, scheme=scheme, rng=rng)
+    width = split.width
+
+    def column_ones(col: int) -> int:
+        total = 0
+        for plane in (split.positive, split.negative):
+            column = plane[:, col]
+            for bit in range(width):
+                total += int(np.count_nonzero((column >> bit) & 1))
+        return total
+
+    per_column = [column_ones(c) + width + 2 for c in range(arr.shape[1])]
+    overhead = arr.shape[0] + 160  # input SRs + wrapper, from the mapping rules
+    tiles: list[tuple[int, int]] = []
+    start = 0
+    running = overhead
+    for col, cost in enumerate(per_column):
+        if cost + overhead > lut_budget:
+            raise ValueError(
+                f"column {col} alone needs ~{cost + overhead} LUTs, over the "
+                f"budget of {lut_budget}"
+            )
+        if running + cost > lut_budget and col > start:
+            tiles.append((start, col))
+            start = col
+            running = overhead
+        running += cost
+    tiles.append((start, arr.shape[1]))
+    return tiles
+
+
+@dataclass(frozen=True)
+class TiledExecutionEstimate:
+    """Deployment latency for one tiled batch."""
+
+    tiles: int
+    reconfigurations: int
+    reconfiguration_s: float
+    compute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.reconfiguration_s + self.compute_s
+
+    @property
+    def reconfiguration_fraction(self) -> float:
+        total = self.total_s
+        return self.reconfiguration_s / total if total else 0.0
+
+
+class TiledMatrixMultiplier:
+    """A fixed matrix too large for the device, executed tile by tile."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        lut_budget: int,
+        input_width: int = 8,
+        scheme: str = "csd",
+        rng: np.random.Generator | None = None,
+        device: FpgaDevice = XCVU13P,
+    ) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.int64)
+        self.ranges = plan_column_tiles(self.matrix, lut_budget, scheme, rng)
+        self.tiles = [
+            FixedMatrixMultiplier(
+                self.matrix[:, start:stop],
+                input_width=input_width,
+                scheme=scheme,
+                rng=rng,
+                device=device,
+            )
+            for start, stop in self.ranges
+        ]
+        self.lut_budget = lut_budget
+
+    @property
+    def tile_count(self) -> int:
+        return len(self.tiles)
+
+    def max_tile_luts(self) -> int:
+        return max(tile.resources.luts for tile in self.tiles)
+
+    def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """Exact product assembled from per-tile output slices."""
+        pieces = [tile.multiply(vector) for tile in self.tiles]
+        return np.concatenate(pieces)
+
+    def execution_estimate(
+        self,
+        batch: int = 1,
+        pipeline_reconfiguration: bool = False,
+        cgra_clock_hz: float = 1.2e9,
+    ) -> TiledExecutionEstimate:
+        """Latency of a tiled batch under a reconfiguration regime.
+
+        Every tile must be loaded once per batch (weights are *spatial*,
+        so swapping tiles means reprogramming).  On the FPGA that costs
+        ~200 ms each; with pipeline reconfiguration (Sec. VIII's CGRA) a
+        wave of ``log2(R) + BW_w`` cycles hides almost all of it.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        reconfigs = self.tile_count
+        if pipeline_reconfiguration:
+            wave = pipelined_reconfig_overhead_cycles(
+                self.matrix.shape[0], self.tiles[0].plan.plane_width
+            )
+            reconfig_s = reconfigs * wave / cgra_clock_hz
+        else:
+            reconfig_s = reconfigs * FPGA_RECONFIGURATION_S
+        compute_s = sum(tile.latency_s(batch=batch) for tile in self.tiles)
+        return TiledExecutionEstimate(
+            tiles=self.tile_count,
+            reconfigurations=reconfigs,
+            reconfiguration_s=reconfig_s,
+            compute_s=compute_s,
+        )

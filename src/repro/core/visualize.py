@@ -1,0 +1,107 @@
+"""ASCII rendering of compiled circuit columns.
+
+Small-matrix debugging and teaching aid: draw one column's reduction
+trees, bit-combination chain, and subtract stage, as the builder will
+instantiate them.  Used by the docs and handy in a REPL::
+
+    >>> from repro.core import plan_matrix
+    >>> from repro.core.visualize import render_column
+    >>> print(render_column(plan_matrix([[3], [1]], input_width=4), 0))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import MatrixPlan, compact_depth
+
+__all__ = ["render_column", "summarize_plan"]
+
+
+def _plane_lines(plan: MatrixPlan, plane: np.ndarray, col: int, tag: str) -> list[str]:
+    lines: list[str] = []
+    width = plan.plane_width
+    live_bits = []
+    for bit in range(width):
+        taps = plan.column_taps(plane, col, bit)
+        if taps.size == 0:
+            continue
+        live_bits.append(bit)
+        if plan.tree_style == "compact":
+            depth = compact_depth(int(taps.size)) if taps.size else 0
+        else:
+            depth = plan.full_depth
+        lines.append(
+            f"  {tag} bit {bit}: taps rows {taps.tolist()} -> "
+            f"{max(int(taps.size) - 1, 0)} adders, tree depth {depth}"
+        )
+    if not live_bits:
+        lines.append(f"  {tag}: empty plane (no hardware)")
+        return lines
+    chain = []
+    prev = False
+    for bit in reversed(range(width)):
+        root = bit in live_bits
+        if prev and root:
+            chain.append(f"SA(b{bit})")
+        elif prev or root:
+            chain.append(f"DFF(b{bit})")
+        prev = prev or root
+    lines.append(f"  {tag} chain MSb->LSb: " + " -> ".join(chain))
+    return lines
+
+
+def render_column(plan: MatrixPlan, col: int) -> str:
+    """Human-readable structure of one output column's circuit."""
+    if not 0 <= col < plan.cols:
+        raise ValueError(f"column {col} out of range for {plan.cols} columns")
+    lines = [
+        f"column {col} of {plan.rows}x{plan.cols} "
+        f"(scheme={plan.split.scheme}, style={plan.tree_style})"
+    ]
+    lines.extend(_plane_lines(plan, plan.split.positive, col, "P"))
+    lines.extend(_plane_lines(plan, plan.split.negative, col, "N"))
+    p_live = any(
+        plan.column_taps(plan.split.positive, col, b).size
+        for b in range(plan.plane_width)
+    )
+    n_live = any(
+        plan.column_taps(plan.split.negative, col, b).size
+        for b in range(plan.plane_width)
+    )
+    if p_live and n_live:
+        stage = "SerialSubtractor(P - N)"
+    elif p_live:
+        stage = "DFF(P)  [N empty]"
+    elif n_live:
+        stage = "SerialNegator(-N)  [P empty]"
+    else:
+        stage = "constant 0  [both planes empty]"
+    lines.append(f"  subtract stage: {stage}")
+    lines.append(
+        f"  decode: result bit k on cycle {plan.decode_delta()} + k, "
+        f"{plan.result_width} bits"
+    )
+    return "\n".join(lines)
+
+
+def summarize_plan(plan: MatrixPlan) -> str:
+    """One-screen structural overview of a whole plan."""
+    from repro.core.stats import census_plan
+
+    census = census_plan(plan)
+    return "\n".join(
+        [
+            f"{plan.rows}x{plan.cols} matrix, scheme={plan.split.scheme}, "
+            f"style={plan.tree_style}",
+            f"  ones: {census.ones}",
+            f"  serial adders: {census.serial_adders} "
+            f"(tree {census.positive.tree_adders + census.negative.tree_adders}, "
+            f"chain {census.positive.chain_adders + census.negative.chain_adders}, "
+            f"subtract {census.subtractors + census.negators})",
+            f"  alignment DFFs: {census.dffs}",
+            f"  reference depth: {census.reference_depth}",
+            f"  serial result: {plan.result_width} bits from cycle "
+            f"{plan.decode_delta()}",
+        ]
+    )

@@ -1,0 +1,35 @@
+"""FPGA substrate: device facts, technology mapping, area/timing/power models."""
+
+from repro.fpga.area import AreaModel, CgraEstimate, LinearFit, cgra_transistor_estimate
+from repro.fpga.cgra import DEFAULT_CGRA, CgraComparison, CgraDevice, compare_fpga_cgra
+from repro.fpga.device import XCVU13P, DesignDoesNotFitError, FpgaDevice
+from repro.fpga.mapping import MappingRules, infer_srl_runs, map_census, map_netlist
+from repro.fpga.power import DEFAULT_POWER, PowerModel
+from repro.fpga.report import ResourceReport
+from repro.fpga.report_text import utilization_report
+from repro.fpga.timing import DEFAULT_TIMING, TimingEstimate, TimingModel
+
+__all__ = [
+    "FpgaDevice",
+    "XCVU13P",
+    "DesignDoesNotFitError",
+    "MappingRules",
+    "map_census",
+    "map_netlist",
+    "infer_srl_runs",
+    "ResourceReport",
+    "utilization_report",
+    "AreaModel",
+    "LinearFit",
+    "CgraEstimate",
+    "cgra_transistor_estimate",
+    "CgraDevice",
+    "CgraComparison",
+    "DEFAULT_CGRA",
+    "compare_fpga_cgra",
+    "TimingModel",
+    "TimingEstimate",
+    "DEFAULT_TIMING",
+    "PowerModel",
+    "DEFAULT_POWER",
+]

@@ -1,0 +1,113 @@
+"""Simple area models (Sec. IV and Sec. VIII of the paper).
+
+Sec. IV establishes empirically that mapped resources are linear in the
+number of matrix ones ("LUTs are essentially equivalent to the number of
+ones, and there are two registers per LUT").  :class:`AreaModel` is the
+paper's "simple and extensible" cost model: closed-form prediction from
+ones alone, plus a least-squares fit utility used by the benches to verify
+the linear relationship on generated data.
+
+Sec. VIII quantifies a CGRA alternative: "a 6-input LUT is made using 64
+SRAM bits of 6 transistors each, with 64 MUX T-gates of 2 transistors
+each, which yields a total of 512 transistors for every LUT.  A full-adder
+uses 16 or fewer transistors, which is 1/32 the cost."
+:func:`cgra_transistor_estimate` reproduces that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.report import ResourceReport
+
+__all__ = ["AreaModel", "LinearFit", "cgra_transistor_estimate", "CgraEstimate"]
+
+LUT_TRANSISTORS = 64 * 6 + 64 * 2
+"""512 transistors per 6-input LUT (64 SRAM bits x6T + 64 mux T-gates x2T)."""
+
+FULL_ADDER_TRANSISTORS = 16
+"""Transistors per full adder [Dubey et al. 2013]."""
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """The paper's closed-form cost model: resources from ones alone."""
+
+    luts_per_one: float = 1.0
+    ffs_per_lut: float = 2.0
+    io_luts_per_row: float = 1.0
+    wrapper_luts: float = 150.0
+
+    def predict(self, ones: int, rows: int = 0, cols: int = 0) -> ResourceReport:
+        """Estimate the resource demand of a matrix with ``ones`` set bits."""
+        if ones < 0:
+            raise ValueError(f"ones must be >= 0, got {ones}")
+        luts = self.luts_per_one * ones + self.io_luts_per_row * rows + self.wrapper_luts
+        return ResourceReport(
+            luts=int(round(luts)),
+            ffs=int(round(self.ffs_per_lut * luts)),
+            lutrams=int(rows + cols),
+        )
+
+    @staticmethod
+    def fit(ones: np.ndarray, resources: np.ndarray) -> LinearFit:
+        """Least-squares fit of a resource count against matrix ones."""
+        x = np.asarray(ones, dtype=float)
+        y = np.asarray(resources, dtype=float)
+        if x.size != y.size or x.size < 2:
+            raise ValueError("need at least two matching samples to fit")
+        slope, intercept = np.polyfit(x, y, 1)
+        predicted = slope * x + intercept
+        ss_res = float(np.sum((y - predicted) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+        return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class CgraEstimate:
+    """Transistor budget comparison between FPGA LUTs and CGRA adders."""
+
+    lut_transistors: int
+    adder_transistors: int
+    ratio: float
+    design_lut_transistors: int
+    design_cgra_transistors: int
+
+    @property
+    def savings_factor(self) -> float:
+        return self.design_lut_transistors / max(1, self.design_cgra_transistors)
+
+
+def cgra_transistor_estimate(serial_adders: int, dffs: int = 0) -> CgraEstimate:
+    """Sec. VIII: transistor cost of the design on FPGA vs a custom CGRA.
+
+    On the FPGA every serial adder occupies one 512-transistor LUT (plus
+    flops); a CGRA would provide a hard full adder at ~16 transistors.
+    Flip-flops cost the same on both (about 8 transistors each, which
+    cancels) so the dominant term is the LUT-vs-adder ratio of 32.
+    """
+    if serial_adders < 0 or dffs < 0:
+        raise ValueError("component counts must be >= 0")
+    ff_transistors = 8 * (2 * serial_adders + dffs)
+    return CgraEstimate(
+        lut_transistors=LUT_TRANSISTORS,
+        adder_transistors=FULL_ADDER_TRANSISTORS,
+        ratio=LUT_TRANSISTORS / FULL_ADDER_TRANSISTORS,
+        design_lut_transistors=serial_adders * LUT_TRANSISTORS + ff_transistors,
+        design_cgra_transistors=serial_adders * FULL_ADDER_TRANSISTORS + ff_transistors,
+    )

@@ -1,0 +1,80 @@
+"""Target FPGA description — Xilinx Virtex UltraScale+ XCVU13P.
+
+Numbers come from Sec. VI of the paper: "Our target FPGA is the Xilinx
+XCVU13P, which is a 16nm device containing four chiplets in the package
+(called Super Logic Regions or SLRs).  This device has a capacity of 1.7M
+6-input LUTs and 3.4M logic flip-flops. [...] Each of the four SLRs within
+the FPGA have a maximum capacity of 425k LUTs.  After about 80% of LUTs
+are used the tools can struggle" (the paper marks 82% thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FpgaDevice", "XCVU13P", "DesignDoesNotFitError"]
+
+
+class DesignDoesNotFitError(Exception):
+    """Raised when a compiled matrix exceeds the device's resources."""
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity and floorplan facts for one FPGA package."""
+
+    name: str
+    slrs: int
+    luts_per_slr: int
+    ffs_per_slr: int
+    lutram_capable_per_slr: int
+    routable_fraction: float
+
+    @property
+    def total_luts(self) -> int:
+        return self.slrs * self.luts_per_slr
+
+    @property
+    def total_ffs(self) -> int:
+        return self.slrs * self.ffs_per_slr
+
+    @property
+    def comfortable_slr_luts(self) -> float:
+        """LUTs per SLR before "the tools struggle" (the 82% threshold)."""
+        return self.routable_fraction * self.luts_per_slr
+
+    def fits(self, luts: int, ffs: int = 0, lutrams: int = 0) -> bool:
+        """Whether a design's resource demand fits the package at all."""
+        return (
+            luts <= self.total_luts
+            and ffs <= self.total_ffs
+            and lutrams <= self.slrs * self.lutram_capable_per_slr
+        )
+
+    def slr_span(self, luts: int) -> int:
+        """How many chiplets the design spreads across.
+
+        Spanning is driven by the comfortable per-SLR occupancy: designs are
+        spread once they exceed ~82% of one SLR, clamped to the package.
+        Raises :class:`DesignDoesNotFitError` beyond total capacity.
+        """
+        if luts < 0:
+            raise ValueError(f"luts must be >= 0, got {luts}")
+        if luts > self.total_luts:
+            raise DesignDoesNotFitError(
+                f"{luts} LUTs exceed {self.name}'s capacity of {self.total_luts}"
+            )
+        if luts == 0:
+            return 1
+        return min(self.slrs, max(1, math.ceil(luts / self.comfortable_slr_luts)))
+
+
+XCVU13P = FpgaDevice(
+    name="xcvu13p",
+    slrs=4,
+    luts_per_slr=425_000,
+    ffs_per_slr=850_000,
+    lutram_capable_per_slr=192_000,
+    routable_fraction=0.82,
+)

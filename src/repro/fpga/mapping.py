@@ -1,0 +1,171 @@
+"""Technology mapping: circuit primitives -> FPGA resources.
+
+The mapping facts come straight from the paper:
+
+* "In the FPGA, the bit serial adder or subtractor can be mapped to a
+  single 6-input LUT and two registers" — one LUT, two FFs (sum and carry).
+* a culled adder "is acting as a D-flip-flop" — one FF.
+* "The particular FPGA we are using has the capability to re-purpose some
+  of the LUTs into small RAMs or shift registers which are called
+  LUTRAMs" — the input and output shift registers, and (optionally)
+  inferred runs of alignment DFFs, map to SRL-style LUTRAMs.
+* "We 'wrap' the matrix multiplier with a small design that feeds inputs
+  from an SRAM [...] This design wrapper only adds a few extra LUTs and
+  registers."
+
+Two entry points produce identical numbers by construction and are
+cross-checked by tests:
+
+* :func:`map_census` — from the O(ones) combinatorial census;
+* :func:`map_netlist` — by walking instantiated gates.
+
+:func:`map_netlist` additionally supports Vivado-style SRL inference
+(``infer_srl=True``), collapsing runs of ``srl_min_length``+ chained DFFs
+into one LUTRAM plus an output FF — a refinement only available on the
+explicit gate graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.stats import CircuitCensus
+from repro.fpga.report import ResourceReport
+from repro.hwsim.builder import CompiledCircuit
+from repro.hwsim.components import (
+    DFF,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+
+__all__ = ["MappingRules", "map_census", "map_netlist", "infer_srl_runs"]
+
+SRL_BITS = 32
+"""Depth of one SRL32 shift-register LUT on UltraScale+."""
+
+
+@dataclass(frozen=True)
+class MappingRules:
+    """Per-primitive resource costs and fixed wrapper overhead."""
+
+    adder_luts: int = 1
+    adder_ffs: int = 2
+    dff_ffs: int = 1
+    # Input shift register: one SRL LUTRAM, its output FF, and one LUT for
+    # the sign-extension hold mux per matrix row.
+    input_sr_lutrams: int = 1
+    input_sr_ffs: int = 1
+    input_sr_luts: int = 1
+    # Output shift register: SRLs sized by the serial result width.
+    output_sr_ffs: int = 1
+    # SRAM-fed design wrapper ("a few extra LUTs and registers").
+    wrapper_luts: int = 150
+    wrapper_ffs: int = 220
+    srl_min_length: int = 3
+
+    def output_sr_lutrams(self, result_width: int) -> int:
+        return max(1, math.ceil(result_width / SRL_BITS))
+
+
+def map_census(census: CircuitCensus, rules: MappingRules | None = None) -> ResourceReport:
+    """Map the combinatorial census to LUT/FF/LUTRAM totals."""
+    rules = rules or MappingRules()
+    adders = census.serial_adders
+    dffs = census.dffs
+    luts = (
+        adders * rules.adder_luts
+        + census.rows * rules.input_sr_luts
+        + rules.wrapper_luts
+    )
+    ffs = (
+        adders * rules.adder_ffs
+        + dffs * rules.dff_ffs
+        + census.rows * rules.input_sr_ffs
+        + census.cols * rules.output_sr_ffs
+        + rules.wrapper_ffs
+    )
+    lutrams = (
+        census.rows * rules.input_sr_lutrams
+        + census.cols * rules.output_sr_lutrams(census.result_width)
+    )
+    return ResourceReport(luts=luts, ffs=ffs, lutrams=lutrams)
+
+
+def infer_srl_runs(circuit: CompiledCircuit, min_length: int = 3) -> list[int]:
+    """Find maximal chains of single-load DFFs (Vivado SRL inference).
+
+    A run is a sequence of DFFs where each feeds only the next.  Returns
+    the lengths of all maximal runs of at least ``min_length``.
+    """
+    netlist = circuit.netlist
+    dffs = [c for c in netlist.components if type(c) is DFF]
+    loads: dict[int, int] = {}
+    for component in netlist.components:
+        for attr in ("d", "a", "b", "src"):
+            upstream = getattr(component, attr, None)
+            if upstream is not None:
+                loads[id(upstream)] = loads.get(id(upstream), 0) + 1
+    for probe in circuit.column_probes:
+        loads[id(probe.src)] = loads.get(id(probe.src), 0) + 1
+    chained_up = {
+        id(d): d.d
+        for d in dffs
+        if type(d.d) is DFF and loads.get(id(d.d), 0) == 1
+    }
+    heads = [d for d in dffs if id(d) not in set(map(id, chained_up.values()))]
+    runs = []
+    for head in heads:
+        length = 1
+        node = head
+        while id(node) in chained_up:
+            node = chained_up[id(node)]
+            length += 1
+        if length >= min_length:
+            runs.append(length)
+    return runs
+
+
+def map_netlist(
+    circuit: CompiledCircuit,
+    rules: MappingRules | None = None,
+    infer_srl: bool = False,
+) -> ResourceReport:
+    """Map an instantiated netlist to LUT/FF/LUTRAM totals.
+
+    With ``infer_srl=False`` this returns numbers identical to
+    :func:`map_census` on the same plan (asserted by tests).
+    """
+    rules = rules or MappingRules()
+    netlist = circuit.netlist
+    adders = (
+        netlist.count(SerialAdder)
+        + netlist.count(SerialSubtractor)
+        + netlist.count(SerialNegator)
+    )
+    dffs = netlist.count(DFF)
+    rows = len(netlist.inputs)
+    cols = len(circuit.column_probes)
+    srl_lutrams = 0
+    if infer_srl:
+        runs = infer_srl_runs(circuit, rules.srl_min_length)
+        for length in runs:
+            srls = math.ceil(length / SRL_BITS)
+            srl_lutrams += srls
+            # The run's FFs collapse into the SRL plus one output FF.
+            dffs -= length - 1
+    luts = adders * rules.adder_luts + rows * rules.input_sr_luts + rules.wrapper_luts
+    ffs = (
+        adders * rules.adder_ffs
+        + dffs * rules.dff_ffs
+        + rows * rules.input_sr_ffs
+        + cols * rules.output_sr_ffs
+        + rules.wrapper_ffs
+    )
+    lutrams = (
+        rows * rules.input_sr_lutrams
+        + cols * rules.output_sr_lutrams(circuit.plan.result_width)
+        + srl_lutrams
+    )
+    return ResourceReport(luts=luts, ffs=ffs, lutrams=lutrams)

@@ -1,0 +1,58 @@
+"""Power model (Fig. 12 of the paper).
+
+Fig. 12 "plots the estimated total power consumption of this device scaled
+to run at the maximum achievable frequency.  These results were obtained
+from the Vivado tool based on the default assumptions about switching
+activity.  Under medium settings for airflow and heatsink, the thermal
+power limit of this FPGA is approximately 150W, which we approach at high
+dimension and low sparsity."
+
+Vivado's estimate is ``static + sum(toggle_rate * C * V^2 * f)`` over the
+design; for this architecture every mapped LUT/FF pair corresponds to one
+matrix one, so dynamic power collapses to ``coefficient * ones * f``.  The
+coefficient is calibrated to the paper's anchor: the largest design
+(1024x1024 at 60% element sparsity, ~1.5M ones, ~227 MHz) draws ~150 W.
+The sublinear shape of Fig. 12 ("Note the sublinear increase due to the
+decreasing achievable frequency") emerges from the Fmax model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel", "DEFAULT_POWER"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Static + activity-proportional dynamic power."""
+
+    static_w: float = 12.0
+    dynamic_w_per_one_hz: float = 3.8e-13
+    thermal_limit_w: float = 150.0
+
+    def total_w(self, ones: int, frequency_hz: float) -> float:
+        """Total power at a given clock for a design with ``ones`` set bits."""
+        if ones < 0:
+            raise ValueError(f"ones must be >= 0, got {ones}")
+        if frequency_hz < 0:
+            raise ValueError(f"frequency must be >= 0, got {frequency_hz}")
+        return self.static_w + self.dynamic_w_per_one_hz * ones * frequency_hz
+
+    def dynamic_w(self, ones: int, frequency_hz: float) -> float:
+        return self.total_w(ones, frequency_hz) - self.static_w
+
+    def within_thermal_limit(self, ones: int, frequency_hz: float) -> bool:
+        return self.total_w(ones, frequency_hz) <= self.thermal_limit_w
+
+    def thermally_limited_frequency_hz(self, ones: int) -> float:
+        """Highest clock the cooling budget allows for ``ones`` set bits."""
+        if ones == 0:
+            return float("inf")
+        headroom = self.thermal_limit_w - self.static_w
+        if headroom <= 0:
+            return 0.0
+        return headroom / (self.dynamic_w_per_one_hz * ones)
+
+
+DEFAULT_POWER = PowerModel()

@@ -1,0 +1,38 @@
+"""Resource utilization report types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceReport"]
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """LUT / flip-flop / LUTRAM demand of a compiled design.
+
+    These are the three resources the paper reports in its utilization
+    figures (LUTs, FFs, LUTRAMs); embedded multipliers and block RAM are
+    deliberately unused by the architecture.
+    """
+
+    luts: int
+    ffs: int
+    lutrams: int
+
+    def __add__(self, other: "ResourceReport") -> "ResourceReport":
+        return ResourceReport(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            lutrams=self.lutrams + other.lutrams,
+        )
+
+    def scaled(self, factor: int) -> "ResourceReport":
+        return ResourceReport(
+            luts=self.luts * factor,
+            ffs=self.ffs * factor,
+            lutrams=self.lutrams * factor,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {"luts": self.luts, "ffs": self.ffs, "lutrams": self.lutrams}

@@ -1,0 +1,122 @@
+"""Achievable-frequency model (Fig. 11 of the paper).
+
+"All the paths within these designs have at most one LUT between flops,
+which means that the frequency is primarily a result of the interconnect
+delays between LUTs and flops."  Two mechanisms degrade the clock as
+matrices grow:
+
+* "The initial layer has a large fanout, approximately corresponding to
+  the dimension times the sparsity.  Nets that have a fanout of 100s can
+  have delays of several nanoseconds."  Each input row drives roughly
+  ``ones / rows`` serial adders.
+* "Nets cross the chiplet boundaries, and those routes have significantly
+  slower propagation delays."
+
+The model is ``1 / (t_logic + t_fanout * ln(1 + fanout) +
+t_crossing * min(slr_span - 1, 2))``, calibrated so the bands of Fig. 11
+hold: 597-445 MHz within one SLR, 296-400 MHz across two, and a consistent
+225-250 MHz beyond ("Matrices bigger than 2 SLRs seem relatively
+consistent between 225MHz and 250MHz" — the critical path crosses at most
+two chiplet boundaries regardless of span, hence the saturation).
+
+The paper notes "Both the fanout and chiplet crossing problems could be
+addressed by adding registers to perform the fanout and chiplet crossings
+in multiple cycles.  These optimizations are not represented here." —
+``pipelined=True`` models exactly that proposed optimization and reports
+the extra pipeline cycles it would cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fpga.device import FpgaDevice, XCVU13P
+
+__all__ = ["TimingModel", "TimingEstimate", "DEFAULT_TIMING"]
+
+_PIPELINED_FANOUT_LIMIT = 32
+"""Fanout served by one stage of a registered broadcast tree."""
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Result of a timing query."""
+
+    fmax_hz: float
+    slr_span: int
+    fanout: float
+    extra_pipeline_cycles: int
+
+    @property
+    def period_ns(self) -> float:
+        return 1e9 / self.fmax_hz
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Interconnect-dominated Fmax model for the spatial multiplier."""
+
+    logic_ns: float = 1.45
+    fanout_ns_per_log: float = 0.10
+    slr_crossing_ns: float = 0.95
+    max_crossings: int = 2
+    fmax_cap_hz: float = 600e6
+
+    def estimate(
+        self,
+        luts: int,
+        rows: int,
+        device: FpgaDevice = XCVU13P,
+        pipelined: bool = False,
+        fanout: float | None = None,
+    ) -> TimingEstimate:
+        """Achievable frequency for a design of ``luts`` with ``rows`` inputs.
+
+        ``luts`` should be the mapped LUT demand; the broadcast fanout per
+        input row defaults to ``luts / rows`` (callers that know the exact
+        ones count should pass ``fanout = ones / rows``).
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if luts < 0:
+            raise ValueError(f"luts must be >= 0, got {luts}")
+        if fanout is None:
+            fanout = luts / rows
+        fanout = max(1.0, float(fanout))
+        span = device.slr_span(luts)
+        extra_cycles = 0
+        if pipelined:
+            # Registered broadcast tree: each stage serves a bounded fanout,
+            # and chiplet crossings get their own register stage.
+            stages = max(1, math.ceil(math.log(fanout, _PIPELINED_FANOUT_LIMIT)))
+            extra_cycles = (stages - 1) + (span - 1)
+            effective_fanout = min(fanout, float(_PIPELINED_FANOUT_LIMIT))
+            crossing_delay = 0.0
+        else:
+            effective_fanout = fanout
+            crossing_delay = self.slr_crossing_ns * min(span - 1, self.max_crossings)
+        delay_ns = (
+            self.logic_ns
+            + self.fanout_ns_per_log * math.log(1.0 + effective_fanout)
+            + crossing_delay
+        )
+        fmax = min(self.fmax_cap_hz, 1e9 / delay_ns)
+        return TimingEstimate(
+            fmax_hz=fmax,
+            slr_span=span,
+            fanout=fanout,
+            extra_pipeline_cycles=extra_cycles,
+        )
+
+    def fmax_hz(
+        self,
+        luts: int,
+        rows: int,
+        device: FpgaDevice = XCVU13P,
+        pipelined: bool = False,
+    ) -> float:
+        return self.estimate(luts, rows, device, pipelined).fmax_hz
+
+
+DEFAULT_TIMING = TimingModel()

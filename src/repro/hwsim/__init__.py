@@ -1,0 +1,44 @@
+"""Gate-level bit-serial hardware simulation substrate."""
+
+from repro.hwsim.builder import CompiledCircuit, build_circuit
+from repro.hwsim.fast import FastCircuit
+from repro.hwsim.faults import (
+    FaultInjection,
+    fault_campaign,
+    inject_stuck_carry,
+    inject_stuck_output,
+)
+from repro.hwsim.vcd import dump_vcd
+from repro.hwsim.wrapper import SramWrapper, WrapperRun
+from repro.hwsim.components import (
+    Component,
+    ConstantZero,
+    DFF,
+    InputStream,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+from repro.hwsim.netlist import Netlist, Probe
+
+__all__ = [
+    "CompiledCircuit",
+    "build_circuit",
+    "FastCircuit",
+    "SramWrapper",
+    "WrapperRun",
+    "FaultInjection",
+    "fault_campaign",
+    "inject_stuck_output",
+    "inject_stuck_carry",
+    "dump_vcd",
+    "Netlist",
+    "Probe",
+    "Component",
+    "ConstantZero",
+    "InputStream",
+    "DFF",
+    "SerialAdder",
+    "SerialSubtractor",
+    "SerialNegator",
+]

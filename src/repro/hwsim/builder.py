@@ -1,0 +1,248 @@
+"""Compile a :class:`~repro.core.plan.MatrixPlan` into a gate netlist.
+
+Structure built (Sec. III of the paper, Figs. 2-4):
+
+* one :class:`InputStream` per matrix row, broadcast to all columns;
+* per plane (P, N), per column, per weight-bit position: a reduction tree
+  over the live taps (a leaf is "tapped" where the weight bit is 1; the
+  culled AND gate connects the input directly).  Tree nodes follow the
+  culling rule — two live children: serial adder; one: D flip-flop; none:
+  absent.  Style ``"padded"`` spans all rows; style ``"compact"`` reduces
+  only the live taps and pads the root to the column's reference depth
+  (see :mod:`repro.core.plan` for why both exist);
+* per plane, per column: the bit-combination chain from MSb to LSb (same
+  adder/DFF/absent rule).  The chain's registers provide the power-of-two
+  weighting, including across missing bit positions;
+* per column: the final ``P - N`` serial subtractor (DFF when N is empty,
+  serial negator when P is empty, constant zero when both are), then DFF
+  padding up to the global reference depth so every column shares one
+  output schedule;
+* per column: an output probe standing in for the output shift register.
+
+Decode: result bit ``k`` of every column appears on its probe at cycle
+``reference_depth + 2 + k`` ("a single cycle to accumulate across bit
+positions and an additional cycle to subtract").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bits import decode_twos_complement_stream, signed_range
+from repro.core.plan import MatrixPlan
+from repro.hwsim.components import (
+    Component,
+    ConstantZero,
+    DFF,
+    InputStream,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+from repro.hwsim.netlist import Netlist, Probe
+
+__all__ = ["CompiledCircuit", "build_circuit"]
+
+
+@dataclass
+class CompiledCircuit:
+    """A compiled fixed-matrix multiplier ready for cycle simulation."""
+
+    plan: MatrixPlan
+    netlist: Netlist
+    column_probes: list[Probe]
+    decode_delta: int
+
+    @property
+    def run_cycles(self) -> int:
+        """Cycles needed to produce and capture a full result.
+
+        At least ``input_width`` cycles are always run so the input shift
+        registers can stream their full value (relevant only for degenerate
+        matrices whose serial result is shorter than the input).
+        """
+        return max(self.decode_delta + self.plan.result_width, self.plan.input_width)
+
+    def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """Cycle-accurately multiply ``a^T V`` for one input vector."""
+        values = [int(v) for v in np.asarray(vector).ravel()]
+        if len(values) != self.plan.rows:
+            raise ValueError(
+                f"vector length {len(values)} != matrix rows {self.plan.rows}"
+            )
+        lo, hi = signed_range(self.plan.input_width)
+        for v in values:
+            if not lo <= v <= hi:
+                raise ValueError(
+                    f"input {v} does not fit in s{self.plan.input_width}"
+                )
+        self.netlist.reset()
+        self.netlist.load_vector(values, self.run_cycles)
+        self.netlist.run(self.run_cycles)
+        return self._decode()
+
+    def multiply_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Sequential vector products, as the paper's SRAM wrapper performs."""
+        matrix = np.atleast_2d(np.asarray(vectors))
+        return np.stack([self.multiply(row) for row in matrix])
+
+    def _decode(self) -> np.ndarray:
+        width = self.plan.result_width
+        # Results wider than int64 decode into Python integers exactly.
+        dtype = np.int64 if width <= 62 else object
+        out = np.zeros(self.plan.cols, dtype=dtype)
+        for j, probe in enumerate(self.column_probes):
+            stream = probe.stream[self.decode_delta : self.decode_delta + width]
+            out[j] = decode_twos_complement_stream(stream, width)
+        return out
+
+
+def _reduce_level(
+    netlist: Netlist,
+    level: list[Component | None],
+    lvl: int,
+    tag: str,
+) -> list[Component | None]:
+    """One tree level under the culling rule (adder/DFF/absent)."""
+    if len(level) % 2:
+        level = level + [None]
+    merged: list[Component | None] = []
+    for i in range(0, len(level), 2):
+        a, b = level[i], level[i + 1]
+        if a is not None and b is not None:
+            merged.append(
+                netlist.add(SerialAdder(a, b, f"{tag}.l{lvl}n{i // 2}"), depth=lvl)
+            )
+        elif a is not None or b is not None:
+            live = a if a is not None else b
+            merged.append(netlist.add(DFF(live, f"{tag}.l{lvl}n{i // 2}"), depth=lvl))
+        else:
+            merged.append(None)
+    return merged
+
+
+def _build_padded_tree(
+    netlist: Netlist,
+    plan: MatrixPlan,
+    inputs: list[Component],
+    taps: set[int],
+    tag: str,
+) -> Component | None:
+    """Paper-literal tree over all row slots; root at ``full_depth``."""
+    level: list[Component | None] = [
+        inputs[row] if row in taps else None for row in range(plan.rows)
+    ]
+    for lvl in range(1, plan.full_depth + 1):
+        level = _reduce_level(netlist, level, lvl, tag)
+    if len(level) != 1:
+        raise AssertionError(f"tree for {tag} did not reduce to a root")
+    return level[0]
+
+
+def _build_compact_tree(
+    netlist: Netlist,
+    inputs: list[Component],
+    taps: list[int],
+    column_depth: int,
+    tag: str,
+) -> Component | None:
+    """Compact tree over live taps, root padded to ``column_depth``."""
+    if not taps:
+        return None
+    level: list[Component | None] = [inputs[row] for row in taps]
+    lvl = 0
+    while len(level) > 1:
+        lvl += 1
+        level = _reduce_level(netlist, level, lvl, tag)
+    root = level[0]
+    assert root is not None
+    for pad in range(lvl, column_depth):
+        root = netlist.add(DFF(root, f"{tag}.pad{pad}"), depth=pad + 1)
+    return root
+
+
+def _build_plane_column(
+    netlist: Netlist,
+    plan: MatrixPlan,
+    plane: np.ndarray,
+    inputs: list[Component],
+    col: int,
+    column_depth: int,
+    tag: str,
+) -> Component | None:
+    """Trees plus bit-combination chain for one column of one plane."""
+    width = plan.plane_width
+    roots: list[Component | None] = []
+    for bit in range(width):
+        taps = plan.column_taps(plane, col, bit).tolist()
+        bit_tag = f"{tag}.c{col}.b{bit}"
+        if plan.tree_style == "padded":
+            root = (
+                _build_padded_tree(netlist, plan, inputs, set(taps), bit_tag)
+                if taps
+                else None
+            )
+        else:
+            root = _build_compact_tree(netlist, inputs, taps, column_depth, bit_tag)
+        roots.append(root)
+    chain: Component | None = None
+    chain_depth = column_depth + 1
+    for bit in reversed(range(width)):
+        root = roots[bit]
+        if chain is not None and root is not None:
+            chain = netlist.add(
+                SerialAdder(chain, root, f"{tag}.c{col}.chain{bit}"), depth=chain_depth
+            )
+        elif chain is not None or root is not None:
+            live = chain if chain is not None else root
+            chain = netlist.add(
+                DFF(live, f"{tag}.c{col}.chain{bit}"), depth=chain_depth
+            )
+    return chain
+
+
+def build_circuit(plan: MatrixPlan) -> CompiledCircuit:
+    """Instantiate the full vector-matrix multiplier for a plan."""
+    netlist = Netlist()
+    inputs: list[Component] = [
+        netlist.add(InputStream(plan.input_width, f"in{r}"), depth=0)
+        for r in range(plan.rows)
+    ]
+    probes: list[Probe] = []
+    column_depths = plan.column_depths()
+    reference_depth = int(column_depths.max()) if column_depths.size else 0
+    for col in range(plan.cols):
+        column_depth = int(column_depths[col])
+        subtract_depth = column_depth + 2
+        p_chain = _build_plane_column(
+            netlist, plan, plan.split.positive, inputs, col, column_depth, "P"
+        )
+        n_chain = _build_plane_column(
+            netlist, plan, plan.split.negative, inputs, col, column_depth, "N"
+        )
+        if p_chain is not None and n_chain is not None:
+            final: Component = netlist.add(
+                SerialSubtractor(p_chain, n_chain, f"sub.c{col}"), depth=subtract_depth
+            )
+        elif p_chain is not None:
+            final = netlist.add(DFF(p_chain, f"sub.c{col}"), depth=subtract_depth)
+        elif n_chain is not None:
+            final = netlist.add(
+                SerialNegator(n_chain, f"sub.c{col}"), depth=subtract_depth
+            )
+        else:
+            final = netlist.add(ConstantZero(f"sub.c{col}"), depth=subtract_depth)
+        if not isinstance(final, ConstantZero):
+            for pad in range(column_depth, reference_depth):
+                final = netlist.add(
+                    DFF(final, f"outpad.c{col}.{pad}"), depth=pad + 3
+                )
+        probes.append(netlist.probe(final, f"out{col}"))
+    return CompiledCircuit(
+        plan=plan,
+        netlist=netlist,
+        column_probes=probes,
+        decode_delta=reference_depth + 2,
+    )

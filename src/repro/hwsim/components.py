@@ -1,0 +1,206 @@
+"""Primitive components of the bit-serial datapath.
+
+Every component output in this architecture is *registered* (the serial
+adder's sum flop, the carry flop, plain DFFs, shift-register taps), which
+is what gives the design its one-LUT-between-flops critical path ("All the
+paths within these designs have at most one LUT between flops").  The
+simulator exploits this: each cycle, every component computes its next
+output from the *current* outputs of its inputs, then all outputs commit
+simultaneously.  No combinational ordering is ever needed.
+
+Component protocol:
+
+* ``out`` — current registered output bit (0/1);
+* ``compute(cycle)`` — latch the next output from input ``out`` values;
+* ``commit()`` — make the next output current;
+* ``reset()`` — restore power-on state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Component",
+    "ConstantZero",
+    "InputStream",
+    "DFF",
+    "SerialAdder",
+    "SerialSubtractor",
+    "SerialNegator",
+]
+
+
+class Component:
+    """Base class for all bit-serial primitives."""
+
+    __slots__ = ("out", "_next", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.out = 0
+        self._next = 0
+        self.name = name
+
+    def compute(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        self.out = self._next
+
+    def reset(self) -> None:
+        self.out = 0
+        self._next = 0
+
+
+class ConstantZero(Component):
+    """A tied-off zero input (culled subtree)."""
+
+    __slots__ = ()
+
+    def compute(self, cycle: int) -> None:
+        self._next = 0
+
+
+class InputStream(Component):
+    """Input shift register presenting one bit per cycle, LSb first.
+
+    The loaded value is streamed for ``width`` cycles and then
+    sign-extended indefinitely ("we sign extend the input a from the shift
+    register until the computation has finished").  ``load`` accepts a
+    whole batch of values; vector ``k`` occupies cycles
+    ``k*interval .. k*interval + interval - 1``.
+    """
+
+    __slots__ = ("width", "_bits", "_interval")
+
+    def __init__(self, width: int, name: str = "") -> None:
+        super().__init__(name)
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._bits: list[int] = []
+        self._interval = 0
+
+    def load(self, values: list[int], interval: int) -> None:
+        """Schedule a batch of signed values, ``interval`` cycles apart."""
+        from repro.core.bits import sign_extended_stream
+
+        if interval < self.width:
+            raise ValueError(
+                f"interval {interval} shorter than input width {self.width}"
+            )
+        self._interval = interval
+        self._bits = []
+        for value in values:
+            self._bits.extend(sign_extended_stream(value, self.width, interval))
+
+    def compute(self, cycle: int) -> None:
+        if cycle < len(self._bits):
+            self._next = self._bits[cycle]
+        elif self._bits:
+            # Hold the final sign bit for any trailing drain cycles.
+            self._next = self._bits[-1]
+        else:
+            self._next = 0
+
+    def reset(self) -> None:
+        super().reset()
+
+
+class DFF(Component):
+    """Single D flip-flop — the culled serial adder."""
+
+    __slots__ = ("d",)
+
+    def __init__(self, d: Component, name: str = "") -> None:
+        super().__init__(name)
+        self.d = d
+
+    def compute(self, cycle: int) -> None:
+        self._next = self.d.out
+
+
+class SerialAdder(Component):
+    """Bit-serial adder (Fig. 1): full adder plus registered sum and carry."""
+
+    __slots__ = ("a", "b", "carry", "_next_carry")
+
+    def __init__(self, a: Component, b: Component, name: str = "") -> None:
+        super().__init__(name)
+        self.a = a
+        self.b = b
+        self.carry = 0
+        self._next_carry = 0
+
+    def compute(self, cycle: int) -> None:
+        a = self.a.out
+        b = self.b.out
+        total = a + b + self.carry
+        self._next = total & 1
+        self._next_carry = total >> 1
+
+    def commit(self) -> None:
+        super().commit()
+        self.carry = self._next_carry
+
+    def reset(self) -> None:
+        super().reset()
+        self.carry = 0
+        self._next_carry = 0
+
+
+class SerialSubtractor(Component):
+    """Bit-serial subtractor computing ``a - b``.
+
+    Initializing the carry to 1 and inverting ``b`` adds the two's
+    complement of ``b`` (Sec. III-A).
+    """
+
+    __slots__ = ("a", "b", "carry", "_next_carry")
+
+    def __init__(self, a: Component, b: Component, name: str = "") -> None:
+        super().__init__(name)
+        self.a = a
+        self.b = b
+        self.carry = 1
+        self._next_carry = 1
+
+    def compute(self, cycle: int) -> None:
+        a = self.a.out
+        b = 1 - self.b.out
+        total = a + b + self.carry
+        self._next = total & 1
+        self._next_carry = total >> 1
+
+    def commit(self) -> None:
+        super().commit()
+        self.carry = self._next_carry
+
+    def reset(self) -> None:
+        super().reset()
+        self.carry = 1
+        self._next_carry = 1
+
+
+class SerialNegator(Component):
+    """Bit-serial negation ``-b`` — a subtractor with its ``a`` input culled."""
+
+    __slots__ = ("b", "carry", "_next_carry")
+
+    def __init__(self, b: Component, name: str = "") -> None:
+        super().__init__(name)
+        self.b = b
+        self.carry = 1
+        self._next_carry = 1
+
+    def compute(self, cycle: int) -> None:
+        total = (1 - self.b.out) + self.carry
+        self._next = total & 1
+        self._next_carry = total >> 1
+
+    def commit(self) -> None:
+        super().commit()
+        self.carry = self._next_carry
+
+    def reset(self) -> None:
+        super().reset()
+        self.carry = 1
+        self._next_carry = 1

@@ -1,0 +1,132 @@
+"""Vectorized gate-level simulation: same netlist, numpy-speed cycles.
+
+The object-graph simulator (:mod:`repro.hwsim.netlist`) is ideal for
+probing, fault injection and waveform dumps, but costs one Python call
+per component per cycle.  :class:`FastCircuit` compiles the *same*
+netlist into index arrays and evaluates whole component classes with
+numpy per cycle — typically two to three orders of magnitude faster —
+making bit-exact gate-level verification practical for matrices in the
+hundreds of rows/columns.
+
+Because every output is registered, evaluation order is irrelevant: each
+cycle reads the previous cycle's output vector and writes a fresh one.
+Equivalence with the object simulator is asserted by tests on random
+matrices, so either engine can stand in for the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import decode_twos_complement_stream, sign_extended_stream, signed_range
+from repro.hwsim.builder import CompiledCircuit
+from repro.hwsim.components import (
+    DFF,
+    InputStream,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+
+__all__ = ["FastCircuit"]
+
+
+class FastCircuit:
+    """A compiled circuit lowered to vectorized per-class updates."""
+
+    def __init__(self, circuit: CompiledCircuit) -> None:
+        self.plan = circuit.plan
+        self.decode_delta = circuit.decode_delta
+        self.run_cycles = circuit.run_cycles
+        components = circuit.netlist.components
+        index = {id(c): i for i, c in enumerate(components)}
+        self.size = len(components)
+
+        self._input_idx = np.array(
+            [index[id(c)] for c in components if isinstance(c, InputStream)],
+            dtype=np.int64,
+        )
+
+        def gather(kind):
+            return [c for c in components if type(c) is kind]
+
+        adders = gather(SerialAdder)
+        self._add_idx = np.array([index[id(c)] for c in adders], dtype=np.int64)
+        self._add_a = np.array([index[id(c.a)] for c in adders], dtype=np.int64)
+        self._add_b = np.array([index[id(c.b)] for c in adders], dtype=np.int64)
+
+        subs = gather(SerialSubtractor)
+        self._sub_idx = np.array([index[id(c)] for c in subs], dtype=np.int64)
+        self._sub_a = np.array([index[id(c.a)] for c in subs], dtype=np.int64)
+        self._sub_b = np.array([index[id(c.b)] for c in subs], dtype=np.int64)
+
+        negs = gather(SerialNegator)
+        self._neg_idx = np.array([index[id(c)] for c in negs], dtype=np.int64)
+        self._neg_b = np.array([index[id(c.b)] for c in negs], dtype=np.int64)
+
+        dffs = gather(DFF)
+        self._dff_idx = np.array([index[id(c)] for c in dffs], dtype=np.int64)
+        self._dff_d = np.array([index[id(c.d)] for c in dffs], dtype=np.int64)
+
+        self._probe_idx = np.array(
+            [index[id(p.src)] for p in circuit.column_probes], dtype=np.int64
+        )
+
+    @classmethod
+    def from_compiled(cls, circuit: CompiledCircuit) -> "FastCircuit":
+        return cls(circuit)
+
+    def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """Cycle-accurate ``a^T V``, bit-exact with the object simulator."""
+        values = [int(v) for v in np.asarray(vector).ravel()]
+        if len(values) != self.plan.rows:
+            raise ValueError(
+                f"vector length {len(values)} != matrix rows {self.plan.rows}"
+            )
+        lo, hi = signed_range(self.plan.input_width)
+        for v in values:
+            if not lo <= v <= hi:
+                raise ValueError(f"input {v} does not fit in s{self.plan.input_width}")
+        cycles = self.run_cycles
+        input_bits = np.array(
+            [
+                sign_extended_stream(v, self.plan.input_width, cycles)
+                for v in values
+            ],
+            dtype=np.int8,
+        )
+        out = np.zeros(self.size, dtype=np.int8)
+        add_carry = np.zeros(len(self._add_idx), dtype=np.int8)
+        sub_carry = np.ones(len(self._sub_idx), dtype=np.int8)
+        neg_carry = np.ones(len(self._neg_idx), dtype=np.int8)
+        captured = np.zeros((len(self._probe_idx), cycles), dtype=np.int8)
+        for cycle in range(cycles):
+            nxt = out.copy()
+            nxt[self._input_idx] = input_bits[:, cycle]
+            if len(self._add_idx):
+                total = out[self._add_a] + out[self._add_b] + add_carry
+                nxt[self._add_idx] = total & 1
+                add_carry = total >> 1
+            if len(self._sub_idx):
+                total = out[self._sub_a] + (1 - out[self._sub_b]) + sub_carry
+                nxt[self._sub_idx] = total & 1
+                sub_carry = total >> 1
+            if len(self._neg_idx):
+                total = (1 - out[self._neg_b]) + neg_carry
+                nxt[self._neg_idx] = total & 1
+                neg_carry = total >> 1
+            if len(self._dff_idx):
+                nxt[self._dff_idx] = out[self._dff_d]
+            out = nxt
+            captured[:, cycle] = out[self._probe_idx]
+        width = self.plan.result_width
+        dtype = np.int64 if width <= 62 else object
+        result = np.zeros(len(self._probe_idx), dtype=dtype)
+        for j in range(len(self._probe_idx)):
+            stream = captured[j, self.decode_delta : self.decode_delta + width]
+            result[j] = decode_twos_complement_stream(list(stream), width)
+        return result
+
+    def multiply_batch(self, vectors: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(np.asarray(vectors))
+        return np.stack([self.multiply(row) for row in matrix])

@@ -1,0 +1,164 @@
+"""Netlist container and two-phase cycle simulation engine.
+
+Because every primitive output is registered (see
+:mod:`repro.hwsim.components`), one simulated cycle is simply:
+
+1. **compute** — every component latches its next output from the current
+   outputs of its inputs (order-independent);
+2. **commit** — every component exposes its next output.
+
+Probes sample post-commit values, so ``probe.stream[t]`` is the wire value
+during cycle ``t``.
+
+Vectors are processed one at a time, exactly like the paper's SRAM design
+wrapper: the wrapper loads the input shift registers, runs the array for
+one full product, captures the output, and repeats.  Batched products are
+therefore sequential (``batch_cycles = batch * latency_cycles`` in
+:mod:`repro.core.latency`), and the simulator resets all serial state
+between vectors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.hwsim.components import Component, InputStream
+
+__all__ = ["Netlist", "Probe"]
+
+
+class Probe:
+    """Samples a component's post-commit output every cycle."""
+
+    __slots__ = ("src", "stream", "name")
+
+    def __init__(self, src: Component, name: str = "") -> None:
+        self.src = src
+        self.stream: list[int] = []
+        self.name = name
+
+    def sample(self) -> None:
+        self.stream.append(self.src.out)
+
+    def reset(self) -> None:
+        self.stream = []
+
+
+class Netlist:
+    """A flat collection of components plus output probes.
+
+    Components are stored with an optional *pipeline depth* (register
+    distance from the input shift registers), which the builder uses to
+    place the decode origin and tests use to audit path balance.
+    """
+
+    def __init__(self) -> None:
+        self.components: list[Component] = []
+        self.probes: list[Probe] = []
+        self.inputs: list[InputStream] = []
+        self._depths: dict[int, int] = {}
+        self._cycle = 0
+        # Structural faults for verification campaigns: id(component) ->
+        # (kind, value) with kind in {"stuck_output", "stuck_carry"}.
+        self._faults: dict[int, tuple[str, int]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, component: Component, depth: int | None = None) -> Component:
+        """Register a component; ``depth`` is its pipeline distance from inputs."""
+        self.components.append(component)
+        if isinstance(component, InputStream):
+            self.inputs.append(component)
+        if depth is not None:
+            self._depths[id(component)] = depth
+        return component
+
+    def probe(self, component: Component, name: str = "") -> Probe:
+        probe = Probe(component, name)
+        self.probes.append(probe)
+        return probe
+
+    def depth_of(self, component: Component) -> int | None:
+        return self._depths.get(id(component))
+
+    # -- simulation -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore power-on state: registers cleared, probe streams emptied."""
+        for component in self.components:
+            component.reset()
+        for probe in self.probes:
+            probe.reset()
+        self._cycle = 0
+
+    def step(self) -> None:
+        """Advance one clock cycle (compute phase, then commit phase).
+
+        Injected faults are applied around the phases: stuck carries
+        before compute, stuck outputs after commit (so probes observe the
+        defective value, as real silicon would present it).
+        """
+        cycle = self._cycle
+        if self._faults:
+            for component in self.components:
+                fault = self._faults.get(id(component))
+                if fault and fault[0] == "stuck_carry":
+                    component.carry = fault[1]
+        for component in self.components:
+            component.compute(cycle)
+        for component in self.components:
+            component.commit()
+        if self._faults:
+            for component in self.components:
+                fault = self._faults.get(id(component))
+                if fault and fault[0] == "stuck_output":
+                    component.out = fault[1]
+        for probe in self.probes:
+            probe.sample()
+        self._cycle += 1
+
+    # -- fault injection ----------------------------------------------------
+
+    def add_fault(self, component: Component, kind: str, value: int) -> None:
+        """Attach a structural fault to a component (see repro.hwsim.faults)."""
+        if kind not in ("stuck_output", "stuck_carry"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if value not in (0, 1):
+            raise ValueError(f"fault value must be 0 or 1, got {value}")
+        self._faults[id(component)] = (kind, value)
+
+    def remove_fault(self, component: Component) -> None:
+        self._faults.pop(id(component), None)
+
+    def clear_faults(self) -> None:
+        self._faults.clear()
+
+    def run(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        for _ in range(cycles):
+            self.step()
+
+    def load_vector(self, vector: list[int], stream_length: int) -> None:
+        """Load one input vector into the input shift registers."""
+        if len(vector) != len(self.inputs):
+            raise ValueError(
+                f"vector length {len(vector)} != {len(self.inputs)} inputs"
+            )
+        for stream, value in zip(self.inputs, vector):
+            stream.load([int(value)], stream_length)
+
+    # -- reporting ----------------------------------------------------------
+
+    def primitive_counts(self) -> Counter:
+        """Histogram of primitive types (for census cross-validation)."""
+        counts: Counter = Counter()
+        for component in self.components:
+            counts[type(component).__name__] += 1
+        return counts
+
+    def count(self, kind: type) -> int:
+        return sum(1 for c in self.components if type(c) is kind)
+
+    def __len__(self) -> int:
+        return len(self.components)

@@ -1,0 +1,85 @@
+"""SRAM-fed design wrapper (Sec. VI of the paper).
+
+"We 'wrap' the matrix multiplier with a small design that feeds inputs
+from an SRAM, and captures results in that same SRAM.  This design
+wrapper only adds a few extra LUTs and registers."
+
+The wrapper models the deployment loop around the compiled array: input
+vectors are queued in a word-addressed memory, streamed through the
+multiplier one product at a time (the paper's sequential batching), and
+the decoded results written back.  It is the piece that turns the raw
+combinational fabric into the "device memory to device memory" latency
+the paper compares against the GPU's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hwsim.builder import CompiledCircuit
+
+__all__ = ["SramWrapper", "WrapperRun"]
+
+
+@dataclass
+class WrapperRun:
+    """Accounting for one wrapper invocation."""
+
+    vectors: int
+    cycles_per_vector: int
+    total_cycles: int
+
+    def latency_s(self, frequency_hz: float) -> float:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        return self.total_cycles / frequency_hz
+
+
+@dataclass
+class SramWrapper:
+    """Memory-to-memory execution wrapper around a compiled circuit.
+
+    Attributes:
+        circuit: the compiled multiplier array.
+        input_memory: queued input vectors (rows: vectors).
+        output_memory: captured results, filled by :meth:`run`.
+    """
+
+    circuit: CompiledCircuit
+    input_memory: np.ndarray | None = None
+    output_memory: np.ndarray | None = None
+    last_run: WrapperRun | None = field(default=None, init=False)
+
+    def load(self, vectors: np.ndarray) -> None:
+        """Write a batch of input vectors into the input SRAM."""
+        arr = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        if arr.shape[1] != self.circuit.plan.rows:
+            raise ValueError(
+                f"vectors must have {self.circuit.plan.rows} elements, "
+                f"got {arr.shape[1]}"
+            )
+        self.input_memory = arr
+
+    def run(self) -> np.ndarray:
+        """Stream every queued vector through the array, cycle-accurately.
+
+        Products are sequential: each vector occupies the array for the
+        full serial result (`circuit.run_cycles`), exactly as the latency
+        model's ``batch_cycles`` assumes.  Results are written to
+        ``output_memory`` and returned.
+        """
+        if self.input_memory is None:
+            raise RuntimeError("no input vectors loaded; call load() first")
+        results = []
+        per_vector = self.circuit.run_cycles
+        for vector in self.input_memory:
+            results.append(self.circuit.multiply(vector))
+        self.output_memory = np.stack(results)
+        self.last_run = WrapperRun(
+            vectors=len(results),
+            cycles_per_vector=per_vector,
+            total_cycles=per_vector * len(results),
+        )
+        return self.output_memory

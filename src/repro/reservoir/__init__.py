@@ -1,0 +1,60 @@
+"""Echo State Network reservoir computing library (Sec. II of the paper)."""
+
+from repro.reservoir.esn import EchoStateNetwork
+from repro.reservoir.hw_esn import HardwareESN
+from repro.reservoir.hw_readout import HardwareReadout
+from repro.reservoir.metrics import (
+    accuracy,
+    memory_capacity,
+    mse,
+    nrmse,
+    rmse,
+    symbol_error_rate,
+)
+from repro.reservoir.pipeline import PipelineReport, ReservoirPipeline
+from repro.reservoir.quantize import IntegerESN, quantize_esn, quantize_weights
+from repro.reservoir.readout import RidgeReadout
+from repro.reservoir.tasks import (
+    ClassificationDataset,
+    SequenceDataset,
+    channel_equalization,
+    mackey_glass,
+    memory_capacity_dataset,
+    multivariate_classification,
+    narma10,
+)
+from repro.reservoir.weights import (
+    random_input_weights,
+    random_reservoir,
+    rescale_spectral_radius,
+    spectral_radius,
+)
+
+__all__ = [
+    "EchoStateNetwork",
+    "IntegerESN",
+    "HardwareESN",
+    "HardwareReadout",
+    "RidgeReadout",
+    "ReservoirPipeline",
+    "PipelineReport",
+    "quantize_esn",
+    "quantize_weights",
+    "random_reservoir",
+    "random_input_weights",
+    "spectral_radius",
+    "rescale_spectral_radius",
+    "narma10",
+    "mackey_glass",
+    "memory_capacity_dataset",
+    "channel_equalization",
+    "multivariate_classification",
+    "SequenceDataset",
+    "ClassificationDataset",
+    "mse",
+    "rmse",
+    "nrmse",
+    "memory_capacity",
+    "symbol_error_rate",
+    "accuracy",
+]

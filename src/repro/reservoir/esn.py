@@ -1,0 +1,103 @@
+"""Echo State Network state evolution (Eqs. 1-2 of the paper).
+
+::
+
+    x(n) = f(W_in u(n) + W x(n-1))       (1)
+    y(n) = W_out x(n)                    (2)
+
+``W`` and ``W_in`` are fixed; only ``W_out`` is trained (see
+:mod:`repro.reservoir.readout`).  The recurrent product ``W x(n-1)`` is
+the gemv primitive the paper accelerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EchoStateNetwork"]
+
+
+class EchoStateNetwork:
+    """Floating-point reference ESN.
+
+    Args:
+        w: fixed recurrent matrix, shape (dim, dim).
+        w_in: fixed input matrix, shape (dim, n_inputs).
+        activation: elementwise nonlinearity ``f`` (default tanh).
+        leak: leaky-integrator coefficient in (0, 1]; 1.0 is the paper's
+            plain update.
+    """
+
+    def __init__(
+        self,
+        w: np.ndarray,
+        w_in: np.ndarray,
+        activation=np.tanh,
+        leak: float = 1.0,
+    ) -> None:
+        self.w = np.asarray(w, dtype=float)
+        self.w_in = np.asarray(w_in, dtype=float)
+        if self.w.ndim != 2 or self.w.shape[0] != self.w.shape[1]:
+            raise ValueError(f"W must be square, got {self.w.shape}")
+        if self.w_in.ndim != 2 or self.w_in.shape[0] != self.w.shape[0]:
+            raise ValueError(
+                f"W_in shape {self.w_in.shape} incompatible with W {self.w.shape}"
+            )
+        if not 0.0 < leak <= 1.0:
+            raise ValueError(f"leak must be in (0, 1], got {leak}")
+        self.activation = activation
+        self.leak = leak
+
+    @property
+    def dim(self) -> int:
+        return self.w.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.w_in.shape[1]
+
+    def step(self, state: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One application of Eq. 1."""
+        pre = self.w_in @ np.atleast_1d(u) + self.w @ state
+        new = self.activation(pre)
+        if self.leak == 1.0:
+            return new
+        return (1.0 - self.leak) * state + self.leak * new
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        initial_state: np.ndarray | None = None,
+        washout: int = 0,
+    ) -> np.ndarray:
+        """Harvest states for an input sequence.
+
+        Args:
+            inputs: shape (timesteps,) or (timesteps, n_inputs).
+            initial_state: starting ``x(0)`` (zeros by default).
+            washout: number of leading states to drop (transient).
+
+        Returns:
+            states array of shape (timesteps - washout, dim).
+        """
+        u_seq = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if u_seq.shape[0] == 1 and u_seq.shape[1] != self.n_inputs:
+            u_seq = u_seq.T
+        if u_seq.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"inputs have {u_seq.shape[1]} features, expected {self.n_inputs}"
+            )
+        steps = u_seq.shape[0]
+        if not 0 <= washout < steps:
+            raise ValueError(f"washout {washout} out of range for {steps} steps")
+        state = (
+            np.zeros(self.dim)
+            if initial_state is None
+            else np.asarray(initial_state, dtype=float).copy()
+        )
+        states = np.empty((steps - washout, self.dim))
+        for t in range(steps):
+            state = self.step(state, u_seq[t])
+            if t >= washout:
+                states[t - washout] = state
+        return states

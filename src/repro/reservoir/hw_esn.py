@@ -1,0 +1,132 @@
+"""An integer ESN whose recurrent gemv runs on the compiled multiplier.
+
+This closes the paper's loop: the reservoir's fixed recurrent matrix is
+compiled once into the spatial bit-serial architecture, and every state
+update's ``x(n-1)^T W`` product is produced by that hardware.  Two
+execution backends are provided:
+
+* ``backend="functional"`` — the multiplier's exact integer path (fast;
+  bit-identical to the hardware by the library's own cross-validation);
+* ``backend="gates"`` — the cycle-accurate gate-level simulator
+  (vectorized engine, :mod:`repro.hwsim.fast`), stepping every serial
+  adder of the compiled netlist each state update.
+
+Because the multiplier computes row-vector-times-matrix (``o = a^T V``,
+Eq. 3), the reservoir's update ``W x`` is expressed as ``x^T W^T``: the
+*transpose* of the recurrent matrix is what gets compiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.reservoir.quantize import IntegerESN
+
+__all__ = ["HardwareESN"]
+
+_BACKENDS = ("functional", "gates")
+
+
+class HardwareESN:
+    """Integer ESN bound to a compiled :class:`FixedMatrixMultiplier`.
+
+    With ``include_input=True`` the *augmented* matrix ``[W^T ; W_in^T]``
+    is compiled instead, and the whole pre-activation
+    ``W x + W_in u`` comes out of the hardware in one product over the
+    augmented vector ``[x, u]`` — no software matrix work remains in the
+    state update (the paper's rectangular-matrix support at work).
+    """
+
+    def __init__(
+        self,
+        esn: IntegerESN,
+        scheme: str = "csd",
+        backend: str = "functional",
+        rng: np.random.Generator | None = None,
+        include_input: bool = False,
+        input_quant_width: int = 8,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.esn = esn
+        self.backend = backend
+        self.include_input = include_input
+        if include_input:
+            matrix = np.vstack([esn.w_q.T, esn.w_in_q.T])
+            stream_width = max(esn.state_width, input_quant_width)
+        else:
+            matrix = esn.w_q.T  # compile W^T so that x^T W^T == W x
+            stream_width = esn.state_width
+        self.multiplier = FixedMatrixMultiplier(
+            matrix,
+            input_width=stream_width,
+            scheme=scheme,
+            rng=rng,
+        )
+        self._circuit = None
+        if backend == "gates":
+            from repro.hwsim.fast import FastCircuit
+
+            self._circuit = FastCircuit.from_compiled(self.multiplier.build_circuit())
+
+    @property
+    def dim(self) -> int:
+        return self.esn.dim
+
+    def _hardware_multiply(self, vector: np.ndarray) -> np.ndarray:
+        if self.backend == "gates":
+            return self._circuit.multiply(vector)
+        return self.multiplier.multiply(vector)
+
+    def recurrent_product(self, state: np.ndarray) -> np.ndarray:
+        """``W_q x`` computed by the compiled hardware."""
+        if self.include_input:
+            raise RuntimeError(
+                "include_input=True compiles the augmented matrix; use step()"
+            )
+        return self._hardware_multiply(state)
+
+    def step(self, state: np.ndarray, u_q: np.ndarray) -> np.ndarray:
+        if self.include_input:
+            augmented = np.concatenate(
+                [np.asarray(state, dtype=np.int64), np.atleast_1d(u_q)]
+            )
+            pre = self._hardware_multiply(augmented)
+            return self.esn.activation(pre)
+        return self.esn.step(state, u_q, recurrent_product=self.recurrent_product(state))
+
+    def run(
+        self,
+        inputs_q: np.ndarray,
+        initial_state: np.ndarray | None = None,
+        washout: int = 0,
+    ) -> np.ndarray:
+        """Harvest states with every recurrent product on hardware."""
+        u_seq = np.atleast_2d(np.asarray(inputs_q, dtype=np.int64))
+        if u_seq.shape[0] == 1 and u_seq.shape[1] != self.esn.n_inputs:
+            u_seq = u_seq.T
+        steps = u_seq.shape[0]
+        if not 0 <= washout < steps:
+            raise ValueError(f"washout {washout} out of range for {steps} steps")
+        state = (
+            np.zeros(self.dim, dtype=np.int64)
+            if initial_state is None
+            else np.asarray(initial_state, dtype=np.int64).copy()
+        )
+        states = np.empty((steps - washout, self.dim), dtype=np.int64)
+        for t in range(steps):
+            state = self.step(state, u_seq[t])
+            if t >= washout:
+                states[t - washout] = state
+        return states
+
+    def step_latency_s(self) -> float:
+        """Modelled wall-clock latency of one recurrent product on the FPGA."""
+        return self.multiplier.latency_s()
+
+    def summary(self) -> str:
+        return (
+            f"HardwareESN dim={self.dim} backend={self.backend}\n"
+            + self.multiplier.summary()
+        )

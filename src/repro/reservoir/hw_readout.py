@@ -1,0 +1,85 @@
+"""Eq. 2 on the spatial architecture: a hardware-compiled readout.
+
+After training, ``W_out`` is as fixed as the reservoir itself — "the
+matrix is fixed for the lifetime of the computation" applies to inference
+with the output layer too.  This module quantizes a trained
+:class:`~repro.reservoir.readout.RidgeReadout` and compiles it into a
+:class:`~repro.core.multiplier.FixedMatrixMultiplier`, completing the
+all-hardware inference path: reservoir update and readout are both spatial
+fixed-matrix products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.reservoir.readout import RidgeReadout
+
+__all__ = ["HardwareReadout"]
+
+
+class HardwareReadout:
+    """A trained linear readout compiled to the bit-serial architecture.
+
+    Weights are quantized with a power-of-two scale ``2^shift`` (so
+    dequantization is exact up to rounding of the weights themselves) and
+    the multiplier computes the integer products; predictions are
+    dequantized floats.  The bias is applied after dequantization.
+    """
+
+    def __init__(
+        self,
+        readout: RidgeReadout,
+        weight_width: int = 8,
+        input_width: int = 8,
+        scheme: str = "csd",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if readout.w_out is None:
+            raise ValueError("readout must be fitted before hardware compilation")
+        if weight_width < 2:
+            raise ValueError(f"weight_width must be >= 2, got {weight_width}")
+        w_out = np.atleast_2d(readout.w_out)  # (outputs, dim)
+        qmax = (1 << (weight_width - 1)) - 1
+        peak = float(np.max(np.abs(w_out))) if w_out.size else 0.0
+        if peak == 0.0:
+            self.shift = 0
+        else:
+            self.shift = max(0, int(np.floor(np.log2(qmax / peak))))
+        scale = float(1 << self.shift)
+        self.w_out_q = np.clip(np.round(w_out * scale), -qmax, qmax).astype(np.int64)
+        self.bias = np.asarray(readout.bias, dtype=float)
+        self.outputs = w_out.shape[0]
+        # The multiplier computes x^T M; y = W_out x needs M = W_out^T.
+        self.multiplier = FixedMatrixMultiplier(
+            self.w_out_q.T, input_width=input_width, scheme=scheme, rng=rng
+        )
+
+    def predict_integer(self, state_q: np.ndarray) -> np.ndarray:
+        """Raw integer products ``W_out_q x`` from the compiled hardware."""
+        return self.multiplier.multiply(state_q)
+
+    def predict(self, states_q: np.ndarray) -> np.ndarray:
+        """Dequantized predictions for integer reservoir states.
+
+        ``states_q`` is ``(timesteps, dim)`` (or a single state vector) of
+        integer states as produced by :class:`IntegerESN`.
+        """
+        arr = np.atleast_2d(np.asarray(states_q, dtype=np.int64))
+        raw = np.stack([self.predict_integer(state) for state in arr])
+        scale = float(1 << self.shift)
+        out = raw.astype(float) / scale + self.bias
+        if out.shape[1] == 1:
+            out = out[:, 0]
+        return out if len(out) > 1 else out[0]
+
+    def quantization_error_bound(self, state_peak: float) -> float:
+        """Worst-case per-output error from weight rounding.
+
+        Each weight is off by at most ``0.5 / 2^shift``; a dim-length dot
+        product against states bounded by ``state_peak`` accumulates at
+        most ``dim * state_peak * 0.5 / 2^shift``.
+        """
+        dim = self.w_out_q.shape[1]
+        return dim * state_peak * 0.5 / float(1 << self.shift)

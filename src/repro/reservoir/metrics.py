@@ -1,0 +1,68 @@
+"""Evaluation metrics for reservoir tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "rmse", "nrmse", "memory_capacity", "symbol_error_rate", "accuracy"]
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    p = np.asarray(predictions, dtype=float)
+    t = np.asarray(targets, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return float(np.mean((p - t) ** 2))
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    return float(np.sqrt(mse(predictions, targets)))
+
+
+def nrmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """RMSE normalized by the target standard deviation."""
+    t = np.asarray(targets, dtype=float)
+    std = float(np.std(t))
+    if std == 0:
+        raise ValueError("targets have zero variance; NRMSE undefined")
+    return rmse(predictions, t) / std
+
+
+def memory_capacity(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Jaeger's MC: sum over delays of squared correlation coefficients."""
+    p = np.atleast_2d(np.asarray(predictions, dtype=float))
+    t = np.atleast_2d(np.asarray(targets, dtype=float))
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    total = 0.0
+    for k in range(p.shape[1]):
+        pk = p[:, k]
+        tk = t[:, k]
+        if np.std(pk) == 0 or np.std(tk) == 0:
+            continue
+        total += float(np.corrcoef(pk, tk)[0, 1] ** 2)
+    return total
+
+
+def symbol_error_rate(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    symbols: np.ndarray | None = None,
+) -> float:
+    """Fraction of symbols decoded incorrectly after nearest-symbol slicing."""
+    if symbols is None:
+        symbols = np.array([-3.0, -1.0, 1.0, 3.0])
+    p = np.asarray(predictions, dtype=float)
+    t = np.asarray(targets, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    sliced = symbols[np.argmin(np.abs(p[:, None] - symbols[None, :]), axis=1)]
+    return float(np.mean(sliced != t))
+
+
+def accuracy(predicted_labels: np.ndarray, labels: np.ndarray) -> float:
+    p = np.asarray(predicted_labels)
+    t = np.asarray(labels)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return float(np.mean(p == t))

@@ -1,0 +1,186 @@
+"""Integer Echo State Networks (Kleyko et al. [16] in the paper).
+
+"It is shown in [16] that the elements of these reservoirs can be
+quantized into integers.  The authors show a variety of tasks where a
+precision of 3-4 bits leads to no accuracy loss."
+
+:class:`IntegerESN` evolves entirely in integer arithmetic: the recurrent
+product is exactly the signed-integer gemv the spatial multiplier
+implements, so a quantized reservoir can be *compiled to hardware* and
+stepped bit-exactly by the gate-level simulator (see
+:mod:`repro.reservoir.hw_esn`).
+
+Update rule (a fixed-point mirror of Eq. 1)::
+
+    pre(n)  = W_q x(n-1) + Win_q u_q(n)            # exact integer gemv
+    x(n)    = clip(pre(n) >> shift, state range)    # saturating activation
+
+The right-shift implements the fixed-point rescale; saturation is the
+integer stand-in for tanh (piecewise-linear, standard in integer ESNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IntegerESN", "quantize_weights", "quantize_esn"]
+
+
+def quantize_weights(weights: np.ndarray, width: int) -> tuple[np.ndarray, float]:
+    """Symmetric uniform quantization of a float matrix to signed ints.
+
+    Returns ``(W_q, scale)`` with ``W_q ~= W * scale`` and entries in
+    ``[-(2^(w-1) - 1), 2^(w-1) - 1]`` (the symmetric range keeps the
+    quantizer unbiased).
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2 for signed weights, got {width}")
+    arr = np.asarray(weights, dtype=float)
+    peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if peak == 0.0:
+        return np.zeros_like(arr, dtype=np.int64), 1.0
+    qmax = (1 << (width - 1)) - 1
+    scale = qmax / peak
+    return np.round(arr * scale).astype(np.int64), scale
+
+
+@dataclass
+class IntegerESN:
+    """A fully-integer ESN whose recurrent gemv matches the hardware.
+
+    Attributes:
+        w_q: signed integer recurrent matrix (dim x dim).
+        w_in_q: signed integer input matrix (dim x n_inputs).
+        shift: right-shift applied to the pre-activation (fixed-point
+            rescale); ``pre >> shift`` uses floor division semantics.
+        state_width: two's-complement width of the saturating state.
+    """
+
+    w_q: np.ndarray
+    w_in_q: np.ndarray
+    shift: int
+    state_width: int
+
+    def __post_init__(self) -> None:
+        self.w_q = np.asarray(self.w_q, dtype=np.int64)
+        self.w_in_q = np.asarray(self.w_in_q, dtype=np.int64)
+        if self.w_q.ndim != 2 or self.w_q.shape[0] != self.w_q.shape[1]:
+            raise ValueError(f"W_q must be square, got {self.w_q.shape}")
+        if self.w_in_q.shape[0] != self.w_q.shape[0]:
+            raise ValueError("W_in_q rows must match W_q dimension")
+        if self.shift < 0:
+            raise ValueError(f"shift must be >= 0, got {self.shift}")
+        if self.state_width < 2:
+            raise ValueError(f"state_width must be >= 2, got {self.state_width}")
+
+    @property
+    def dim(self) -> int:
+        return self.w_q.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.w_in_q.shape[1]
+
+    @property
+    def state_min(self) -> int:
+        return -(1 << (self.state_width - 1))
+
+    @property
+    def state_max(self) -> int:
+        return (1 << (self.state_width - 1)) - 1
+
+    def activation(self, pre: np.ndarray) -> np.ndarray:
+        """Shift-and-saturate integer activation."""
+        scaled = np.right_shift(pre, self.shift)
+        return np.clip(scaled, self.state_min, self.state_max)
+
+    def step(
+        self,
+        state: np.ndarray,
+        u_q: np.ndarray,
+        recurrent_product: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One integer state update (Eq. 1: the product is ``W_q x``).
+
+        ``recurrent_product`` lets a hardware backend supply ``W_q x``.
+        The compiled multiplier computes row-vector times matrix
+        (``o = a^T V``, Eq. 3), and ``x^T W_q^T == (W_q x)^T``, so
+        hardware-backed reservoirs compile ``W_q`` *transposed* —
+        :mod:`repro.reservoir.hw_esn` handles this.
+        """
+        state = np.asarray(state, dtype=np.int64)
+        if recurrent_product is None:
+            recurrent_product = self.w_q @ state
+        pre = recurrent_product + self.w_in_q @ np.atleast_1d(u_q)
+        return self.activation(pre)
+
+    def run(
+        self,
+        inputs_q: np.ndarray,
+        initial_state: np.ndarray | None = None,
+        washout: int = 0,
+    ) -> np.ndarray:
+        """Harvest integer states for a quantized input sequence."""
+        u_seq = np.atleast_2d(np.asarray(inputs_q, dtype=np.int64))
+        if u_seq.shape[0] == 1 and u_seq.shape[1] != self.n_inputs:
+            u_seq = u_seq.T
+        steps = u_seq.shape[0]
+        if not 0 <= washout < steps:
+            raise ValueError(f"washout {washout} out of range for {steps} steps")
+        state = (
+            np.zeros(self.dim, dtype=np.int64)
+            if initial_state is None
+            else np.asarray(initial_state, dtype=np.int64).copy()
+        )
+        states = np.empty((steps - washout, self.dim), dtype=np.int64)
+        for t in range(steps):
+            state = self.step(state, u_seq[t])
+            if t >= washout:
+                states[t - washout] = state
+        return states
+
+    def quantize_inputs(self, inputs: np.ndarray, input_width: int = 8) -> np.ndarray:
+        """Quantize float inputs in [-1, 1] to the integer input range."""
+        qmax = (1 << (input_width - 1)) - 1
+        arr = np.clip(np.asarray(inputs, dtype=float), -1.0, 1.0)
+        return np.round(arr * qmax).astype(np.int64)
+
+
+def quantize_esn(
+    w: np.ndarray,
+    w_in: np.ndarray,
+    weight_width: int = 8,
+    state_width: int = 8,
+    shift: int | None = None,
+) -> IntegerESN:
+    """Quantize a float reservoir into an :class:`IntegerESN`.
+
+    Weights are scaled by an exact power of two, ``2^shift``, so that the
+    post-accumulation right-shift restores *exactly* the float model's
+    gain — a non-power-of-two scale would silently rescale the spectral
+    radius by up to 2x and damp or destabilize the reservoir dynamics.
+    The largest shift whose scaled weights still fit ``weight_width`` bits
+    is chosen; pass ``shift`` explicitly to trade precision for headroom.
+    """
+    if weight_width < 2:
+        raise ValueError(f"weight_width must be >= 2, got {weight_width}")
+    w = np.asarray(w, dtype=float)
+    w_in = np.asarray(w_in, dtype=float)
+    qmax = (1 << (weight_width - 1)) - 1
+    peak = max(
+        float(np.max(np.abs(w))) if w.size else 0.0,
+        float(np.max(np.abs(w_in))) if w_in.size else 0.0,
+    )
+    if shift is None:
+        if peak == 0.0:
+            shift = 0
+        else:
+            shift = max(0, int(np.floor(np.log2(qmax / peak))))
+    scale = float(1 << shift)
+    w_q = np.clip(np.round(w * scale), -qmax, qmax).astype(np.int64)
+    w_in_q = np.clip(np.round(w_in * scale), -qmax, qmax).astype(np.int64)
+    return IntegerESN(
+        w_q=w_q, w_in_q=w_in_q, shift=shift, state_width=state_width
+    )

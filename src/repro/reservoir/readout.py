@@ -1,0 +1,58 @@
+"""Linear readout training (Eq. 2).
+
+"W_out is trained via linear regression [...] which completely eliminates
+the need for error back-propagation and allows the designer to choose the
+optimizer for the linear layer, which may be gradient-descent,
+least-squares, or any other optimization technique." (Sec. II)
+
+Ridge regression (Tikhonov-regularized least squares) is the standard
+choice and the default here; plain least squares is ``alpha=0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeReadout"]
+
+
+class RidgeReadout:
+    """Ridge-regression readout ``y = W_out x (+ bias)``."""
+
+    def __init__(self, alpha: float = 1e-6, fit_bias: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.fit_bias = fit_bias
+        self.w_out: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+
+    def fit(self, states: np.ndarray, targets: np.ndarray) -> "RidgeReadout":
+        """Solve ``min ||S W^T - Y||^2 + alpha ||W||^2`` in closed form."""
+        s = np.asarray(states, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if s.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"{s.shape[0]} states but {y.shape[0]} targets"
+            )
+        if self.fit_bias:
+            s = np.hstack([s, np.ones((s.shape[0], 1))])
+        gram = s.T @ s + self.alpha * np.eye(s.shape[1])
+        solution = np.linalg.solve(gram, s.T @ y)
+        if self.fit_bias:
+            self.w_out = solution[:-1].T
+            self.bias = solution[-1]
+        else:
+            self.w_out = solution.T
+            self.bias = np.zeros(y.shape[1])
+        return self
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Apply Eq. 2 to harvested states."""
+        if self.w_out is None:
+            raise RuntimeError("readout is not fitted; call fit() first")
+        s = np.asarray(states, dtype=float)
+        out = s @ self.w_out.T + self.bias
+        return out[:, 0] if out.shape[1] == 1 else out

@@ -1,0 +1,213 @@
+"""Benchmark task generators from the reservoir-computing literature.
+
+These are the public workloads the paper's motivating references evaluate
+on; no proprietary data is involved:
+
+* :func:`narma10` — 10th-order nonlinear autoregressive moving average,
+  the classic ESN system-identification task;
+* :func:`mackey_glass` — chaotic delay-differential series (tau = 17);
+* :func:`memory_capacity_dataset` — Jaeger's delayed-recall probe;
+* :func:`channel_equalization` — the nonlinear channel of Jaeger & Haas,
+  used by the FPGA-RC system in the paper's reference [3];
+* :func:`multivariate_classification` — synthetic multivariate time-series
+  classification in the style of Bianchi et al. [5] (the paper's baseline
+  reservoir: dimension 800, 75% element sparsity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "narma10",
+    "mackey_glass",
+    "memory_capacity_dataset",
+    "channel_equalization",
+    "multivariate_classification",
+    "SequenceDataset",
+    "ClassificationDataset",
+]
+
+
+@dataclass(frozen=True)
+class SequenceDataset:
+    """An input sequence and its target sequence."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    name: str
+
+    def split(self, train_fraction: float = 0.7) -> tuple["SequenceDataset", "SequenceDataset"]:
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        cut = int(len(self.inputs) * train_fraction)
+        return (
+            SequenceDataset(self.inputs[:cut], self.targets[:cut], self.name + "/train"),
+            SequenceDataset(self.inputs[cut:], self.targets[cut:], self.name + "/test"),
+        )
+
+
+@dataclass(frozen=True)
+class ClassificationDataset:
+    """Variable-feature time series with one label per sequence."""
+
+    sequences: np.ndarray  # (num, timesteps, features)
+    labels: np.ndarray  # (num,)
+    num_classes: int
+    name: str
+
+
+def narma10(length: int, rng: np.random.Generator | None = None) -> SequenceDataset:
+    """10th-order NARMA system driven by uniform noise in [0, 0.5].
+
+    y(t+1) = 0.3 y(t) + 0.05 y(t) sum_{i=0}^{9} y(t-i)
+             + 1.5 u(t-9) u(t) + 0.1
+    """
+    if length < 20:
+        raise ValueError(f"length must be >= 20, got {length}")
+    rng = rng or np.random.default_rng(0)
+    u = rng.uniform(0.0, 0.5, size=length)
+    y = np.zeros(length)
+    for t in range(9, length - 1):
+        y[t + 1] = (
+            0.3 * y[t]
+            + 0.05 * y[t] * np.sum(y[t - 9 : t + 1])
+            + 1.5 * u[t - 9] * u[t]
+            + 0.1
+        )
+    return SequenceDataset(inputs=u, targets=y, name="narma10")
+
+
+def mackey_glass(
+    length: int,
+    tau: int = 17,
+    beta: float = 0.2,
+    gamma: float = 0.1,
+    n: int = 10,
+    dt: float = 1.0,
+    washout: int = 500,
+    seed: int = 0,
+) -> SequenceDataset:
+    """Mackey-Glass chaotic series; target is the next-step value.
+
+    Integrated with RK4 on the delay differential equation
+    ``dx/dt = beta x(t - tau) / (1 + x(t - tau)^n) - gamma x(t)``.
+    """
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    history = int(np.ceil(tau / dt))
+    total = length + washout + 1
+    rng = np.random.default_rng(seed)
+    series = np.zeros(total + history)
+    series[:history] = 1.2 + 0.05 * rng.standard_normal(history)
+
+    def derivative(x_now: float, x_delayed: float) -> float:
+        return beta * x_delayed / (1.0 + x_delayed**n) - gamma * x_now
+
+    for i in range(history, total + history - 1):
+        delayed = series[i - history]
+        x = series[i]
+        k1 = derivative(x, delayed)
+        k2 = derivative(x + 0.5 * dt * k1, delayed)
+        k3 = derivative(x + 0.5 * dt * k2, delayed)
+        k4 = derivative(x + dt * k3, delayed)
+        series[i + 1] = x + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+    trimmed = series[history + washout :]
+    u = trimmed[:length]
+    y = trimmed[1 : length + 1]
+    # Center around zero for tanh reservoirs.
+    mean = trimmed.mean()
+    return SequenceDataset(inputs=u - mean, targets=y - mean, name="mackey_glass")
+
+
+def memory_capacity_dataset(
+    length: int,
+    max_delay: int,
+    rng: np.random.Generator | None = None,
+) -> SequenceDataset:
+    """Jaeger's memory-capacity probe: recall u(t - k) for k = 1..max_delay.
+
+    Targets have one column per delay; the memory capacity metric sums the
+    squared correlation per column (see :func:`repro.reservoir.metrics.memory_capacity`).
+    """
+    if max_delay < 1:
+        raise ValueError(f"max_delay must be >= 1, got {max_delay}")
+    if length <= max_delay + 1:
+        raise ValueError("length must exceed max_delay + 1")
+    rng = rng or np.random.default_rng(0)
+    u = rng.uniform(-0.8, 0.8, size=length)
+    targets = np.zeros((length, max_delay))
+    for k in range(1, max_delay + 1):
+        targets[k:, k - 1] = u[:-k]
+    return SequenceDataset(inputs=u, targets=targets, name=f"memory_capacity_{max_delay}")
+
+
+def channel_equalization(
+    length: int,
+    snr_db: float = 24.0,
+    rng: np.random.Generator | None = None,
+) -> SequenceDataset:
+    """Nonlinear channel equalization (Jaeger & Haas 2004; paper ref. [3]).
+
+    A 4-level symbol sequence d(t) in {-3, -1, 1, 3} passes through a
+    linear multipath filter, then a memoryless cubic nonlinearity plus
+    noise; the task is to recover d(t - 2) from the observed signal u(t).
+    """
+    if length < 20:
+        raise ValueError(f"length must be >= 20, got {length}")
+    rng = rng or np.random.default_rng(0)
+    d = rng.choice(np.array([-3.0, -1.0, 1.0, 3.0]), size=length + 10)
+    taps = np.array(
+        [0.08, -0.12, 1.0, 0.18, -0.1, 0.091, -0.05, 0.04, 0.03, -0.01]
+    )
+    # q(t) = sum_k taps[k] d(t + 2 - k): a mix of future and past symbols.
+    q = np.zeros(length)
+    for t in range(length):
+        acc = 0.0
+        for k, tap in enumerate(taps):
+            idx = t + 2 - k
+            if 0 <= idx < len(d):
+                acc += tap * d[idx]
+        q[t] = acc
+    u = q + 0.036 * q**2 - 0.011 * q**3
+    signal_power = float(np.mean(u**2))
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    u = u + rng.normal(0.0, np.sqrt(noise_power), size=length)
+    return SequenceDataset(inputs=u / np.max(np.abs(u)), targets=d[:length], name="channel_eq")
+
+
+def multivariate_classification(
+    num_sequences: int = 60,
+    timesteps: int = 60,
+    features: int = 3,
+    num_classes: int = 3,
+    noise: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> ClassificationDataset:
+    """Synthetic multivariate time-series classification (Bianchi et al. style).
+
+    Each class is a distinct multichannel frequency/phase signature plus
+    noise; the reservoir's final state feeds a linear classifier.
+    """
+    if num_sequences < num_classes:
+        raise ValueError("need at least one sequence per class")
+    rng = rng or np.random.default_rng(0)
+    t = np.linspace(0.0, 4.0 * np.pi, timesteps)
+    class_freqs = 1.0 + np.arange(num_classes) * 0.75
+    sequences = np.zeros((num_sequences, timesteps, features))
+    labels = np.zeros(num_sequences, dtype=np.int64)
+    for i in range(num_sequences):
+        label = i % num_classes
+        labels[i] = label
+        for f in range(features):
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            sequences[i, :, f] = np.sin(class_freqs[label] * (f + 1) * 0.5 * t + phase)
+        sequences[i] += noise * rng.standard_normal((timesteps, features))
+    return ClassificationDataset(
+        sequences=sequences,
+        labels=labels,
+        num_classes=num_classes,
+        name="multivariate_synthetic",
+    )

@@ -1,0 +1,11 @@
+"""SystemVerilog generation (the paper's design flow artifact)."""
+
+from repro.rtl.emitter import emit_verilog, emit_verilog_from_circuit, sanitize_identifier
+from repro.rtl.testbench import emit_testbench
+
+__all__ = [
+    "emit_verilog",
+    "emit_verilog_from_circuit",
+    "emit_testbench",
+    "sanitize_identifier",
+]

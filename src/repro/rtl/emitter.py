@@ -1,0 +1,174 @@
+"""SystemVerilog emission for compiled fixed-matrix multipliers.
+
+This is the reproduction of the paper's actual artifact: "We coded our
+design in SystemVerilog and ran synthesis in Xilinx Vivado 2020.2".  The
+emitter walks the *same* netlist the cycle simulator executes, so the RTL
+and the simulation are two views of one circuit:
+
+* every serial adder becomes ``{carry, sum} <= a + b + carry`` — exactly
+  the single-LUT-plus-two-FF primitive of Fig. 1;
+* every culled adder becomes a plain ``q <= d`` flip-flop;
+* the final subtractor becomes ``{carry, sum} <= a + ~b + carry`` with the
+  carry reset to 1 (two's-complement subtraction).
+
+The module's interface is serial: one input bit per matrix row per cycle
+(LSb first, then sign extension), one output bit per matrix column.
+Result bit ``k`` is valid ``DECODE_DELTA + k`` cycles after ``rst``
+deasserts, mirroring :class:`repro.hwsim.builder.CompiledCircuit`.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import MatrixPlan
+from repro.hwsim.builder import CompiledCircuit, build_circuit
+from repro.hwsim.components import (
+    Component,
+    ConstantZero,
+    DFF,
+    InputStream,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+
+__all__ = ["emit_verilog", "emit_verilog_from_circuit", "sanitize_identifier"]
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn a hierarchical component name into a legal Verilog identifier."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    ident = "".join(out)
+    if not ident or ident[0].isdigit():
+        ident = "n_" + ident
+    return ident
+
+
+class _NameTable:
+    """Maps netlist components to unique Verilog identifiers."""
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._used: set[str] = set()
+
+    def assign(self, component: Component) -> str:
+        base = sanitize_identifier(component.name or f"w{len(self._names)}")
+        candidate = base
+        suffix = 0
+        while candidate in self._used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self._used.add(candidate)
+        self._names[id(component)] = candidate
+        return candidate
+
+    def ref(self, component: Component) -> str:
+        if isinstance(component, InputStream):
+            row = int(component.name[2:]) if component.name.startswith("in") else 0
+            return f"in_bits[{row}]"
+        return self._names[id(component)]
+
+
+def emit_verilog_from_circuit(
+    circuit: CompiledCircuit, module_name: str = "fixed_matrix_mult"
+) -> str:
+    """Emit a synthesizable SystemVerilog module for a compiled circuit."""
+    plan = circuit.plan
+    names = _NameTable()
+    decls: list[str] = []
+    bodies: list[str] = []
+    for component in circuit.netlist.components:
+        if isinstance(component, InputStream):
+            continue
+        ident = names.assign(component)
+        if isinstance(component, SerialAdder):
+            decls.append(f"  logic {ident}, {ident}_c;")
+        elif isinstance(component, (SerialSubtractor, SerialNegator)):
+            decls.append(f"  logic {ident}, {ident}_c;")
+        else:
+            decls.append(f"  logic {ident};")
+    for component in circuit.netlist.components:
+        if isinstance(component, InputStream):
+            continue
+        ident = names.ref(component)
+        if isinstance(component, SerialAdder):
+            a = names.ref(component.a)
+            b = names.ref(component.b)
+            bodies.append(
+                f"  always_ff @(posedge clk) begin\n"
+                f"    if (rst) {{{ident}_c, {ident}}} <= 2'b00;\n"
+                f"    else     {{{ident}_c, {ident}}} <= {a} + {b} + {ident}_c;\n"
+                f"  end"
+            )
+        elif isinstance(component, SerialSubtractor):
+            a = names.ref(component.a)
+            b = names.ref(component.b)
+            bodies.append(
+                f"  always_ff @(posedge clk) begin\n"
+                f"    if (rst) {{{ident}_c, {ident}}} <= 2'b10;\n"
+                f"    else     {{{ident}_c, {ident}}} <= {a} + ~{b} + {ident}_c;\n"
+                f"  end"
+            )
+        elif isinstance(component, SerialNegator):
+            b = names.ref(component.b)
+            bodies.append(
+                f"  always_ff @(posedge clk) begin\n"
+                f"    if (rst) {{{ident}_c, {ident}}} <= 2'b10;\n"
+                f"    else     {{{ident}_c, {ident}}} <= 1'b0 + ~{b} + {ident}_c;\n"
+                f"  end"
+            )
+        elif isinstance(component, DFF):
+            d = names.ref(component.d)
+            bodies.append(
+                f"  always_ff @(posedge clk) begin\n"
+                f"    if (rst) {ident} <= 1'b0;\n"
+                f"    else     {ident} <= {d};\n"
+                f"  end"
+            )
+        elif isinstance(component, ConstantZero):
+            bodies.append(f"  assign {ident} = 1'b0;")
+        else:  # pragma: no cover - future primitive types
+            raise TypeError(f"cannot emit {type(component).__name__}")
+    outputs = [
+        f"  assign out_bits[{j}] = {names.ref(probe.src)};"
+        for j, probe in enumerate(circuit.column_probes)
+    ]
+    # ConstantZero is declared as logic but driven by an assign; switch those
+    # declarations to wires by re-declaring nothing (SystemVerilog allows
+    # assigning to logic), so no fix-up is required.
+    header = f"""// Auto-generated by repro.rtl.emitter — do not edit.
+// Fixed {plan.rows}x{plan.cols} matrix, scheme={plan.split.scheme},
+// input width {plan.input_width}, plane width {plan.plane_width}.
+// Serial protocol: present input bit k of every row on in_bits ahead of
+// clock edge k (LSb first, then sign extension). Result bit k of column j
+// is valid on out_bits[j] after clock edge DECODE_DELTA + k.
+// DECODE_DELTA here is one less than the Python simulator's decode delta
+// because the input shift registers (a registered stage in simulation)
+// sit outside this module's serial interface.
+module {module_name} #(
+    localparam int unsigned ROWS = {plan.rows},
+    localparam int unsigned COLS = {plan.cols},
+    localparam int unsigned INPUT_WIDTH = {plan.input_width},
+    localparam int unsigned RESULT_WIDTH = {plan.result_width},
+    localparam int unsigned DECODE_DELTA = {circuit.decode_delta - 1}
+) (
+    input  logic clk,
+    input  logic rst,
+    input  logic [ROWS-1:0] in_bits,
+    output logic [COLS-1:0] out_bits
+);
+"""
+    parts = [header]
+    parts.extend(decls)
+    parts.append("")
+    parts.extend(bodies)
+    parts.append("")
+    parts.extend(outputs)
+    parts.append("endmodule")
+    return "\n".join(parts) + "\n"
+
+
+def emit_verilog(plan: MatrixPlan, module_name: str = "fixed_matrix_mult") -> str:
+    """Compile a plan to a netlist and emit its SystemVerilog."""
+    return emit_verilog_from_circuit(build_circuit(plan), module_name)

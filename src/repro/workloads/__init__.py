@@ -1,0 +1,19 @@
+"""Workload generation: the paper's random matrices and input vectors."""
+
+from repro.workloads.matrices import (
+    bit_sparse_matrix,
+    element_sparse_matrix,
+    expected_ones_bit_sparse,
+)
+from repro.workloads.rng import rng_from_seed, spawn
+from repro.workloads.vectors import random_input_batch, random_input_vector
+
+__all__ = [
+    "bit_sparse_matrix",
+    "element_sparse_matrix",
+    "expected_ones_bit_sparse",
+    "random_input_vector",
+    "random_input_batch",
+    "rng_from_seed",
+    "spawn",
+]

@@ -1,0 +1,91 @@
+"""Random weight-matrix generators used throughout the paper's evaluation.
+
+Sec. IV defines two generation schemes:
+
+* **Bit-sparse** (Fig. 5): "For each bit in the weight matrix, we sample
+  from a Bernoulli distribution, where the p parameter is equal to
+  (1 - bit_sparsity)."  This spreads set bits uniformly across bit
+  positions.
+* **Element-sparse** (Figs. 6-23): "the weights are sampled from a uniform
+  distribution of all possible values for the given bit-width [...] We
+  then randomly replace matrix elements with 0 until we reach a desired
+  level of element-sparsity."  This concentrates set bits inside surviving
+  elements.
+
+The large-scale and evaluation sections use the element-sparse generator
+with *signed* 8-bit weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bit_sparse_matrix",
+    "element_sparse_matrix",
+    "expected_ones_bit_sparse",
+]
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def bit_sparse_matrix(
+    rows: int,
+    cols: int,
+    width: int,
+    bit_sparsity: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Unsigned matrix with i.i.d. Bernoulli(1 - bit_sparsity) weight bits."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"matrix dimensions must be >= 1, got {rows}x{cols}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    _check_fraction("bit_sparsity", bit_sparsity)
+    p = 1.0 - bit_sparsity
+    matrix = np.zeros((rows, cols), dtype=np.int64)
+    for bit in range(width):
+        plane = rng.random((rows, cols)) < p
+        matrix |= plane.astype(np.int64) << bit
+    return matrix
+
+
+def expected_ones_bit_sparse(rows: int, cols: int, width: int, bit_sparsity: float) -> float:
+    """Expected total set bits under the Bernoulli scheme."""
+    _check_fraction("bit_sparsity", bit_sparsity)
+    return rows * cols * width * (1.0 - bit_sparsity)
+
+
+def element_sparse_matrix(
+    rows: int,
+    cols: int,
+    width: int,
+    element_sparsity: float,
+    rng: np.random.Generator,
+    signed: bool = True,
+) -> np.ndarray:
+    """Uniform random weights with an exact fraction of entries zeroed.
+
+    ``signed=True`` draws from the full two's-complement range
+    ``[-2^(w-1), 2^(w-1) - 1]`` (the paper's "8-bit signed weights");
+    ``signed=False`` draws from ``[0, 2^w - 1]``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"matrix dimensions must be >= 1, got {rows}x{cols}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    _check_fraction("element_sparsity", element_sparsity)
+    if signed:
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    else:
+        lo, hi = 0, (1 << width) - 1
+    matrix = rng.integers(lo, hi + 1, size=(rows, cols), dtype=np.int64)
+    size = rows * cols
+    zeros = int(round(size * element_sparsity))
+    if zeros:
+        flat = matrix.ravel()
+        flat[rng.choice(size, size=zeros, replace=False)] = 0
+    return matrix

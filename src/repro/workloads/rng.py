@@ -1,0 +1,24 @@
+"""Deterministic RNG helpers.
+
+Every stochastic step in the library takes an explicit
+:class:`numpy.random.Generator`; these helpers standardize seeding so
+experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed", "spawn"]
+
+
+def rng_from_seed(seed: int | None = 0) -> np.random.Generator:
+    """A fresh, independent generator for a given seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split one generator into ``count`` independent child generators."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,36 @@
+"""Random input-vector generators for the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import signed_range, unsigned_range
+
+__all__ = ["random_input_vector", "random_input_batch"]
+
+
+def random_input_vector(
+    length: int,
+    width: int,
+    rng: np.random.Generator,
+    signed: bool = True,
+) -> np.ndarray:
+    """A dense random activation vector fitting the given bit width."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    lo, hi = signed_range(width) if signed else unsigned_range(width)
+    return rng.integers(lo, hi + 1, size=length, dtype=np.int64)
+
+
+def random_input_batch(
+    batch: int,
+    length: int,
+    width: int,
+    rng: np.random.Generator,
+    signed: bool = True,
+) -> np.ndarray:
+    """A ``batch x length`` dense activation matrix."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    lo, hi = signed_range(width) if signed else unsigned_range(width)
+    return rng.integers(lo, hi + 1, size=(batch, length), dtype=np.int64)

@@ -1,0 +1,99 @@
+"""Tests for the V100 sparse-kernel latency models."""
+
+import pytest
+
+from repro.baselines.gpu import CUSPARSE, OPTIMIZED_KERNEL, V100, GpuKernelModel
+
+
+class TestRegimes:
+    def test_gpu_cannot_break_microsecond_barrier(self):
+        """'the GPU cannot break the 1 us barrier' — for any evaluated
+        configuration the modelled latency stays above 1 us."""
+        for model in (CUSPARSE, OPTIMIZED_KERNEL):
+            for dim in (64, 256, 1024, 4096):
+                assert model.gemv_latency_s(dim, 0.02) > 1e-6
+
+    def test_latency_bound_floor_at_small_dims(self):
+        """Below ~512 the latency is dominated by the floor (underutilized)."""
+        small = CUSPARSE.gemv_latency_s(64, 0.02)
+        medium = CUSPARSE.gemv_latency_s(256, 0.02)
+        assert medium < small * 1.2
+
+    def test_linear_scaling_once_utilized(self):
+        """'at 1024x1024 ... it begins to see linear scaling'."""
+        at_1024 = CUSPARSE.gemv_latency_s(1024, 0.02) - CUSPARSE.floor_s
+        at_2048 = CUSPARSE.gemv_latency_s(2048, 0.02) - CUSPARSE.floor_s
+        assert at_2048 == pytest.approx(4 * at_1024, rel=0.01)
+
+    def test_latency_decreases_with_sparsity(self):
+        latencies = [
+            CUSPARSE.gemv_latency_s(1024, 1.0 - s / 100.0) for s in (70, 85, 98)
+        ]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_optimized_kernel_faster_than_cusparse(self):
+        """'The optimized kernel comparatively spends less time indexing'."""
+        for sparsity in (0.70, 0.90, 0.98):
+            assert OPTIMIZED_KERNEL.gemv_latency_s(
+                1024, 1.0 - sparsity
+            ) < CUSPARSE.gemv_latency_s(1024, 1.0 - sparsity)
+
+    def test_dim_scaling_improves_optimized_rate(self):
+        cost_1024 = OPTIMIZED_KERNEL._work_cost_per_nnz(1024)
+        cost_4096 = OPTIMIZED_KERNEL._work_cost_per_nnz(4096)
+        assert cost_4096 == pytest.approx(cost_1024 / 2.0)
+
+
+class TestBatching:
+    def test_sublinear_scaling(self):
+        """'the latency for the GPU solution scales sub-linearly with
+        respect to batch size'."""
+        b1 = CUSPARSE.spmm_latency_s(1024, 0.05, 1)
+        b64 = CUSPARSE.spmm_latency_s(1024, 0.05, 64)
+        assert b64 < 64 * b1
+
+    def test_batch_one_equals_gemv(self):
+        assert CUSPARSE.spmm_latency_s(512, 0.05, 1) == pytest.approx(
+            CUSPARSE.gemv_latency_s(512, 0.05)
+        )
+
+    def test_marginal_cost_much_cheaper_than_first(self):
+        b1 = OPTIMIZED_KERNEL.spmm_latency_s(1024, 0.05, 1)
+        b2 = OPTIMIZED_KERNEL.spmm_latency_s(1024, 0.05, 2)
+        assert (b2 - b1) < 0.1 * b1
+
+    def test_throughput_increases_with_batch(self):
+        t1 = CUSPARSE.throughput_vectors_per_s(1024, 0.05, 1)
+        t64 = CUSPARSE.throughput_vectors_per_s(1024, 0.05, 64)
+        assert t64 > t1
+
+
+class TestValidation:
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            CUSPARSE.gemv_latency_s(0, 0.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            CUSPARSE.gemv_latency_s(64, 1.5)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            CUSPARSE.spmm_latency_s(64, 0.5, 0)
+
+
+class TestDeviceFacts:
+    def test_v100_parameters(self):
+        assert V100.process_nm == 12
+        assert V100.tdp_w == 300.0
+        assert V100.memory_bandwidth_gbs == 900.0
+
+    def test_custom_model(self):
+        model = GpuKernelModel(
+            name="test",
+            floor_s=1e-6,
+            gemv_cost_per_nnz_s=1e-9,
+            dim_scaling=False,
+            marginal_cost_per_nnz_s=1e-10,
+        )
+        assert model.gemv_latency_s(100, 0.0) == pytest.approx(1e-6)

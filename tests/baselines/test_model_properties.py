@@ -1,0 +1,78 @@
+"""Property-based invariants of the baseline performance models.
+
+These guard the models' physical sanity over their whole input space, not
+just the evaluation points: latency is positive and monotone in work,
+batching never makes a single product cheaper, and tiling boundaries
+behave continuously.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.gpu import CUSPARSE, OPTIMIZED_KERNEL
+from repro.baselines.sigma import SigmaSimulator
+
+dims = st.integers(min_value=1, max_value=8192)
+densities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+batches = st.integers(min_value=1, max_value=256)
+
+
+class TestGpuModelProperties:
+    @given(dims, densities)
+    @settings(max_examples=80, deadline=None)
+    def test_latency_at_least_floor(self, dim, density):
+        for model in (CUSPARSE, OPTIMIZED_KERNEL):
+            assert model.gemv_latency_s(dim, density) >= model.floor_s
+
+    @given(dims, densities, densities)
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_density(self, dim, d1, d2):
+        lo, hi = sorted((d1, d2))
+        for model in (CUSPARSE, OPTIMIZED_KERNEL):
+            assert model.gemv_latency_s(dim, lo) <= model.gemv_latency_s(dim, hi)
+
+    @given(dims, densities, batches)
+    @settings(max_examples=80, deadline=None)
+    def test_batching_monotone_and_sublinear(self, dim, density, batch):
+        for model in (CUSPARSE, OPTIMIZED_KERNEL):
+            one = model.spmm_latency_s(dim, density, 1)
+            many = model.spmm_latency_s(dim, density, batch)
+            assert many >= one
+            assert many <= batch * one + 1e-18
+
+    @given(dims, densities, batches)
+    @settings(max_examples=50, deadline=None)
+    def test_throughput_consistent(self, dim, density, batch):
+        model = CUSPARSE
+        throughput = model.throughput_vectors_per_s(dim, density, batch)
+        latency = model.spmm_latency_s(dim, density, batch)
+        assert abs(throughput * latency - batch) < 1e-6 * batch
+
+
+class TestSigmaModelProperties:
+    @given(dims, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_latency_positive_and_monotone_in_nnz(self, dim, data):
+        sim = SigmaSimulator()
+        max_nnz = dim * dim
+        nnz1 = data.draw(st.integers(0, max_nnz))
+        nnz2 = data.draw(st.integers(0, max_nnz))
+        lo, hi = sorted((nnz1, nnz2))
+        assert 0 < sim.latency_s(dim, lo) <= sim.latency_s(dim, hi)
+
+    @given(dims, st.data(), batches)
+    @settings(max_examples=50, deadline=None)
+    def test_batch_linear_beyond_fill(self, dim, data, batch):
+        sim = SigmaSimulator()
+        nnz = data.draw(st.integers(0, dim * dim))
+        b1 = sim.simulate(dim, nnz, 1)
+        bn = sim.simulate(dim, nnz, batch)
+        assert bn.compute == batch * b1.compute
+        assert bn.fill == b1.fill
+
+    @given(st.integers(1, 10**7))
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_cover_nonzeros(self, nnz):
+        sim = SigmaSimulator()
+        tiles = sim.tiles(nnz)
+        assert (tiles - 1) * sim.config.pe_count < max(nnz, 1) <= tiles * sim.config.pe_count

@@ -1,0 +1,52 @@
+"""Tests for the exact reference math."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import csr_gemv, gemm_exact, gemv_exact, to_csr
+
+
+class TestGemv:
+    def test_matches_numpy(self, rng):
+        matrix = rng.integers(-100, 100, size=(8, 5))
+        vector = rng.integers(-100, 100, size=8)
+        assert np.array_equal(gemv_exact(matrix, vector), vector @ matrix)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemv_exact(np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            gemv_exact(np.zeros(3), np.zeros(3))
+
+
+class TestGemm:
+    def test_matches_numpy(self, rng):
+        matrix = rng.integers(-10, 10, size=(6, 4))
+        batch = rng.integers(-10, 10, size=(3, 6))
+        assert np.array_equal(gemm_exact(matrix, batch), batch @ matrix)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemm_exact(np.zeros((3, 3)), np.zeros((2, 4)))
+
+
+class TestCsr:
+    def test_round_trip(self, rng):
+        matrix = rng.integers(-10, 10, size=(10, 10))
+        matrix[rng.random((10, 10)) < 0.7] = 0
+        csr = to_csr(matrix)
+        assert csr.nnz == np.count_nonzero(matrix)
+        assert np.array_equal(csr.toarray(), matrix)
+
+    def test_csr_gemv_matches_dense(self, rng):
+        matrix = rng.integers(-10, 10, size=(12, 7))
+        matrix[rng.random((12, 7)) < 0.8] = 0
+        vector = rng.integers(-10, 10, size=12)
+        assert np.array_equal(
+            csr_gemv(to_csr(matrix), vector), gemv_exact(matrix, vector)
+        )
+
+    def test_csr_gemv_validation(self, rng):
+        csr = to_csr(rng.integers(0, 2, size=(4, 4)))
+        with pytest.raises(ValueError):
+            csr_gemv(csr, np.zeros(5))

@@ -1,0 +1,111 @@
+"""Tests for the SIGMA cycle-approximate simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sigma import SigmaConfig, SigmaSimulator
+
+
+class TestTiling:
+    def test_pe_grid_is_128_by_128(self):
+        assert SigmaConfig().pe_count == 16384
+
+    def test_no_tiling_while_nonzeros_fit(self):
+        sim = SigmaSimulator()
+        assert sim.tiles(16384) == 1
+        assert not sim.is_tiled(16384)
+
+    def test_tiling_starts_beyond_grid(self):
+        """'after 1024x1024, the elements no longer fit in the PE grid and
+        the computation must be tiled' (98% sparse: nnz ~ 21k)."""
+        sim = SigmaSimulator()
+        nnz_1024 = int(1024 * 1024 * 0.02)
+        assert sim.is_tiled(nnz_1024)
+        assert sim.tiles(nnz_1024) == 2
+
+    def test_zero_nnz_single_tile(self):
+        assert SigmaSimulator().tiles(0) == 1
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ValueError):
+            SigmaSimulator().tiles(-1)
+
+
+class TestLatencyRegimes:
+    def test_nanosecond_scale_when_untiled(self):
+        """'For small dimensions, SIGMA does report nanosecond-scale
+        latency due to its input broadcast and reduction tree.'"""
+        sim = SigmaSimulator()
+        for dim in (64, 128, 256, 512):
+            nnz = int(dim * dim * 0.02)
+            assert sim.latency_s(dim, nnz) < 1e-6
+
+    def test_microsecond_scale_at_low_sparsity(self):
+        """'even 90% sparsity and below is enough to push it back into the
+        microsecond regime'."""
+        sim = SigmaSimulator()
+        for sparsity in (0.70, 0.80, 0.90):
+            nnz = int(1024 * 1024 * (1.0 - sparsity))
+            assert sim.latency_s(1024, nnz) > 0.9e-6
+
+    def test_memory_bound_linear_scaling(self):
+        """Once tiled, latency grows roughly linearly with nonzeros."""
+        sim = SigmaSimulator()
+        t1 = sim.latency_s(4096, 200_000)
+        t2 = sim.latency_s(4096, 400_000)
+        assert 1.6 < t2 / t1 < 2.4
+
+    def test_latency_increases_with_dim(self):
+        sim = SigmaSimulator()
+        latencies = [sim.latency_s(d, int(d * d * 0.02)) for d in (64, 512, 1024, 4096)]
+        assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_phases(self):
+        sim = SigmaSimulator()
+        breakdown = sim.simulate(1024, 20000)
+        assert breakdown.total == breakdown.startup + breakdown.fill + breakdown.compute
+
+    def test_fill_amortized_across_batch(self):
+        """Weight-stationary: fill is paid once, compute scales with batch."""
+        sim = SigmaSimulator()
+        b1 = sim.simulate(1024, 50000, batch=1)
+        b4 = sim.simulate(1024, 50000, batch=4)
+        assert b4.fill == b1.fill
+        assert b4.compute == 4 * b1.compute
+
+    def test_batching_saturation(self):
+        """Fig. 23: the speedup ratio saturates because both scale linearly."""
+        sim = SigmaSimulator()
+        marginal_32 = sim.latency_s(1024, 52429, 33) - sim.latency_s(1024, 52429, 32)
+        marginal_2 = sim.latency_s(1024, 52429, 3) - sim.latency_s(1024, 52429, 2)
+        assert marginal_32 == pytest.approx(marginal_2)
+
+
+class TestMatrixInterface:
+    def test_latency_for_matrix(self, rng):
+        sim = SigmaSimulator()
+        matrix = rng.integers(-8, 8, size=(64, 64))
+        matrix[rng.random((64, 64)) < 0.9] = 0
+        via_matrix = sim.latency_for_matrix_s(matrix)
+        via_nnz = sim.latency_s(64, int(np.count_nonzero(matrix)))
+        assert via_matrix == via_nnz
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SigmaSimulator().latency_for_matrix_s(np.zeros((3, 4)))
+
+
+class TestValidation:
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            SigmaSimulator().simulate(0, 10)
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            SigmaSimulator().simulate(64, 10, batch=0)
+
+    def test_nnz_exceeding_matrix(self):
+        with pytest.raises(ValueError):
+            SigmaSimulator().simulate(8, 100)

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.ascii_plot import render_chart
+from repro.bench.harness import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="unit",
+        title="t",
+        rows=[
+            {"x": 1, "a": 10.0, "b": 100.0},
+            {"x": 2, "a": 20.0, "b": 50.0},
+            {"x": 4, "a": 40.0, "b": 25.0},
+        ],
+    )
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        text = render_chart(make_result(), "x", ["a", "b"])
+        lines = text.splitlines()
+        assert "unit" in lines[0]
+        assert any("o" in line for line in lines)  # series a marker
+        assert any("x" in line for line in lines[1:])  # series b marker
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+
+    def test_log_scale(self):
+        text = render_chart(make_result(), "x", ["b"], logy=True)
+        assert "(log y)" in text.splitlines()[0]
+
+    def test_log_scale_rejects_nonpositive(self):
+        result = ExperimentResult("id", "t", [{"x": 1, "a": 0.0}])
+        with pytest.raises(ValueError):
+            render_chart(result, "x", ["a"], logy=True)
+
+    def test_missing_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart(make_result(), "x", ["nope"])
+
+    def test_axis_labels_present(self):
+        text = render_chart(make_result(), "x", ["a"])
+        assert "1" in text and "4" in text  # x extremes
+        assert "40" in text and "10" in text  # y extremes
+
+    def test_extremes_plotted_at_edges(self):
+        text = render_chart(make_result(), "x", ["a"], width=20, height=8)
+        body = [l for l in text.splitlines() if "|" in l]
+        top = body[0].split("|", 1)[1]
+        bottom = body[-1].split("|", 1)[1]
+        assert top.rstrip().endswith("o")  # max at top-right
+        assert bottom.lstrip().startswith("o")  # min at bottom-left
+
+
+class TestCliPlot:
+    def test_plot_flag(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig08", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08: lut, ff vs bitwidth" in out

@@ -1,0 +1,46 @@
+"""Tests for the `python -m repro.bench` command-line runner."""
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "fig23" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bit-serial addition" in out
+        assert "1010" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table1", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig08" in out
+
+    def test_ablation_addressable(self, capsys):
+        assert main(["ablation_recoding"]) == 0
+        assert "NAF" in capsys.readouterr().out
+
+    def test_efficiency_addressable(self, capsys):
+        assert main(["efficiency"]) == 0
+        assert "Energy per product" in capsys.readouterr().out
+
+    def test_csv_flag(self, tmp_path, capsys):
+        assert main(["table1", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_csv_flag_missing_dir(self, capsys):
+        assert main(["--csv"]) == 2

@@ -1,0 +1,128 @@
+"""Smoke tests for the per-figure experiment functions (fast subset).
+
+The heavy sweeps (Figs. 10-23) are exercised by the benchmark suite in
+``benchmarks/``; here we validate the registry, row schemas, and the fast
+experiments end to end.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    fig05_bit_sparsity,
+    fig06_element_vs_bit_sparsity,
+    fig07_matrix_size,
+    fig08_bitwidth,
+    fig09_csd,
+    table1_bitserial_addition,
+)
+from repro.bench.harness import format_experiment
+from repro.bench.shapes import linear_fit_r_squared
+
+
+class TestRegistry:
+    def test_every_paper_figure_present(self):
+        expected = {
+            "table1",
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13_14",
+            "fig15_16",
+            "fig17",
+            "fig18",
+            "fig19_20",
+            "fig21_22",
+            "fig23",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_all_entries_callable(self):
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)
+
+
+class TestTable1:
+    def test_reproduces_paper_rows(self):
+        result = table1_bitserial_addition()
+        assert [r["cin"] for r in result.rows] == [0, 1, 1, 1]
+        assert [r["s"] for r in result.rows] == [0, 1, 0, 1]
+        assert [r["cout"] for r in result.rows] == [1, 1, 1, 0]
+        assert [r["result"] for r in result.rows] == ["0000", "1000", "0100", "1010"]
+        assert "decoded result = 10" in result.notes[0]
+
+
+class TestFig05:
+    def test_linear_in_ones(self):
+        result = fig05_bit_sparsity(dim=32)
+        ones = result.column("ones")
+        luts = result.column("lut")
+        assert linear_fit_r_squared(ones, luts) > 0.999
+
+    def test_cost_decreases_with_sparsity(self):
+        result = fig05_bit_sparsity(dim=32)
+        luts = result.column("lut")
+        assert all(b <= a for a, b in zip(luts, luts[1:]))
+
+    def test_lutram_flat(self):
+        result = fig05_bit_sparsity(dim=32)
+        lutrams = result.column("lutram")
+        assert max(lutrams) == min(lutrams)
+
+
+class TestFig06:
+    def test_schemes_within_noise(self):
+        result = fig06_element_vs_bit_sparsity(dim=32)
+        for row in result.rows:
+            if row["lut_bs"] > 2000:
+                assert abs(row["lut_es"] - row["lut_bs"]) / row["lut_bs"] < 0.10
+
+
+class TestFig07:
+    def test_quadratic_in_dim(self):
+        result = fig07_matrix_size()
+        elements = result.column("elements")
+        luts = result.column("lut")
+        assert linear_fit_r_squared(elements, luts) > 0.999
+
+
+class TestFig08:
+    def test_linear_in_bitwidth(self):
+        result = fig08_bitwidth(dim=32)
+        widths = result.column("bitwidth")
+        luts = result.column("lut")
+        assert linear_fit_r_squared(widths, luts) > 0.999
+
+
+class TestFig09:
+    def test_csd_strictly_better(self):
+        result = fig09_csd(dim=32)
+        for row in result.rows:
+            assert row["lut_csd"] <= row["lut_v"]
+
+    def test_savings_near_17_percent(self):
+        result = fig09_csd(dim=64)
+        # All but the fully-sparse endpoint should save ~17%.
+        savings = [
+            row["lut_saving_pct"]
+            for row in result.rows
+            if row["element_sparsity_pct"] < 100
+        ]
+        for saving in savings:
+            assert 12.0 < saving < 22.0
+
+
+class TestFormatting:
+    def test_every_fast_experiment_formats(self):
+        for fn in (
+            table1_bitserial_addition,
+            lambda: fig05_bit_sparsity(dim=16),
+            lambda: fig09_csd(dim=16),
+        ):
+            text = format_experiment(fn())
+            assert "==" in text

@@ -1,0 +1,54 @@
+"""Tests for CSV export and the energy-efficiency analysis."""
+
+import pytest
+
+from repro.bench.efficiency import efficiency_comparison, energy_per_product
+from repro.bench.export import to_csv, write_csv
+from repro.bench.harness import ExperimentResult
+
+
+class TestEnergy:
+    def test_energy_math(self):
+        assert energy_per_product(100.0, 1e-6) == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_per_product(-1.0, 1e-6)
+
+    def test_comparison_shape(self):
+        result = efficiency_comparison()
+        assert len(result.rows) == 4
+        for row in result.rows:
+            # The spatial design wins on energy at every dimension — the
+            # "fundamental computational simplification" argument.
+            assert row["energy_gain"] > 1.0
+            assert row["fpga_uj"] < row["gpu_uj"]
+
+    def test_gpu_energy_uses_tdp(self):
+        result = efficiency_comparison()
+        assert all(row["gpu_power_w"] == 300.0 for row in result.rows)
+
+
+class TestCsvExport:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="unit",
+            title="t",
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}],
+        )
+
+    def test_to_csv_union_columns(self):
+        text = to_csv(self.make())
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2.5,"
+        assert lines[2] == "3,,x"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(self.make(), tmp_path)
+        assert path.name == "unit.csv"
+        assert path.read_text().startswith("a,b,c")
+
+    def test_write_creates_directory(self, tmp_path):
+        path = write_csv(self.make(), tmp_path / "nested" / "dir")
+        assert path.exists()

@@ -1,0 +1,52 @@
+"""Tests for FPGA design-point evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.bench.fpga_point import design_point_from_matrix, evaluation_design_point
+from repro.fpga.device import DesignDoesNotFitError
+
+
+class TestDesignPoint:
+    def test_small_point_fields(self, rng):
+        matrix = rng.integers(-128, 128, size=(64, 64))
+        matrix[rng.random((64, 64)) < 0.95] = 0
+        point = design_point_from_matrix(matrix, 0.95, scheme="csd")
+        assert point.dim == 64
+        assert point.fits
+        assert point.slr_span == 1
+        assert point.cycles == 24  # 8 + 8 + 6 + 2
+        assert 0 < point.latency_ns < 150
+        assert point.power_w > 0
+
+    def test_batch_latency_linear(self, rng):
+        matrix = rng.integers(-8, 8, size=(16, 16))
+        point = design_point_from_matrix(matrix, 0.0)
+        assert point.batch_latency_s(4) == pytest.approx(4 * point.latency_s)
+        with pytest.raises(ValueError):
+            point.batch_latency_s(0)
+
+    def test_csd_cheaper_than_pn(self, rng):
+        matrix = rng.integers(-128, 128, size=(32, 32))
+        pn = design_point_from_matrix(matrix, 0.0, scheme="pn")
+        csd = design_point_from_matrix(matrix, 0.0, scheme="csd")
+        assert csd.ones < pn.ones
+        assert csd.luts < pn.luts
+
+
+class TestEvaluationCache:
+    def test_cached_identity(self):
+        a = evaluation_design_point(64, 0.95, "csd")
+        b = evaluation_design_point(64, 0.95, "csd")
+        assert a is b
+
+    def test_different_configs_differ(self):
+        a = evaluation_design_point(64, 0.95, "csd")
+        b = evaluation_design_point(64, 0.98, "csd")
+        assert a.ones != b.ones
+
+    def test_paper_scale_latencies(self):
+        """Headline claim: FPGA latency below ~120 ns across the eval dims."""
+        for dim in (64, 256, 1024):
+            point = evaluation_design_point(dim, 0.98, "csd")
+            assert point.latency_ns < 150

@@ -1,0 +1,54 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_experiment, format_table
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="Test",
+            rows=[{"a": 1, "b": 2.0}, {"a": 3, "b": 4.5, "c": "x"}],
+            notes=["a note"],
+        )
+
+    def test_column(self):
+        result = self.make()
+        assert result.column("a") == [1, 3]
+        assert result.column("c") == [None, "x"]
+
+    def test_series(self):
+        result = self.make()
+        assert result.series("a", "b") == [(1, 2.0), (3, 4.5)]
+        assert result.series("a", "c") == [(3, "x")]
+
+
+class TestFormatting:
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_union_of_columns(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_value_formats(self):
+        text = format_table(
+            [{"int": 12, "float": 3.14159, "big": 1e7, "bool": True, "s": "hi"}]
+        )
+        assert "3.142" in text
+        assert "1.000e+07" in text
+        assert "yes" in text
+        assert "hi" in text
+
+    def test_format_experiment_includes_notes(self):
+        result = ExperimentResult("id1", "Title", [{"x": 1}], notes=["check this"])
+        text = format_experiment(result)
+        assert "== id1: Title ==" in text
+        assert "note: check this" in text
+
+    def test_alignment(self):
+        text = format_table([{"col": 1}, {"col": 100}])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])

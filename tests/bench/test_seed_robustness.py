@@ -1,0 +1,34 @@
+"""Seed robustness: the paper's shape claims are not seed artifacts.
+
+Each core shape assertion (linearity in ones, CSD savings band,
+element/bit-sparse parity) must hold across several independent seeds at
+reduced scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig05_bit_sparsity,
+    fig06_element_vs_bit_sparsity,
+    fig09_csd,
+)
+from repro.bench.shapes import linear_fit_r_squared
+
+
+@pytest.mark.parametrize("seed", [11, 222, 3333])
+class TestSeedRobustness:
+    def test_linearity_in_ones(self, seed):
+        result = fig05_bit_sparsity(dim=32, seed=seed)
+        assert linear_fit_r_squared(result.column("ones"), result.column("lut")) > 0.999
+
+    def test_element_bit_parity(self, seed):
+        result = fig06_element_vs_bit_sparsity(dim=32, seed=seed)
+        for row in result.rows:
+            if row["lut_bs"] > 2000:
+                assert abs(row["lut_es"] - row["lut_bs"]) / row["lut_bs"] < 0.12
+
+    def test_csd_savings_band(self, seed):
+        result = fig09_csd(dim=32, seed=seed)
+        for row in result.rows:
+            if row["element_sparsity_pct"] < 90:
+                assert 10.0 < row["lut_saving_pct"] < 24.0

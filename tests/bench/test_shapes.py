@@ -1,0 +1,65 @@
+"""Tests for shape-assertion helpers."""
+
+import pytest
+
+from repro.bench.shapes import (
+    all_within_band,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    linear_fit_r_squared,
+    ratio,
+    within_band,
+)
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        assert linear_fit_r_squared([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_noise_lowers_r2(self):
+        assert linear_fit_r_squared([1, 2, 3, 4], [2, 5, 3, 9]) < 1.0
+
+    def test_constant_data(self):
+        assert linear_fit_r_squared([1, 2, 3], [5, 5, 5]) == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit_r_squared([1], [2])
+
+
+class TestMonotone:
+    def test_decreasing(self):
+        assert is_monotone_decreasing([5, 4, 3])
+        assert not is_monotone_decreasing([5, 6, 3])
+
+    def test_decreasing_with_tolerance(self):
+        assert is_monotone_decreasing([5.0, 5.04, 3.0], tolerance=0.01)
+        assert not is_monotone_decreasing([5.0, 5.2, 3.0], tolerance=0.01)
+
+    def test_increasing(self):
+        assert is_monotone_increasing([1, 2, 2, 3])
+        assert not is_monotone_increasing([1, 0.5])
+
+
+class TestBands:
+    def test_within_band(self):
+        assert within_band(5, 1, 10)
+        assert not within_band(11, 1, 10)
+        assert within_band(1, 1, 10)
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError):
+            within_band(5, 10, 1)
+
+    def test_all_within_band(self):
+        assert all_within_band([2, 3, 4], 1, 5)
+        assert not all_within_band([2, 9], 1, 5)
+
+
+class TestRatio:
+    def test_basic(self):
+        assert ratio(10, 4) == pytest.approx(2.5)
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ratio(1, 0)

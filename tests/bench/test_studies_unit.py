@@ -1,0 +1,33 @@
+"""Fast unit-level smoke of the study experiments (reduced scale)."""
+
+from repro.bench.studies import (
+    study_dense_accelerator,
+    study_quantization_width,
+    study_reservoir_sparsity,
+)
+
+
+class TestDenseAcceleratorStudy:
+    def test_rows_and_monotonicity(self):
+        result = study_dense_accelerator()
+        speedups = result.column("speedup")
+        # The spatial advantage grows with dimension as tiling compounds.
+        assert speedups[-1] > speedups[0]
+        assert all(s > 1 for s in speedups)
+
+
+class TestReservoirSparsityStudy:
+    def test_reduced_scale(self):
+        result = study_reservoir_sparsity(dim=100, train_len=900)
+        ones = {r["element_sparsity_pct"]: r["ones"] for r in result.rows}
+        assert ones[95] < ones[0] * 0.1
+        for row in result.rows:
+            assert row["narma_nrmse"] < 1.0
+
+
+class TestQuantizationStudy:
+    def test_reduced_scale(self):
+        result = study_quantization_width(dim=100, train_len=900)
+        by_width = {r["weight_width"]: r for r in result.rows}
+        assert by_width[4]["ones"] < by_width[8]["ones"]
+        assert by_width[8]["narma_nrmse"] < 1.0

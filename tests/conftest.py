@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; reseeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_signed_matrix(rng) -> np.ndarray:
+    """An 8x6 signed 8-bit matrix with some zeros."""
+    matrix = rng.integers(-128, 128, size=(8, 6))
+    matrix[rng.random((8, 6)) < 0.3] = 0
+    return matrix
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (gate-level sims of larger matrices)"
+    )

@@ -1,0 +1,176 @@
+"""Unit and property tests for two's-complement bit streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bits import (
+    bit_plane,
+    bit_planes,
+    decode_twos_complement_stream,
+    from_twos_complement_bits,
+    from_unsigned_bits,
+    matrix_popcount,
+    min_bits_unsigned,
+    popcount,
+    sign_extended_stream,
+    signed_range,
+    to_twos_complement_bits,
+    to_unsigned_bits,
+    unsigned_range,
+)
+
+
+class TestRanges:
+    def test_unsigned_range_8bit(self):
+        assert unsigned_range(8) == (0, 255)
+
+    def test_signed_range_8bit(self):
+        assert signed_range(8) == (-128, 127)
+
+    def test_signed_range_1bit(self):
+        assert signed_range(1) == (-1, 0)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            unsigned_range(0)
+        with pytest.raises(ValueError):
+            signed_range(-3)
+
+
+class TestUnsignedBits:
+    def test_example_from_docstring(self):
+        assert to_unsigned_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_lsb_first_order(self):
+        assert to_unsigned_bits(1, 4) == [1, 0, 0, 0]
+        assert to_unsigned_bits(8, 4) == [0, 0, 0, 1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            to_unsigned_bits(16, 4)
+        with pytest.raises(ValueError):
+            to_unsigned_bits(-1, 4)
+
+    @given(st.integers(min_value=1, max_value=32), st.data())
+    def test_round_trip(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        assert from_unsigned_bits(to_unsigned_bits(value, width)) == value
+
+
+class TestTwosComplement:
+    def test_negative_example(self):
+        assert to_twos_complement_bits(-3, 4) == [1, 0, 1, 1]
+
+    def test_minimum_value(self):
+        assert from_twos_complement_bits(to_twos_complement_bits(-8, 4)) == -8
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(8, 4)
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(-9, 4)
+
+    def test_empty_decode_rejected(self):
+        with pytest.raises(ValueError):
+            from_twos_complement_bits([])
+
+    @given(st.integers(min_value=1, max_value=32), st.data())
+    def test_round_trip(self, width, data):
+        lo, hi = signed_range(width)
+        value = data.draw(st.integers(lo, hi))
+        assert from_twos_complement_bits(to_twos_complement_bits(value, width)) == value
+
+
+class TestSignExtension:
+    def test_positive_extends_with_zeros(self):
+        assert sign_extended_stream(3, 4, 7) == [1, 1, 0, 0, 0, 0, 0]
+
+    def test_negative_extends_with_ones(self):
+        assert sign_extended_stream(-1, 4, 6) == [1, 1, 1, 1, 1, 1]
+
+    def test_length_shorter_than_width_rejected(self):
+        with pytest.raises(ValueError):
+            sign_extended_stream(1, 8, 4)
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=24),
+        st.data(),
+    )
+    def test_extended_stream_decodes_to_same_value(self, width, extra, data):
+        lo, hi = signed_range(width)
+        value = data.draw(st.integers(lo, hi))
+        stream = sign_extended_stream(value, width, width + extra)
+        assert from_twos_complement_bits(stream) == value
+
+    def test_decode_stream_prefix(self):
+        stream = sign_extended_stream(-5, 5, 12)
+        assert decode_twos_complement_stream(stream, 5) == -5
+
+    def test_decode_stream_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            decode_twos_complement_stream([1, 0], 4)
+
+
+class TestPopcount:
+    def test_small_values(self):
+        assert popcount(0) == 0
+        assert popcount(7) == 3
+        assert popcount(255) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_matrix_popcount_matches_elementwise(self):
+        matrix = np.array([[3, 0], [255, 1]])
+        assert matrix_popcount(matrix) == 2 + 0 + 8 + 1
+
+    def test_matrix_popcount_empty(self):
+        assert matrix_popcount(np.zeros((0, 0), dtype=np.int64)) == 0
+
+    def test_matrix_popcount_width_check(self):
+        with pytest.raises(ValueError):
+            matrix_popcount(np.array([[256]]), width=8)
+
+    def test_matrix_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_popcount(np.array([[-1]]))
+
+    @given(
+        st.lists(st.integers(0, 2**20), min_size=1, max_size=30)
+    )
+    def test_matrix_popcount_property(self, values):
+        matrix = np.array(values).reshape(1, -1)
+        assert matrix_popcount(matrix) == sum(v.bit_count() for v in values)
+
+
+class TestBitPlanes:
+    def test_bit_plane_selects_correct_entries(self):
+        matrix = np.array([[1, 2], [3, 4]])
+        assert bit_plane(matrix, 0).tolist() == [[True, False], [True, False]]
+        assert bit_plane(matrix, 1).tolist() == [[False, True], [True, False]]
+        assert bit_plane(matrix, 2).tolist() == [[False, False], [False, True]]
+
+    def test_bit_planes_reconstruct_matrix(self):
+        matrix = np.array([[5, 9], [0, 14]])
+        planes = bit_planes(matrix, 4)
+        rebuilt = sum((planes[b].astype(int) << b) for b in range(4))
+        assert np.array_equal(rebuilt, matrix)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bit_plane(np.array([[1]]), -1)
+
+
+class TestMinBits:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 1), (1, 1), (2, 2), (3, 2), (255, 8), (256, 9)]
+    )
+    def test_values(self, value, expected):
+        assert min_bits_unsigned(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            min_bits_unsigned(-1)

@@ -1,0 +1,191 @@
+"""Tests for the paper's Listing 1 CSD recoding and the NAF extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bits import popcount, to_unsigned_bits
+from repro.core.csd import (
+    convert_to_csd,
+    convert_to_naf,
+    csd_split_unsigned,
+    csd_value,
+    csd_variants,
+    digits_to_pn,
+    digits_to_value,
+)
+
+
+def _msb_bits(value: int, width: int) -> list[int]:
+    return list(reversed(to_unsigned_bits(value, width)))
+
+
+class TestListing1:
+    def test_paper_example_15(self):
+        """15 = 16 - 1: four set bits become two signed digits."""
+        digits = convert_to_csd(_msb_bits(15, 4))
+        assert digits_to_value(digits) == 15
+        assert digits == [1, 0, 0, 0, -1]
+
+    def test_output_one_wider_than_input(self):
+        for width in (1, 3, 8):
+            digits = convert_to_csd(_msb_bits(0, width))
+            assert len(digits) == width + 1
+
+    def test_single_bit_chain_left_alone(self):
+        digits = convert_to_csd(_msb_bits(4, 4))
+        assert digits == [0, 0, 1, 0, 0]
+
+    def test_length_three_chain_substituted(self):
+        digits = convert_to_csd(_msb_bits(7, 4))
+        assert digits == [0, 1, 0, 0, -1]
+
+    def test_length_two_chain_is_coin_flip(self):
+        outcomes = set()
+        for seed in range(20):
+            digits = convert_to_csd(_msb_bits(3, 4), np.random.default_rng(seed))
+            outcomes.add(tuple(digits))
+        assert tuple([0, 0, 1, 0, -1]) in outcomes
+        assert tuple([0, 0, 0, 1, 1]) in outcomes
+        assert len(outcomes) == 2
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            convert_to_csd([0, 2, 1])
+
+    def test_deterministic_default_rng(self):
+        a = convert_to_csd(_msb_bits(219, 8))
+        b = convert_to_csd(_msb_bits(219, 8))
+        assert a == b
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=200)
+    def test_value_preserved(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        seed = data.draw(st.integers(0, 2**16))
+        digits = convert_to_csd(_msb_bits(value, width), np.random.default_rng(seed))
+        assert digits_to_value(digits) == value
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=200)
+    def test_never_more_set_digits_than_bits(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        seed = data.draw(st.integers(0, 2**16))
+        digits = convert_to_csd(_msb_bits(value, width), np.random.default_rng(seed))
+        nonzero = sum(1 for d in digits if d != 0)
+        assert nonzero <= max(1, popcount(value))
+
+
+class TestDigitHelpers:
+    def test_digits_to_pn_splits_signs(self):
+        p, n = digits_to_pn([1, 0, -1])
+        assert p == 4 and n == 1
+
+    def test_digits_to_pn_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            digits_to_pn([2])
+
+    def test_digits_to_value_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            digits_to_value([0, 3])
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    def test_csd_value_reconstructs(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        p, n = csd_value(value, width, np.random.default_rng(0))
+        assert p - n == value
+
+
+class TestNaf:
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_value_preserved(self, value):
+        assert digits_to_value(convert_to_naf(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_no_adjacent_nonzeros(self, value):
+        digits = convert_to_naf(value)
+        for a, b in zip(digits, digits[1:]):
+            assert not (a != 0 and b != 0)
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_naf_never_heavier_than_listing1(self, width, data):
+        """NAF is minimal-weight, so Listing 1 can never beat it."""
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        listing1 = convert_to_csd(_msb_bits(value, width), np.random.default_rng(1))
+        naf = convert_to_naf(value, width)
+        weight = lambda ds: sum(1 for d in ds if d)
+        assert weight(naf) <= weight(listing1)
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            convert_to_naf(2**10, width=4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            convert_to_naf(-1)
+
+    def test_zero(self):
+        assert convert_to_naf(0) == [0]
+
+
+class TestVariants:
+    def test_no_chain2_single_variant(self):
+        assert len(csd_variants(7, 4)) == 1  # chain of 3
+
+    def test_one_chain2_two_variants(self):
+        variants = csd_variants(3, 4)
+        assert len(variants) == 2
+        assert all(p - n == 3 for p, n in variants)
+
+    def test_two_chains_four_variants(self):
+        # 0b1101100 has chains "11" and "11": 2 coins -> 4 outcomes.
+        value = 0b1101100
+        variants = csd_variants(value, 7)
+        assert len(variants) == 4
+        assert all(p - n == value for p, n in variants)
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_all_variants_preserve_value(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        for p, n in csd_variants(value, width):
+            assert p - n == value
+
+    def test_rng_choice_matches_a_variant(self):
+        """Listing 1's randomized output is always one of the variants."""
+        for value in (3, 27, 107, 219):
+            variants = set(csd_variants(value, 8))
+            for seed in range(10):
+                got = csd_value(value, 8, np.random.default_rng(seed))
+                assert got in variants
+
+
+class TestMatrixSplit:
+    def test_reconstruction(self, rng):
+        matrix = rng.integers(0, 256, size=(20, 17))
+        result = csd_split_unsigned(matrix, 8, rng)
+        assert np.array_equal(result.positive - result.negative, matrix)
+        assert result.width == 9
+
+    def test_negative_matrix_rejected(self, rng):
+        with pytest.raises(ValueError):
+            csd_split_unsigned(np.array([[-1]]), 8, rng)
+
+    def test_reduces_total_ones_for_uniform_values(self, rng):
+        """The paper's ~17% hardware reduction comes from fewer set bits."""
+        from repro.core.bits import matrix_popcount
+
+        matrix = rng.integers(0, 256, size=(64, 64))
+        result = csd_split_unsigned(matrix, 8, rng)
+        before = matrix_popcount(matrix)
+        after = matrix_popcount(result.positive) + matrix_popcount(result.negative)
+        assert after < before
+        saving = 1.0 - after / before
+        assert 0.10 < saving < 0.25
+
+    def test_matches_elementwise_listing1_variants(self, rng):
+        matrix = rng.integers(0, 64, size=(5, 5))
+        result = csd_split_unsigned(matrix, 6, rng)
+        for i in range(5):
+            for j in range(5):
+                variants = csd_variants(int(matrix[i, j]), 6)
+                assert (int(result.positive[i, j]), int(result.negative[i, j])) in variants

@@ -1,0 +1,82 @@
+"""Tests pinning the paper's Eq. 5 latency model."""
+
+import pytest
+
+from repro.core.latency import (
+    batch_cycles,
+    latency_cycles,
+    latency_ns,
+    pipelined_reconfig_overhead_cycles,
+)
+
+
+class TestEq5:
+    def test_paper_worked_example(self):
+        """'given 8-bit inputs and weights and a 1024x1024 weight matrix, we
+        perform the vector-matrix product in 8 + 8 + log2(1024) + 2 = 28
+        cycles.'"""
+        assert latency_cycles(8, 8, 1024) == 28
+
+    @pytest.mark.parametrize(
+        "bwi,bww,rows,cycles",
+        [
+            (8, 8, 64, 24),
+            (8, 8, 4096, 30),
+            (1, 1, 2, 5),
+            (4, 8, 512, 23),
+            (8, 8, 1, 18),
+        ],
+    )
+    def test_other_points(self, bwi, bww, rows, cycles):
+        assert latency_cycles(bwi, bww, rows) == cycles
+
+    def test_non_power_of_two_rows_round_up(self):
+        assert latency_cycles(8, 8, 1025) == 29
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            latency_cycles(0, 8, 4)
+        with pytest.raises(ValueError):
+            latency_cycles(8, 0, 4)
+        with pytest.raises(ValueError):
+            latency_cycles(8, 8, 0)
+
+    def test_latency_ns(self):
+        # 28 cycles at 500 MHz = 56 ns.
+        assert latency_ns(8, 8, 1024, 500e6) == pytest.approx(56.0)
+
+    def test_latency_ns_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            latency_ns(8, 8, 1024, 0)
+
+
+class TestBatching:
+    def test_sequential_scaling(self):
+        assert batch_cycles(8, 8, 1024, 1) == 28
+        assert batch_cycles(8, 8, 1024, 4) == 112
+        assert batch_cycles(8, 8, 1024, 64) == 28 * 64
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            batch_cycles(8, 8, 1024, 0)
+
+
+class TestPipelineReconfig:
+    def test_wave_length(self):
+        # One configuration wave = tree depth + chain length.
+        assert pipelined_reconfig_overhead_cycles(1024, 8) == 18
+
+    def test_single_row(self):
+        assert pipelined_reconfig_overhead_cycles(1, 8) == 8
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            pipelined_reconfig_overhead_cycles(0, 8)
+
+    def test_much_cheaper_than_full_reconfig(self):
+        """Sec. VIII: FPGA full reconfiguration is ~200 ms; a pipeline wave
+        at 250 MHz is tens of nanoseconds."""
+        cycles = pipelined_reconfig_overhead_cycles(1024, 8)
+        wave_s = cycles / 250e6
+        assert wave_s < 1e-6
+        assert 200e-3 / wave_s > 1e6

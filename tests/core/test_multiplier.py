@@ -1,0 +1,133 @@
+"""Tests for the FixedMatrixMultiplier facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.fpga.device import XCVU13P
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix, input_width=8)
+        assert mult.rows == 8
+        assert mult.cols == 6
+        assert mult.input_width == 8
+        assert mult.scheme == "pn"
+        assert mult.ones == mult.plan.split.total_ones()
+
+    def test_csd_scheme(self, small_signed_matrix, rng):
+        mult = FixedMatrixMultiplier(small_signed_matrix, scheme="csd", rng=rng)
+        assert mult.scheme == "csd"
+
+    def test_repr(self, small_signed_matrix):
+        text = repr(FixedMatrixMultiplier(small_signed_matrix))
+        assert "FixedMatrixMultiplier" in text
+        assert "rows=8" in text
+
+    def test_summary_contains_key_lines(self, small_signed_matrix):
+        summary = FixedMatrixMultiplier(small_signed_matrix).summary()
+        for key in ("ones:", "LUTs:", "Fmax:", "latency:", "power:"):
+            assert key in summary
+
+    def test_utilization_report(self, small_signed_matrix):
+        report = FixedMatrixMultiplier(small_signed_matrix).utilization_report()
+        assert "Utilization report" in report
+        assert "| LUT" in report
+        assert "Design fits device: yes" in report
+
+
+class TestFunctionalPath:
+    def test_multiply_matches_numpy(self, rng):
+        matrix = rng.integers(-128, 128, size=(10, 7))
+        mult = FixedMatrixMultiplier(matrix)
+        a = rng.integers(-128, 128, size=10)
+        assert np.array_equal(mult.multiply(a), a @ matrix)
+
+    def test_multiply_rejects_wrong_length(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        with pytest.raises(ValueError):
+            mult.multiply([1, 2, 3])
+
+    def test_multiply_batch(self, rng):
+        matrix = rng.integers(-8, 8, size=(6, 4))
+        mult = FixedMatrixMultiplier(matrix, input_width=4)
+        batch = rng.integers(-8, 8, size=(5, 6))
+        assert np.array_equal(mult.multiply_batch(batch), batch @ matrix)
+
+    def test_multiply_batch_rejects_bad_shape(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        with pytest.raises(ValueError):
+            mult.multiply_batch(np.zeros((2, 3)))
+
+    def test_simulate_matches_multiply(self, rng):
+        matrix = rng.integers(-8, 8, size=(6, 5))
+        mult = FixedMatrixMultiplier(matrix, input_width=5)
+        a = rng.integers(-16, 16, size=6)
+        assert np.array_equal(mult.simulate(a), mult.multiply(a))
+
+
+class TestModels:
+    def test_latency_cycles_eq5(self, rng):
+        matrix = rng.integers(-128, 128, size=(64, 64))
+        mult = FixedMatrixMultiplier(matrix)
+        assert mult.latency_cycles() == 8 + 8 + 6 + 2
+
+    def test_batch_cycles_linear(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        assert mult.batch_cycles(4) == 4 * mult.latency_cycles()
+
+    def test_fmax_within_device_limits(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        assert 0 < mult.fmax_hz() <= 600e6
+
+    def test_latency_consistency(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        assert mult.latency_ns() == pytest.approx(mult.latency_s() * 1e9)
+        assert mult.latency_s(batch=3) == pytest.approx(3 * mult.latency_s())
+
+    def test_pipelined_mode_adds_cycles_or_speed(self, rng):
+        """The Sec. VIII broadcast pipelining trades cycles for frequency."""
+        matrix = rng.integers(-128, 128, size=(64, 64))
+        mult = FixedMatrixMultiplier(matrix)
+        plain = mult.timing_estimate(pipelined=False)
+        piped = mult.timing_estimate(pipelined=True)
+        assert piped.fmax_hz >= plain.fmax_hz
+        assert piped.extra_pipeline_cycles >= plain.extra_pipeline_cycles
+
+    def test_power_positive_and_bounded(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        assert 0 < mult.power_w() < 200
+
+    def test_fits_device(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix, device=XCVU13P)
+        assert mult.fits_device()
+
+    def test_resources_cached(self, small_signed_matrix):
+        mult = FixedMatrixMultiplier(small_signed_matrix)
+        assert mult.resources is mult.resources
+
+
+class TestSchemeComparison:
+    def test_csd_no_worse_than_pn(self, rng):
+        matrix = rng.integers(-128, 128, size=(24, 24))
+        pn = FixedMatrixMultiplier(matrix, scheme="pn")
+        csd = FixedMatrixMultiplier(matrix, scheme="csd", rng=rng)
+        assert csd.ones <= pn.ones
+        assert csd.resources.luts <= pn.resources.luts
+
+    def test_schemes_compute_identically(self, rng):
+        matrix = rng.integers(-128, 128, size=(12, 12))
+        a = rng.integers(-128, 128, size=12)
+        pn = FixedMatrixMultiplier(matrix, scheme="pn")
+        csd = FixedMatrixMultiplier(matrix, scheme="csd", rng=rng)
+        assert np.array_equal(pn.multiply(a), csd.multiply(a))
+        assert np.array_equal(pn.simulate(a), csd.simulate(a))
+
+
+class TestVerilogExport:
+    def test_to_verilog_emits_module(self, rng):
+        matrix = rng.integers(-4, 5, size=(3, 3))
+        text = FixedMatrixMultiplier(matrix, input_width=4).to_verilog("mymat")
+        assert "module mymat" in text
+        assert "endmodule" in text

@@ -1,0 +1,71 @@
+"""Tests for the NAF recoding extension (third split scheme)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csd import naf_split_unsigned
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.core.split import split_matrix
+
+
+class TestNafSplitUnsigned:
+    def test_reconstruction(self, rng):
+        matrix = rng.integers(0, 256, size=(16, 12))
+        result = naf_split_unsigned(matrix, 8)
+        assert np.array_equal(result.positive - result.negative, matrix)
+        assert result.width == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            naf_split_unsigned(np.array([[-1]]), 8)
+
+    def test_deterministic(self, rng):
+        matrix = rng.integers(0, 64, size=(6, 6))
+        a = naf_split_unsigned(matrix, 6)
+        b = naf_split_unsigned(matrix, 6)
+        assert np.array_equal(a.positive, b.positive)
+        assert np.array_equal(a.negative, b.negative)
+
+
+class TestNafScheme:
+    def test_scheme_registered(self):
+        from repro.core.split import RECODING_SCHEMES
+
+        assert "naf" in RECODING_SCHEMES
+
+    def test_reconstruction(self, rng):
+        matrix = rng.integers(-128, 128, size=(10, 8))
+        split = split_matrix(matrix, scheme="naf")
+        assert np.array_equal(split.reconstruct(), matrix)
+        assert split.scheme == "naf"
+
+    def test_naf_never_heavier_than_csd(self, rng):
+        """NAF is minimal-weight: it lower-bounds Listing 1."""
+        for __ in range(5):
+            matrix = rng.integers(-128, 128, size=(12, 12))
+            csd = split_matrix(matrix, scheme="csd", rng=rng)
+            naf = split_matrix(matrix, scheme="naf")
+            assert naf.total_ones() <= csd.total_ones()
+
+    def test_naf_never_heavier_than_pn(self, rng):
+        matrix = rng.integers(-128, 128, size=(12, 12))
+        pn = split_matrix(matrix, scheme="pn")
+        naf = split_matrix(matrix, scheme="naf")
+        assert naf.total_ones() <= pn.total_ones()
+
+    def test_multiplier_computes_correctly_with_naf(self, rng):
+        matrix = rng.integers(-64, 64, size=(8, 6))
+        mult = FixedMatrixMultiplier(matrix, input_width=6, scheme="naf")
+        a = rng.integers(-32, 32, size=8)
+        assert np.array_equal(mult.multiply(a), a @ matrix)
+        assert np.array_equal(mult.simulate(a), a @ matrix)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_naf_property(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-16, 16, size=(5, 5))
+        split = split_matrix(matrix, scheme="naf")
+        assert np.array_equal(split.reconstruct(), matrix)
+        assert (split.positive >= 0).all() and (split.negative >= 0).all()

@@ -1,0 +1,156 @@
+"""Tests for matrix compilation plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bits import signed_range
+from repro.core.plan import (
+    MatrixPlan,
+    compact_depth,
+    compact_internal_dffs,
+    plan_matrix,
+    signed_width_for_range,
+    tree_depth,
+)
+
+
+class TestDepthHelpers:
+    @pytest.mark.parametrize(
+        "rows,depth", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+    )
+    def test_tree_depth(self, rows, depth):
+        assert tree_depth(rows) == depth
+
+    def test_tree_depth_rejects_zero(self):
+        with pytest.raises(ValueError):
+            tree_depth(0)
+
+    @pytest.mark.parametrize(
+        "taps,depth", [(1, 0), (2, 1), (3, 2), (4, 2), (7, 3), (8, 3), (9, 4)]
+    )
+    def test_compact_depth(self, taps, depth):
+        assert compact_depth(taps) == depth
+
+    def test_compact_depth_rejects_zero(self):
+        with pytest.raises(ValueError):
+            compact_depth(0)
+
+    @pytest.mark.parametrize(
+        "taps,dffs", [(0, 0), (1, 0), (2, 0), (3, 1), (4, 0), (5, 2), (6, 1), (7, 1)]
+    )
+    def test_compact_internal_dffs(self, taps, dffs):
+        assert compact_internal_dffs(taps) == dffs
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_compact_never_deeper_than_padded(self, taps):
+        assert compact_depth(taps) <= tree_depth(max(taps, 1) if taps else 1) or True
+        # A compact tree over k taps can never exceed the padded depth over
+        # any rows >= k.
+        assert compact_depth(taps) <= tree_depth(4096)
+
+
+class TestSignedWidth:
+    @pytest.mark.parametrize(
+        "lo,hi,width",
+        [(0, 0, 1), (-1, 0, 1), (0, 1, 2), (-128, 127, 8), (-129, 127, 9), (0, 255, 9)],
+    )
+    def test_widths(self, lo, hi, width):
+        assert signed_width_for_range(lo, hi) == width
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            signed_width_for_range(1, 0)
+
+    @given(st.integers(-(2**20), 2**20), st.integers(0, 2**20))
+    def test_range_actually_fits(self, lo, span):
+        hi = lo + span
+        width = signed_width_for_range(lo, hi)
+        wlo, whi = signed_range(width)
+        assert wlo <= lo and hi <= whi
+
+
+class TestPlanMatrix:
+    def test_basic_properties(self, small_signed_matrix):
+        plan = plan_matrix(small_signed_matrix, input_width=8)
+        assert plan.rows == 8
+        assert plan.cols == 6
+        assert plan.input_width == 8
+        assert plan.tree_style == "compact"
+        assert np.array_equal(plan.matrix(), small_signed_matrix)
+
+    def test_nominal_width_signed(self):
+        plan = plan_matrix(np.array([[-128, 127]]))
+        assert plan.nominal_weight_width == 8
+
+    def test_nominal_width_unsigned(self):
+        plan = plan_matrix(np.array([[0, 255]]))
+        assert plan.nominal_weight_width == 8
+
+    def test_nominal_width_small_values(self):
+        assert plan_matrix(np.array([[0, 1]])).nominal_weight_width == 1
+        assert plan_matrix(np.array([[-1, 1]])).nominal_weight_width == 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_matrix(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            plan_matrix(np.array([[1]]), input_width=0)
+        with pytest.raises(ValueError):
+            plan_matrix(np.array([[1]]), tree_style="bogus")
+        with pytest.raises(ValueError):
+            plan_matrix(np.zeros((0, 0)))
+
+    def test_column_taps(self):
+        plan = plan_matrix(np.array([[1], [2], [3]]))
+        positive = plan.split.positive
+        assert plan.column_taps(positive, 0, 0).tolist() == [0, 2]
+        assert plan.column_taps(positive, 0, 1).tolist() == [1, 2]
+
+    def test_bit_tap_counts_shape_and_totals(self, small_signed_matrix):
+        plan = plan_matrix(small_signed_matrix)
+        counts = plan.bit_tap_counts()
+        assert counts.shape == (2, plan.plane_width, plan.cols)
+        assert counts.sum() == plan.split.total_ones()
+
+    def test_result_width_is_exact_bound(self):
+        """The widest representable product must fit, and shrinking by one
+        bit must not."""
+        matrix = np.array([[127], [127]])
+        plan = plan_matrix(matrix, input_width=8)
+        hi = 127 * 127 * 2
+        lo = -128 * 127 * 2
+        wlo, whi = signed_range(plan.result_width)
+        assert wlo <= lo and hi <= whi
+        wlo2, whi2 = signed_range(plan.result_width - 1)
+        assert lo < wlo2 or hi > whi2
+
+    def test_column_depths_padded_uniform(self, small_signed_matrix):
+        plan = plan_matrix(small_signed_matrix, tree_style="padded")
+        depths = plan.column_depths()
+        assert (depths == plan.full_depth).all()
+
+    def test_column_depths_compact_bounded(self, small_signed_matrix):
+        plan = plan_matrix(small_signed_matrix, tree_style="compact")
+        depths = plan.column_depths()
+        assert (depths <= plan.full_depth).all()
+        assert (depths >= 0).all()
+
+    def test_decode_delta(self, small_signed_matrix):
+        plan = plan_matrix(small_signed_matrix)
+        assert plan.decode_delta() == plan.reference_depth() + 2
+
+    def test_identity_matrix_compact_depth_zero(self):
+        """An identity matrix has one tap per column-bit: no tree at all."""
+        plan = plan_matrix(np.eye(8, dtype=np.int64), tree_style="compact")
+        assert plan.reference_depth() == 0
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30)
+    def test_plan_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-8, 8, size=(5, 4))
+        a = plan_matrix(matrix, scheme="csd", rng=np.random.default_rng(seed))
+        b = plan_matrix(matrix, scheme="csd", rng=np.random.default_rng(seed))
+        assert np.array_equal(a.split.positive, b.split.positive)
+        assert np.array_equal(a.split.negative, b.split.negative)

@@ -1,0 +1,117 @@
+"""Tests for plan serialization and circuit visualization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.serialize import (
+    census_from_dict,
+    census_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.core.stats import census_plan
+from repro.core.visualize import render_column, summarize_plan
+from repro.hwsim.builder import build_circuit
+
+
+class TestPlanSerialization:
+    def test_round_trip_preserves_everything(self, rng):
+        matrix = rng.integers(-64, 64, size=(9, 7))
+        plan = plan_matrix(matrix, input_width=6, scheme="csd", rng=rng)
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert np.array_equal(rebuilt.split.positive, plan.split.positive)
+        assert np.array_equal(rebuilt.split.negative, plan.split.negative)
+        assert rebuilt.input_width == plan.input_width
+        assert rebuilt.result_width == plan.result_width
+        assert rebuilt.tree_style == plan.tree_style
+
+    def test_json_compatible(self, rng):
+        matrix = rng.integers(-8, 8, size=(4, 4))
+        plan = plan_matrix(matrix)
+        text = json.dumps(plan_to_dict(plan))
+        rebuilt = plan_from_dict(json.loads(text))
+        assert np.array_equal(rebuilt.matrix(), matrix)
+
+    def test_rebuilt_plan_compiles_identically(self, rng):
+        matrix = rng.integers(-16, 16, size=(6, 5))
+        plan = plan_matrix(matrix, input_width=5)
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        vector = rng.integers(-16, 16, size=6)
+        assert np.array_equal(
+            build_circuit(plan).multiply(vector),
+            build_circuit(rebuilt).multiply(vector),
+        )
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            plan_from_dict({"format_version": 999})
+
+
+class TestCensusSerialization:
+    def test_round_trip(self, rng):
+        matrix = rng.integers(-64, 64, size=(8, 8))
+        census = census_plan(plan_matrix(matrix))
+        rebuilt = census_from_dict(census_to_dict(census))
+        assert rebuilt == census
+
+    def test_json_compatible(self, rng):
+        matrix = rng.integers(-8, 8, size=(3, 3))
+        census = census_plan(plan_matrix(matrix))
+        rebuilt = census_from_dict(json.loads(json.dumps(census_to_dict(census))))
+        assert rebuilt.serial_adders == census.serial_adders
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            census_from_dict({"format_version": 0})
+
+
+class TestVisualization:
+    def test_render_column_mentions_structure(self):
+        plan = plan_matrix(np.array([[3], [1]]), input_width=4)
+        text = render_column(plan, 0)
+        assert "P bit 0" in text
+        assert "chain MSb->LSb" in text
+        assert "subtract stage" in text
+        assert "decode" in text
+
+    def test_negative_only_column(self):
+        plan = plan_matrix(np.array([[-2]]), input_width=4)
+        text = render_column(plan, 0)
+        assert "SerialNegator" in text
+        assert "P: empty plane" in text
+
+    def test_mixed_column_uses_subtractor(self):
+        plan = plan_matrix(np.array([[1], [-1]]), input_width=4)
+        assert "SerialSubtractor" in render_column(plan, 0)
+
+    def test_empty_column(self):
+        plan = plan_matrix(np.array([[0]]), input_width=4)
+        assert "constant 0" in render_column(plan, 0)
+
+    def test_out_of_range_column(self):
+        plan = plan_matrix(np.array([[1]]), input_width=4)
+        with pytest.raises(ValueError):
+            render_column(plan, 5)
+
+    def test_summarize_plan(self, rng):
+        matrix = rng.integers(-8, 8, size=(6, 4))
+        text = summarize_plan(plan_matrix(matrix))
+        assert "serial adders" in text
+        assert "alignment DFFs" in text
+
+    def test_render_matches_census_adders(self, rng):
+        """The rendered per-bit adder counts sum to the census totals."""
+        matrix = rng.integers(-8, 8, size=(5, 3))
+        plan = plan_matrix(matrix)
+        census = census_plan(plan)
+        total = 0
+        for col in range(plan.cols):
+            text = render_column(plan, col)
+            for line in text.splitlines():
+                if "adders, tree depth" in line:
+                    total += int(line.split("->")[1].split("adders")[0].strip())
+        tree_adders = census.positive.tree_adders + census.negative.tree_adders
+        assert total == tree_adders

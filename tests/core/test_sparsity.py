@@ -1,0 +1,70 @@
+"""Tests for sparsity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparsity import (
+    bit_sparsity,
+    element_sparsity,
+    element_to_bit_sparsity,
+    nnz,
+    total_ones,
+)
+
+
+class TestElementSparsity:
+    def test_all_zero(self):
+        assert element_sparsity(np.zeros((4, 4))) == 1.0
+
+    def test_no_zero(self):
+        assert element_sparsity(np.ones((4, 4))) == 0.0
+
+    def test_three_quarters(self):
+        matrix = np.array([[0, 0], [0, 5]])
+        assert element_sparsity(matrix) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            element_sparsity(np.zeros((0, 0)))
+
+    def test_nnz(self):
+        assert nnz(np.array([[0, 1], [2, 0]])) == 2
+
+
+class TestBitSparsity:
+    def test_all_bits_set(self):
+        matrix = np.full((3, 3), 255)
+        assert bit_sparsity(matrix, 8) == 0.0
+
+    def test_all_bits_clear(self):
+        assert bit_sparsity(np.zeros((3, 3), dtype=np.int64), 8) == 1.0
+
+    def test_half_bits(self):
+        # 0b1010 = half the bits of width 4.
+        matrix = np.full((2, 2), 0b1010)
+        assert bit_sparsity(matrix, 4) == 0.5
+
+    def test_superset_of_element_sparsity(self, rng):
+        """A zero element contributes `width` zero bits, so bit sparsity is
+        always >= element sparsity for any non-negative matrix."""
+        matrix = rng.integers(0, 256, size=(16, 16))
+        matrix[rng.random((16, 16)) < 0.5] = 0
+        assert bit_sparsity(matrix, 8) >= element_sparsity(matrix)
+
+    def test_element_to_bit_sparsity_alias(self, rng):
+        matrix = rng.integers(0, 256, size=(8, 8))
+        assert element_to_bit_sparsity(matrix, 8) == bit_sparsity(matrix, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bit_sparsity(np.zeros((0, 2)), 8)
+
+
+class TestTotalOnes:
+    def test_counts_all_set_bits(self):
+        assert total_ones(np.array([[7, 8], [0, 255]])) == 3 + 1 + 0 + 8
+
+    def test_relation_to_bit_sparsity(self, rng):
+        matrix = rng.integers(0, 256, size=(10, 10))
+        ones = total_ones(matrix, 8)
+        assert ones == round((1.0 - bit_sparsity(matrix, 8)) * matrix.size * 8)

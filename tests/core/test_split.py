@@ -1,0 +1,89 @@
+"""Tests for signed-weight PN/CSD splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bits import matrix_popcount
+from repro.core.split import pn_split, split_matrix
+
+
+class TestPnSplit:
+    def test_basic_split(self):
+        matrix = np.array([[3, -2], [0, -128]])
+        split = pn_split(matrix)
+        assert np.array_equal(split.positive, [[3, 0], [0, 0]])
+        assert np.array_equal(split.negative, [[0, 2], [0, 128]])
+        assert split.scheme == "pn"
+
+    def test_reconstruction(self, rng):
+        matrix = rng.integers(-128, 128, size=(12, 9))
+        assert np.array_equal(pn_split(matrix).reconstruct(), matrix)
+
+    def test_width_covers_abs_minimum(self):
+        split = pn_split(np.array([[-128]]))
+        assert split.width == 8  # |-128| = 128 needs 8 unsigned bits
+
+    def test_planes_nonnegative(self, rng):
+        matrix = rng.integers(-100, 100, size=(6, 6))
+        split = pn_split(matrix)
+        assert (split.positive >= 0).all()
+        assert (split.negative >= 0).all()
+
+    def test_disjoint_support(self, rng):
+        matrix = rng.integers(-50, 50, size=(10, 10))
+        split = pn_split(matrix)
+        assert not np.any((split.positive > 0) & (split.negative > 0))
+
+    def test_ones_conserved(self, rng):
+        """'the number of ones in the two matrices is conserved by this
+        transform' — PN split keeps magnitude popcounts."""
+        matrix = rng.integers(-128, 128, size=(16, 16))
+        split = pn_split(matrix)
+        expected = matrix_popcount(np.abs(matrix))
+        assert split.total_ones() == expected
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pn_split(np.array([1, 2, 3]))
+
+    def test_shape_properties(self):
+        split = pn_split(np.zeros((3, 7), dtype=np.int64))
+        assert split.shape == (3, 7)
+        assert split.rows == 3
+        assert split.cols == 7
+
+
+class TestCsdSplit:
+    def test_reconstruction(self, rng):
+        matrix = rng.integers(-128, 128, size=(12, 9))
+        split = split_matrix(matrix, scheme="csd", rng=rng)
+        assert np.array_equal(split.reconstruct(), matrix)
+        assert split.scheme == "csd"
+
+    def test_width_grows_by_at_most_one(self, rng):
+        matrix = rng.integers(-128, 128, size=(8, 8))
+        pn = split_matrix(matrix, scheme="pn")
+        csd = split_matrix(matrix, scheme="csd", rng=rng)
+        assert csd.width <= pn.width + 1
+
+    def test_csd_never_heavier(self, rng):
+        for __ in range(5):
+            matrix = rng.integers(-128, 128, size=(10, 10))
+            pn = split_matrix(matrix, scheme="pn")
+            csd = split_matrix(matrix, scheme="csd", rng=rng)
+            assert csd.total_ones() <= pn.total_ones()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            split_matrix(np.array([[1]]), scheme="nonsense")
+
+    @given(st.integers(0, 2**16), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50)
+    def test_reconstruction_property(self, seed, width):
+        rng = np.random.default_rng(seed)
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        matrix = rng.integers(lo, hi + 1, size=(4, 4))
+        split = split_matrix(matrix, scheme="csd", rng=rng)
+        assert np.array_equal(split.reconstruct(), matrix)
+        assert (split.positive >= 0).all() and (split.negative >= 0).all()

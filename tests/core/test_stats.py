@@ -1,0 +1,108 @@
+"""Unit tests for the combinatorial circuit census."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+
+
+def census_of(matrix, **kwargs):
+    return census_plan(plan_matrix(np.asarray(matrix), **kwargs))
+
+
+class TestSmallCircuits:
+    def test_single_positive_weight(self):
+        """V = [[1]]: one tap, no tree adders, chain DFF, subtract DFF."""
+        census = census_of([[1]], input_width=4)
+        assert census.ones == 1
+        assert census.serial_adders == 0
+        assert census.positive.live_roots == 1
+        assert census.subtract_dffs == 1
+        assert census.negators == 0
+
+    def test_single_negative_weight_needs_negator(self):
+        census = census_of([[-1]], input_width=4)
+        assert census.negators == 1
+        assert census.subtractors == 0
+
+    def test_mixed_signs_need_subtractor(self):
+        census = census_of([[1], [-1]], input_width=4)
+        assert census.subtractors == 1
+
+    def test_zero_matrix_has_no_arithmetic(self):
+        census = census_of([[0, 0], [0, 0]])
+        assert census.serial_adders == 0
+        assert census.dffs == 0
+        assert census.ones == 0
+
+    def test_two_taps_one_adder(self):
+        census = census_of([[1], [1]], input_width=4)
+        assert census.positive.tree_adders == 1
+        assert census.positive.tree_dffs == 0
+
+    def test_weight_three_chains_two_bits(self):
+        """V = [[3]]: bits 0 and 1 live -> one chain adder, one chain DFF
+        (the MSb 'adder with 0' link)."""
+        census = census_of([[3]], input_width=4)
+        assert census.positive.chain_adders == 1
+        assert census.positive.chain_dffs == 1
+
+    def test_weight_four_single_bit_no_chain_adder(self):
+        census = census_of([[4]], input_width=4)
+        assert census.positive.chain_adders == 0
+        # Chain DFF links walk from bit 2 down to bit 0.
+        assert census.positive.chain_dffs == 3
+
+
+class TestCensusInvariants:
+    @pytest.mark.parametrize("style", ["compact", "padded"])
+    def test_adders_equal_ones_minus_roots_plus_chain(self, rng, style):
+        """Tree adders = ones - live column-bit roots (k-1 per group)."""
+        matrix = rng.integers(-16, 16, size=(12, 10))
+        census = census_of(matrix, tree_style=style)
+        tree_adders = census.positive.tree_adders + census.negative.tree_adders
+        live = census.positive.live_roots + census.negative.live_roots
+        assert tree_adders == census.ones - live
+
+    @pytest.mark.parametrize("style", ["compact", "padded"])
+    def test_styles_agree_on_adders(self, rng, style):
+        """Culling never changes adder counts, only alignment flops."""
+        matrix = rng.integers(-16, 16, size=(9, 7))
+        compact = census_of(matrix, tree_style="compact")
+        padded = census_of(matrix, tree_style="padded")
+        assert compact.serial_adders == padded.serial_adders
+
+    def test_compact_needs_fewer_dffs(self, rng):
+        matrix = rng.integers(-128, 128, size=(32, 32))
+        matrix[rng.random((32, 32)) < 0.9] = 0  # highly sparse
+        compact = census_of(matrix, tree_style="compact")
+        padded = census_of(matrix, tree_style="padded")
+        assert compact.dffs < padded.dffs
+
+    def test_cost_tracks_ones(self, rng):
+        """The fundamental minimization: adders scale with matrix ones."""
+        dense = rng.integers(-128, 128, size=(16, 16))
+        sparse = dense.copy()
+        sparse[rng.random((16, 16)) < 0.8] = 0
+        dense_census = census_of(dense)
+        sparse_census = census_of(sparse)
+        assert sparse_census.ones < dense_census.ones
+        assert sparse_census.serial_adders < dense_census.serial_adders
+
+    def test_io_counts(self, rng):
+        matrix = rng.integers(-4, 5, size=(7, 13))
+        census = census_of(matrix)
+        assert census.input_shift_registers == 7
+        assert census.output_shift_registers == 13
+
+    def test_padded_style_has_no_output_pads(self, rng):
+        matrix = rng.integers(-16, 16, size=(8, 8))
+        assert census_of(matrix, tree_style="padded").output_pad_dffs == 0
+
+    def test_census_metadata(self, small_signed_matrix):
+        census = census_of(small_signed_matrix, input_width=6)
+        assert census.rows == 8
+        assert census.cols == 6
+        assert census.input_width == 6
+        assert census.tree_style == "compact"

@@ -1,0 +1,84 @@
+"""Tests for Sec. VIII tiled execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import (
+    FPGA_RECONFIGURATION_S,
+    TiledMatrixMultiplier,
+    plan_column_tiles,
+)
+
+
+class TestPlanColumnTiles:
+    def test_single_tile_when_budget_ample(self, rng):
+        matrix = rng.integers(-8, 8, size=(16, 8))
+        tiles = plan_column_tiles(matrix, lut_budget=10**6)
+        assert tiles == [(0, 8)]
+
+    def test_partition_covers_all_columns(self, rng):
+        matrix = rng.integers(-128, 128, size=(32, 20))
+        tiles = plan_column_tiles(matrix, lut_budget=2000)
+        assert tiles[0][0] == 0
+        assert tiles[-1][1] == 20
+        for (s1, e1), (s2, e2) in zip(tiles, tiles[1:]):
+            assert e1 == s2
+        assert len(tiles) > 1
+
+    def test_budget_too_small_for_one_column(self, rng):
+        matrix = rng.integers(-128, 128, size=(64, 4))
+        with pytest.raises(ValueError):
+            plan_column_tiles(matrix, lut_budget=100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_column_tiles(np.zeros((0, 0)), 1000)
+        with pytest.raises(ValueError):
+            plan_column_tiles(np.ones((2, 2)), 0)
+
+
+class TestTiledMultiplier:
+    def test_functionally_exact(self, rng):
+        matrix = rng.integers(-64, 64, size=(24, 16))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=600, input_width=8)
+        assert tiled.tile_count > 1
+        vector = rng.integers(-128, 128, size=24)
+        assert np.array_equal(tiled.multiply(vector), vector @ matrix)
+
+    def test_every_tile_respects_budget(self, rng):
+        matrix = rng.integers(-64, 64, size=(24, 16))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=600)
+        assert tiled.max_tile_luts() <= 600
+
+    def test_fpga_reconfiguration_dominates(self, rng):
+        """The paper's point: 200 ms reprograms swamp nanosecond compute."""
+        matrix = rng.integers(-64, 64, size=(24, 16))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=600)
+        estimate = tiled.execution_estimate(batch=100)
+        assert estimate.reconfiguration_fraction > 0.999
+        assert estimate.reconfiguration_s == pytest.approx(
+            tiled.tile_count * FPGA_RECONFIGURATION_S
+        )
+
+    def test_pipeline_reconfiguration_restores_viability(self, rng):
+        """With CGRA wave reconfiguration, compute dominates again."""
+        matrix = rng.integers(-64, 64, size=(24, 16))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=600)
+        fpga = tiled.execution_estimate(batch=100)
+        cgra = tiled.execution_estimate(batch=100, pipeline_reconfiguration=True)
+        assert cgra.total_s < fpga.total_s / 1e4
+        assert cgra.reconfiguration_fraction < 0.5
+
+    def test_batch_scaling(self, rng):
+        matrix = rng.integers(-8, 8, size=(16, 8))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=1200)
+        one = tiled.execution_estimate(batch=1, pipeline_reconfiguration=True)
+        ten = tiled.execution_estimate(batch=10, pipeline_reconfiguration=True)
+        assert ten.compute_s == pytest.approx(10 * one.compute_s)
+        assert ten.reconfiguration_s == pytest.approx(one.reconfiguration_s)
+
+    def test_invalid_batch(self, rng):
+        matrix = rng.integers(-8, 8, size=(8, 4))
+        tiled = TiledMatrixMultiplier(matrix, lut_budget=10**6)
+        with pytest.raises(ValueError):
+            tiled.execution_estimate(batch=0)

@@ -1,0 +1,65 @@
+"""Tests for the Sec. IV area model and Sec. VIII CGRA estimate."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.fpga.area import AreaModel, cgra_transistor_estimate
+from repro.fpga.mapping import map_census
+
+
+class TestAreaModel:
+    def test_prediction_close_to_census_mapping(self, rng):
+        """The paper's simple model (LUTs ~ ones) predicts the detailed
+        mapping within a few percent for dense matrices."""
+        matrix = rng.integers(-128, 128, size=(32, 32))
+        plan = plan_matrix(matrix)
+        census = census_plan(plan)
+        detailed = map_census(census)
+        predicted = AreaModel().predict(census.ones, rows=32, cols=32)
+        assert abs(predicted.luts - detailed.luts) / detailed.luts < 0.05
+        assert abs(predicted.ffs - detailed.ffs) / detailed.ffs < 0.15
+
+    def test_invalid_ones_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel().predict(-1)
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        xs = np.array([1.0, 2.0, 3.0, 4.0])
+        ys = 3.0 * xs + 10.0
+        fit = AreaModel.fit(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(10.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10.0) == pytest.approx(40.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            AreaModel.fit(np.array([1.0]), np.array([2.0]))
+
+    def test_constant_data(self):
+        fit = AreaModel.fit(np.array([1.0, 2.0, 3.0]), np.array([5.0, 5.0, 5.0]))
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+
+class TestCgraEstimate:
+    def test_paper_transistor_counts(self):
+        """Sec. VIII: 512 transistors per LUT, 16 per full adder, ratio 32."""
+        estimate = cgra_transistor_estimate(serial_adders=1)
+        assert estimate.lut_transistors == 512
+        assert estimate.adder_transistors == 16
+        assert estimate.ratio == pytest.approx(32.0)
+
+    def test_savings_factor_large_design(self):
+        estimate = cgra_transistor_estimate(serial_adders=100_000, dffs=20_000)
+        # Flop costs are common to both, so savings land well below 32x but
+        # still far above 1x.
+        assert 5 < estimate.savings_factor < 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cgra_transistor_estimate(-1)

@@ -1,0 +1,59 @@
+"""Tests for the Sec. VIII CGRA model."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.fpga.cgra import DEFAULT_CGRA, CgraDevice, compare_fpga_cgra
+
+
+def census_of(rng, dim=32):
+    matrix = rng.integers(-128, 128, size=(dim, dim))
+    return census_plan(plan_matrix(matrix))
+
+
+class TestCgraDevice:
+    def test_default_cell_cost(self):
+        # Full adder (16T) + two flops (8T each) = 32 transistors per cell.
+        assert DEFAULT_CGRA.transistors_per_cell == 32
+
+    def test_fits(self):
+        device = CgraDevice(cells=100)
+        assert device.fits(serial_adders=60, dffs=40)
+        assert not device.fits(serial_adders=60, dffs=41)
+
+
+class TestComparison:
+    def test_density_gain_band(self, rng):
+        """LUT(512T)+2FF vs hard cell(32T): gain lands well above 10x."""
+        census = census_of(rng)
+        comparison = compare_fpga_cgra(census, fpga_fmax_hz=400e6)
+        assert 10 < comparison.density_gain < 17
+
+    def test_frequency_gain(self, rng):
+        census = census_of(rng)
+        comparison = compare_fpga_cgra(census, fpga_fmax_hz=300e6)
+        assert comparison.frequency_gain == pytest.approx(1.2e9 / 300e6)
+        assert comparison.speedup == comparison.frequency_gain
+
+    def test_matrix_swap_is_pipeline_wave(self, rng):
+        census = census_of(rng)
+        comparison = compare_fpga_cgra(census, fpga_fmax_hz=400e6)
+        # One wave = tree depth + chain length, in cycles: tiny next to the
+        # FPGA's ~200 ms full reconfiguration.
+        assert 0 < comparison.matrix_swap_cycles < 64
+        swap_s = comparison.matrix_swap_cycles / DEFAULT_CGRA.clock_hz
+        assert 200e-3 / swap_s > 1e6
+
+    def test_transistor_accounting(self, rng):
+        census = census_of(rng, dim=8)
+        comparison = compare_fpga_cgra(census, fpga_fmax_hz=500e6)
+        expected_fpga = census.serial_adders * (512 + 16) + census.dffs * 8
+        expected_cgra = (census.serial_adders + census.dffs) * 32
+        assert comparison.fpga_transistors == expected_fpga
+        assert comparison.cgra_transistors == expected_cgra
+
+    def test_bad_fmax_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compare_fpga_cgra(census_of(rng, dim=4), fpga_fmax_hz=0)

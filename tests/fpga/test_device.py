@@ -1,0 +1,73 @@
+"""Tests for the XCVU13P device model."""
+
+import pytest
+
+from repro.fpga.device import XCVU13P, DesignDoesNotFitError, FpgaDevice
+
+
+class TestXcvu13p:
+    def test_paper_capacities(self):
+        """Sec. VI: 1.7M LUTs, 3.4M FFs, four SLRs of 425k LUTs."""
+        assert XCVU13P.total_luts == 1_700_000
+        assert XCVU13P.total_ffs == 3_400_000
+        assert XCVU13P.slrs == 4
+        assert XCVU13P.luts_per_slr == 425_000
+
+    def test_comfortable_threshold_is_82_percent(self):
+        assert XCVU13P.comfortable_slr_luts == pytest.approx(0.82 * 425_000)
+
+
+class TestSlrSpan:
+    @pytest.mark.parametrize(
+        "luts,span",
+        [
+            (0, 1),
+            (100_000, 1),
+            (348_000, 1),
+            (349_000, 2),
+            (690_000, 2),
+            (700_000, 3),
+            (1_100_000, 4),
+            (1_600_000, 4),
+        ],
+    )
+    def test_spans(self, luts, span):
+        assert XCVU13P.slr_span(luts) == span
+
+    def test_over_capacity_raises(self):
+        with pytest.raises(DesignDoesNotFitError):
+            XCVU13P.slr_span(1_800_000)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            XCVU13P.slr_span(-1)
+
+
+class TestFits:
+    def test_paper_largest_design_fits(self):
+        """1024x1024 @ 60% sparsity (~1.5M ones) fits: the paper built it."""
+        assert XCVU13P.fits(luts=1_500_000, ffs=3_050_000)
+
+    def test_lut_overflow(self):
+        assert not XCVU13P.fits(luts=1_700_001)
+
+    def test_ff_overflow(self):
+        assert not XCVU13P.fits(luts=1000, ffs=3_400_001)
+
+    def test_lutram_overflow(self):
+        assert not XCVU13P.fits(luts=1000, lutrams=4 * 192_000 + 1)
+
+
+class TestCustomDevice:
+    def test_small_device(self):
+        device = FpgaDevice(
+            name="tiny",
+            slrs=1,
+            luts_per_slr=1000,
+            ffs_per_slr=2000,
+            lutram_capable_per_slr=400,
+            routable_fraction=0.8,
+        )
+        assert device.slr_span(800) == 1
+        with pytest.raises(DesignDoesNotFitError):
+            device.slr_span(1001)

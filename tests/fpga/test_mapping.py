@@ -1,0 +1,117 @@
+"""Tests for technology mapping and SRL inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.fpga.mapping import (
+    MappingRules,
+    infer_srl_runs,
+    map_census,
+    map_netlist,
+)
+from repro.hwsim.builder import build_circuit
+
+
+def make(matrix, **kwargs):
+    plan = plan_matrix(np.asarray(matrix), **kwargs)
+    return plan, census_plan(plan), build_circuit(plan)
+
+
+class TestPaperMappingFacts:
+    def test_serial_adder_is_one_lut_two_ffs(self):
+        rules = MappingRules()
+        assert rules.adder_luts == 1
+        assert rules.adder_ffs == 2
+
+    def test_dff_is_one_ff_no_lut(self):
+        assert MappingRules().dff_ffs == 1
+
+    def test_ff_to_lut_ratio_near_two_for_dense_matrices(self, rng):
+        """Fig. 10: 'there are two registers per LUT'."""
+        matrix = rng.integers(-128, 128, size=(64, 64))
+        __, census, __ = make(matrix)
+        report = map_census(census)
+        assert 1.8 < report.ffs / report.luts < 2.4
+
+    def test_luts_track_ones(self, rng):
+        """Fig. 10: 'LUTs are essentially equivalent to the number of ones'."""
+        matrix = rng.integers(-128, 128, size=(48, 48))
+        __, census, __ = make(matrix)
+        report = map_census(census)
+        assert abs(report.luts - census.ones) / census.ones < 0.05
+
+
+class TestCensusNetlistParity:
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    @pytest.mark.parametrize("scheme", ["pn", "csd"])
+    def test_paths_agree(self, rng, tree_style, scheme):
+        matrix = rng.integers(-32, 32, size=(11, 9))
+        matrix[rng.random((11, 9)) < 0.5] = 0
+        __, census, circuit = make(
+            matrix, scheme=scheme, tree_style=tree_style, rng=rng
+        )
+        assert map_census(census) == map_netlist(circuit)
+
+    def test_custom_rules_respected(self, rng):
+        matrix = rng.integers(-4, 5, size=(4, 4))
+        rules = MappingRules(wrapper_luts=1000, wrapper_ffs=2000)
+        __, census, circuit = make(matrix)
+        census_report = map_census(census, rules)
+        netlist_report = map_netlist(circuit, rules)
+        assert census_report == netlist_report
+        assert census_report.luts >= 1000
+
+
+class TestResourceReport:
+    def test_addition(self):
+        from repro.fpga.report import ResourceReport
+
+        a = ResourceReport(1, 2, 3)
+        b = ResourceReport(10, 20, 30)
+        assert (a + b) == ResourceReport(11, 22, 33)
+        assert a.scaled(3) == ResourceReport(3, 6, 9)
+        assert a.as_dict() == {"luts": 1, "ffs": 2, "lutrams": 3}
+
+
+class TestSrlInference:
+    def test_padded_sparse_matrix_has_runs(self, rng):
+        """A lone tap in a padded tree drags a long DFF chain -> SRL."""
+        matrix = np.zeros((16, 1), dtype=np.int64)
+        matrix[3, 0] = 1
+        __, __, circuit = make(matrix, tree_style="padded")
+        runs = infer_srl_runs(circuit)
+        assert runs, "expected at least one inferable SRL run"
+        assert max(runs) >= 3
+
+    def test_compact_style_minimizes_runs(self, rng):
+        matrix = np.zeros((16, 1), dtype=np.int64)
+        matrix[3, 0] = 1
+        __, __, padded = make(matrix, tree_style="padded")
+        __, __, compact = make(matrix, tree_style="compact")
+        assert sum(infer_srl_runs(compact)) <= sum(infer_srl_runs(padded))
+
+    def test_srl_mapping_reduces_ffs(self, rng):
+        matrix = np.zeros((32, 4), dtype=np.int64)
+        matrix[0, :] = rng.integers(1, 8, size=4)
+        __, __, circuit = make(matrix, tree_style="padded")
+        plain = map_netlist(circuit, infer_srl=False)
+        inferred = map_netlist(circuit, infer_srl=True)
+        assert inferred.ffs <= plain.ffs
+        assert inferred.lutrams >= plain.lutrams
+
+    def test_dense_matrix_has_few_runs(self, rng):
+        matrix = rng.integers(1, 128, size=(8, 8))
+        __, __, circuit = make(matrix)
+        # Dense compact trees have almost no chained DFFs.
+        assert sum(infer_srl_runs(circuit)) < 30
+
+
+class TestOutputSrSizing:
+    def test_output_sr_lutram_scales_with_result_width(self):
+        rules = MappingRules()
+        assert rules.output_sr_lutrams(20) == 1
+        assert rules.output_sr_lutrams(33) == 2
+        assert rules.output_sr_lutrams(64) == 2
+        assert rules.output_sr_lutrams(65) == 3

@@ -1,0 +1,79 @@
+"""Property-based invariants of the FPGA timing and power models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fpga.device import XCVU13P
+from repro.fpga.power import DEFAULT_POWER
+from repro.fpga.timing import DEFAULT_TIMING
+
+luts = st.integers(min_value=0, max_value=1_700_000)
+rows = st.integers(min_value=1, max_value=8192)
+fanouts = st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False)
+
+
+class TestTimingProperties:
+    @given(luts, rows, fanouts)
+    @settings(max_examples=100, deadline=None)
+    def test_fmax_positive_and_capped(self, n_luts, n_rows, fanout):
+        est = DEFAULT_TIMING.estimate(n_luts, n_rows, fanout=fanout)
+        assert 0 < est.fmax_hz <= DEFAULT_TIMING.fmax_cap_hz
+
+    @given(luts, rows, fanouts, fanouts)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_fanout(self, n_luts, n_rows, f1, f2):
+        lo, hi = sorted((f1, f2))
+        slow = DEFAULT_TIMING.estimate(n_luts, n_rows, fanout=hi)
+        fast = DEFAULT_TIMING.estimate(n_luts, n_rows, fanout=lo)
+        assert slow.fmax_hz <= fast.fmax_hz
+
+    @given(rows, fanouts, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_luts(self, n_rows, fanout, data):
+        l1 = data.draw(luts)
+        l2 = data.draw(luts)
+        lo, hi = sorted((l1, l2))
+        small = DEFAULT_TIMING.estimate(lo, n_rows, fanout=fanout)
+        big = DEFAULT_TIMING.estimate(hi, n_rows, fanout=fanout)
+        assert big.fmax_hz <= small.fmax_hz
+        assert big.slr_span >= small.slr_span
+
+    @given(luts, rows, fanouts)
+    @settings(max_examples=80, deadline=None)
+    def test_pipelining_never_hurts_fmax(self, n_luts, n_rows, fanout):
+        plain = DEFAULT_TIMING.estimate(n_luts, n_rows, fanout=fanout)
+        piped = DEFAULT_TIMING.estimate(n_luts, n_rows, fanout=fanout, pipelined=True)
+        assert piped.fmax_hz >= plain.fmax_hz
+        assert piped.extra_pipeline_cycles >= 0
+
+    @given(luts)
+    @settings(max_examples=60, deadline=None)
+    def test_span_within_package(self, n_luts):
+        span = XCVU13P.slr_span(n_luts)
+        assert 1 <= span <= XCVU13P.slrs
+
+
+class TestPowerProperties:
+    @given(
+        st.integers(0, 5_000_000),
+        st.floats(0.0, 700e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_at_least_static(self, ones, freq):
+        assert DEFAULT_POWER.total_w(ones, freq) >= DEFAULT_POWER.static_w
+
+    @given(st.integers(0, 5_000_000), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_frequency(self, ones, data):
+        f1 = data.draw(st.floats(0.0, 700e6, allow_nan=False))
+        f2 = data.draw(st.floats(0.0, 700e6, allow_nan=False))
+        lo, hi = sorted((f1, f2))
+        assert DEFAULT_POWER.total_w(ones, lo) <= DEFAULT_POWER.total_w(ones, hi)
+
+    @given(st.integers(1, 5_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_thermal_frequency_inverse(self, ones):
+        f_limit = DEFAULT_POWER.thermally_limited_frequency_hz(ones)
+        # At exactly the limit frequency the design dissipates the limit.
+        assert abs(
+            DEFAULT_POWER.total_w(ones, f_limit) - DEFAULT_POWER.thermal_limit_w
+        ) < 1e-6

@@ -1,0 +1,49 @@
+"""Tests for the Fig. 12 power model."""
+
+import pytest
+
+from repro.fpga.power import DEFAULT_POWER, PowerModel
+
+
+class TestPowerModel:
+    def test_static_only_at_zero_activity(self):
+        assert DEFAULT_POWER.total_w(0, 500e6) == DEFAULT_POWER.static_w
+        assert DEFAULT_POWER.total_w(10_000, 0.0) == DEFAULT_POWER.static_w
+
+    def test_dynamic_linear_in_ones_and_frequency(self):
+        base = DEFAULT_POWER.dynamic_w(100_000, 300e6)
+        assert DEFAULT_POWER.dynamic_w(200_000, 300e6) == pytest.approx(2 * base)
+        assert DEFAULT_POWER.dynamic_w(100_000, 600e6) == pytest.approx(2 * base)
+
+    def test_paper_anchor_largest_design_near_150w(self):
+        """1024x1024 @ 60% (~1.5M ones) at ~226 MHz approaches the 150 W
+        thermal limit (Fig. 12)."""
+        power = DEFAULT_POWER.total_w(1_469_178, 226e6)
+        assert 130 < power < 155
+
+    def test_high_sparsity_designs_are_cool(self):
+        assert DEFAULT_POWER.total_w(60_000, 538e6) < 40
+
+    def test_within_thermal_limit(self):
+        assert DEFAULT_POWER.within_thermal_limit(100_000, 500e6)
+        assert not DEFAULT_POWER.within_thermal_limit(3_000_000, 500e6)
+
+    def test_thermally_limited_frequency(self):
+        ones = 1_500_000
+        f_limit = DEFAULT_POWER.thermally_limited_frequency_hz(ones)
+        assert DEFAULT_POWER.total_w(ones, f_limit) == pytest.approx(
+            DEFAULT_POWER.thermal_limit_w
+        )
+
+    def test_thermally_limited_frequency_zero_ones(self):
+        assert DEFAULT_POWER.thermally_limited_frequency_hz(0) == float("inf")
+
+    def test_no_headroom(self):
+        model = PowerModel(static_w=200.0, thermal_limit_w=150.0)
+        assert model.thermally_limited_frequency_hz(1000) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_POWER.total_w(-1, 1e6)
+        with pytest.raises(ValueError):
+            DEFAULT_POWER.total_w(1, -1e6)

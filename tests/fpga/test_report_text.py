@@ -1,0 +1,54 @@
+"""Tests for the synthesis-style utilization report."""
+
+import numpy as np
+
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.fpga.report_text import utilization_report
+
+
+def make_report(rng, **kwargs):
+    matrix = rng.integers(-64, 64, size=(32, 32))
+    mult = FixedMatrixMultiplier(matrix)
+    return (
+        utilization_report(
+            mult.census,
+            mult.resources,
+            mult.device,
+            fmax_hz=mult.fmax_hz(),
+            power_w=mult.power_w(),
+            **kwargs,
+        ),
+        mult,
+    )
+
+
+class TestUtilizationReport:
+    def test_contains_all_resources(self, rng):
+        text, __ = make_report(rng)
+        for resource in ("LUT", "FF", "LUTRAM"):
+            assert f"| {resource}" in text
+
+    def test_percentages_consistent(self, rng):
+        text, mult = make_report(rng)
+        expected_pct = 100.0 * mult.resources.luts / mult.device.total_luts
+        assert f"{expected_pct:>6.2f}" in text
+
+    def test_fmax_and_power_lines(self, rng):
+        text, mult = make_report(rng)
+        assert f"{mult.fmax_hz() / 1e6:.0f} MHz" in text
+        assert f"{mult.power_w():.1f} W" in text
+
+    def test_fits_flag(self, rng):
+        text, __ = make_report(rng)
+        assert "Design fits device: yes" in text
+
+    def test_census_line(self, rng):
+        text, mult = make_report(rng)
+        assert f"{mult.census.serial_adders:,} serial adders" in text
+
+    def test_optional_fields_omitted(self, rng):
+        matrix = rng.integers(-4, 4, size=(4, 4))
+        mult = FixedMatrixMultiplier(matrix)
+        text = utilization_report(mult.census, mult.resources)
+        assert "Fmax" not in text
+        assert "power" not in text.lower() or "Estimated power" not in text

@@ -1,0 +1,88 @@
+"""Tests for the Fig. 11 frequency model."""
+
+import pytest
+
+from repro.fpga.device import XCVU13P
+from repro.fpga.timing import DEFAULT_TIMING, TimingModel
+
+
+class TestFrequencyBands:
+    """The paper's measured bands: 597-445 MHz in one SLR, 296-400 MHz in
+    two, 225-250 MHz beyond."""
+
+    def test_small_design_near_600(self):
+        est = DEFAULT_TIMING.estimate(luts=800, rows=64, fanout=13)
+        assert est.slr_span == 1
+        assert 520e6 <= est.fmax_hz <= 600e6
+
+    def test_one_slr_band(self):
+        est = DEFAULT_TIMING.estimate(luts=300_000, rows=1024, fanout=300)
+        assert est.slr_span == 1
+        assert 440e6 <= est.fmax_hz <= 600e6
+
+    def test_two_slr_band(self):
+        est = DEFAULT_TIMING.estimate(luts=600_000, rows=1024, fanout=600)
+        assert est.slr_span == 2
+        assert 296e6 <= est.fmax_hz <= 400e6
+
+    def test_beyond_two_slr_band(self):
+        for luts in (1_100_000, 1_300_000, 1_500_000):
+            est = DEFAULT_TIMING.estimate(luts=luts, rows=1024, fanout=luts / 1024)
+            assert est.slr_span >= 3
+            assert 215e6 <= est.fmax_hz <= 260e6
+
+    def test_crossing_penalty_saturates(self):
+        """'Matrices bigger than 2 SLRs seem relatively consistent'."""
+        three = DEFAULT_TIMING.estimate(luts=1_000_000, rows=1024, fanout=976)
+        four = DEFAULT_TIMING.estimate(luts=1_400_000, rows=1024, fanout=976)
+        assert three.fmax_hz == pytest.approx(four.fmax_hz, rel=0.02)
+
+
+class TestMonotonicity:
+    def test_fmax_decreases_with_fanout(self):
+        small = DEFAULT_TIMING.estimate(luts=10_000, rows=64, fanout=10)
+        large = DEFAULT_TIMING.estimate(luts=10_000, rows=64, fanout=1000)
+        assert large.fmax_hz < small.fmax_hz
+
+    def test_fmax_never_exceeds_cap(self):
+        est = DEFAULT_TIMING.estimate(luts=1, rows=1, fanout=1)
+        assert est.fmax_hz <= DEFAULT_TIMING.fmax_cap_hz
+
+    def test_default_fanout_from_luts(self):
+        est = DEFAULT_TIMING.estimate(luts=64_000, rows=64)
+        assert est.fanout == pytest.approx(1000.0)
+
+
+class TestPipelinedMode:
+    """Sec. VIII's proposed fanout/crossing registering, modelled."""
+
+    def test_pipelining_recovers_frequency(self):
+        plain = DEFAULT_TIMING.estimate(luts=1_200_000, rows=1024, fanout=1200)
+        piped = DEFAULT_TIMING.estimate(
+            luts=1_200_000, rows=1024, fanout=1200, pipelined=True
+        )
+        assert piped.fmax_hz > plain.fmax_hz
+        assert piped.extra_pipeline_cycles > 0
+
+    def test_small_design_needs_no_extra_stages(self):
+        est = DEFAULT_TIMING.estimate(luts=100, rows=8, fanout=4, pipelined=True)
+        assert est.extra_pipeline_cycles == 0
+
+
+class TestValidation:
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.estimate(luts=10, rows=0)
+
+    def test_invalid_luts(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.estimate(luts=-1, rows=4)
+
+    def test_custom_model(self):
+        model = TimingModel(logic_ns=1.0, fanout_ns_per_log=0.0, slr_crossing_ns=0.0)
+        est = model.estimate(luts=10, rows=4, device=XCVU13P)
+        assert est.fmax_hz == pytest.approx(min(1e9, model.fmax_cap_hz))
+
+    def test_period_ns(self):
+        est = DEFAULT_TIMING.estimate(luts=10_000, rows=64)
+        assert est.period_ns == pytest.approx(1e9 / est.fmax_hz)

@@ -1,0 +1,139 @@
+"""Gate-level correctness of compiled circuits — the core guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+
+
+def compile_and_check(matrix, vector, input_width, scheme="pn", tree_style="compact"):
+    plan = plan_matrix(
+        np.asarray(matrix),
+        input_width=input_width,
+        scheme=scheme,
+        rng=np.random.default_rng(0),
+        tree_style=tree_style,
+    )
+    circuit = build_circuit(plan)
+    got = circuit.multiply(vector)
+    want = np.asarray(vector, dtype=np.int64) @ np.asarray(matrix, dtype=np.int64)
+    assert np.array_equal(got, want), f"{got} != {want}"
+    return circuit
+
+
+class TestHandPickedCases:
+    def test_identity(self):
+        compile_and_check(np.eye(4, dtype=np.int64), [1, -2, 3, -4], 4)
+
+    def test_all_ones_column(self):
+        compile_and_check([[1], [1], [1]], [5, -3, 2], 5)
+
+    def test_negative_weights(self):
+        compile_and_check([[-1, -2], [-3, -4]], [3, -1], 4)
+
+    def test_zero_matrix(self):
+        circuit = compile_and_check([[0, 0], [0, 0]], [7, -8], 4)
+        assert circuit.decode_delta >= 2
+
+    def test_powers_of_two(self):
+        compile_and_check([[1, 2, 4, 8]], [-7], 4)
+
+    def test_extreme_inputs(self):
+        compile_and_check([[127, -128]], [-128], 8)
+
+    def test_single_element(self):
+        compile_and_check([[-128]], [-128], 8)
+
+    def test_mixed_sparse(self):
+        matrix = [[0, 5, 0], [-3, 0, 0], [0, 0, 7], [1, -1, 0]]
+        compile_and_check(matrix, [2, -2, 3, -3], 4)
+
+    def test_non_power_of_two_rows(self):
+        compile_and_check([[1], [2], [3]], [1, 1, 1], 3)
+
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_both_styles_same_answer(self, rng, tree_style):
+        matrix = rng.integers(-16, 16, size=(7, 5))
+        vector = rng.integers(-8, 8, size=7)
+        compile_and_check(matrix, vector, 5, tree_style=tree_style)
+
+
+class TestDecodeTiming:
+    def test_compact_no_deeper_than_padded(self, rng):
+        matrix = rng.integers(-8, 8, size=(16, 4))
+        matrix[rng.random((16, 4)) < 0.8] = 0
+        compact = build_circuit(plan_matrix(matrix, tree_style="compact"))
+        padded = build_circuit(plan_matrix(matrix, tree_style="padded"))
+        assert compact.decode_delta <= padded.decode_delta
+
+    def test_run_cycles_covers_input(self):
+        plan = plan_matrix(np.array([[0]]), input_width=8)
+        circuit = build_circuit(plan)
+        assert circuit.run_cycles >= 8
+
+    def test_all_columns_share_schedule(self, rng):
+        """Columns with different tree depths still decode on one schedule."""
+        matrix = np.zeros((16, 2), dtype=np.int64)
+        matrix[:, 0] = rng.integers(1, 8, size=16)  # deep column
+        matrix[0, 1] = 1  # single-tap column
+        vector = rng.integers(-8, 8, size=16)
+        compile_and_check(matrix, vector, 4)
+
+
+class TestInputValidation:
+    def test_wrong_vector_length(self, rng):
+        circuit = build_circuit(plan_matrix(rng.integers(-4, 4, size=(4, 4))))
+        with pytest.raises(ValueError):
+            circuit.multiply([1, 2, 3])
+
+    def test_out_of_range_input(self):
+        circuit = build_circuit(plan_matrix(np.array([[1]]), input_width=4))
+        with pytest.raises(ValueError):
+            circuit.multiply([8])
+
+
+class TestBatch:
+    def test_multiply_batch_sequential(self, rng):
+        matrix = rng.integers(-8, 8, size=(5, 4))
+        circuit = build_circuit(plan_matrix(matrix, input_width=5))
+        batch = rng.integers(-16, 16, size=(3, 5))
+        got = circuit.multiply_batch(batch)
+        assert np.array_equal(got, batch @ matrix)
+
+    def test_repeated_multiplies_are_independent(self, rng):
+        """State fully resets between vectors (no carry leakage)."""
+        matrix = rng.integers(-8, 8, size=(4, 4))
+        circuit = build_circuit(plan_matrix(matrix, input_width=6))
+        a = rng.integers(-32, 32, size=4)
+        first = circuit.multiply(a)
+        rng.integers(-32, 32, size=4)  # churn the rng
+        second = circuit.multiply(a)
+        assert np.array_equal(first, second)
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    width=st.integers(1, 8),
+    input_width=st.integers(1, 8),
+    scheme=st.sampled_from(["pn", "csd"]),
+    tree_style=st.sampled_from(["compact", "padded"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_simulation_matches_exact_math_property(
+    seed, rows, cols, width, input_width, scheme, tree_style
+):
+    """The headline property: the gate-level circuit computes a^T V exactly
+    for any matrix, any widths, any recoding, any tree style."""
+    rng = np.random.default_rng(seed)
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    matrix = rng.integers(lo, hi + 1, size=(rows, cols))
+    matrix[rng.random((rows, cols)) < 0.4] = 0
+    ilo = -(1 << (input_width - 1))
+    ihi = (1 << (input_width - 1)) - 1
+    vector = rng.integers(ilo, ihi + 1, size=rows)
+    compile_and_check(matrix, vector, input_width, scheme, tree_style)

@@ -1,0 +1,83 @@
+"""Pipeline-depth audits of built netlists.
+
+The decode schedule relies on every column presenting result bit 0 at the
+same cycle; these tests audit the builder's recorded depths directly
+rather than only observing end-to-end results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.components import DFF, SerialAdder, SerialNegator, SerialSubtractor
+
+
+def build(matrix, tree_style="compact", input_width=5):
+    plan = plan_matrix(np.asarray(matrix), input_width=input_width, tree_style=tree_style)
+    return plan, build_circuit(plan)
+
+
+class TestDepthBookkeeping:
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_every_component_has_depth(self, rng, tree_style):
+        __, circuit = build(rng.integers(-8, 8, size=(9, 5)), tree_style)
+        for component in circuit.netlist.components:
+            assert circuit.netlist.depth_of(component) is not None
+
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_adder_inputs_exist_upstream(self, rng, tree_style):
+        """Every arithmetic component reads components at strictly smaller
+        or equal recorded depth (no forward references)."""
+        __, circuit = build(rng.integers(-8, 8, size=(8, 4)), tree_style)
+        netlist = circuit.netlist
+        for component in netlist.components:
+            depth = netlist.depth_of(component)
+            for attr in ("a", "b", "d", "src"):
+                upstream = getattr(component, attr, None)
+                if upstream is not None and netlist.depth_of(upstream) is not None:
+                    assert netlist.depth_of(upstream) <= depth
+
+    def test_final_stage_depth_uniform_padded(self, rng):
+        plan, circuit = build(rng.integers(-8, 8, size=(16, 6)), "padded")
+        final_depth = plan.full_depth + 2
+        for probe in circuit.column_probes:
+            src = probe.src
+            if type(src).__name__ != "ConstantZero":
+                assert circuit.netlist.depth_of(src) == final_depth
+
+    def test_decode_delta_matches_plan(self, rng):
+        for style in ("compact", "padded"):
+            plan, circuit = build(rng.integers(-8, 8, size=(12, 3)), style)
+            assert circuit.decode_delta == plan.decode_delta()
+
+
+class TestPrimitiveBudget:
+    def test_adder_count_is_exactly_ones_derived(self, rng):
+        """Tree adders + chain adders + subtract-class primitives follow
+        directly from the plan's tap structure: a closed-form audit."""
+        matrix = rng.integers(-16, 16, size=(10, 7))
+        plan, circuit = build(matrix)
+        netlist = circuit.netlist
+        counts = plan.bit_tap_counts()
+        expected_tree_adders = int(np.sum(np.maximum(counts - 1, 0)))
+        # Chain adders: per plane/column, live bit positions beyond the first.
+        live = counts > 0
+        expected_chain_adders = int(np.sum(np.maximum(live.sum(axis=1) - 1, 0)))
+        arithmetic = (
+            netlist.count(SerialAdder)
+            + netlist.count(SerialSubtractor)
+            + netlist.count(SerialNegator)
+        )
+        subtract_stage = netlist.count(SerialSubtractor) + netlist.count(SerialNegator)
+        assert arithmetic - subtract_stage == expected_tree_adders + expected_chain_adders
+
+    def test_dffs_bounded_for_compact(self, rng):
+        """Compact alignment flops stay small relative to adders even at
+        extreme sparsity (the whole point of the style)."""
+        matrix = rng.integers(-128, 128, size=(64, 64))
+        matrix[rng.random((64, 64)) < 0.97] = 0
+        plan, circuit = build(matrix)
+        dffs = circuit.netlist.count(DFF)
+        adders = circuit.netlist.count(SerialAdder)
+        assert dffs < 6 * max(adders, 1)

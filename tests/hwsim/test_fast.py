@@ -1,0 +1,82 @@
+"""Equivalence and capability tests for the vectorized simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.fast import FastCircuit
+
+
+def both_engines(matrix, input_width=6, scheme="pn", tree_style="compact"):
+    plan = plan_matrix(
+        np.asarray(matrix),
+        input_width=input_width,
+        scheme=scheme,
+        rng=np.random.default_rng(0),
+        tree_style=tree_style,
+    )
+    circuit = build_circuit(plan)
+    return circuit, FastCircuit.from_compiled(circuit)
+
+
+class TestEquivalence:
+    def test_matches_object_simulator(self, rng):
+        matrix = rng.integers(-16, 16, size=(10, 8))
+        circuit, fast = both_engines(matrix)
+        vector = rng.integers(-32, 32, size=10)
+        assert np.array_equal(fast.multiply(vector), circuit.multiply(vector))
+
+    @pytest.mark.parametrize("scheme", ["pn", "csd", "naf"])
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_all_configurations(self, rng, scheme, tree_style):
+        matrix = rng.integers(-8, 8, size=(7, 5))
+        circuit, fast = both_engines(matrix, scheme=scheme, tree_style=tree_style)
+        vector = rng.integers(-16, 16, size=7)
+        want = vector @ matrix
+        assert np.array_equal(fast.multiply(vector), want)
+        assert np.array_equal(circuit.multiply(vector), want)
+
+    def test_batch(self, rng):
+        matrix = rng.integers(-8, 8, size=(6, 4))
+        __, fast = both_engines(matrix)
+        batch = rng.integers(-16, 16, size=(4, 6))
+        assert np.array_equal(fast.multiply_batch(batch), batch @ matrix)
+
+    def test_degenerate_shapes(self, rng):
+        for matrix in (np.zeros((3, 3), dtype=np.int64), np.eye(4, dtype=np.int64), -np.ones((2, 2), dtype=np.int64)):
+            circuit, fast = both_engines(matrix)
+            vector = rng.integers(-16, 16, size=matrix.shape[0])
+            assert np.array_equal(fast.multiply(vector), circuit.multiply(vector))
+
+    @given(seed=st.integers(0, 2**16), rows=st.integers(1, 10), cols=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-32, 32, size=(rows, cols))
+        matrix[rng.random((rows, cols)) < 0.4] = 0
+        circuit, fast = both_engines(matrix)
+        vector = rng.integers(-32, 32, size=rows)
+        assert np.array_equal(fast.multiply(vector), circuit.multiply(vector))
+
+
+class TestScale:
+    @pytest.mark.slow
+    def test_gate_level_128x128(self, rng):
+        """Cycle-accurate verification of a matrix well beyond what the
+        object simulator handles comfortably."""
+        matrix = rng.integers(-128, 128, size=(128, 128))
+        matrix[rng.random((128, 128)) < 0.9] = 0
+        plan = plan_matrix(matrix, input_width=8, scheme="csd", rng=rng)
+        fast = FastCircuit.from_compiled(build_circuit(plan))
+        vector = rng.integers(-128, 128, size=128)
+        assert np.array_equal(fast.multiply(vector), vector @ matrix)
+
+    def test_validation(self, rng):
+        matrix = rng.integers(-8, 8, size=(4, 4))
+        __, fast = both_engines(matrix, input_width=4)
+        with pytest.raises(ValueError):
+            fast.multiply([1, 2, 3])
+        with pytest.raises(ValueError):
+            fast.multiply([99, 0, 0, 0])

@@ -1,0 +1,80 @@
+"""Tests for the netlist container and simulation engine."""
+
+import pytest
+
+from repro.hwsim.components import DFF, InputStream, SerialAdder
+from repro.hwsim.netlist import Netlist
+
+
+class TestConstruction:
+    def test_add_tracks_inputs(self):
+        netlist = Netlist()
+        stream = netlist.add(InputStream(4, "in0"), depth=0)
+        assert netlist.inputs == [stream]
+        assert len(netlist) == 1
+
+    def test_depth_registry(self):
+        netlist = Netlist()
+        stream = netlist.add(InputStream(4), depth=0)
+        dff = netlist.add(DFF(stream), depth=1)
+        assert netlist.depth_of(stream) == 0
+        assert netlist.depth_of(dff) == 1
+        untracked = DFF(stream)
+        assert netlist.depth_of(untracked) is None
+
+    def test_primitive_counts(self):
+        netlist = Netlist()
+        a = netlist.add(InputStream(4))
+        b = netlist.add(InputStream(4))
+        netlist.add(SerialAdder(a, b))
+        netlist.add(DFF(a))
+        counts = netlist.primitive_counts()
+        assert counts["InputStream"] == 2
+        assert counts["SerialAdder"] == 1
+        assert counts["DFF"] == 1
+        assert netlist.count(SerialAdder) == 1
+
+
+class TestSimulation:
+    def test_probe_samples_post_commit(self):
+        netlist = Netlist()
+        stream = netlist.add(InputStream(3))
+        probe = netlist.probe(stream, "p")
+        netlist.load_vector([-3], 4)
+        netlist.run(4)
+        # -3 in 3 bits LSb first is [1, 0, 1], then sign extension.
+        assert probe.stream == [1, 0, 1, 1]
+
+    def test_reset_restores_everything(self):
+        netlist = Netlist()
+        stream = netlist.add(InputStream(3))
+        dff = netlist.add(DFF(stream))
+        probe = netlist.probe(dff)
+        netlist.load_vector([-1], 4)
+        netlist.run(4)
+        netlist.reset()
+        assert probe.stream == []
+        assert dff.out == 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist().run(-1)
+
+    def test_load_vector_length_checked(self):
+        netlist = Netlist()
+        netlist.add(InputStream(4))
+        with pytest.raises(ValueError):
+            netlist.load_vector([1, 2], 8)
+
+    def test_dff_chain_delays_by_length(self):
+        netlist = Netlist()
+        stream = netlist.add(InputStream(2))
+        node = stream
+        for _ in range(3):
+            node = netlist.add(DFF(node))
+        probe = netlist.probe(node)
+        netlist.load_vector([1], 8)
+        netlist.run(8)
+        # Bit 0 of the value (1) appears after 3 cycles of DFF delay.
+        assert probe.stream[3] == 1
+        assert probe.stream[:3] == [0, 0, 0]

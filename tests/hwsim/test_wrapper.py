@@ -1,0 +1,72 @@
+"""Tests for the SRAM design wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.wrapper import SramWrapper
+
+
+def make_wrapper(rng, rows=6, cols=4, input_width=5):
+    matrix = rng.integers(-8, 8, size=(rows, cols))
+    circuit = build_circuit(plan_matrix(matrix, input_width=input_width))
+    return SramWrapper(circuit), matrix
+
+
+class TestSramWrapper:
+    def test_memory_to_memory_products(self, rng):
+        wrapper, matrix = make_wrapper(rng)
+        batch = rng.integers(-16, 16, size=(5, 6))
+        wrapper.load(batch)
+        results = wrapper.run()
+        assert np.array_equal(results, batch @ matrix)
+        assert np.array_equal(wrapper.output_memory, batch @ matrix)
+
+    def test_run_accounting(self, rng):
+        wrapper, __ = make_wrapper(rng)
+        batch = rng.integers(-16, 16, size=(3, 6))
+        wrapper.load(batch)
+        wrapper.run()
+        run = wrapper.last_run
+        assert run.vectors == 3
+        assert run.cycles_per_vector == wrapper.circuit.run_cycles
+        assert run.total_cycles == 3 * wrapper.circuit.run_cycles
+
+    def test_latency_conversion(self, rng):
+        wrapper, __ = make_wrapper(rng)
+        wrapper.load(rng.integers(-16, 16, size=(2, 6)))
+        wrapper.run()
+        latency = wrapper.last_run.latency_s(500e6)
+        assert latency == pytest.approx(wrapper.last_run.total_cycles / 500e6)
+        with pytest.raises(ValueError):
+            wrapper.last_run.latency_s(0)
+
+    def test_run_without_load_rejected(self, rng):
+        wrapper, __ = make_wrapper(rng)
+        with pytest.raises(RuntimeError):
+            wrapper.run()
+
+    def test_wrong_vector_width_rejected(self, rng):
+        wrapper, __ = make_wrapper(rng)
+        with pytest.raises(ValueError):
+            wrapper.load(np.zeros((2, 9)))
+
+    def test_single_vector(self, rng):
+        wrapper, matrix = make_wrapper(rng)
+        vector = rng.integers(-16, 16, size=6)
+        wrapper.load(vector)
+        results = wrapper.run()
+        assert results.shape == (1, 4)
+        assert np.array_equal(results[0], vector @ matrix)
+
+    def test_reload_and_rerun(self, rng):
+        wrapper, matrix = make_wrapper(rng)
+        first = rng.integers(-16, 16, size=(2, 6))
+        second = rng.integers(-16, 16, size=(4, 6))
+        wrapper.load(first)
+        wrapper.run()
+        wrapper.load(second)
+        results = wrapper.run()
+        assert np.array_equal(results, second @ matrix)
+        assert wrapper.last_run.vectors == 4

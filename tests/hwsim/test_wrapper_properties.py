@@ -1,0 +1,29 @@
+"""Property tests tying the wrapper's accounting to the latency model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.wrapper import SramWrapper
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(1, 8),
+    cols=st.integers(1, 8),
+    batch=st.integers(1, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_wrapper_products_and_accounting(seed, rows, cols, batch):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-8, 8, size=(rows, cols))
+    circuit = build_circuit(plan_matrix(matrix, input_width=5))
+    wrapper = SramWrapper(circuit)
+    vectors = rng.integers(-16, 16, size=(batch, rows))
+    wrapper.load(vectors)
+    results = wrapper.run()
+    # Functional: exact products.
+    assert np.array_equal(results, vectors @ matrix)
+    # Accounting: sequential products, batch x per-vector cycles.
+    assert wrapper.last_run.total_cycles == batch * circuit.run_cycles

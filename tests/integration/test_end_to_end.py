@@ -1,0 +1,104 @@
+"""Full-stack integration: every view of one matrix must agree.
+
+For a single compiled matrix this exercises, in one pass: the functional
+multiplier, the cycle-accurate gate simulator, the emitted RTL (executed
+with RTL semantics), the combinatorial census, the technology mapping, the
+timing/power models, and the CSR reference — all of which must be
+mutually consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import csr_gemv, to_csr
+from repro.core.bits import from_twos_complement_bits, sign_extended_stream
+from repro.core.multiplier import FixedMatrixMultiplier
+from repro.fpga.mapping import map_census, map_netlist
+from repro.rtl.interp import parse_module
+
+
+@pytest.mark.parametrize("scheme", ["pn", "csd"])
+class TestEverythingAgrees:
+    def test_one_matrix_all_views(self, rng, scheme):
+        matrix = rng.integers(-128, 128, size=(12, 9))
+        matrix[rng.random((12, 9)) < 0.6] = 0
+        mult = FixedMatrixMultiplier(matrix, input_width=8, scheme=scheme, rng=rng)
+        vector = rng.integers(-128, 128, size=12)
+        golden = vector @ matrix
+
+        # 1. Functional path.
+        assert np.array_equal(mult.multiply(vector), golden)
+
+        # 2. CSR reference.
+        assert np.array_equal(csr_gemv(to_csr(matrix), vector), golden)
+
+        # 3. Cycle-accurate gate simulation.
+        circuit = mult.build_circuit()
+        assert np.array_equal(circuit.multiply(vector), golden)
+
+        # 4. Census == netlist mapping.
+        assert map_census(mult.census, mult.mapping) == map_netlist(
+            circuit, mult.mapping
+        )
+        assert mult.resources.luts > 0
+
+        # 5. Emitted RTL executed with RTL semantics.
+        module = parse_module(mult.to_verilog())
+        run = circuit.run_cycles
+        streams = [sign_extended_stream(int(v), 8, run) for v in vector]
+        outs = []
+        for cycle in range(run):
+            module.clock([streams[r][cycle] for r in range(12)])
+            outs.append(module.out_bits())
+        delta = circuit.decode_delta - 1
+        width = mult.plan.result_width
+        rtl_result = np.array(
+            [
+                from_twos_complement_bits([outs[delta + k][j] for k in range(width)])
+                for j in range(9)
+            ]
+        )
+        assert np.array_equal(rtl_result, golden)
+
+        # 6. Models produce plausible physics.
+        assert 0 < mult.fmax_hz() <= 600e6
+        assert mult.latency_ns() > 0
+        assert mult.power_w() >= 12.0
+
+
+class TestLatencyModelVsSimulator:
+    def test_simulated_latency_close_to_eq5(self, rng):
+        """The measured first-in to last-out cycle count tracks Eq. 5.
+
+        The compact tree can finish *earlier* than Eq. 5 predicts (its
+        depth is log2 of the live taps, not of all rows), and serial
+        decode waits for the exact result width rather than the model's
+        nominal accounting, so we check the model brackets reality within
+        the result-width slack.
+        """
+        matrix = rng.integers(-128, 128, size=(32, 8))
+        mult = FixedMatrixMultiplier(matrix, input_width=8)
+        circuit = mult.build_circuit()
+        measured = circuit.run_cycles
+        model = mult.latency_cycles()
+        assert abs(measured - model) <= mult.plan.result_width
+
+    def test_padded_tree_matches_eq5_structure(self, rng):
+        """With the paper-literal padded tree, decode depth is exactly
+        log2(rows) + 2, matching Eq. 5's structural terms."""
+        matrix = rng.integers(-8, 8, size=(64, 4))
+        mult = FixedMatrixMultiplier(matrix, input_width=4, tree_style="padded")
+        circuit = mult.build_circuit()
+        assert circuit.decode_delta == 6 + 2
+
+
+class TestScaleSweep:
+    @pytest.mark.parametrize("dim", [4, 16, 64])
+    def test_increasing_scale_consistency(self, rng, dim):
+        matrix = rng.integers(-16, 16, size=(dim, dim))
+        matrix[rng.random((dim, dim)) < 0.8] = 0
+        mult = FixedMatrixMultiplier(matrix, input_width=6, scheme="csd", rng=rng)
+        vector = rng.integers(-32, 32, size=dim)
+        assert np.array_equal(mult.multiply(vector), vector @ matrix)
+        if dim <= 16:
+            assert np.array_equal(mult.simulate(vector), vector @ matrix)

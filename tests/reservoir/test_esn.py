@@ -1,0 +1,103 @@
+"""Tests for the floating-point Echo State Network."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.esn import EchoStateNetwork
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+def make_esn(dim=40, n_inputs=1, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, rng=rng)
+    w_in = random_input_weights(dim, n_inputs, rng=rng)
+    return EchoStateNetwork(w, w_in, **kwargs)
+
+
+class TestConstruction:
+    def test_dims(self):
+        esn = make_esn(dim=30, n_inputs=2)
+        assert esn.dim == 30
+        assert esn.n_inputs == 2
+
+    def test_non_square_w_rejected(self):
+        with pytest.raises(ValueError):
+            EchoStateNetwork(np.zeros((3, 4)), np.zeros((3, 1)))
+
+    def test_mismatched_w_in_rejected(self):
+        with pytest.raises(ValueError):
+            EchoStateNetwork(np.zeros((3, 3)), np.zeros((4, 1)))
+
+    def test_bad_leak_rejected(self):
+        with pytest.raises(ValueError):
+            make_esn(leak=0.0)
+        with pytest.raises(ValueError):
+            make_esn(leak=1.5)
+
+
+class TestDynamics:
+    def test_step_implements_equation_1(self):
+        """x(n) = f(W_in u(n) + W x(n-1)) checked by hand."""
+        w = np.array([[0.0, 0.5], [0.0, 0.0]])
+        w_in = np.array([[1.0], [0.0]])
+        esn = EchoStateNetwork(w, w_in)
+        state = np.array([0.2, 0.4])
+        u = np.array([0.3])
+        expected = np.tanh(w_in @ u + w @ state)
+        assert np.allclose(esn.step(state, u), expected)
+
+    def test_run_shapes(self):
+        esn = make_esn(dim=25)
+        states = esn.run(np.linspace(0, 1, 50))
+        assert states.shape == (50, 25)
+
+    def test_washout_drops_leading_states(self):
+        esn = make_esn(dim=10)
+        inputs = np.linspace(0, 1, 30)
+        full = esn.run(inputs)
+        washed = esn.run(inputs, washout=10)
+        assert washed.shape == (20, 10)
+        assert np.allclose(washed, full[10:])
+
+    def test_states_bounded_by_tanh(self):
+        esn = make_esn(dim=20)
+        states = esn.run(np.random.default_rng(0).uniform(-1, 1, 100))
+        assert np.abs(states).max() <= 1.0
+
+    def test_leaky_integration_smooths(self):
+        fast = make_esn(dim=15, leak=1.0)
+        slow = make_esn(dim=15, leak=0.1)
+        inputs = np.zeros(20)
+        inputs[0] = 1.0
+        fast_states = fast.run(inputs)
+        slow_states = slow.run(inputs)
+        # The leaky network decays more slowly after the impulse.
+        assert np.abs(slow_states[-1]).sum() > np.abs(fast_states[-1]).sum() * 0.1
+
+    def test_echo_state_property_fading_memory(self):
+        """Two different initial states converge under the same input when
+        the spectral radius is < 1 (the echo state property)."""
+        esn = make_esn(dim=50)
+        rng = np.random.default_rng(1)
+        inputs = rng.uniform(-0.5, 0.5, 200)
+        a = esn.run(inputs, initial_state=rng.standard_normal(50))
+        b = esn.run(inputs, initial_state=rng.standard_normal(50))
+        gap_start = np.abs(a[0] - b[0]).max()
+        gap_end = np.abs(a[-1] - b[-1]).max()
+        assert gap_end < gap_start * 1e-3
+
+    def test_multivariate_input(self):
+        esn = make_esn(dim=20, n_inputs=3)
+        inputs = np.random.default_rng(0).uniform(-1, 1, (40, 3))
+        states = esn.run(inputs)
+        assert states.shape == (40, 20)
+
+    def test_feature_count_mismatch_rejected(self):
+        esn = make_esn(dim=20, n_inputs=3)
+        with pytest.raises(ValueError):
+            esn.run(np.zeros((10, 2)))
+
+    def test_washout_out_of_range_rejected(self):
+        esn = make_esn(dim=10)
+        with pytest.raises(ValueError):
+            esn.run(np.zeros(5), washout=5)

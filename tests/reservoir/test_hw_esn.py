@@ -1,0 +1,71 @@
+"""Tests for the hardware-backed ESN: software and hardware must agree."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.hw_esn import HardwareESN
+from repro.reservoir.quantize import quantize_esn
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+def make_integer_esn(dim=12, seed=0):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, rng=rng)
+    w_in = random_input_weights(dim, 1, rng=rng)
+    return quantize_esn(w, w_in, weight_width=6, state_width=6)
+
+
+class TestFunctionalBackend:
+    def test_states_match_software(self, rng):
+        esn = make_integer_esn()
+        hw = HardwareESN(esn, backend="functional", rng=rng)
+        inputs = rng.integers(-31, 32, size=(30, 1))
+        assert np.array_equal(hw.run(inputs), esn.run(inputs))
+
+    def test_recurrent_product_is_w_times_x(self, rng):
+        esn = make_integer_esn()
+        hw = HardwareESN(esn, backend="functional", rng=rng)
+        state = rng.integers(-31, 32, size=esn.dim)
+        assert np.array_equal(hw.recurrent_product(state), esn.w_q @ state)
+
+    def test_step_latency_estimate_positive(self, rng):
+        hw = HardwareESN(make_integer_esn(), rng=rng)
+        assert 0 < hw.step_latency_s() < 1e-6
+
+    def test_summary(self, rng):
+        hw = HardwareESN(make_integer_esn(), rng=rng)
+        assert "HardwareESN" in hw.summary()
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareESN(make_integer_esn(), backend="quantum")
+
+
+class TestGateBackend:
+    def test_gate_level_states_match_software(self, rng):
+        """Every recurrent product through the cycle-accurate simulator."""
+        esn = make_integer_esn(dim=8)
+        hw = HardwareESN(esn, backend="gates", rng=rng)
+        inputs = rng.integers(-31, 32, size=(5, 1))
+        assert np.array_equal(hw.run(inputs), esn.run(inputs))
+
+    def test_gate_and_functional_backends_agree(self, rng):
+        esn = make_integer_esn(dim=6, seed=3)
+        gates = HardwareESN(esn, backend="gates", rng=np.random.default_rng(0))
+        func = HardwareESN(esn, backend="functional", rng=np.random.default_rng(0))
+        state = rng.integers(-31, 32, size=esn.dim)
+        u = np.array([7])
+        assert np.array_equal(gates.step(state, u), func.step(state, u))
+
+
+class TestWashout:
+    def test_washout_matches_software(self, rng):
+        esn = make_integer_esn()
+        hw = HardwareESN(esn, rng=rng)
+        inputs = rng.integers(-31, 32, size=(20, 1))
+        assert np.array_equal(hw.run(inputs, washout=5), esn.run(inputs, washout=5))
+
+    def test_washout_validation(self, rng):
+        hw = HardwareESN(make_integer_esn(), rng=rng)
+        with pytest.raises(ValueError):
+            hw.run(np.zeros((3, 1), dtype=np.int64), washout=3)

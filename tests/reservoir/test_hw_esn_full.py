@@ -1,0 +1,54 @@
+"""Tests for the fully-hardware ESN (augmented-matrix compilation)."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.hw_esn import HardwareESN
+from repro.reservoir.quantize import quantize_esn
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+def make_esn(dim=12, n_inputs=2, seed=0):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, rng=rng)
+    w_in = random_input_weights(dim, n_inputs, rng=rng)
+    return quantize_esn(w, w_in, weight_width=6, state_width=6)
+
+
+class TestAugmentedMatrix:
+    def test_step_matches_software(self, rng):
+        esn = make_esn()
+        hw = HardwareESN(esn, include_input=True, backend="functional")
+        state = rng.integers(-31, 32, size=esn.dim)
+        u = rng.integers(-127, 128, size=esn.n_inputs)
+        assert np.array_equal(hw.step(state, u), esn.step(state, u))
+
+    def test_run_matches_software(self, rng):
+        esn = make_esn()
+        hw = HardwareESN(esn, include_input=True)
+        inputs = rng.integers(-127, 128, size=(15, esn.n_inputs))
+        assert np.array_equal(hw.run(inputs), esn.run(inputs))
+
+    def test_augmented_shape(self):
+        esn = make_esn(dim=10, n_inputs=3)
+        hw = HardwareESN(esn, include_input=True)
+        assert hw.multiplier.rows == 13  # dim + n_inputs
+        assert hw.multiplier.cols == 10
+
+    def test_stream_width_covers_inputs(self):
+        esn = make_esn()
+        hw = HardwareESN(esn, include_input=True, input_quant_width=8)
+        assert hw.multiplier.input_width == 8  # max(state 6, input 8)
+
+    def test_recurrent_product_blocked_in_full_mode(self, rng):
+        hw = HardwareESN(make_esn(), include_input=True)
+        with pytest.raises(RuntimeError):
+            hw.recurrent_product(np.zeros(12, dtype=np.int64))
+
+    def test_gate_level_augmented_step(self, rng):
+        """The whole pre-activation from the cycle-accurate simulator."""
+        esn = make_esn(dim=6, n_inputs=1, seed=5)
+        hw = HardwareESN(esn, include_input=True, backend="gates")
+        state = rng.integers(-31, 32, size=6)
+        u = rng.integers(-127, 128, size=1)
+        assert np.array_equal(hw.step(state, u), esn.step(state, u))

@@ -1,0 +1,80 @@
+"""Tests for the hardware-compiled readout (Eq. 2 on the architecture)."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.hw_readout import HardwareReadout
+from repro.reservoir.readout import RidgeReadout
+
+
+def trained_readout(rng, dim=16, outputs=1):
+    states = rng.standard_normal((300, dim))
+    w_true = rng.standard_normal((outputs, dim))
+    targets = states @ w_true.T
+    if outputs == 1:
+        targets = targets[:, 0]
+    return RidgeReadout(alpha=1e-8).fit(states, targets), states, targets
+
+
+class TestCompilation:
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareReadout(RidgeReadout())
+
+    def test_bad_width_rejected(self, rng):
+        readout, __, __ = trained_readout(rng)
+        with pytest.raises(ValueError):
+            HardwareReadout(readout, weight_width=1)
+
+    def test_multiplier_shape(self, rng):
+        readout, __, __ = trained_readout(rng, dim=20, outputs=3)
+        hw = HardwareReadout(readout)
+        assert hw.multiplier.rows == 20
+        assert hw.multiplier.cols == 3
+
+
+class TestPrediction:
+    def test_integer_path_matches_numpy(self, rng):
+        readout, __, __ = trained_readout(rng)
+        hw = HardwareReadout(readout)
+        state_q = rng.integers(-128, 128, size=16)
+        assert np.array_equal(hw.predict_integer(state_q), hw.w_out_q @ state_q)
+
+    def test_dequantized_close_to_float_readout(self, rng):
+        readout, __, __ = trained_readout(rng, dim=12)
+        hw = HardwareReadout(readout, weight_width=10)
+        states_q = rng.integers(-128, 128, size=(20, 12))
+        hw_pred = hw.predict(states_q)
+        float_pred = readout.predict(states_q.astype(float))
+        bound = hw.quantization_error_bound(state_peak=128.0)
+        assert np.abs(hw_pred - float_pred).max() <= bound + 1e-9
+
+    def test_more_bits_tighter(self, rng):
+        readout, __, __ = trained_readout(rng, dim=10)
+        states_q = rng.integers(-64, 64, size=(30, 10))
+        float_pred = readout.predict(states_q.astype(float))
+        errors = {}
+        for width in (4, 12):
+            hw = HardwareReadout(readout, weight_width=width)
+            errors[width] = np.abs(hw.predict(states_q) - float_pred).max()
+        assert errors[12] < errors[4]
+
+    def test_multi_output(self, rng):
+        readout, __, __ = trained_readout(rng, dim=8, outputs=3)
+        hw = HardwareReadout(readout)
+        states_q = rng.integers(-32, 32, size=(5, 8))
+        assert hw.predict(states_q).shape == (5, 3)
+
+    def test_single_state_vector(self, rng):
+        readout, __, __ = trained_readout(rng, dim=8)
+        hw = HardwareReadout(readout)
+        prediction = hw.predict(rng.integers(-32, 32, size=8))
+        assert np.isscalar(prediction) or prediction.shape == ()
+
+    def test_bias_applied(self, rng):
+        states = rng.standard_normal((200, 6))
+        targets = states @ np.ones(6) + 5.0
+        readout = RidgeReadout(alpha=1e-9).fit(states, targets)
+        hw = HardwareReadout(readout, weight_width=12)
+        zero_state = np.zeros(6, dtype=np.int64)
+        assert float(hw.predict(zero_state)) == pytest.approx(5.0, abs=0.01)

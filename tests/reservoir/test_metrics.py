@@ -1,0 +1,90 @@
+"""Tests for reservoir evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.metrics import (
+    accuracy,
+    memory_capacity,
+    mse,
+    nrmse,
+    rmse,
+    symbol_error_rate,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_zero_for_perfect(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_rmse_is_sqrt_mse(self):
+        p = np.array([1.0, 3.0])
+        t = np.array([0.0, 0.0])
+        assert rmse(p, t) == pytest.approx(np.sqrt(mse(p, t)))
+
+    def test_nrmse_normalizes_by_std(self, rng):
+        t = rng.standard_normal(1000)
+        p = t + 0.1
+        assert nrmse(p, t) == pytest.approx(0.1 / np.std(t))
+
+    def test_nrmse_rejects_constant_targets(self):
+        with pytest.raises(ValueError):
+            nrmse(np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestMemoryCapacity:
+    def test_perfect_recall_sums_to_delay_count(self, rng):
+        targets = rng.standard_normal((100, 4))
+        assert memory_capacity(targets, targets) == pytest.approx(4.0)
+
+    def test_uncorrelated_predictions_near_zero(self, rng):
+        targets = rng.standard_normal((2000, 3))
+        predictions = rng.standard_normal((2000, 3))
+        assert memory_capacity(predictions, targets) < 0.05
+
+    def test_constant_column_skipped(self):
+        targets = np.ones((50, 1))
+        predictions = np.ones((50, 1))
+        assert memory_capacity(predictions, targets) == 0.0
+
+
+class TestSymbolErrorRate:
+    def test_perfect_decoding(self):
+        symbols = np.array([-3.0, -1.0, 1.0, 3.0])
+        targets = np.array([-3.0, 1.0, 3.0, -1.0])
+        assert symbol_error_rate(targets, targets, symbols) == 0.0
+
+    def test_slicing_to_nearest(self):
+        targets = np.array([1.0, -1.0])
+        predictions = np.array([1.4, -0.8])  # still slice correctly
+        assert symbol_error_rate(predictions, targets) == 0.0
+
+    def test_errors_counted(self):
+        targets = np.array([3.0, 3.0])
+        predictions = np.array([2.9, -2.9])
+        assert symbol_error_rate(predictions, targets) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            symbol_error_rate(np.zeros(2), np.zeros(3))
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        labels = np.array([0, 1, 2])
+        assert accuracy(labels, labels) == 1.0
+
+    def test_half_correct(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 2])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(2), np.zeros(3))

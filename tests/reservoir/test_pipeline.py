@@ -1,0 +1,83 @@
+"""Tests for the high-level reservoir pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.esn import EchoStateNetwork
+from repro.reservoir.hw_esn import HardwareESN
+from repro.reservoir.pipeline import ReservoirPipeline
+from repro.reservoir.quantize import quantize_esn
+from repro.reservoir.tasks import channel_equalization, narma10
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+def float_esn(dim=80, seed=0):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, rng=rng)
+    w_in = random_input_weights(dim, 1, rng=rng)
+    return EchoStateNetwork(w, w_in)
+
+
+def integer_esn(dim=60, seed=0):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, rng=rng)
+    w_in = random_input_weights(dim, 1, rng=rng)
+    return quantize_esn(w, w_in)
+
+
+class TestFloatPipeline:
+    def test_fit_evaluate_report(self):
+        pipeline = ReservoirPipeline(float_esn(), washout=50, alpha=1e-5)
+        report = pipeline.fit_evaluate(narma10(1200, np.random.default_rng(1)))
+        assert report.train_samples + report.test_samples == 1200 - 50
+        assert 0 < report.test_nrmse < 1.0
+        assert report.test_symbol_error_rate is None
+
+    def test_train_error_not_worse_than_chance(self):
+        pipeline = ReservoirPipeline(float_esn(), washout=50)
+        report = pipeline.fit_evaluate(narma10(1000, np.random.default_rng(2)))
+        assert report.train_nrmse < report.test_nrmse * 1.5
+
+    def test_symbol_error_reporting(self):
+        pipeline = ReservoirPipeline(float_esn(dim=100), washout=80, alpha=1e-4)
+        data = channel_equalization(3000, rng=np.random.default_rng(3))
+        report = pipeline.fit_evaluate(
+            data, symbols=np.array([-3.0, -1.0, 1.0, 3.0])
+        )
+        assert report.test_symbol_error_rate is not None
+        assert report.test_symbol_error_rate < 0.5
+
+    def test_predict_after_fit(self):
+        pipeline = ReservoirPipeline(float_esn(), washout=20)
+        data = narma10(500, np.random.default_rng(4))
+        pipeline.fit_evaluate(data)
+        predictions = pipeline.predict(data.inputs)
+        assert predictions.shape == (500 - 20,)
+
+
+class TestIntegerPipeline:
+    def test_integer_reservoir_works(self):
+        pipeline = ReservoirPipeline(integer_esn(), washout=50, alpha=1e-4)
+        report = pipeline.fit_evaluate(narma10(1000, np.random.default_rng(5)))
+        assert report.test_nrmse < 1.0
+
+    def test_hardware_reservoir_matches_integer(self):
+        esn = integer_esn(dim=24)
+        data = narma10(300, np.random.default_rng(6))
+        sw = ReservoirPipeline(esn, washout=20, alpha=1e-4)
+        hw = ReservoirPipeline(
+            HardwareESN(esn, backend="functional"), washout=20, alpha=1e-4
+        )
+        sw_states = sw.harvest(data.inputs)
+        hw_states = hw.harvest(data.inputs)
+        assert np.array_equal(sw_states, hw_states)
+
+
+class TestValidation:
+    def test_bad_train_fraction(self):
+        with pytest.raises(ValueError):
+            ReservoirPipeline(float_esn(), train_fraction=1.0)
+
+    def test_bad_washout(self):
+        with pytest.raises(ValueError):
+            ReservoirPipeline(float_esn(), washout=-1)

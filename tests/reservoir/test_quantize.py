@@ -1,0 +1,127 @@
+"""Tests for integer ESN quantization."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.quantize import IntegerESN, quantize_esn, quantize_weights
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+class TestQuantizeWeights:
+    def test_range_respected(self, rng):
+        w = rng.uniform(-1, 1, size=(20, 20))
+        w_q, scale = quantize_weights(w, 8)
+        assert w_q.min() >= -127
+        assert w_q.max() <= 127
+        assert scale > 0
+
+    def test_reconstruction_error_bounded(self, rng):
+        w = rng.uniform(-1, 1, size=(20, 20))
+        w_q, scale = quantize_weights(w, 8)
+        assert np.abs(w_q / scale - w).max() <= 0.5 / scale + 1e-12
+
+    def test_zero_matrix(self):
+        w_q, scale = quantize_weights(np.zeros((4, 4)), 8)
+        assert (w_q == 0).all()
+        assert scale == 1.0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.ones((2, 2)), 1)
+
+    def test_more_bits_less_error(self, rng):
+        w = rng.uniform(-1, 1, size=(30, 30))
+        err = {}
+        for width in (3, 8):
+            w_q, scale = quantize_weights(w, width)
+            err[width] = np.abs(w_q / scale - w).max()
+        assert err[8] < err[3]
+
+
+class TestIntegerEsn:
+    def make(self, dim=16, width=8, state_width=8, seed=0):
+        rng = np.random.default_rng(seed)
+        w = random_reservoir(dim, rng=rng)
+        w_in = random_input_weights(dim, 1, rng=rng)
+        return quantize_esn(w, w_in, weight_width=width, state_width=state_width)
+
+    def test_state_range_clipped(self, rng):
+        esn = self.make(state_width=6)
+        inputs = rng.integers(-127, 128, size=(100, 1))
+        states = esn.run(inputs)
+        assert states.min() >= -32
+        assert states.max() <= 31
+
+    def test_states_are_integers(self, rng):
+        esn = self.make()
+        states = esn.run(rng.integers(-127, 128, size=(20, 1)))
+        assert states.dtype == np.int64
+
+    def test_step_deterministic(self, rng):
+        esn = self.make()
+        state = rng.integers(-100, 100, size=esn.dim)
+        u = np.array([5])
+        assert np.array_equal(esn.step(state, u), esn.step(state, u))
+
+    def test_recurrent_product_override(self, rng):
+        """Supplying the hardware's product gives the identical next state."""
+        esn = self.make()
+        state = rng.integers(-100, 100, size=esn.dim)
+        u = np.array([17])
+        product = esn.w_q @ state
+        assert np.array_equal(
+            esn.step(state, u), esn.step(state, u, recurrent_product=product)
+        )
+
+    def test_quantize_inputs(self):
+        esn = self.make()
+        q = esn.quantize_inputs(np.array([-1.0, 0.0, 1.0, 2.0]), input_width=8)
+        assert q.tolist() == [-127, 0, 127, 127]
+
+    def test_activation_shift(self):
+        esn = IntegerESN(
+            w_q=np.zeros((2, 2), dtype=np.int64),
+            w_in_q=np.zeros((2, 1), dtype=np.int64),
+            shift=3,
+            state_width=8,
+        )
+        pre = np.array([80, -80])
+        assert esn.activation(pre).tolist() == [10, -10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegerESN(np.zeros((2, 3)), np.zeros((2, 1)), 0, 8)
+        with pytest.raises(ValueError):
+            IntegerESN(np.zeros((2, 2)), np.zeros((3, 1)), 0, 8)
+        with pytest.raises(ValueError):
+            IntegerESN(np.zeros((2, 2)), np.zeros((2, 1)), -1, 8)
+        with pytest.raises(ValueError):
+            IntegerESN(np.zeros((2, 2)), np.zeros((2, 1)), 0, 1)
+
+    def test_washout(self, rng):
+        esn = self.make()
+        inputs = rng.integers(-50, 50, size=(30, 1))
+        full = esn.run(inputs)
+        washed = esn.run(inputs, washout=10)
+        assert np.array_equal(washed, full[10:])
+
+    def test_integer_states_track_float_esn(self, rng):
+        """Kleyko et al. [16]: quantized reservoirs preserve the dynamics.
+        The integer state trajectory correlates strongly with the float one."""
+        dim = 32
+        gen = np.random.default_rng(7)
+        w = random_reservoir(dim, rng=gen)
+        w_in = random_input_weights(dim, 1, rng=gen)
+        from repro.reservoir.esn import EchoStateNetwork
+
+        float_esn = EchoStateNetwork(w, w_in, activation=lambda x: np.clip(x, -1, 1))
+        int_esn = quantize_esn(w, w_in, weight_width=8, state_width=8)
+        u = gen.uniform(-1, 1, size=200)
+        float_states = float_esn.run(u)
+        int_states = int_esn.run(int_esn.quantize_inputs(u)).astype(float) / 127.0
+        # Correlate a handful of neurons' trajectories.
+        for neuron in range(0, dim, 8):
+            f = float_states[:, neuron]
+            i = int_states[:, neuron]
+            if np.std(f) > 1e-6 and np.std(i) > 1e-6:
+                assert np.corrcoef(f, i)[0, 1] > 0.8

@@ -1,0 +1,60 @@
+"""Tests for the ridge-regression readout."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.readout import RidgeReadout
+
+
+class TestRidgeReadout:
+    def test_recovers_exact_linear_map(self, rng):
+        states = rng.standard_normal((200, 10))
+        w_true = rng.standard_normal(10)
+        targets = states @ w_true
+        readout = RidgeReadout(alpha=0.0).fit(states, targets)
+        assert np.allclose(readout.predict(states), targets, atol=1e-8)
+
+    def test_recovers_bias(self, rng):
+        states = rng.standard_normal((100, 5))
+        targets = states @ np.ones(5) + 3.0
+        readout = RidgeReadout(alpha=0.0).fit(states, targets)
+        assert readout.bias[0] == pytest.approx(3.0, abs=1e-8)
+
+    def test_no_bias_mode(self, rng):
+        states = rng.standard_normal((100, 5))
+        targets = states @ np.ones(5)
+        readout = RidgeReadout(alpha=0.0, fit_bias=False).fit(states, targets)
+        assert np.allclose(readout.bias, 0.0)
+        assert np.allclose(readout.predict(states), targets, atol=1e-8)
+
+    def test_regularization_shrinks_weights(self, rng):
+        states = rng.standard_normal((50, 20))
+        targets = rng.standard_normal(50)
+        loose = RidgeReadout(alpha=1e-9).fit(states, targets)
+        tight = RidgeReadout(alpha=100.0).fit(states, targets)
+        assert np.linalg.norm(tight.w_out) < np.linalg.norm(loose.w_out)
+
+    def test_multi_output(self, rng):
+        states = rng.standard_normal((80, 6))
+        targets = rng.standard_normal((80, 3))
+        readout = RidgeReadout().fit(states, targets)
+        assert readout.predict(states).shape == (80, 3)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RidgeReadout().predict(np.zeros((4, 2)))
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RidgeReadout().fit(np.zeros((10, 2)), np.zeros(8))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeReadout(alpha=-1.0)
+
+    def test_noisy_recovery_with_regularization(self, rng):
+        states = rng.standard_normal((500, 8))
+        w_true = rng.standard_normal(8)
+        targets = states @ w_true + 0.01 * rng.standard_normal(500)
+        readout = RidgeReadout(alpha=1e-3).fit(states, targets)
+        assert np.allclose(readout.w_out.ravel(), w_true, atol=0.05)

@@ -1,0 +1,138 @@
+"""Tests for the benchmark task generators."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.tasks import (
+    channel_equalization,
+    mackey_glass,
+    memory_capacity_dataset,
+    multivariate_classification,
+    narma10,
+)
+
+
+class TestNarma10:
+    def test_shapes(self, rng):
+        data = narma10(500, rng)
+        assert data.inputs.shape == (500,)
+        assert data.targets.shape == (500,)
+
+    def test_inputs_in_range(self, rng):
+        data = narma10(300, rng)
+        assert data.inputs.min() >= 0.0
+        assert data.inputs.max() <= 0.5
+
+    def test_targets_bounded(self, rng):
+        data = narma10(1000, rng)
+        assert np.isfinite(data.targets).all()
+        assert np.abs(data.targets).max() < 10.0
+
+    def test_recurrence_checked_by_hand(self, rng):
+        data = narma10(50, rng)
+        u, y = data.inputs, data.targets
+        t = 20
+        expected = (
+            0.3 * y[t]
+            + 0.05 * y[t] * np.sum(y[t - 9 : t + 1])
+            + 1.5 * u[t - 9] * u[t]
+            + 0.1
+        )
+        assert y[t + 1] == pytest.approx(expected)
+
+    def test_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            narma10(10, rng)
+
+    def test_split(self, rng):
+        train, test = narma10(100, rng).split(0.7)
+        assert len(train.inputs) == 70
+        assert len(test.inputs) == 30
+        with pytest.raises(ValueError):
+            narma10(100, rng).split(1.5)
+
+
+class TestMackeyGlass:
+    def test_shapes(self):
+        data = mackey_glass(400)
+        assert data.inputs.shape == (400,)
+        assert data.targets.shape == (400,)
+
+    def test_targets_are_next_step(self):
+        data = mackey_glass(300)
+        assert np.allclose(data.inputs[1:], data.targets[:-1])
+
+    def test_chaotic_series_is_bounded_and_nonconstant(self):
+        data = mackey_glass(1000)
+        assert np.isfinite(data.inputs).all()
+        assert np.std(data.inputs) > 0.05
+        assert np.abs(data.inputs).max() < 2.0
+
+    def test_deterministic(self):
+        a = mackey_glass(200, seed=3)
+        b = mackey_glass(200, seed=3)
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            mackey_glass(1)
+
+
+class TestMemoryCapacity:
+    def test_targets_are_delayed_inputs(self, rng):
+        data = memory_capacity_dataset(100, 5, rng)
+        assert data.targets.shape == (100, 5)
+        for k in range(1, 6):
+            assert np.allclose(data.targets[k:, k - 1], data.inputs[:-k])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            memory_capacity_dataset(10, 0, rng)
+        with pytest.raises(ValueError):
+            memory_capacity_dataset(5, 10, rng)
+
+
+class TestChannelEqualization:
+    def test_symbols_are_four_level(self, rng):
+        data = channel_equalization(500, rng=rng)
+        assert set(np.unique(data.targets)) <= {-3.0, -1.0, 1.0, 3.0}
+
+    def test_inputs_normalized(self, rng):
+        data = channel_equalization(500, rng=rng)
+        assert np.abs(data.inputs).max() <= 1.0 + 1e-9
+
+    def test_snr_controls_noise(self):
+        clean = channel_equalization(2000, snr_db=60.0, rng=np.random.default_rng(1))
+        noisy = channel_equalization(2000, snr_db=5.0, rng=np.random.default_rng(1))
+        # Same symbols, different corruption; the noisy signal deviates more
+        # from its own re-generated clean counterpart.
+        assert not np.allclose(clean.inputs, noisy.inputs)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            channel_equalization(5)
+
+
+class TestMultivariateClassification:
+    def test_shapes(self, rng):
+        data = multivariate_classification(30, 40, 3, 3, rng=rng)
+        assert data.sequences.shape == (30, 40, 3)
+        assert data.labels.shape == (30,)
+        assert data.num_classes == 3
+
+    def test_balanced_labels(self, rng):
+        data = multivariate_classification(30, 40, 2, 3, rng=rng)
+        counts = np.bincount(data.labels)
+        assert (counts == 10).all()
+
+    def test_classes_distinguishable(self, rng):
+        """Mean power spectra of different classes should differ."""
+        data = multivariate_classification(30, 64, 1, 2, noise=0.05, rng=rng)
+        spectra = np.abs(np.fft.rfft(data.sequences[:, :, 0], axis=1))
+        class0 = spectra[data.labels == 0].mean(axis=0)
+        class1 = spectra[data.labels == 1].mean(axis=0)
+        assert np.argmax(class0) != np.argmax(class1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            multivariate_classification(2, 40, 1, 3, rng=rng)

@@ -1,0 +1,100 @@
+"""End-to-end reservoir learning: the library must actually solve tasks.
+
+These are the quality gates for the reservoir substrate: a modest ESN
+trained only via the linear readout must beat trivial baselines on the
+standard benchmarks the paper's motivation cites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.esn import EchoStateNetwork
+from repro.reservoir.metrics import accuracy, memory_capacity, nrmse, symbol_error_rate
+from repro.reservoir.readout import RidgeReadout
+from repro.reservoir.tasks import (
+    channel_equalization,
+    mackey_glass,
+    memory_capacity_dataset,
+    multivariate_classification,
+    narma10,
+)
+from repro.reservoir.weights import random_input_weights, random_reservoir
+
+
+def build_esn(dim, n_inputs=1, seed=0, spectral=0.9, scale=0.5):
+    rng = np.random.default_rng(seed)
+    w = random_reservoir(dim, element_sparsity=0.75, spectral_radius_target=spectral, rng=rng)
+    w_in = random_input_weights(dim, n_inputs, scale=scale, rng=rng)
+    return EchoStateNetwork(w, w_in)
+
+
+def train_test(esn, dataset, washout=50, alpha=1e-6, train_fraction=0.7):
+    states = esn.run(dataset.inputs, washout=washout)
+    targets = dataset.targets[washout:]
+    cut = int(len(states) * train_fraction)
+    readout = RidgeReadout(alpha=alpha).fit(states[:cut], targets[:cut])
+    return readout.predict(states[cut:]), targets[cut:]
+
+
+class TestNarma10:
+    def test_beats_trivial_baselines(self):
+        data = narma10(2500, np.random.default_rng(0))
+        esn = build_esn(200, seed=1)
+        predictions, targets = train_test(esn, data)
+        error = nrmse(predictions, targets)
+        # Mean predictor has NRMSE 1.0; a healthy ESN lands well below 0.5.
+        assert error < 0.5
+
+
+class TestMackeyGlass:
+    def test_one_step_prediction(self):
+        data = mackey_glass(3000)
+        esn = build_esn(150, seed=2, scale=1.0)
+        predictions, targets = train_test(esn, data)
+        assert nrmse(predictions, targets) < 0.05
+
+
+class TestMemoryCapacity:
+    def test_capacity_scales_with_reservoir(self):
+        data = memory_capacity_dataset(3000, 20, np.random.default_rng(3))
+        small = build_esn(20, seed=4, spectral=0.95)
+        large = build_esn(100, seed=4, spectral=0.95)
+        small_pred, small_t = train_test(small, data, washout=100)
+        large_pred, large_t = train_test(large, data, washout=100)
+        mc_small = memory_capacity(small_pred, small_t)
+        mc_large = memory_capacity(large_pred, large_t)
+        assert mc_large > mc_small
+        assert mc_large > 5.0
+
+
+class TestChannelEqualization:
+    def test_symbol_error_rate_low(self):
+        """The paper's reference [3] FPGA-RC use case."""
+        data = channel_equalization(6000, snr_db=24.0, rng=np.random.default_rng(5))
+        esn = build_esn(120, seed=6, scale=1.0)
+        predictions, targets = train_test(esn, data, washout=100, alpha=1e-4)
+        ser = symbol_error_rate(predictions, targets)
+        # Random guessing gives 0.75; equalization should be far better.
+        assert ser < 0.15
+
+
+class TestClassification:
+    def test_multivariate_classification_accuracy(self):
+        """Bianchi et al. style: reservoir final-state + linear classifier."""
+        data = multivariate_classification(
+            60, 80, 3, 3, noise=0.2, rng=np.random.default_rng(7)
+        )
+        esn = build_esn(150, n_inputs=3, seed=8, scale=0.8)
+
+        def state_statistics(sequence):
+            """Mean+std reservoir statistics — the usual sequence embedding
+            (a pure state mean cancels for oscillatory inputs)."""
+            states = esn.run(sequence)
+            return np.concatenate([states.mean(axis=0), states.std(axis=0)])
+
+        features = np.stack([state_statistics(s) for s in data.sequences])
+        one_hot = np.eye(3)[data.labels]
+        cut = 42
+        readout = RidgeReadout(alpha=1e-3).fit(features[:cut], one_hot[:cut])
+        predicted = np.argmax(readout.predict(features[cut:]), axis=1)
+        assert accuracy(predicted, data.labels[cut:]) > 0.8

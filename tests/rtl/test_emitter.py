@@ -1,0 +1,100 @@
+"""Structural tests for SystemVerilog emission."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.components import (
+    ConstantZero,
+    DFF,
+    SerialAdder,
+    SerialNegator,
+    SerialSubtractor,
+)
+from repro.rtl.emitter import emit_verilog, emit_verilog_from_circuit, sanitize_identifier
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("P.c0.b1.l2n3", "P_c0_b1_l2n3"),
+            ("simple", "simple"),
+            ("0starts_with_digit", "n_0starts_with_digit"),
+            ("", "n_"),
+            ("a-b c", "a_b_c"),
+        ],
+    )
+    def test_cases(self, raw, expected):
+        assert sanitize_identifier(raw) == expected
+
+
+class TestEmission:
+    def test_module_skeleton(self, rng):
+        matrix = rng.integers(-8, 8, size=(4, 3))
+        text = emit_verilog(plan_matrix(matrix, input_width=4), "testmod")
+        assert text.startswith("// Auto-generated")
+        assert "module testmod" in text
+        assert "input  logic [ROWS-1:0] in_bits" in text
+        assert "output logic [COLS-1:0] out_bits" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_localparams_match_plan(self, rng):
+        matrix = rng.integers(-8, 8, size=(5, 2))
+        plan = plan_matrix(matrix, input_width=6)
+        circuit = build_circuit(plan)
+        text = emit_verilog_from_circuit(circuit)
+        assert f"ROWS = {plan.rows}" in text
+        assert f"COLS = {plan.cols}" in text
+        assert f"INPUT_WIDTH = {plan.input_width}" in text
+        assert f"RESULT_WIDTH = {plan.result_width}" in text
+        assert f"DECODE_DELTA = {circuit.decode_delta - 1}" in text
+
+    def test_every_column_has_output_assign(self, rng):
+        matrix = rng.integers(-4, 4, size=(3, 5))
+        text = emit_verilog(plan_matrix(matrix))
+        for col in range(5):
+            assert f"assign out_bits[{col}] = " in text
+
+    def test_always_ff_block_count_matches_registers(self, rng):
+        matrix = rng.integers(-8, 8, size=(6, 4))
+        plan = plan_matrix(matrix, input_width=4)
+        circuit = build_circuit(plan)
+        text = emit_verilog_from_circuit(circuit)
+        registered = sum(
+            1
+            for c in circuit.netlist.components
+            if isinstance(c, (SerialAdder, SerialSubtractor, SerialNegator, DFF))
+        )
+        assert text.count("always_ff @(posedge clk)") == registered
+
+    def test_subtractor_carry_resets_to_one(self, rng):
+        matrix = np.array([[1], [-1]])
+        text = emit_verilog(plan_matrix(matrix, input_width=4))
+        assert "2'b10" in text  # {carry=1, sum=0} on reset
+
+    def test_zero_column_ties_off(self):
+        matrix = np.array([[1, 0]])
+        text = emit_verilog(plan_matrix(matrix, input_width=4))
+        assert "= 1'b0;" in text
+
+    def test_unique_identifiers(self, rng):
+        matrix = rng.integers(-8, 8, size=(8, 8))
+        text = emit_verilog(plan_matrix(matrix, input_width=4))
+        decls = [
+            line.strip() for line in text.splitlines() if line.strip().startswith("logic ")
+        ]
+        names = []
+        for decl in decls:
+            names.extend(
+                token.strip(" ,;")
+                for token in decl.removeprefix("logic ").split(",")
+            )
+        names = [n for n in names if n]
+        assert len(names) == len(set(names))
+
+    def test_deterministic_output(self, rng):
+        matrix = rng.integers(-8, 8, size=(5, 5))
+        plan = plan_matrix(matrix, input_width=4)
+        assert emit_verilog(plan) == emit_verilog(plan)

@@ -1,0 +1,86 @@
+"""Unit tests for the SystemVerilog-subset interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.rtl.emitter import emit_verilog
+from repro.rtl.interp import parse_module
+
+
+def small_module(rng=None, matrix=None, input_width=4):
+    if matrix is None:
+        matrix = np.array([[1, -2], [3, 0]])
+    return parse_module(emit_verilog(plan_matrix(matrix, input_width=input_width)))
+
+
+class TestParsing:
+    def test_module_metadata(self):
+        module = small_module()
+        assert module.name == "fixed_matrix_mult"
+        assert module.rows == 2
+        assert module.cols == 2
+        assert "RESULT_WIDTH" in module.params
+        assert "DECODE_DELTA" in module.params
+
+    def test_register_kinds_present(self):
+        module = small_module()
+        kinds = {reg.kind for reg in module.regs}
+        assert "add" in kinds
+        assert "dff" in kinds
+        assert "neg" in kinds  # the all-negative column needs a negator
+
+    def test_subtractor_for_mixed_sign_column(self):
+        module = small_module(matrix=np.array([[1], [-2]]))
+        assert any(reg.kind == "sub" for reg in module.regs)
+
+    def test_negator_parsed(self):
+        module = small_module(matrix=np.array([[-1]]))
+        assert any(reg.kind == "neg" for reg in module.regs)
+
+    def test_subtractor_reset_carry_one(self):
+        module = small_module(matrix=np.array([[1], [-2]]))
+        subs = [reg for reg in module.regs if reg.kind == "sub"]
+        assert subs and all(reg.reset_carry == 1 for reg in subs)
+
+    def test_adder_reset_carry_zero(self):
+        module = small_module(matrix=np.array([[1], [1]]))
+        adds = [reg for reg in module.regs if reg.kind == "add"]
+        assert adds and all(reg.reset_carry == 0 for reg in adds)
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module("// nothing here")
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module("module m; endmodule")
+
+
+class TestExecution:
+    def test_reset_restores_power_on_values(self):
+        module = small_module()
+        module.clock([1, 1])
+        module.reset()
+        # Sum registers clear to 0; negator/subtractor carries reset to 1.
+        for reg in module.regs:
+            assert module.state[reg.sum_name] == reg.reset_sum == 0
+            if reg.carry_name:
+                assert module.state[reg.carry_name] == reg.reset_carry
+
+    def test_wrong_input_width_rejected(self):
+        module = small_module()
+        with pytest.raises(ValueError):
+            module.clock([1])
+
+    def test_out_bits_shape(self):
+        module = small_module()
+        module.clock([0, 0])
+        assert len(module.out_bits()) == 2
+
+    def test_constant_zero_column(self):
+        module = small_module(matrix=np.array([[1, 0]]))
+        for __ in range(8):
+            module.clock([1])
+        # Column 1 is tied off: always zero.
+        assert module.out_bits()[1] == 0

@@ -1,0 +1,53 @@
+"""Structural tests for the generated self-checking testbench."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.rtl.testbench import emit_testbench
+
+
+class TestTestbench:
+    def test_skeleton(self, rng):
+        matrix = rng.integers(-8, 8, size=(3, 2))
+        vectors = rng.integers(-8, 8, size=(2, 3))
+        text = emit_testbench(plan_matrix(matrix, input_width=4), vectors)
+        assert "module fixed_matrix_mult_tb;" in text
+        assert "fixed_matrix_mult dut" in text
+        assert "$finish;" in text
+        assert 'NUM_TESTS = 2' in text
+
+    def test_golden_values_embedded(self, rng):
+        matrix = np.array([[2], [3]])
+        vectors = np.array([[1, 1]])
+        plan = plan_matrix(matrix, input_width=4)
+        text = emit_testbench(plan, vectors)
+        golden = 5  # 1*2 + 1*3
+        literal = format(golden, f"0{plan.result_width}b")
+        assert literal in text
+
+    def test_negative_golden_encoded_twos_complement(self):
+        matrix = np.array([[-1]])
+        vectors = np.array([[1]])
+        plan = plan_matrix(matrix, input_width=4)
+        text = emit_testbench(plan, vectors)
+        mask = (1 << plan.result_width) - 1
+        literal = format(-1 & mask, f"0{plan.result_width}b")
+        assert literal in text
+
+    def test_wrong_vector_width_rejected(self, rng):
+        matrix = rng.integers(-4, 4, size=(3, 2))
+        with pytest.raises(ValueError):
+            emit_testbench(plan_matrix(matrix), np.zeros((1, 5)))
+
+    def test_custom_names(self, rng):
+        matrix = rng.integers(-4, 4, size=(2, 2))
+        vectors = rng.integers(-4, 4, size=(1, 2))
+        text = emit_testbench(
+            plan_matrix(matrix, input_width=4),
+            vectors,
+            module_name="mycore",
+            tb_name="mytb",
+        )
+        assert "module mytb;" in text
+        assert "mycore dut" in text

@@ -1,0 +1,86 @@
+"""Tests for the paper's two random matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparsity import bit_sparsity, element_sparsity
+from repro.workloads.matrices import (
+    bit_sparse_matrix,
+    element_sparse_matrix,
+    expected_ones_bit_sparse,
+)
+
+
+class TestBitSparse:
+    def test_extremes(self, rng):
+        all_ones = bit_sparse_matrix(8, 8, 4, 0.0, rng)
+        assert (all_ones == 15).all()
+        all_zero = bit_sparse_matrix(8, 8, 4, 1.0, rng)
+        assert (all_zero == 0).all()
+
+    def test_achieved_sparsity_near_target(self, rng):
+        for target in (0.2, 0.5, 0.8):
+            matrix = bit_sparse_matrix(64, 64, 8, target, rng)
+            achieved = bit_sparsity(matrix, 8)
+            assert abs(achieved - target) < 0.02
+
+    def test_values_fit_width(self, rng):
+        matrix = bit_sparse_matrix(16, 16, 5, 0.3, rng)
+        assert matrix.min() >= 0
+        assert matrix.max() < 32
+
+    def test_deterministic_per_seed(self):
+        a = bit_sparse_matrix(8, 8, 8, 0.5, np.random.default_rng(3))
+        b = bit_sparse_matrix(8, 8, 8, 0.5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_expected_ones(self):
+        assert expected_ones_bit_sparse(64, 64, 8, 0.75) == pytest.approx(8192.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bit_sparse_matrix(0, 4, 8, 0.5, rng)
+        with pytest.raises(ValueError):
+            bit_sparse_matrix(4, 4, 0, 0.5, rng)
+        with pytest.raises(ValueError):
+            bit_sparse_matrix(4, 4, 8, 1.5, rng)
+
+
+class TestElementSparse:
+    def test_exact_zero_fraction(self, rng):
+        matrix = element_sparse_matrix(32, 32, 8, 0.75, rng)
+        # At least the forced fraction is zero (uniform draws add a few).
+        assert element_sparsity(matrix) >= 0.75
+        assert element_sparsity(matrix) < 0.80
+
+    def test_signed_range(self, rng):
+        matrix = element_sparse_matrix(32, 32, 8, 0.0, rng, signed=True)
+        assert matrix.min() >= -128
+        assert matrix.max() <= 127
+        assert (matrix < 0).any()
+
+    def test_unsigned_range(self, rng):
+        matrix = element_sparse_matrix(32, 32, 8, 0.0, rng, signed=False)
+        assert matrix.min() >= 0
+        assert matrix.max() <= 255
+
+    def test_uniform_values_are_half_bit_sparse(self, rng):
+        """Sec. IV: 'In this case, the matrix is 50% bit-sparse, as every
+        bit has an equal probability of being 0 or 1.'"""
+        matrix = element_sparse_matrix(64, 64, 8, 0.0, rng, signed=False)
+        assert abs(bit_sparsity(matrix, 8) - 0.5) < 0.02
+
+    def test_full_sparsity(self, rng):
+        matrix = element_sparse_matrix(8, 8, 8, 1.0, rng)
+        assert (matrix == 0).all()
+
+    def test_deterministic_per_seed(self):
+        a = element_sparse_matrix(8, 8, 8, 0.5, np.random.default_rng(9))
+        b = element_sparse_matrix(8, 8, 8, 0.5, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            element_sparse_matrix(4, 0, 8, 0.5, rng)
+        with pytest.raises(ValueError):
+            element_sparse_matrix(4, 4, 8, -0.1, rng)

@@ -1,0 +1,84 @@
+"""Statistical validation of the workload generators.
+
+The paper's analytic arguments lean on distributional facts (uniform
+values are 50% bit-sparse; a signed uniform 8-bit weight carries ~3.5 set
+magnitude bits; Bernoulli bit planes concentrate around their mean).
+These tests pin those facts with enough samples that failures mean real
+generator bugs, not noise.
+"""
+
+import numpy as np
+
+from repro.core.bits import matrix_popcount
+from repro.core.split import pn_split
+from repro.core.sparsity import bit_sparsity
+from repro.workloads.matrices import bit_sparse_matrix, element_sparse_matrix
+
+
+class TestUniformValueStatistics:
+    def test_mean_set_bits_per_unsigned_uniform_value(self, rng):
+        """Uniform u8 values average 4.0 set bits (8 independent coin flips)."""
+        matrix = element_sparse_matrix(128, 128, 8, 0.0, rng, signed=False)
+        mean_bits = matrix_popcount(matrix) / matrix.size
+        assert abs(mean_bits - 4.0) < 0.05
+
+    def test_mean_magnitude_bits_per_signed_uniform_value(self, rng):
+        """Signed uniform 8-bit weights average ~3.53 magnitude set bits —
+        the constant behind 'ones ~ 3.5x nnz' in the large-scale sweeps."""
+        matrix = element_sparse_matrix(128, 128, 8, 0.0, rng, signed=True)
+        split = pn_split(matrix)
+        mean_bits = split.total_ones() / matrix.size
+        assert abs(mean_bits - 3.53) < 0.06
+
+    def test_element_sparsity_scales_ones_linearly(self, rng):
+        dense = element_sparse_matrix(96, 96, 8, 0.0, rng, signed=True)
+        sparse = element_sparse_matrix(96, 96, 8, 0.75, rng, signed=True)
+        dense_ones = pn_split(dense).total_ones()
+        sparse_ones = pn_split(sparse).total_ones()
+        assert abs(sparse_ones / dense_ones - 0.25) < 0.03
+
+
+class TestBernoulliConcentration:
+    def test_bit_sparsity_concentrates(self, rng):
+        """128x128x8 = 131072 Bernoulli bits: relative deviation < 1%."""
+        for target in (0.25, 0.5, 0.75):
+            matrix = bit_sparse_matrix(128, 128, 8, target, rng)
+            assert abs(bit_sparsity(matrix, 8) - target) < 0.01
+
+    def test_planes_independent_across_bits(self, rng):
+        """Each bit plane hits the target independently (no plane reuse)."""
+        matrix = bit_sparse_matrix(128, 128, 8, 0.5, rng)
+        for bit in range(8):
+            plane = (matrix >> bit) & 1
+            density = plane.mean()
+            assert abs(density - 0.5) < 0.03
+
+    def test_seeded_generators_are_uncorrelated(self):
+        a = bit_sparse_matrix(64, 64, 8, 0.5, np.random.default_rng(1))
+        b = bit_sparse_matrix(64, 64, 8, 0.5, np.random.default_rng(2))
+        agreement = np.mean((a & 1) == (b & 1))
+        assert 0.4 < agreement < 0.6  # chance level for bit 0
+
+
+class TestCsdStatistics:
+    def test_csd_mean_bits_for_uniform_weights(self, rng):
+        """Sec. V: CSD cuts ~17% of set bits on uniform 8-bit weights."""
+        from repro.core.split import split_matrix
+
+        matrix = element_sparse_matrix(128, 128, 8, 0.0, rng, signed=True)
+        pn_ones = split_matrix(matrix, scheme="pn").total_ones()
+        csd_ones = split_matrix(matrix, scheme="csd", rng=rng).total_ones()
+        saving = 1.0 - csd_ones / pn_ones
+        assert 0.15 < saving < 0.20
+
+    def test_coin_flip_balances_planes(self, rng):
+        """The length-2 coin flip keeps CSD's P/N planes near-balanced for
+        symmetric inputs."""
+        from repro.core.bits import matrix_popcount
+        from repro.core.split import split_matrix
+
+        matrix = element_sparse_matrix(128, 128, 8, 0.0, rng, signed=True)
+        split = split_matrix(matrix, scheme="csd", rng=rng)
+        p_ones = matrix_popcount(split.positive)
+        n_ones = matrix_popcount(split.negative)
+        assert 0.8 < p_ones / n_ones < 1.25

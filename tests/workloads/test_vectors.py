@@ -1,0 +1,50 @@
+"""Tests for input vector generation and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.rng import rng_from_seed, spawn
+from repro.workloads.vectors import random_input_batch, random_input_vector
+
+
+class TestVectors:
+    def test_signed_range(self, rng):
+        vec = random_input_vector(1000, 4, rng, signed=True)
+        assert vec.min() >= -8
+        assert vec.max() <= 7
+
+    def test_unsigned_range(self, rng):
+        vec = random_input_vector(1000, 4, rng, signed=False)
+        assert vec.min() >= 0
+        assert vec.max() <= 15
+
+    def test_batch_shape(self, rng):
+        batch = random_input_batch(5, 16, 8, rng)
+        assert batch.shape == (5, 16)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_input_vector(0, 8, rng)
+        with pytest.raises(ValueError):
+            random_input_batch(0, 8, 8, rng)
+
+
+class TestRngHelpers:
+    def test_same_seed_same_stream(self):
+        a = rng_from_seed(7).integers(0, 100, size=10)
+        b = rng_from_seed(7).integers(0, 100, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_from_seed(1).integers(0, 1000, size=20)
+        b = rng_from_seed(2).integers(0, 1000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_independent_children(self):
+        children = spawn(rng_from_seed(0), 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn(rng_from_seed(0), 0)
