@@ -1,7 +1,7 @@
 """Gate-level bit-serial hardware simulation substrate."""
 
 from repro.hwsim.builder import CompiledCircuit, build_circuit
-from repro.hwsim.fast import FastCircuit
+from repro.hwsim.fast import FastCircuit, pack_lanes, unpack_lanes
 from repro.hwsim.faults import (
     FaultInjection,
     fault_campaign,
@@ -25,6 +25,8 @@ __all__ = [
     "CompiledCircuit",
     "build_circuit",
     "FastCircuit",
+    "pack_lanes",
+    "unpack_lanes",
     "SramWrapper",
     "WrapperRun",
     "FaultInjection",

@@ -133,6 +133,19 @@ class Netlist:
     def clear_faults(self) -> None:
         self._faults.clear()
 
+    def iter_faults(self):
+        """Yield ``(component, kind, value)`` for every injected fault.
+
+        Lets alternative engines (:mod:`repro.hwsim.fast`) replay the
+        same fault set with the same schedule the object engine uses.
+        """
+        if not self._faults:
+            return
+        for component in self.components:
+            fault = self._faults.get(id(component))
+            if fault is not None:
+                yield component, fault[0], fault[1]
+
     def run(self, cycles: int) -> None:
         if cycles < 0:
             raise ValueError(f"cycles must be >= 0, got {cycles}")

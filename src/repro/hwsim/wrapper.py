@@ -6,10 +6,28 @@ wrapper only adds a few extra LUTs and registers."
 
 The wrapper models the deployment loop around the compiled array: input
 vectors are queued in a word-addressed memory, streamed through the
-multiplier one product at a time (the paper's sequential batching), and
-the decoded results written back.  It is the piece that turns the raw
-combinational fabric into the "device memory to device memory" latency
-the paper compares against the GPU's.
+multiplier (the paper's sequential batching), and the decoded results
+written back.  It is the piece that turns the raw combinational fabric
+into the "device memory to device memory" latency the paper compares
+against the GPU's.
+
+Simulation engine choice
+------------------------
+
+The *hardware being modelled* processes vectors strictly sequentially,
+and the wrapper's cycle accounting always reflects that
+(``total_cycles = vectors * cycles_per_vector``).  How the *simulation*
+computes those products is independent, and selectable via ``engine``:
+
+* ``"object"`` — one object-graph product per vector (slowest; use when
+  you also need per-cycle probes or VCD dumps of the run);
+* ``"scalar"`` — the vectorized engine, one vector at a time;
+* ``"batched"`` — one batched cycle loop over the whole SRAM;
+* ``"bitplane"`` (default) — the whole SRAM batch packed 64 lanes per
+  ``uint64`` word and streamed through one cycle loop.
+
+All engines are bit-exact with each other (asserted by tests), including
+under injected faults, so the default is simply the fastest one.
 """
 
 from __future__ import annotations
@@ -19,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hwsim.builder import CompiledCircuit
+from repro.hwsim.fast import ALL_ENGINES as _ENGINES, FastCircuit
 
 __all__ = ["SramWrapper", "WrapperRun"]
 
@@ -45,12 +64,27 @@ class SramWrapper:
         circuit: the compiled multiplier array.
         input_memory: queued input vectors (rows: vectors).
         output_memory: captured results, filled by :meth:`run`.
+        engine: simulation engine (see module docstring).
     """
 
     circuit: CompiledCircuit
     input_memory: np.ndarray | None = None
     output_memory: np.ndarray | None = None
+    engine: str = "bitplane"
     last_run: WrapperRun | None = field(default=None, init=False)
+    _fast: FastCircuit | None = field(default=None, init=False, repr=False)
+    _fast_circuit: CompiledCircuit | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._check_engine()
+
+    def _check_engine(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
 
     def load(self, vectors: np.ndarray) -> None:
         """Write a batch of input vectors into the input SRAM."""
@@ -65,21 +99,35 @@ class SramWrapper:
     def run(self) -> np.ndarray:
         """Stream every queued vector through the array, cycle-accurately.
 
-        Products are sequential: each vector occupies the array for the
-        full serial result (`circuit.run_cycles`), exactly as the latency
-        model's ``batch_cycles`` assumes.  Results are written to
-        ``output_memory`` and returned.
+        The modelled hardware products are sequential: each vector
+        occupies the array for the full serial result
+        (``circuit.run_cycles``), exactly as the latency model's
+        ``batch_cycles`` assumes — the accounting below is identical for
+        every engine.  Results are written to ``output_memory`` and
+        returned.
         """
+        self._check_engine()
         if self.input_memory is None:
             raise RuntimeError("no input vectors loaded; call load() first")
-        results = []
         per_vector = self.circuit.run_cycles
-        for vector in self.input_memory:
-            results.append(self.circuit.multiply(vector))
-        self.output_memory = np.stack(results)
+        if self.engine == "object" and len(self.input_memory):
+            results = [self.circuit.multiply(v) for v in self.input_memory]
+            self.output_memory = np.stack(results)
+        else:
+            # FastCircuit owns the empty-SRAM result shape/dtype rule, so
+            # an empty run is also routed here (engine choice is moot for
+            # zero vectors) — every engine stays behaviourally identical.
+            if self._fast is None or self._fast_circuit is not self.circuit:
+                self._fast = FastCircuit.from_compiled(self.circuit)
+                self._fast_circuit = self.circuit
+            engine = "scalar" if self.engine == "object" else self.engine
+            self.output_memory = self._fast.multiply_batch(
+                self.input_memory, engine=engine
+            )
+        vectors = self.output_memory.shape[0]
         self.last_run = WrapperRun(
-            vectors=len(results),
+            vectors=vectors,
             cycles_per_vector=per_vector,
-            total_cycles=per_vector * len(results),
+            total_cycles=per_vector * vectors,
         )
         return self.output_memory

@@ -11,6 +11,12 @@ execution backends are provided:
   (vectorized engine, :mod:`repro.hwsim.fast`), stepping every serial
   adder of the compiled netlist each state update.
 
+Both backends also accept *batched* states (:meth:`HardwareESN.step_batch`
+/ :meth:`HardwareESN.run_batch`): ``B`` independent reservoir instances
+advance in lock-step, with every update's ``B`` recurrent products
+computed by one batched hardware multiply — on the ``gates`` backend a
+single bit-plane pass of the compiled netlist per time step.
+
 Because the multiplier computes row-vector-times-matrix (``o = a^T V``,
 Eq. 3), the reservoir's update ``W x`` is expressed as ``x^T W^T``: the
 *transpose* of the recurrent matrix is what gets compiled.
@@ -75,9 +81,15 @@ class HardwareESN:
         return self.esn.dim
 
     def _hardware_multiply(self, vector: np.ndarray) -> np.ndarray:
+        """One hardware product; a 2-D input batches independent vectors."""
+        arr = np.asarray(vector)
+        if arr.ndim == 2:
+            if self.backend == "gates":
+                return self._circuit.multiply_batch(arr)
+            return self.multiplier.multiply_batch(arr)
         if self.backend == "gates":
-            return self._circuit.multiply(vector)
-        return self.multiplier.multiply(vector)
+            return self._circuit.multiply(arr)
+        return self.multiplier.multiply(arr)
 
     def recurrent_product(self, state: np.ndarray) -> np.ndarray:
         """``W_q x`` computed by the compiled hardware."""
@@ -95,6 +107,82 @@ class HardwareESN:
             pre = self._hardware_multiply(augmented)
             return self.esn.activation(pre)
         return self.esn.step(state, u_q, recurrent_product=self.recurrent_product(state))
+
+    def step_batch(self, states: np.ndarray, u_q: np.ndarray) -> np.ndarray:
+        """One state update for ``B`` independent reservoir instances.
+
+        ``states`` is ``(B, dim)`` and ``u_q`` is ``(B, n_inputs)`` (a
+        1-D ``u_q`` is treated as a batch of single-input drives).  All
+        ``B`` recurrent products go through the compiled hardware as one
+        batched multiply — on the ``gates`` backend that is a single
+        bit-plane pass of the netlist, the paper's amortization of one
+        fixed matrix over a stream of vectors.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.int64))
+        u = np.asarray(u_q, dtype=np.int64)
+        if u.ndim == 1:
+            u = u[:, None]
+        if u.shape != (states.shape[0], self.esn.n_inputs):
+            raise ValueError(
+                f"inputs must have shape ({states.shape[0]}, "
+                f"{self.esn.n_inputs}), got {u.shape}"
+            )
+        if self.include_input:
+            pre = self._hardware_multiply(np.hstack([states, u]))
+            return self.esn.activation(pre)
+        # One batched hardware product, then delegate the update rule to
+        # IntegerESN.step per lane so run_batch can never drift from run.
+        recurrent = self._hardware_multiply(states)
+        return np.stack(
+            [
+                self.esn.step(states[k], u[k], recurrent_product=recurrent[k])
+                for k in range(states.shape[0])
+            ]
+        )
+
+    def run_batch(
+        self,
+        inputs_q: np.ndarray,
+        initial_states: np.ndarray | None = None,
+        washout: int = 0,
+    ) -> np.ndarray:
+        """Roll out ``B`` independent reservoirs in lock-step.
+
+        ``inputs_q`` must be 3-D, ``(B, steps, n_inputs)`` — the 2-D
+        convenience shapes that :meth:`run` accepts are deliberately
+        rejected here, because ``(steps, 1)`` would be silently
+        reinterpreted as ``steps`` one-step sequences.  The result is
+        ``(B, steps - washout, dim)``.  Each of the ``steps`` updates
+        performs one *batched* hardware product over all ``B`` states,
+        matching ``run`` bit-exactly per sequence — the sweep-many-
+        reservoirs workload from the sparsity-in-RC literature.
+        """
+        u_seq = np.asarray(inputs_q, dtype=np.int64)
+        if u_seq.ndim != 3 or u_seq.shape[2] != self.esn.n_inputs:
+            raise ValueError(
+                f"inputs must have shape (batch, steps, {self.esn.n_inputs}), "
+                f"got {np.asarray(inputs_q).shape}"
+            )
+        batch, steps = u_seq.shape[0], u_seq.shape[1]
+        if not 0 <= washout < steps:
+            raise ValueError(f"washout {washout} out of range for {steps} steps")
+        if initial_states is None:
+            states = np.zeros((batch, self.dim), dtype=np.int64)
+        else:
+            states = np.atleast_2d(
+                np.asarray(initial_states, dtype=np.int64)
+            ).copy()
+            if states.shape != (batch, self.dim):
+                raise ValueError(
+                    f"initial states must have shape ({batch}, {self.dim}), "
+                    f"got {states.shape}"
+                )
+        harvested = np.empty((batch, steps - washout, self.dim), dtype=np.int64)
+        for t in range(steps):
+            states = self.step_batch(states, u_seq[:, t, :])
+            if t >= washout:
+                harvested[:, t - washout, :] = states
+        return harvested
 
     def run(
         self,
