@@ -2,22 +2,28 @@
 
 The paper accelerates the recurrent product; after training, the readout
 matrix W_out is just as fixed, so the whole inference path can live on the
-spatial architecture:
+spatial architecture — and both stages are *served* here through
+:class:`repro.serve.MatMulService` (content-addressed compile cache,
+column shards, bit-plane gate engine) instead of per-vector loops:
 
-1. quantize a trained reservoir and compile the *augmented* matrix
-   [Wᵀ ; W_inᵀ] — one hardware product computes the entire pre-activation;
+1. quantize a trained reservoir and deploy the *augmented* matrix
+   [Wᵀ ; W_inᵀ] — one hardware product computes the entire pre-activation,
+   and the rollout runs cycle-accurately via ``service.run_stream``;
 2. train the ridge readout on harvested states;
-3. quantize and compile W_out too (a rectangular multiplier);
+3. quantize W_out, deploy it too, and compute every test prediction with
+   micro-batched bit-plane products (``service.submit_many`` coalesces
+   the whole test set into 64-lane calls);
 4. run Mackey-Glass prediction with every matrix product in hardware and
    compare against the float pipeline.
 
 Run:  python examples/full_hardware_inference.py
 """
 
+import asyncio
+
 import numpy as np
 
 from repro.reservoir import (
-    HardwareESN,
     HardwareReadout,
     RidgeReadout,
     mackey_glass,
@@ -26,6 +32,7 @@ from repro.reservoir import (
     random_input_weights,
     random_reservoir,
 )
+from repro.serve import MatMulService
 
 
 def main() -> None:
@@ -36,9 +43,13 @@ def main() -> None:
     w_in = random_input_weights(dim, 1, scale=1.0, rng=rng)
     esn = quantize_esn(w, w_in, weight_width=8, state_width=10)
 
+    service = MatMulService()
+
     # Stage 1: the reservoir, with the input matrix folded into the same
-    # spatial array (augmented-matrix compilation).
-    hw = HardwareESN(esn, scheme="csd", include_input=True)
+    # spatial array (augmented-matrix compilation), deployed as a served
+    # multiplier; the rollout's recurrent products run on the gates.
+    reservoir = service.deploy_esn(esn, include_input=True, scheme="csd")
+    hw = reservoir.esn
     print("reservoir stage:")
     print(f"  augmented matrix {hw.multiplier.rows}x{hw.multiplier.cols} "
           f"-> {hw.multiplier.resources.luts} LUTs, "
@@ -47,20 +58,27 @@ def main() -> None:
     data = mackey_glass(3000)
     u_q = esn.quantize_inputs(data.inputs / np.max(np.abs(data.inputs)))
     washout = 100
-    states = hw.run(u_q, washout=washout)
+    states = service.run_stream(reservoir, u_q, washout=washout)
     targets = data.targets[washout:]
     cut = int(len(states) * 0.7)
 
     readout = RidgeReadout(alpha=1e-6).fit(states[:cut].astype(float), targets[:cut])
 
-    # Stage 2: the trained readout, compiled to hardware as well.
+    # Stage 2: the trained readout, compiled and served as well.  The
+    # whole test set goes through micro-batched bit-plane products
+    # instead of a per-vector loop; states are s10, so the served
+    # circuit streams 10-bit inputs.
     hw_readout = HardwareReadout(readout, weight_width=12, scheme="csd")
     print("readout stage:")
     print(f"  W_out {hw_readout.multiplier.rows}x{hw_readout.multiplier.cols} "
           f"-> {hw_readout.multiplier.resources.luts} LUTs, "
           f"{hw_readout.multiplier.latency_ns():.0f} ns/output")
 
-    hw_pred = hw_readout.predict(states[cut:])
+    readout_handle = service.deploy(
+        hw_readout.w_out_q.T, input_width=esn.state_width, scheme="csd"
+    )
+    raw = asyncio.run(service.submit_many(readout_handle, states[cut:]))
+    hw_pred = hw_readout.dequantize(raw)
     float_pred = readout.predict(states[cut:].astype(float))
 
     print()
@@ -73,6 +91,7 @@ def main() -> None:
     total_ns = hw.multiplier.latency_ns() + hw_readout.multiplier.latency_ns()
     print(f"\nend-to-end inference step (reservoir + readout): {total_ns:.0f} ns "
           f"= {1e3 / total_ns:.1f} M inferences/second")
+    service.close()
 
 
 if __name__ == "__main__":

@@ -4,16 +4,21 @@ This walks the library's core loop in under a minute:
 
 1. generate a random sparse signed matrix (the paper's workload);
 2. compile it with CSD recoding;
-3. multiply a vector three ways — exact math, cycle-accurate gate
-   simulation, and the deployment cost/latency models;
+3. multiply a vector three ways — exact math, the *served* cycle-accurate
+   gate simulation (deployed through :class:`repro.serve.MatMulService`,
+   which compiles through a content-addressed cache and executes on the
+   default bit-plane engine), and the deployment cost/latency models;
 4. print the full resource/timing/power summary.
 
 Run:  python examples/quickstart.py
 """
 
+import asyncio
+
 import numpy as np
 
 from repro import FixedMatrixMultiplier
+from repro.serve import MatMulService
 from repro.workloads import element_sparse_matrix, random_input_vector, rng_from_seed
 
 
@@ -31,7 +36,12 @@ def main() -> None:
     vector = random_input_vector(64, width=8, rng=rng)
 
     exact = mult.multiply(vector)
-    simulated = mult.simulate(vector)  # every serial adder, every cycle
+    # The served gate-level path: deploy once (repeat deploys hit the
+    # compile cache), submit vectors; the micro-batcher coalesces
+    # requests into bit-plane lane-packed cycle-accurate executions.
+    with MatMulService() as service:
+        handle = service.deploy(matrix, input_width=8, scheme="csd")
+        simulated = asyncio.run(service.submit(handle, vector))
     assert np.array_equal(exact, simulated), "gate-level sim must be bit-exact"
 
     print(f"input vector head:    {vector[:6]}")

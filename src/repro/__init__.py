@@ -10,7 +10,10 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.workloads` — the paper's random matrix generators;
 * :mod:`repro.reservoir` — Echo State Network library and tasks;
 * :mod:`repro.baselines` — GPU latency models and the SIGMA simulator;
-* :mod:`repro.bench` — per-figure experiment harness.
+* :mod:`repro.bench` — per-figure experiment harness;
+* :mod:`repro.serve` — served inference: compile cache, column shards,
+  asyncio micro-batching, and the :class:`~repro.serve.MatMulService`
+  facade.
 """
 
 from repro.core.multiplier import FixedMatrixMultiplier

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.latency import latency_cycles
 from repro.core.plan import plan_matrix
+from repro.core.serialize import matrix_digest
 from repro.core.stats import census_plan
 from repro.fpga.device import XCVU13P, DesignDoesNotFitError, FpgaDevice
 from repro.fpga.mapping import MappingRules, map_census
@@ -63,6 +64,16 @@ class FpgaDesignPoint:
         return batch * self.latency_s
 
 
+# Content-addressed reuse across *all* callers: any two sweeps that hand
+# in the same matrix bytes and compile options share one evaluated point,
+# even when they generated the matrix independently.  The old reuse path
+# (evaluation_design_point's lru_cache) only deduplicated calls with
+# identical scalar arguments; keying on repro.core.serialize.matrix_digest
+# makes the reuse principled and cross-call-site.
+_POINT_CACHE: dict[tuple, FpgaDesignPoint] = {}
+_POINT_CACHE_CAPACITY = 256
+
+
 def design_point_from_matrix(
     matrix: np.ndarray,
     element_sparsity: float,
@@ -71,7 +82,23 @@ def design_point_from_matrix(
     device: FpgaDevice = XCVU13P,
     seed: int = 0,
 ) -> FpgaDesignPoint:
-    """Compile and evaluate one matrix through the full FPGA model stack."""
+    """Compile and evaluate one matrix through the full FPGA model stack.
+
+    Results are memoized on the matrix content digest plus the compile
+    options, so repeated evaluations of the same configuration skip the
+    recompile entirely (CSD recoding and the census dominate the cost).
+    """
+    key = (
+        matrix_digest(matrix),
+        round(float(element_sparsity), 12),
+        input_width,
+        scheme,
+        device.name,
+        seed,
+    )
+    cached = _POINT_CACHE.get(key)
+    if cached is not None:
+        return cached
     rng = np.random.default_rng(seed)
     plan = plan_matrix(matrix, input_width=input_width, scheme=scheme, rng=rng)
     census = census_plan(plan)
@@ -91,7 +118,7 @@ def design_point_from_matrix(
         fmax = float("nan")
         span = 0
         power = float("nan")
-    return FpgaDesignPoint(
+    point = FpgaDesignPoint(
         dim=plan.rows,
         element_sparsity=element_sparsity,
         scheme=scheme,
@@ -105,6 +132,10 @@ def design_point_from_matrix(
         cycles=cycles,
         power_w=power,
     )
+    if len(_POINT_CACHE) >= _POINT_CACHE_CAPACITY:
+        _POINT_CACHE.pop(next(iter(_POINT_CACHE)))
+    _POINT_CACHE[key] = point
+    return point
 
 
 @lru_cache(maxsize=64)

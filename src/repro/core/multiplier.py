@@ -51,19 +51,29 @@ class FixedMatrixMultiplier:
         power: PowerModel = DEFAULT_POWER,
         mapping: MappingRules | None = None,
         tree_style: str = "compact",
+        plan: MatrixPlan | None = None,
     ) -> None:
         self.matrix = np.asarray(matrix, dtype=np.int64)
         self.device = device
         self.timing = timing
         self.power = power
         self.mapping = mapping or MappingRules()
-        self.plan: MatrixPlan = plan_matrix(
-            self.matrix,
-            input_width=input_width,
-            scheme=scheme,
-            rng=rng,
-            tree_style=tree_style,
-        )
+        if plan is not None:
+            # Adopt a precomputed plan (e.g. from repro.serve's compile
+            # cache) instead of re-planning; the plan wins over the
+            # input_width/scheme/tree_style arguments.  Verified against
+            # the matrix so a stale plan cannot silently serve wrong math.
+            if not np.array_equal(plan.matrix(), self.matrix):
+                raise ValueError("supplied plan does not implement this matrix")
+            self.plan: MatrixPlan = plan
+        else:
+            self.plan = plan_matrix(
+                self.matrix,
+                input_width=input_width,
+                scheme=scheme,
+                rng=rng,
+                tree_style=tree_style,
+            )
 
     # -- structural properties ---------------------------------------------
 

@@ -201,6 +201,18 @@ class MatrixPlan:
         """The signed matrix this plan implements."""
         return self.split.reconstruct()
 
+    def fingerprint(self) -> str:
+        """Stable content digest of this plan (see :mod:`repro.core.serialize`).
+
+        Equal fingerprints mean equal planes, widths, and tree style —
+        i.e. the builder would produce an identical circuit — which is
+        what makes the digest a principled compile-cache key.
+        """
+        # Deferred import: serialize imports this module at top level.
+        from repro.core.serialize import plan_fingerprint
+
+        return plan_fingerprint(self)
+
 
 def _depth_lookup(rows: int) -> np.ndarray:
     """Vectorized ``compact_depth`` table for tap counts 0..rows."""

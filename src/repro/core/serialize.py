@@ -5,10 +5,25 @@ a deployment flow; serialization lets a build system compile once, store
 the plan next to the generated RTL, and reload it for later analysis
 without recompiling — the same role a synthesis checkpoint plays in the
 paper's Vivado flow.
+
+Two content digests make the stored artifacts addressable:
+
+* :func:`matrix_digest` — SHA-256 over the signed matrix's shape and
+  canonical int64 bytes, identifying *what* is being compiled;
+* :func:`plan_fingerprint` — SHA-256 over the canonical JSON form of a
+  plan, identifying the *result* of a compilation (planes, widths, tree
+  style).  Two plans with equal fingerprints build identical circuits.
+
+The serve layer's compile cache (:mod:`repro.serve.cache`) keys on the
+matrix digest plus compile options; :attr:`CompiledCircuit.digest
+<repro.hwsim.builder.CompiledCircuit.digest>` exposes the plan
+fingerprint on compiled netlists.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 import numpy as np
@@ -17,7 +32,14 @@ from repro.core.plan import MatrixPlan
 from repro.core.split import SplitMatrix
 from repro.core.stats import CircuitCensus, PlaneCensus
 
-__all__ = ["plan_to_dict", "plan_from_dict", "census_to_dict", "census_from_dict"]
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "census_to_dict",
+    "census_from_dict",
+    "matrix_digest",
+    "plan_fingerprint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -55,6 +77,34 @@ def plan_from_dict(data: dict[str, Any]) -> MatrixPlan:
         result_width=int(data["result_width"]),
         tree_style=str(data["tree_style"]),
     )
+
+
+def matrix_digest(matrix: np.ndarray) -> str:
+    """Stable SHA-256 identity of a signed integer matrix.
+
+    Canonicalized to C-ordered int64 before hashing so the digest does
+    not depend on the caller's dtype, byte order, or array layout.
+    """
+    arr = np.ascontiguousarray(np.asarray(matrix, dtype=np.int64))
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    h = hashlib.sha256()
+    h.update(b"repro-matrix-v1:")
+    h.update(np.array(arr.shape, dtype=np.int64).tobytes())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def plan_fingerprint(plan: MatrixPlan) -> str:
+    """Stable SHA-256 fingerprint of a compilation plan.
+
+    Computed over the canonical JSON form of :func:`plan_to_dict`, so a
+    plan and its serialize/deserialize round trip fingerprint identically,
+    and any change to the planes, widths, or tree style changes the
+    digest.  Exposed on compiled netlists as ``CompiledCircuit.digest``.
+    """
+    payload = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
 def census_to_dict(census: CircuitCensus) -> dict[str, Any]:

@@ -56,6 +56,16 @@ class CompiledCircuit:
     decode_delta: int
 
     @property
+    def digest(self) -> str:
+        """Stable content fingerprint of the compiled plan.
+
+        Two circuits with equal digests were built from identical plans
+        and therefore have identical structure and behaviour; the serve
+        layer's compile cache (:mod:`repro.serve.cache`) relies on this.
+        """
+        return self.plan.fingerprint()
+
+    @property
     def run_cycles(self) -> int:
         """Cycles needed to produce and capture a full result.
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.multiplier import FixedMatrixMultiplier
+from repro.core.plan import MatrixPlan
 from repro.reservoir.quantize import IntegerESN
 
 __all__ = ["HardwareESN"]
@@ -52,6 +53,7 @@ class HardwareESN:
         rng: np.random.Generator | None = None,
         include_input: bool = False,
         input_quant_width: int = 8,
+        plan: MatrixPlan | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -69,6 +71,7 @@ class HardwareESN:
             input_width=stream_width,
             scheme=scheme,
             rng=rng,
+            plan=plan,  # precomputed (e.g. serve-cache) plan skips re-planning
         )
         self._circuit = None
         if backend == "gates":

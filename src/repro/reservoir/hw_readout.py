@@ -60,6 +60,19 @@ class HardwareReadout:
         """Raw integer products ``W_out_q x`` from the compiled hardware."""
         return self.multiplier.multiply(state_q)
 
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Dequantize raw integer products ``(timesteps, outputs)``.
+
+        The single source of truth for undoing the ``2^shift`` weight
+        scale and applying the bias — used by :meth:`predict` and by any
+        external executor of the compiled readout (e.g. a served
+        deployment computing the integer products in batch).
+        """
+        out = np.atleast_2d(raw).astype(float) / float(1 << self.shift) + self.bias
+        if out.shape[1] == 1:
+            out = out[:, 0]
+        return out if len(out) > 1 else out[0]
+
     def predict(self, states_q: np.ndarray) -> np.ndarray:
         """Dequantized predictions for integer reservoir states.
 
@@ -67,12 +80,7 @@ class HardwareReadout:
         integer states as produced by :class:`IntegerESN`.
         """
         arr = np.atleast_2d(np.asarray(states_q, dtype=np.int64))
-        raw = np.stack([self.predict_integer(state) for state in arr])
-        scale = float(1 << self.shift)
-        out = raw.astype(float) / scale + self.bias
-        if out.shape[1] == 1:
-            out = out[:, 0]
-        return out if len(out) > 1 else out[0]
+        return self.dequantize(np.stack([self.predict_integer(state) for state in arr]))
 
     def quantization_error_bound(self, state_peak: float) -> float:
         """Worst-case per-output error from weight rounding.

@@ -1,0 +1,69 @@
+"""`repro.serve` — a served inference system over the compiled multiplier.
+
+The paper's core economics (Denton & Schmit, HPCA 2022) are that a fixed
+sparse matrix compiled *spatially* into hardware amortizes beautifully
+over streams of vectors: compilation is paid once per deployment, and
+the bit-serial array then wants to be kept full.  This subsystem turns
+the repository's compiled circuits into exactly that served system, and
+each module is the runtime realization of a section of the paper:
+
+* :mod:`repro.serve.cache` — a content-addressed compile cache.  "The
+  matrix is fixed for the lifetime of the computation": deployment keys
+  on the matrix digest plus compile options, so repeated deploys of the
+  same reservoir never re-run CSD recoding or planning (the synthesis-
+  checkpoint role of :mod:`repro.core.serialize`, made automatic).
+* :mod:`repro.serve.shards` — Sec. VIII's tiling discussion as an
+  executor.  Columns are independent in this architecture, so a matrix
+  wider than one device splits into column shards
+  (:func:`repro.core.tiling.plan_column_tiles` under a LUT budget, or
+  near-equal ranges), each compiled once and simulated concurrently;
+  outputs concatenate bit-exactly into the monolithic result.
+* :mod:`repro.serve.batcher` — Sec. VI's SRAM wrapper ("we 'wrap' the
+  matrix multiplier with a small design that feeds inputs from an SRAM")
+  generalized from a local memory to live traffic: an asyncio
+  micro-batcher coalesces single-vector requests into 64-lane bit-plane
+  executions under a max-latency deadline.
+* :mod:`repro.serve.telemetry` — the observable quantities: throughput,
+  p50/p99 latency, lane occupancy, shard utilization.
+* :mod:`repro.serve.service` — the :class:`MatMulService` facade
+  (``deploy`` / ``await submit`` / ``run_stream``) binding all of the
+  above, including served reservoir rollouts (``deploy_esn``) where each
+  state update's batched recurrent product is one sharded hardware call.
+
+Quick taste::
+
+    import asyncio
+    import numpy as np
+    from repro.serve import MatMulService
+
+    service = MatMulService()
+    handle = service.deploy(matrix, input_width=8, scheme="csd", shards=2)
+
+    async def main():
+        return await service.submit(handle, vector)
+
+    product = asyncio.run(main())   # == vector @ matrix, via the gates
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import CompileCache, CompiledEntry, CompileKey, compile_key
+from repro.serve.service import Deployment, MatMulService, ServedESN
+from repro.serve.shards import Shard, ShardedMultiplier, even_column_shards
+from repro.serve.telemetry import DeploymentTelemetry, LatencyWindow
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "CompileCache",
+    "CompiledEntry",
+    "CompileKey",
+    "compile_key",
+    "Deployment",
+    "MatMulService",
+    "ServedESN",
+    "Shard",
+    "ShardedMultiplier",
+    "even_column_shards",
+    "DeploymentTelemetry",
+    "LatencyWindow",
+]

@@ -1,0 +1,149 @@
+"""Asyncio micro-batching: filling the bit-plane lanes from live traffic.
+
+The bit-plane engine (:mod:`repro.hwsim.fast`) advances up to 64 batch
+lanes per ``uint64`` word in one cycle loop, so a 64-lane call costs
+barely more than a 1-lane call — but reservoir serving traffic arrives
+as *single vectors*.  :class:`MicroBatcher` closes that gap: concurrent
+``submit`` calls are coalesced into one lane-packed execution, flushed
+either when the batch fills (``max_batch`` lanes) or when the oldest
+queued request has waited ``max_delay_s`` — the classic
+throughput-versus-tail-latency deadline found in inference servers.
+
+The batcher is engine-agnostic: it owns no circuit, only an ``execute``
+callable mapping a ``(B, rows)`` array to a ``(B, cols)`` array, which
+the service binds to a :class:`~repro.serve.shards.ShardedMultiplier`.
+Execution runs in the event loop's default thread-pool executor so the
+loop keeps accepting (and coalescing) requests while a batch simulates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how well traffic is filling the lanes."""
+
+    requests: int = 0
+    batches: int = 0
+    lanes_dispatched: int = 0
+    full_flushes: int = 0
+    deadline_flushes: int = 0
+    forced_flushes: int = 0
+
+    def mean_occupancy(self, max_batch: int) -> float:
+        """Mean fraction of available lanes filled per dispatched batch."""
+        if not self.batches:
+            return 0.0
+        return self.lanes_dispatched / (self.batches * max_batch)
+
+
+class MicroBatcher:
+    """Coalesce single-vector requests into lane-packed batch executions.
+
+    Must be used from within a running asyncio event loop; one batcher
+    serves one deployment.  ``submit`` preserves per-request results —
+    request *k* of a coalesced batch receives row *k* of the batch
+    result, so callers are oblivious to the batching.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[np.ndarray], np.ndarray],
+        max_batch: int = 64,
+        max_delay_s: float = 0.002,
+        validate: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self._execute = execute
+        self._validate = validate
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.stats = BatcherStats()
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: set[asyncio.Task] = set()
+
+    # -- public API ----------------------------------------------------------
+
+    async def submit(self, vector: np.ndarray) -> np.ndarray:
+        """Queue one vector; resolves to its product row when its batch runs.
+
+        With a ``validate`` callable installed, a malformed vector raises
+        here — to its own caller only — instead of poisoning the batch it
+        would have been coalesced into.
+        """
+        arr = np.asarray(vector)
+        if self._validate is not None:
+            self._validate(arr)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((arr, future))
+        self.stats.requests += 1
+        if len(self._pending) >= self.max_batch:
+            self._flush("full")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_delay_s, self._flush, "deadline"
+            )
+        return await future
+
+    async def drain(self) -> None:
+        """Force-flush the queue and wait for every in-flight batch."""
+        self._flush("forced")
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush(self, reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        self.stats.batches += 1
+        self.stats.lanes_dispatched += len(batch)
+        if reason == "full":
+            self.stats.full_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.forced_flushes += 1
+        task = asyncio.get_running_loop().create_task(self._run(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(
+        self, batch: list[tuple[np.ndarray, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            # Inside the try so even a shape mismatch at stack time fails
+            # every waiting future instead of leaving them pending forever.
+            vectors = np.stack([vec for vec, _ in batch])
+            results = await loop.run_in_executor(None, self._execute, vectors)
+        except Exception as exc:  # propagate to every caller in the batch
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), row in zip(batch, results):
+            if not future.done():
+                future.set_result(row)

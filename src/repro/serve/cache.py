@@ -1,0 +1,295 @@
+"""Content-addressed compile cache for deployed multipliers.
+
+Compiling a matrix is the expensive step of a deployment: CSD recoding
+and the result-width analysis (the plan), then netlist construction and
+the FastCircuit lowering.  A service that deploys the same reservoir to
+many replicas — or redeploys after a restart — should never pay that
+cost twice for the same bytes.
+
+:class:`CompileCache` keys compiled circuits on
+:func:`repro.core.serialize.matrix_digest` plus the compile options
+(``input_width``, ``scheme``, ``tree_style``) — everything that affects
+the resulting circuit.  Entries are held in memory under an LRU policy;
+with a ``directory`` the plan of every compile is also persisted via
+:mod:`repro.core.serialize`, so a *fresh process* deploying a known
+matrix skips re-planning (the dominant cost for large sparse matrices)
+and only re-runs the mechanical netlist build.
+
+The cache compiles deterministically (``rng=None``), so a key always
+names exactly one circuit; the stored plan's fingerprint
+(:func:`repro.core.serialize.plan_fingerprint`) is verified on disk
+loads to reject corrupt or stale artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import MatrixPlan, plan_matrix
+from repro.core.serialize import (
+    matrix_digest,
+    plan_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.hwsim.builder import CompiledCircuit, build_circuit
+from repro.hwsim.fast import FastCircuit
+
+__all__ = ["CompileKey", "CompiledEntry", "CompileCache", "compile_key"]
+
+_DISK_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompileKey:
+    """Everything that determines a compiled circuit, hashed and explicit."""
+
+    matrix_digest: str
+    input_width: int
+    scheme: str
+    tree_style: str
+
+    @property
+    def filename(self) -> str:
+        """Stable on-disk name for this key's persisted plan."""
+        return (
+            f"{self.matrix_digest[:32]}-w{self.input_width}"
+            f"-{self.scheme}-{self.tree_style}.plan.json"
+        )
+
+
+def compile_key(
+    matrix: np.ndarray,
+    input_width: int = 8,
+    scheme: str = "csd",
+    tree_style: str = "compact",
+) -> CompileKey:
+    """Content-addressed cache key for one (matrix, options) compile."""
+    return CompileKey(
+        matrix_digest=matrix_digest(matrix),
+        input_width=int(input_width),
+        scheme=str(scheme),
+        tree_style=str(tree_style),
+    )
+
+
+@dataclass
+class CompiledEntry:
+    """One cached compilation: plan, netlist, and the lowered fast engine."""
+
+    key: CompileKey
+    plan: MatrixPlan
+    circuit: CompiledCircuit
+    fast: FastCircuit
+    source: str  # "memory" | "disk" | "compiled"
+
+    @property
+    def fingerprint(self) -> str:
+        return self.circuit.digest
+
+
+class CompileCache:
+    """LRU compile cache with optional on-disk plan persistence.
+
+    Thread-safe: a service may deploy from multiple threads.  Note that
+    cached :class:`FastCircuit` instances are *shared* between all users
+    of a key — callers that inject netlist faults should compile outside
+    the cache (or use distinct cache instances) so experiments cannot
+    contaminate served traffic.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        directory: str | pathlib.Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directory = pathlib.Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[CompileKey, CompiledEntry] = OrderedDict()
+        # Plans are tiny next to compiled circuits, so the plan memo keeps
+        # a wider LRU: a plan computed for one consumer (say a served
+        # ESN's facade) is still warm when another (a single-shard
+        # compile of the same matrix) asks for it.
+        self._plans: OrderedDict[CompileKey, MatrixPlan] = OrderedDict()
+        self._plan_capacity = max(4 * capacity, 64)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.plan_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(
+        self,
+        matrix: np.ndarray,
+        input_width: int = 8,
+        scheme: str = "csd",
+        tree_style: str = "compact",
+    ) -> CompiledEntry:
+        """Return the compiled circuit for ``matrix``, compiling on miss."""
+        key = compile_key(matrix, input_width, scheme, tree_style)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return CompiledEntry(
+                    key=key,
+                    plan=entry.plan,
+                    circuit=entry.circuit,
+                    fast=entry.fast,
+                    source="memory",
+                )
+        plan, plan_source = self._plan_for(
+            key, matrix, input_width, scheme, tree_style
+        )
+        source = "disk" if plan_source == "disk" else "compiled"
+        circuit = build_circuit(plan)
+        entry = CompiledEntry(
+            key=key,
+            plan=plan,
+            circuit=circuit,
+            fast=FastCircuit.from_compiled(circuit),
+            source=source,
+        )
+        with self._lock:
+            if source == "disk":
+                self.disk_hits += 1
+            else:
+                self.misses += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def get_plan(
+        self,
+        matrix: np.ndarray,
+        input_width: int = 8,
+        scheme: str = "csd",
+        tree_style: str = "compact",
+    ) -> MatrixPlan:
+        """Return just the compilation plan for ``matrix`` (no netlist).
+
+        Consumers that only need the plan (latency models, a served ESN's
+        functional facade) share the same memo that :meth:`get` plans
+        through, so asking for the plan first never causes a later full
+        compile of the same key to re-plan — and vice versa.
+        """
+        key = compile_key(matrix, input_width, scheme, tree_style)
+        plan, _ = self._plan_for(key, matrix, input_width, scheme, tree_style)
+        return plan
+
+    def _plan_for(
+        self,
+        key: CompileKey,
+        matrix: np.ndarray,
+        input_width: int,
+        scheme: str,
+        tree_style: str,
+    ) -> tuple[MatrixPlan, str]:
+        """Plan via memo -> disk -> fresh compile; returns (plan, source)."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.plan_hits += 1
+                return plan, "memory"
+        plan = self._load_plan(key)
+        if plan is not None:
+            source = "disk"
+        else:
+            source = "planned"
+            plan = plan_matrix(
+                np.asarray(matrix, dtype=np.int64),
+                input_width=input_width,
+                scheme=scheme,
+                tree_style=tree_style,
+            )
+            self._store_plan(key, plan)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._plan_capacity:
+                self._plans.popitem(last=False)
+        return plan, source
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """In-memory hit fraction over all lookups (0.0 when untouched)."""
+        total = self.hits + self.disk_hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "plan_hits": self.plan_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "persistent": self.directory is not None,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def _path_for(self, key: CompileKey) -> pathlib.Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / key.filename
+
+    def _store_plan(self, key: CompileKey, plan: MatrixPlan) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        payload = {
+            "format_version": _DISK_FORMAT_VERSION,
+            "key": {
+                "matrix_digest": key.matrix_digest,
+                "input_width": key.input_width,
+                "scheme": key.scheme,
+                "tree_style": key.tree_style,
+            },
+            "fingerprint": plan_fingerprint(plan),
+            "plan": plan_to_dict(plan),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def _load_plan(self, key: CompileKey) -> MatrixPlan | None:
+        """Load a persisted plan, verifying content integrity; None on any
+        mismatch (the caller falls back to a fresh compile)."""
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format_version") != _DISK_FORMAT_VERSION:
+                return None
+            plan = plan_from_dict(payload["plan"])
+            if plan_fingerprint(plan) != payload.get("fingerprint"):
+                return None
+            if matrix_digest(plan.matrix()) != key.matrix_digest:
+                return None
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            return None
+        return plan

@@ -1,0 +1,359 @@
+"""`MatMulService`: deploy fixed matrices, serve vector streams.
+
+The facade that ties the serve layer together, one paper concept per
+collaborator:
+
+* ``deploy(matrix, ...)`` compiles through the content-addressed
+  :class:`~repro.serve.cache.CompileCache` (repeat deploys never
+  re-plan) into a :class:`~repro.serve.shards.ShardedMultiplier`
+  (Sec. VIII column tiling, executed concurrently), returning a
+  deployment handle;
+* ``await submit(handle, vector)`` routes single-vector requests through
+  the deployment's :class:`~repro.serve.batcher.MicroBatcher`, which
+  coalesces them into bit-plane lane-packed executions (the Sec. VI
+  wrapper's sequential batching, amortized across *users* instead of a
+  local SRAM);
+* ``run_stream(handle, ...)`` rolls out reservoir state trajectories for
+  deployments created by ``deploy_esn`` — every state update's batched
+  recurrent product is one sharded hardware call;
+* ``telemetry()`` reports throughput, p50/p99 latency, lane occupancy,
+  shard utilization, and compile-cache hit rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialize import matrix_digest
+from repro.reservoir.hw_esn import HardwareESN
+from repro.reservoir.quantize import IntegerESN
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import CompileCache
+from repro.serve.shards import ShardedMultiplier
+from repro.serve.telemetry import DeploymentTelemetry
+
+__all__ = ["Deployment", "MatMulService", "ServedESN"]
+
+_SERVED_BACKENDS = ("gates", "functional")
+
+
+@dataclass
+class Deployment:
+    """Handle to one deployed matrix: the object callers submit against."""
+
+    name: str
+    matrix_digest: str
+    sharded: ShardedMultiplier
+    batcher: MicroBatcher
+    telemetry: DeploymentTelemetry
+    engine: str = "bitplane"
+    esn: "ServedESN | None" = field(default=None, repr=False)
+
+    @property
+    def rows(self) -> int:
+        return self.sharded.rows
+
+    @property
+    def cols(self) -> int:
+        return self.sharded.cols
+
+    @property
+    def shard_count(self) -> int:
+        return self.sharded.shard_count
+
+
+class ServedESN(HardwareESN):
+    """A :class:`HardwareESN` whose hardware products come from a deployment.
+
+    Built by :meth:`MatMulService.deploy_esn`.  The base class is
+    constructed with ``backend="functional"`` (so no *monolithic* gate
+    circuit is compiled — the deployment's shards are the circuit);
+    ``served_backend`` selects what actually executes each product:
+
+    * ``"gates"`` — the sharded bit-plane engine, cycle-accurate;
+    * ``"functional"`` — the multiplier's exact integer path (bit-exact
+      with the gates by the library's cross-validation; useful when a
+      long rollout only needs the numbers, not the cycle accounting).
+    """
+
+    def __init__(
+        self,
+        esn: IntegerESN,
+        sharded: ShardedMultiplier,
+        telemetry: DeploymentTelemetry,
+        served_backend: str = "gates",
+        scheme: str = "csd",
+        include_input: bool = False,
+        input_quant_width: int = 8,
+        plan=None,
+    ) -> None:
+        if served_backend not in _SERVED_BACKENDS:
+            raise ValueError(
+                f"served_backend must be one of {_SERVED_BACKENDS}, "
+                f"got {served_backend!r}"
+            )
+        super().__init__(
+            esn,
+            scheme=scheme,
+            backend="functional",
+            include_input=include_input,
+            input_quant_width=input_quant_width,
+            plan=plan,
+        )
+        self.served_backend = served_backend
+        self._sharded = sharded
+        self._telemetry = telemetry
+
+    def _hardware_multiply(self, vector: np.ndarray) -> np.ndarray:
+        arr = np.asarray(vector)
+        batch = arr if arr.ndim == 2 else arr[None, :]
+        if self.served_backend == "gates":
+            out = self._sharded.multiply_batch(batch)
+        else:
+            out = self.multiplier.multiply_batch(batch)
+        self._telemetry.record_batch(batch.shape[0])
+        self._telemetry.record_products(batch.shape[0])
+        return out if arr.ndim == 2 else out[0]
+
+
+class MatMulService:
+    """Deploy compiled spatial multipliers and serve traffic against them.
+
+    One service owns one compile cache and any number of deployments.
+    ``submit``/``submit_many`` are coroutines (the micro-batcher needs a
+    running event loop to coalesce under its deadline); ``multiply`` is
+    the synchronous direct path — one hardware call per invocation, no
+    coalescing — kept as the baseline the throughput benchmark compares
+    against.
+    """
+
+    def __init__(
+        self,
+        cache: CompileCache | None = None,
+        max_batch: int = 64,
+        max_delay_s: float = 0.002,
+        engine: str = "bitplane",
+    ) -> None:
+        self.cache = cache if cache is not None else CompileCache()
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.engine = engine
+        self._deployments: dict[str, Deployment] = {}
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(
+        self,
+        matrix: np.ndarray,
+        name: str | None = None,
+        input_width: int = 8,
+        scheme: str = "csd",
+        tree_style: str = "compact",
+        shards: int | None = None,
+        lut_budget: int | None = None,
+        max_batch: int | None = None,
+        max_delay_s: float | None = None,
+    ) -> Deployment:
+        """Compile (through the cache) and register one served matrix."""
+        arr = np.asarray(matrix, dtype=np.int64)
+        digest = matrix_digest(arr)
+        sharded = ShardedMultiplier(
+            arr,
+            shards=shards,
+            lut_budget=lut_budget,
+            input_width=input_width,
+            scheme=scheme,
+            tree_style=tree_style,
+            cache=self.cache,
+        )
+        batch_limit = max_batch if max_batch is not None else self.max_batch
+        delay = max_delay_s if max_delay_s is not None else self.max_delay_s
+        telemetry = DeploymentTelemetry(max_batch=batch_limit)
+        engine = self.engine
+
+        def _execute(batch: np.ndarray) -> np.ndarray:
+            telemetry.record_batch(batch.shape[0])
+            return sharded.multiply_batch(batch, engine=engine)
+
+        if name is None:
+            name = f"m-{digest[:12]}"
+        base, suffix = name, 1
+        while name in self._deployments:
+            suffix += 1
+            name = f"{base}-{suffix}"
+        deployment = Deployment(
+            name=name,
+            matrix_digest=digest,
+            sharded=sharded,
+            batcher=MicroBatcher(
+                _execute,
+                max_batch=batch_limit,
+                max_delay_s=delay,
+                validate=sharded.validate_vector,
+            ),
+            telemetry=telemetry,
+            engine=engine,
+        )
+        self._deployments[name] = deployment
+        return deployment
+
+    def deploy_esn(
+        self,
+        esn: IntegerESN,
+        name: str | None = None,
+        include_input: bool = False,
+        input_quant_width: int = 8,
+        scheme: str = "csd",
+        served_backend: str = "gates",
+        shards: int | None = None,
+        lut_budget: int | None = None,
+        max_batch: int | None = None,
+        max_delay_s: float | None = None,
+    ) -> Deployment:
+        """Deploy a quantized reservoir's recurrent matrix for rollouts.
+
+        Compiles exactly what :class:`HardwareESN` would — ``W^T``, or
+        the augmented ``[W^T ; W_in^T]`` with ``include_input=True`` —
+        but through the service's cache and shard executor.  The handle's
+        ``esn`` attribute is the bound :class:`ServedESN`; drive it with
+        :meth:`run_stream`.
+        """
+        if include_input:
+            matrix = np.vstack([esn.w_q.T, esn.w_in_q.T])
+            stream_width = max(esn.state_width, input_quant_width)
+        else:
+            matrix = esn.w_q.T
+            stream_width = esn.state_width
+        # Plan the monolithic matrix once, through the cache's plan memo:
+        # the ServedESN facade adopts it, and a single-shard deploy below
+        # finds it memoized instead of re-planning the same bytes.
+        plan = self.cache.get_plan(matrix, input_width=stream_width, scheme=scheme)
+        deployment = self.deploy(
+            matrix,
+            name=name if name is not None else f"esn-{matrix_digest(matrix)[:12]}",
+            input_width=stream_width,
+            scheme=scheme,
+            shards=shards,
+            lut_budget=lut_budget,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+        )
+        deployment.esn = ServedESN(
+            esn,
+            deployment.sharded,
+            deployment.telemetry,
+            served_backend=served_backend,
+            scheme=scheme,
+            include_input=include_input,
+            input_quant_width=input_quant_width,
+            plan=plan,
+        )
+        return deployment
+
+    @property
+    def deployments(self) -> dict[str, Deployment]:
+        return dict(self._deployments)
+
+    # -- request paths -------------------------------------------------------
+
+    async def submit(self, handle: Deployment, vector: np.ndarray) -> np.ndarray:
+        """One vector in, its product row out, micro-batched underneath."""
+        start = time.perf_counter()
+        result = await handle.batcher.submit(vector)
+        handle.telemetry.record_request(time.perf_counter() - start)
+        return result
+
+    async def submit_many(
+        self, handle: Deployment, vectors: np.ndarray
+    ) -> np.ndarray:
+        """Submit a set of independent requests concurrently; ordered rows."""
+        batch = np.atleast_2d(np.asarray(vectors))
+        rows = await asyncio.gather(
+            *(self.submit(handle, vec) for vec in batch)
+        )
+        return np.stack(rows)
+
+    def multiply(
+        self, handle: Deployment, vectors: np.ndarray, engine: str | None = None
+    ) -> np.ndarray:
+        """Synchronous direct path: one hardware call, no coalescing."""
+        batch = np.atleast_2d(np.asarray(vectors))
+        out = handle.sharded.multiply_batch(
+            batch, engine=engine if engine is not None else handle.engine
+        )
+        handle.telemetry.record_batch(batch.shape[0])
+        handle.telemetry.record_products(batch.shape[0])
+        return out
+
+    def run_stream(
+        self,
+        handle: Deployment,
+        inputs_q: np.ndarray,
+        initial_states: np.ndarray | None = None,
+        washout: int = 0,
+    ) -> np.ndarray:
+        """Reservoir rollout(s) on a ``deploy_esn`` deployment.
+
+        A 3-D ``(B, steps, n_inputs)`` input rolls out ``B`` independent
+        sequences in lock-step — each step's ``B`` recurrent products are
+        one sharded hardware batch filling ``B`` bit-plane lanes.  1-D or
+        2-D inputs run a single sequence (products fill one lane each,
+        exactly like :meth:`HardwareESN.run`).
+        """
+        if handle.esn is None:
+            raise ValueError(
+                f"deployment {handle.name!r} was not created by deploy_esn; "
+                "run_stream needs a served reservoir"
+            )
+        arr = np.asarray(inputs_q)
+        if arr.ndim == 3:
+            return handle.esn.run_batch(arr, initial_states, washout)
+        return handle.esn.run(arr, initial_state=initial_states, washout=washout)
+
+    # -- observability / lifecycle ------------------------------------------
+
+    def telemetry(self, handle: Deployment | None = None) -> dict:
+        """Metrics for one deployment, or the whole service when omitted."""
+        if handle is not None:
+            return {
+                "name": handle.name,
+                "matrix_digest": handle.matrix_digest,
+                "engine": handle.engine,
+                **handle.telemetry.snapshot(),
+                "batcher": {
+                    "requests": handle.batcher.stats.requests,
+                    "batches": handle.batcher.stats.batches,
+                    "full_flushes": handle.batcher.stats.full_flushes,
+                    "deadline_flushes": handle.batcher.stats.deadline_flushes,
+                    "forced_flushes": handle.batcher.stats.forced_flushes,
+                    "mean_occupancy": round(
+                        handle.batcher.stats.mean_occupancy(
+                            handle.batcher.max_batch
+                        ),
+                        4,
+                    ),
+                },
+                "shards": handle.sharded.utilization(),
+            }
+        return {
+            "cache": self.cache.stats(),
+            "deployments": {
+                name: self.telemetry(dep)
+                for name, dep in self._deployments.items()
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down every deployment's shard executor."""
+        for deployment in self._deployments.values():
+            deployment.sharded.close()
+
+    def __enter__(self) -> "MatMulService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,270 @@
+"""Column-sharded execution of matrices too wide for one device.
+
+Columns are independent in this architecture — each column owns its own
+reduction trees, combination chain, and subtractor, and every column
+reads the same broadcast input vector — so a wide matrix splits cleanly
+into column-range shards with *no partial-sum plumbing*: shard ``k``
+computes output columns ``[start_k, stop_k)`` and the full result is the
+concatenation.  This is exactly the Sec. VIII tiling discussion
+(:mod:`repro.core.tiling`), lifted from a latency model into an executor.
+
+:class:`ShardedMultiplier` partitions a matrix either into a requested
+number of near-equal shards or under a LUT budget via
+:func:`repro.core.tiling.plan_column_tiles` (the paper's greedy device
+packing), compiles each shard once (optionally through a
+:class:`repro.serve.cache.CompileCache`), and executes all shards
+concurrently on the bit-plane engine.  Results are bit-exact with the
+monolithic circuit — asserted by the serve test suite across sparsities,
+widths, recoding schemes, and injected faults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bits import signed_range
+from repro.core.plan import plan_matrix
+from repro.core.tiling import plan_column_tiles
+from repro.hwsim.builder import CompiledCircuit, build_circuit
+from repro.hwsim.fast import FastCircuit
+from repro.serve.cache import CompileCache
+
+__all__ = ["Shard", "ShardedMultiplier", "even_column_shards"]
+
+
+def even_column_shards(cols: int, shards: int) -> list[tuple[int, int]]:
+    """Near-equal ``[start, stop)`` column ranges covering ``cols``."""
+    if cols < 1:
+        raise ValueError(f"cols must be >= 1, got {cols}")
+    if not 1 <= shards <= cols:
+        raise ValueError(f"shards must be in [1, {cols}], got {shards}")
+    base, extra = divmod(cols, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for k in range(shards):
+        stop = start + base + (1 if k < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclass
+class Shard:
+    """One compiled column range plus its execution accounting."""
+
+    index: int
+    start: int
+    stop: int
+    circuit: CompiledCircuit
+    fast: FastCircuit
+    calls: int = 0
+    busy_s: float = 0.0
+
+    @property
+    def cols(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def digest(self) -> str:
+        return self.circuit.digest
+
+
+class ShardedMultiplier:
+    """A fixed matrix executed as concurrently-simulated column shards.
+
+    Args:
+        matrix: 2-D signed integer matrix (the full, unsharded ``V``).
+        shards: partition into this many near-equal column ranges.
+        lut_budget: alternatively, partition greedily so each shard fits
+            the budget (Sec. VIII; see ``plan_column_tiles``).  Exactly
+            one of ``shards`` / ``lut_budget`` may be given; the default
+            is a single shard.
+        input_width / scheme / tree_style: compile options, as for
+            :func:`repro.core.plan.plan_matrix`.
+        cache: optional :class:`CompileCache`; shard compiles go through
+            it so identical shards across deployments are compiled once.
+        max_workers: thread-pool width (default: one thread per shard).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        shards: int | None = None,
+        lut_budget: int | None = None,
+        input_width: int = 8,
+        scheme: str = "csd",
+        tree_style: str = "compact",
+        cache: CompileCache | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise ValueError(f"expected a non-empty 2-D matrix, got shape {arr.shape}")
+        if shards is not None and lut_budget is not None:
+            raise ValueError("pass either shards or lut_budget, not both")
+        self.matrix = arr
+        self.input_width = int(input_width)
+        self.scheme = scheme
+        self.tree_style = tree_style
+        if lut_budget is not None:
+            ranges = plan_column_tiles(arr, lut_budget, scheme=scheme)
+        else:
+            ranges = even_column_shards(arr.shape[1], shards if shards else 1)
+        self.shards: list[Shard] = []
+        for k, (start, stop) in enumerate(ranges):
+            piece = arr[:, start:stop]
+            if cache is not None:
+                entry = cache.get(
+                    piece,
+                    input_width=input_width,
+                    scheme=scheme,
+                    tree_style=tree_style,
+                )
+                circuit, fast = entry.circuit, entry.fast
+            else:
+                circuit = build_circuit(
+                    plan_matrix(
+                        piece,
+                        input_width=input_width,
+                        scheme=scheme,
+                        tree_style=tree_style,
+                    )
+                )
+                fast = FastCircuit.from_compiled(circuit)
+            self.shards.append(
+                Shard(index=k, start=start, stop=stop, circuit=circuit, fast=fast)
+            )
+        workers = max_workers if max_workers is not None else len(self.shards)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=max(1, workers), thread_name_prefix="repro-shard"
+            )
+            if len(self.shards) > 1
+            else None
+        )
+        self._stats_lock = threading.Lock()
+        self._created = time.monotonic()
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def shard_ranges(self) -> list[tuple[int, int]]:
+        return [(s.start, s.stop) for s in self.shards]
+
+    # -- execution -----------------------------------------------------------
+
+    def _validate(self, vectors: np.ndarray) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        if arr.ndim != 2 or arr.shape[1] != self.rows:
+            raise ValueError(
+                f"expected vectors of shape (batch, {self.rows}), "
+                f"got {np.asarray(vectors).shape}"
+            )
+        lo, hi = signed_range(self.input_width)
+        if arr.size and (arr.min() < lo or arr.max() > hi):
+            bad = arr[(arr < lo) | (arr > hi)][0]
+            raise ValueError(f"input {bad} does not fit in s{self.input_width}")
+        return arr
+
+    def validate_vector(self, vector: np.ndarray) -> None:
+        """Raise ValueError unless ``vector`` is one servable request.
+
+        Used by the micro-batcher to reject a malformed request at submit
+        time, before it can be coalesced with (and fail alongside) valid
+        traffic.
+        """
+        arr = np.asarray(vector)
+        if arr.ndim != 1 or arr.shape[0] != self.rows:
+            raise ValueError(
+                f"expected a vector of length {self.rows}, got shape {arr.shape}"
+            )
+        self._validate(arr[None, :])
+
+    def _run_shard(self, shard: Shard, batch: np.ndarray, engine: str) -> np.ndarray:
+        start = time.perf_counter()
+        out = shard.fast.multiply_batch(batch, engine=engine)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            shard.calls += 1
+            shard.busy_s += elapsed
+        return out
+
+    def multiply_batch(
+        self, vectors: np.ndarray, engine: str = "bitplane"
+    ) -> np.ndarray:
+        """``(B, rows) -> (B, cols)``, every shard advancing concurrently.
+
+        Each shard receives the *full* input vectors (the architecture
+        broadcasts inputs to every column) and produces its own column
+        slice; slices concatenate into the monolithic result bit-exactly.
+        """
+        batch = self._validate(vectors)
+        if batch.shape[0] == 0:
+            pieces = [
+                s.fast.multiply_batch(batch, engine=engine) for s in self.shards
+            ]
+            return np.concatenate(pieces, axis=1)
+        if self._pool is None:
+            pieces = [self._run_shard(s, batch, engine) for s in self.shards]
+        else:
+            futures = [
+                self._pool.submit(self._run_shard, s, batch, engine)
+                for s in self.shards
+            ]
+            pieces = [f.result() for f in futures]
+        return np.concatenate(pieces, axis=1)
+
+    def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
+        """One vector through every shard; returns the ``(cols,)`` product."""
+        arr = np.asarray(vector, dtype=np.int64).ravel()
+        return self.multiply_batch(arr[None, :])[0]
+
+    # -- telemetry / lifecycle ----------------------------------------------
+
+    def utilization(self) -> dict:
+        """Per-shard busy time against wall-clock since construction."""
+        elapsed = max(time.monotonic() - self._created, 1e-9)
+        with self._stats_lock:
+            per_shard = [
+                {
+                    "shard": s.index,
+                    "columns": [s.start, s.stop],
+                    "calls": s.calls,
+                    "busy_s": round(s.busy_s, 6),
+                    "utilization": round(s.busy_s / elapsed, 6),
+                }
+                for s in self.shards
+            ]
+        return {
+            "shards": self.shard_count,
+            "elapsed_s": round(elapsed, 6),
+            "per_shard": per_shard,
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedMultiplier":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,106 @@
+"""Service telemetry: the numbers an operator watches on a dashboard.
+
+Kept deliberately dependency-free (no prometheus client in this
+container): a bounded reservoir of per-request latencies for percentile
+estimation plus monotonic counters, snapshotted into a plain dict that
+serializes straight to JSON for the throughput benchmark and any
+external scraper.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "DeploymentTelemetry"]
+
+
+class LatencyWindow:
+    """Rolling window of request latencies with percentile snapshots."""
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def record(self, latency_s: float) -> None:
+        self._samples.append(latency_s)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentiles(self, *points: float) -> dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` over the current window (NaN-free:
+        an empty window reports zeros so snapshots stay JSON-friendly)."""
+        if not self._samples:
+            return {f"p{int(p)}": 0.0 for p in points}
+        arr = np.fromiter(self._samples, dtype=float)
+        values = np.percentile(arr, points)
+        return {f"p{int(p)}": float(v) for p, v in zip(points, values)}
+
+
+class DeploymentTelemetry:
+    """Counters and latency stats for one deployed matrix.
+
+    Thread-safe; shared by the asyncio submit path (loop thread), the
+    shard executor threads, and synchronous ``run_stream`` rollouts.
+    """
+
+    def __init__(self, max_batch: int = 64, window: int = 4096) -> None:
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._latency = LatencyWindow(window)
+        self._started = time.monotonic()
+        self.requests = 0
+        self.products = 0
+        self.batches = 0
+        self.lanes = 0
+
+    def record_request(self, latency_s: float) -> None:
+        """One request completed end to end (submit to result)."""
+        with self._lock:
+            self.requests += 1
+            self.products += 1
+            self._latency.record(latency_s)
+
+    def record_products(self, count: int) -> None:
+        """Products completed outside the request path (stream rollouts)."""
+        with self._lock:
+            self.products += int(count)
+
+    def record_batch(self, lanes: int) -> None:
+        """One hardware batch dispatched with ``lanes`` lanes filled."""
+        with self._lock:
+            self.batches += 1
+            self.lanes += int(lanes)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def snapshot(self) -> dict:
+        """Point-in-time metrics dict (JSON-serializable)."""
+        with self._lock:
+            elapsed = max(self.uptime_s, 1e-9)
+            pct = self._latency.percentiles(50, 99)
+            occupancy = (
+                self.lanes / (self.batches * self.max_batch)
+                if self.batches
+                else 0.0
+            )
+            return {
+                "uptime_s": round(elapsed, 6),
+                "requests": self.requests,
+                "products": self.products,
+                "batches": self.batches,
+                "throughput_rps": round(self.products / elapsed, 3),
+                "latency_s": {
+                    "p50": round(pct["p50"], 6),
+                    "p99": round(pct["p99"], 6),
+                    "samples": len(self._latency),
+                },
+                "lane_occupancy": round(occupancy, 4),
+            }

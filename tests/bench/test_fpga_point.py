@@ -34,6 +34,25 @@ class TestDesignPoint:
         assert csd.luts < pn.luts
 
 
+class TestDigestReuse:
+    def test_same_matrix_bytes_share_one_evaluation(self, rng):
+        """Content-addressed memoization: independently-generated but
+        byte-identical matrices evaluate once (same object back)."""
+        matrix = rng.integers(-64, 64, size=(24, 24))
+        a = design_point_from_matrix(matrix, 0.5, scheme="csd")
+        b = design_point_from_matrix(matrix.copy(), 0.5, scheme="csd")
+        assert a is b
+
+    def test_different_options_evaluate_separately(self, rng):
+        matrix = rng.integers(-64, 64, size=(24, 24))
+        a = design_point_from_matrix(matrix, 0.5, scheme="csd")
+        b = design_point_from_matrix(matrix, 0.5, scheme="pn")
+        c = design_point_from_matrix(matrix, 0.5, scheme="csd", input_width=6)
+        assert a is not b
+        assert a is not c
+        assert b.ones != c.ones or b.ones != a.ones
+
+
 class TestEvaluationCache:
     def test_cached_identity(self):
         a = evaluation_design_point(64, 0.95, "csd")

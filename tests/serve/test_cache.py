@@ -1,0 +1,154 @@
+"""CompileCache: content-addressed keys, LRU policy, disk persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plan import plan_matrix
+from repro.core.serialize import (
+    matrix_digest,
+    plan_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.hwsim.builder import build_circuit
+from repro.serve.cache import CompileCache, compile_key
+
+
+def _matrix(seed=0, shape=(12, 10)):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 51, size=shape)
+    matrix[rng.random(shape) < 0.7] = 0
+    return matrix
+
+
+class TestDigests:
+    def test_matrix_digest_is_content_addressed(self):
+        m = _matrix()
+        assert matrix_digest(m) == matrix_digest(m.copy())
+        assert matrix_digest(m) == matrix_digest(np.asfortranarray(m))
+        assert matrix_digest(m) == matrix_digest(m.astype(np.int32))
+        changed = m.copy()
+        changed[0, 0] += 1
+        assert matrix_digest(m) != matrix_digest(changed)
+
+    def test_matrix_digest_distinguishes_shape(self):
+        flat = np.arange(12).reshape(3, 4)
+        assert matrix_digest(flat) != matrix_digest(flat.reshape(4, 3))
+
+    def test_matrix_digest_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            matrix_digest(np.arange(5))
+
+    def test_plan_fingerprint_survives_serialization_round_trip(self):
+        plan = plan_matrix(_matrix(), input_width=8, scheme="csd")
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert plan_fingerprint(clone) == plan_fingerprint(plan)
+
+    def test_plan_fingerprint_tracks_compile_options(self):
+        m = _matrix()
+        base = plan_fingerprint(plan_matrix(m, input_width=8, scheme="csd"))
+        assert base != plan_fingerprint(plan_matrix(m, input_width=6, scheme="csd"))
+        assert base != plan_fingerprint(plan_matrix(m, input_width=8, scheme="pn"))
+        assert base != plan_fingerprint(
+            plan_matrix(m, input_width=8, scheme="csd", tree_style="padded")
+        )
+
+    def test_compiled_circuit_digest_is_the_plan_fingerprint(self):
+        plan = plan_matrix(_matrix(), input_width=8, scheme="csd")
+        circuit = build_circuit(plan)
+        assert circuit.digest == plan.fingerprint() == plan_fingerprint(plan)
+
+    def test_compile_key_fields(self):
+        m = _matrix()
+        key = compile_key(m, input_width=8, scheme="csd", tree_style="compact")
+        assert key.matrix_digest == matrix_digest(m)
+        assert key == compile_key(m.copy(), 8, "csd", "compact")
+        assert key != compile_key(m, 8, "pn", "compact")
+        assert key.filename.endswith(".plan.json")
+
+
+class TestCompileCache:
+    def test_memory_hits_share_compiled_objects(self):
+        cache = CompileCache()
+        m = _matrix()
+        first = cache.get(m)
+        second = cache.get(m.copy())
+        assert first.source == "compiled"
+        assert second.source == "memory"
+        assert second.fast is first.fast
+        assert second.circuit is first.circuit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_distinct_options_are_distinct_entries(self):
+        cache = CompileCache()
+        m = _matrix()
+        cache.get(m, input_width=8)
+        cache.get(m, input_width=6)
+        cache.get(m, scheme="pn")
+        assert cache.misses == 3 and cache.hits == 0
+        assert len(cache) == 3
+
+    def test_lru_eviction(self):
+        cache = CompileCache(capacity=2)
+        a, b, c = _matrix(1), _matrix(2), _matrix(3)
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # refresh a; b is now least recently used
+        cache.get(c)  # evicts b
+        assert len(cache) == 2
+        cache.get(b)
+        assert cache.misses == 4  # a, b, c, then b again after eviction
+
+    def test_result_is_the_correct_circuit(self):
+        cache = CompileCache()
+        m = _matrix()
+        entry = cache.get(m, input_width=8, scheme="csd")
+        rng = np.random.default_rng(9)
+        vectors = rng.integers(-128, 128, size=(5, m.shape[0]))
+        assert np.array_equal(entry.fast.multiply_batch(vectors), vectors @ m)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CompileCache(capacity=0)
+
+
+class TestDiskPersistence:
+    def test_fresh_process_loads_plan_from_disk(self, tmp_path):
+        m = _matrix()
+        warm = CompileCache(directory=tmp_path)
+        first = warm.get(m)
+        assert first.source == "compiled"
+        assert list(tmp_path.glob("*.plan.json"))
+
+        # A new cache instance (fresh process) skips re-planning.
+        cold = CompileCache(directory=tmp_path)
+        loaded = cold.get(m)
+        assert loaded.source == "disk"
+        assert cold.disk_hits == 1 and cold.misses == 0
+        assert loaded.fingerprint == first.fingerprint
+        rng = np.random.default_rng(4)
+        vectors = rng.integers(-128, 128, size=(3, m.shape[0]))
+        assert np.array_equal(loaded.fast.multiply_batch(vectors), vectors @ m)
+
+    def test_corrupt_artifact_falls_back_to_compile(self, tmp_path):
+        m = _matrix()
+        CompileCache(directory=tmp_path).get(m)
+        artifact = next(tmp_path.glob("*.plan.json"))
+        artifact.write_text("{not json")
+        cache = CompileCache(directory=tmp_path)
+        entry = cache.get(m)
+        assert entry.source == "compiled"
+        assert cache.misses == 1 and cache.disk_hits == 0
+
+    def test_tampered_plan_is_rejected_by_fingerprint(self, tmp_path):
+        m = _matrix()
+        CompileCache(directory=tmp_path).get(m)
+        artifact = next(tmp_path.glob("*.plan.json"))
+        payload = json.loads(artifact.read_text())
+        payload["plan"]["positive"][0][0] += 1
+        artifact.write_text(json.dumps(payload))
+        cache = CompileCache(directory=tmp_path)
+        assert cache.get(m).source == "compiled"
