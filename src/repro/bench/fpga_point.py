@@ -12,8 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - layering: bench must not pull serve in
+    from repro.serve.cache import CompileCache
 
 from repro.core.latency import latency_cycles
 from repro.core.plan import plan_matrix
@@ -81,26 +85,41 @@ def design_point_from_matrix(
     scheme: str = "csd",
     device: FpgaDevice = XCVU13P,
     seed: int = 0,
+    cache: "CompileCache | None" = None,
 ) -> FpgaDesignPoint:
     """Compile and evaluate one matrix through the full FPGA model stack.
 
     Results are memoized on the matrix content digest plus the compile
     options, so repeated evaluations of the same configuration skip the
     recompile entirely (CSD recoding and the census dominate the cost).
+
+    With ``cache`` (a :class:`repro.serve.cache.CompileCache`), planning
+    goes through the serve layer's plan memo and artifact store instead:
+    a sweep evaluating matrices that are also deployed for serving — or
+    re-evaluating against a warm artifact directory — re-plans nothing.
+    Cache-backed planning is deterministic (``rng=None``), so it keys
+    separately from the seeded default path, whose CSD coin flips depend
+    on ``seed``.
     """
+    # Cache-backed planning ignores ``seed`` (it is deterministic), so
+    # normalize it out of the key: N seeds share one evaluation.
     key = (
         matrix_digest(matrix),
         round(float(element_sparsity), 12),
         input_width,
         scheme,
         device.name,
-        seed,
+        None if cache is not None else seed,
+        "deterministic" if cache is not None else "seeded",
     )
     cached = _POINT_CACHE.get(key)
     if cached is not None:
         return cached
-    rng = np.random.default_rng(seed)
-    plan = plan_matrix(matrix, input_width=input_width, scheme=scheme, rng=rng)
+    if cache is not None:
+        plan = cache.get_plan(matrix, input_width=input_width, scheme=scheme)
+    else:
+        rng = np.random.default_rng(seed)
+        plan = plan_matrix(matrix, input_width=input_width, scheme=scheme, rng=rng)
     census = census_plan(plan)
     resources = map_census(census, MappingRules())
     cycles = latency_cycles(plan.input_width, plan.nominal_weight_width, plan.rows)

@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.core.bits import signed_range
 from repro.core.split import SplitMatrix, split_matrix
+from repro.core.stages import STAGES
 
 __all__ = [
     "MatrixPlan",
@@ -262,6 +263,7 @@ def plan_matrix(
         raise ValueError(f"input_width must be >= 1, got {input_width}")
     if tree_style not in TREE_STYLES:
         raise ValueError(f"unknown tree_style {tree_style!r}; use one of {TREE_STYLES}")
+    STAGES.increment("plan")
     arr = np.asarray(matrix, dtype=np.int64)
     if arr.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")

@@ -1,10 +1,22 @@
-"""Plan and report serialization (JSON-compatible dictionaries).
+"""Artifact serialization for the staged compile pipeline.
 
 Compiling a large matrix (CSD recoding + census) is the expensive step of
 a deployment flow; serialization lets a build system compile once, store
-the plan next to the generated RTL, and reload it for later analysis
-without recompiling — the same role a synthesis checkpoint plays in the
-paper's Vivado flow.
+the artifacts next to the generated RTL, and reload them for later
+execution or analysis without recompiling — the same role a synthesis
+checkpoint plays in the paper's Vivado flow.
+
+Three artifact kinds, one per pipeline boundary (see ``docs/artifacts.md``):
+
+* **plans** (:func:`plan_to_dict` / :func:`plan_from_dict`) — the
+  recoded planes and width analysis, as JSON;
+* **kernels** (:func:`kernel_to_npz` / :func:`kernel_from_npz`) — the
+  lowered flat index arrays of a
+  :class:`~repro.hwsim.fast.LoweredKernel`, as a compressed ``.npz``
+  with an embedded JSON header; loading one skips netlist construction
+  *and* lowering entirely;
+* **censuses** (:func:`census_to_dict` / :func:`census_from_dict`) — the
+  combinatorial cost model, as JSON.
 
 Two content digests make the stored artifacts addressable:
 
@@ -12,19 +24,28 @@ Two content digests make the stored artifacts addressable:
   canonical int64 bytes, identifying *what* is being compiled;
 * :func:`plan_fingerprint` — SHA-256 over the canonical JSON form of a
   plan, identifying the *result* of a compilation (planes, widths, tree
-  style).  Two plans with equal fingerprints build identical circuits.
+  style).  Two plans with equal fingerprints build identical circuits,
+  and a kernel artifact carries the fingerprint of the plan it was
+  lowered from.
 
 The serve layer's compile cache (:mod:`repro.serve.cache`) keys on the
 matrix digest plus compile options; :attr:`CompiledCircuit.digest
 <repro.hwsim.builder.CompiledCircuit.digest>` exposes the plan
 fingerprint on compiled netlists.
+
+Forward compatibility: every artifact embeds a ``format_version``.
+Loaders raise ``ValueError`` on unknown versions (and on any structural
+mismatch) rather than guessing; callers that can rebuild — the compile
+cache — treat a load failure as a miss and recompile, so stale artifact
+stores degrade to cold starts, never to wrong answers.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any
+import pathlib
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -32,16 +53,29 @@ from repro.core.plan import MatrixPlan
 from repro.core.split import SplitMatrix
 from repro.core.stats import CircuitCensus, PlaneCensus
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hwsim imports core)
+    from repro.hwsim.fast import LoweredKernel
+
 __all__ = [
     "plan_to_dict",
     "plan_from_dict",
     "census_to_dict",
     "census_from_dict",
+    "kernel_to_npz",
+    "kernel_from_npz",
     "matrix_digest",
     "plan_fingerprint",
+    "KERNEL_FORMAT_VERSION",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Version of the ``.npz`` lowered-kernel artifact layout.  Bump on any
+#: change to the header fields, array set, or engine semantics the
+#: arrays encode; old readers must refuse newer artifacts.
+KERNEL_FORMAT_VERSION = 1
+
+_KERNEL_KIND = "repro-lowered-kernel"
 
 
 def plan_to_dict(plan: MatrixPlan) -> dict[str, Any]:
@@ -105,6 +139,70 @@ def plan_fingerprint(plan: MatrixPlan) -> str:
     """
     payload = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def kernel_to_npz(kernel: "LoweredKernel", path: str | pathlib.Path) -> None:
+    """Persist a lowered kernel as a compressed ``.npz`` artifact.
+
+    Layout: one ``__header__`` entry holding a JSON string (format
+    version, artifact kind, the plan fingerprint, and every scalar
+    execution parameter) plus one named entry per kernel index array.
+    The write is atomic (temp file + rename) so a crashed writer never
+    leaves a half-written artifact for a later reader to trip on.
+    """
+    path = pathlib.Path(path)
+    header = {
+        "format_version": KERNEL_FORMAT_VERSION,
+        "kind": _KERNEL_KIND,
+    }
+    for name in type(kernel).SCALAR_FIELDS:
+        value = getattr(kernel, name)
+        header[name] = value if isinstance(value, str) else int(value)
+    arrays = {name: getattr(kernel, name) for name in type(kernel).ARRAY_FIELDS}
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, __header__=json.dumps(header), **arrays)
+    tmp.replace(path)
+
+
+def kernel_from_npz(path: str | pathlib.Path) -> "LoweredKernel":
+    """Load a :func:`kernel_to_npz` artifact back into a ``LoweredKernel``.
+
+    Raises ``ValueError`` for anything that is not a well-formed kernel
+    artifact of the supported version — wrong kind, unknown
+    ``format_version``, or missing entries — so callers can fall back to
+    a rebuild instead of executing a misinterpreted artifact.
+    """
+    from repro.hwsim.fast import LoweredKernel
+
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "__header__" not in data:
+            raise ValueError(f"{path.name}: not a kernel artifact (no header)")
+        header = json.loads(str(data["__header__"][()]))
+        if header.get("kind") != _KERNEL_KIND:
+            raise ValueError(
+                f"{path.name}: unexpected artifact kind {header.get('kind')!r}"
+            )
+        version = header.get("format_version")
+        if version != KERNEL_FORMAT_VERSION:
+            raise ValueError(
+                f"{path.name}: unsupported kernel format version {version!r}"
+            )
+        fields: dict[str, Any] = {}
+        for name in LoweredKernel.SCALAR_FIELDS:
+            if name not in header:
+                raise ValueError(f"{path.name}: header missing {name!r}")
+            fields[name] = header[name]
+        for name in LoweredKernel.ARRAY_FIELDS:
+            if name not in data:
+                raise ValueError(f"{path.name}: artifact missing array {name!r}")
+            fields[name] = np.asarray(data[name], dtype=np.int64)
+    fields["fingerprint"] = str(fields["fingerprint"])
+    for name in LoweredKernel.SCALAR_FIELDS:
+        if name != "fingerprint":
+            fields[name] = int(fields[name])
+    return LoweredKernel(**fields)
 
 
 def census_to_dict(census: CircuitCensus) -> dict[str, Any]:

@@ -1,7 +1,13 @@
 """Gate-level bit-serial hardware simulation substrate."""
 
 from repro.hwsim.builder import CompiledCircuit, build_circuit
-from repro.hwsim.fast import FastCircuit, pack_lanes, unpack_lanes
+from repro.hwsim.fast import (
+    FastCircuit,
+    LoweredKernel,
+    lower,
+    pack_lanes,
+    unpack_lanes,
+)
 from repro.hwsim.faults import (
     FaultInjection,
     fault_campaign,
@@ -25,6 +31,8 @@ __all__ = [
     "CompiledCircuit",
     "build_circuit",
     "FastCircuit",
+    "LoweredKernel",
+    "lower",
     "pack_lanes",
     "unpack_lanes",
     "SramWrapper",

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.bits import decode_twos_complement_stream, signed_range
 from repro.core.plan import MatrixPlan
+from repro.core.stages import STAGES
 from repro.hwsim.components import (
     Component,
     ConstantZero,
@@ -215,6 +216,7 @@ def _build_plane_column(
 
 def build_circuit(plan: MatrixPlan) -> CompiledCircuit:
     """Instantiate the full vector-matrix multiplier for a plan."""
+    STAGES.increment("build")
     netlist = Netlist()
     inputs: list[Component] = [
         netlist.add(InputStream(plan.input_width, f"in{r}"), depth=0)

@@ -25,20 +25,46 @@ matrices, so any engine can stand in for any other):
   is well over an order of magnitude faster than looping the scalar
   path.
 
+Staged compilation
+------------------
+
+Since the matrix is fixed, everything between the matrix and the cycle
+loop is a pure, cacheable transformation.  The pipeline has a
+serializable artifact at each boundary::
+
+    MatrixPlan --build_circuit--> Netlist --lower--> LoweredKernel
+
+:func:`lower` extracts the flat index/opcode arrays the engines actually
+execute into a :class:`LoweredKernel` — plain numpy arrays plus a few
+scalars, with **no reference to component objects** — so a kernel can be
+pickled to a worker process or persisted to disk
+(:func:`repro.core.serialize.kernel_to_npz`) and re-executed without
+ever rebuilding the netlist.  ``FastCircuit(kernel)`` is the execution
+half; ``FastCircuit.from_compiled(circuit)`` remains the one-step
+convenience that lowers and binds the live netlist.
+
 Because every output is registered, evaluation order is irrelevant: each
 cycle reads the previous cycle's output vector and writes a fresh one.
 All engines honour faults injected on the underlying
 :class:`~repro.hwsim.netlist.Netlist` (``stuck_output`` applied
 post-commit, ``stuck_carry`` pre-compute), matching the object engine's
 semantics exactly, so verification campaigns may run on whichever engine
-is fastest for the batch at hand.
+is fastest for the batch at hand.  Lowering snapshots any faults present
+on the netlist into the kernel (so persisted faulty kernels stay
+faulty), while a :class:`FastCircuit` bound to a live netlist re-reads
+the injected fault set on every call; the snapshot/live distinction is
+also what lets process-level shards replay the parent's current faults
+deterministically (see ``overrides`` on :meth:`FastCircuit.multiply_batch`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
+
 import numpy as np
 
 from repro.core.bits import from_twos_complement_bits, signed_range
+from repro.core.stages import STAGES
 from repro.hwsim.builder import CompiledCircuit
 from repro.hwsim.components import (
     DFF,
@@ -48,10 +74,21 @@ from repro.hwsim.components import (
     SerialSubtractor,
 )
 
-__all__ = ["FastCircuit", "ALL_ENGINES", "pack_lanes", "unpack_lanes"]
+__all__ = [
+    "FastCircuit",
+    "LoweredKernel",
+    "lower",
+    "ALL_ENGINES",
+    "pack_lanes",
+    "unpack_lanes",
+]
 
 _WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Carry-bearing primitive classes, in the order their kind codes are
+# assigned inside a LoweredKernel's fault snapshot arrays.
+CARRY_KINDS = ("add", "sub", "neg")
 
 
 def pack_lanes(bits: np.ndarray) -> np.ndarray:
@@ -84,58 +121,286 @@ def unpack_lanes(words: np.ndarray, lanes: int) -> np.ndarray:
     return flat[:lanes].astype(np.int8)
 
 
+@dataclass(frozen=True, eq=False)
+class LoweredKernel:
+    """The flat, executable form of one compiled spatial multiplier.
+
+    Everything the cycle engines touch, and nothing else: index arrays
+    naming which component slots are inputs/adders/subtractors/negators/
+    DFFs (plus their operand slots and the output probes), the scalar
+    execution parameters, and a snapshot of any faults that were injected
+    on the netlist at lowering time.
+
+    A kernel is deliberately *dumb data* — numpy arrays and scalars — so
+    it is picklable (process-level sharding ships kernels to workers
+    once) and serializable (:mod:`repro.core.serialize` persists kernels
+    as ``.npz`` artifacts keyed by ``fingerprint``).  Execution is
+    ``FastCircuit(kernel)``.  ``fingerprint`` is the *plan* fingerprint:
+    equal fingerprints imply identical circuit structure, hence
+    bit-identical behaviour *between fault-free kernels* — the fault
+    snapshot is not part of the fingerprint (check :attr:`has_faults`;
+    the compile cache refuses fault-bearing artifacts for exactly this
+    reason).
+    """
+
+    fingerprint: str
+    rows: int
+    cols: int
+    input_width: int
+    result_width: int
+    decode_delta: int
+    run_cycles: int
+    size: int
+    input_idx: np.ndarray
+    add_idx: np.ndarray
+    add_a: np.ndarray
+    add_b: np.ndarray
+    sub_idx: np.ndarray
+    sub_a: np.ndarray
+    sub_b: np.ndarray
+    neg_idx: np.ndarray
+    neg_b: np.ndarray
+    dff_idx: np.ndarray
+    dff_d: np.ndarray
+    probe_idx: np.ndarray
+    # Fault snapshot: stuck outputs as (component slot, value) pairs and
+    # stuck carries as (kind code, per-kind slot, value) triples, where
+    # the kind code indexes CARRY_KINDS.
+    stuck_idx: np.ndarray
+    stuck_val: np.ndarray
+    carry_kind: np.ndarray
+    carry_slot: np.ndarray
+    carry_val: np.ndarray
+
+    #: Names of every array field, in declaration order — the contract
+    #: between this class and the .npz serializer.
+    ARRAY_FIELDS = (
+        "input_idx",
+        "add_idx",
+        "add_a",
+        "add_b",
+        "sub_idx",
+        "sub_a",
+        "sub_b",
+        "neg_idx",
+        "neg_b",
+        "dff_idx",
+        "dff_d",
+        "probe_idx",
+        "stuck_idx",
+        "stuck_val",
+        "carry_kind",
+        "carry_slot",
+        "carry_val",
+    )
+
+    #: Names of every scalar field (the .npz JSON header).
+    SCALAR_FIELDS = (
+        "fingerprint",
+        "rows",
+        "cols",
+        "input_width",
+        "result_width",
+        "decode_delta",
+        "run_cycles",
+        "size",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self.ARRAY_FIELDS:
+            arr = np.ascontiguousarray(getattr(self, name), dtype=np.int64)
+            if arr.ndim != 1:
+                raise ValueError(f"kernel field {name} must be 1-D, got {arr.shape}")
+            object.__setattr__(self, name, arr)
+        pairs = (
+            ("add_idx", "add_a"),
+            ("add_idx", "add_b"),
+            ("sub_idx", "sub_a"),
+            ("sub_idx", "sub_b"),
+            ("neg_idx", "neg_b"),
+            ("dff_idx", "dff_d"),
+            ("stuck_idx", "stuck_val"),
+            ("carry_kind", "carry_slot"),
+            ("carry_kind", "carry_val"),
+        )
+        for a, b in pairs:
+            if len(getattr(self, a)) != len(getattr(self, b)):
+                raise ValueError(f"kernel fields {a}/{b} disagree in length")
+
+    @property
+    def has_faults(self) -> bool:
+        """True when the lowering-time fault snapshot is non-empty."""
+        return bool(len(self.stuck_idx) or len(self.carry_kind))
+
+    def static_overrides(self) -> tuple[list, dict]:
+        """The fault snapshot in the engines' override schedule form."""
+        stuck_out = [
+            (int(i), int(v)) for i, v in zip(self.stuck_idx, self.stuck_val)
+        ]
+        carry: dict[str, list[tuple[int, int]]] = {k: [] for k in CARRY_KINDS}
+        for kind, slot, value in zip(
+            self.carry_kind, self.carry_slot, self.carry_val
+        ):
+            carry[CARRY_KINDS[int(kind)]].append((int(slot), int(value)))
+        return stuck_out, carry
+
+    def equivalent(self, other: "LoweredKernel") -> bool:
+        """Field-by-field equality (arrays compared element-wise)."""
+        for field in fields(self):
+            mine, theirs = getattr(self, field.name), getattr(other, field.name)
+            if field.name in self.ARRAY_FIELDS:
+                if not np.array_equal(mine, theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+
+def _lower_with_maps(
+    circuit: CompiledCircuit,
+) -> tuple[LoweredKernel, dict[int, int], dict[int, tuple[str, int]]]:
+    """Lower a compiled circuit, also returning the live-netlist maps.
+
+    The maps (``id(component) -> flat slot`` and ``id(component) ->
+    (carry kind, per-kind slot)``) let a :class:`FastCircuit` bound to
+    the netlist translate *later* fault injections into engine
+    overrides; they are deliberately not part of the kernel, which must
+    stay object-free.
+    """
+    STAGES.increment("lower")
+    plan = circuit.plan
+    components = circuit.netlist.components
+    index = {id(c): i for i, c in enumerate(components)}
+
+    input_idx = [index[id(c)] for c in components if isinstance(c, InputStream)]
+
+    def gather(kind):
+        return [c for c in components if type(c) is kind]
+
+    adders = gather(SerialAdder)
+    subs = gather(SerialSubtractor)
+    negs = gather(SerialNegator)
+    dffs = gather(DFF)
+
+    carry_slot: dict[int, tuple[str, int]] = {}
+    for kind, group in zip(CARRY_KINDS, (adders, subs, negs)):
+        for k, c in enumerate(group):
+            carry_slot[id(c)] = (kind, k)
+
+    stuck_idx: list[int] = []
+    stuck_val: list[int] = []
+    carry_kind: list[int] = []
+    carry_slots: list[int] = []
+    carry_val: list[int] = []
+    for component, kind, value in circuit.netlist.iter_faults():
+        if kind == "stuck_output":
+            stuck_idx.append(index[id(component)])
+            stuck_val.append(value)
+        else:
+            slot = carry_slot.get(id(component))
+            if slot is None:
+                # The object engine fails on this too (no carry register
+                # to force); fail loudly rather than silently lowering a
+                # fault-free kernel and corrupting campaign coverage.
+                raise ValueError(
+                    f"stuck_carry fault on {type(component).__name__} "
+                    f"{component.name!r}, which has no carry register"
+                )
+            carry_kind.append(CARRY_KINDS.index(slot[0]))
+            carry_slots.append(slot[1])
+            carry_val.append(value)
+
+    kernel = LoweredKernel(
+        fingerprint=circuit.digest,
+        rows=plan.rows,
+        cols=len(circuit.column_probes),
+        input_width=plan.input_width,
+        result_width=plan.result_width,
+        decode_delta=circuit.decode_delta,
+        run_cycles=circuit.run_cycles,
+        size=len(components),
+        input_idx=np.array(input_idx, dtype=np.int64),
+        add_idx=np.array([index[id(c)] for c in adders], dtype=np.int64),
+        add_a=np.array([index[id(c.a)] for c in adders], dtype=np.int64),
+        add_b=np.array([index[id(c.b)] for c in adders], dtype=np.int64),
+        sub_idx=np.array([index[id(c)] for c in subs], dtype=np.int64),
+        sub_a=np.array([index[id(c.a)] for c in subs], dtype=np.int64),
+        sub_b=np.array([index[id(c.b)] for c in subs], dtype=np.int64),
+        neg_idx=np.array([index[id(c)] for c in negs], dtype=np.int64),
+        neg_b=np.array([index[id(c.b)] for c in negs], dtype=np.int64),
+        dff_idx=np.array([index[id(c)] for c in dffs], dtype=np.int64),
+        dff_d=np.array([index[id(c.d)] for c in dffs], dtype=np.int64),
+        probe_idx=np.array(
+            [index[id(p.src)] for p in circuit.column_probes], dtype=np.int64
+        ),
+        stuck_idx=np.array(stuck_idx, dtype=np.int64),
+        stuck_val=np.array(stuck_val, dtype=np.int64),
+        carry_kind=np.array(carry_kind, dtype=np.int64),
+        carry_slot=np.array(carry_slots, dtype=np.int64),
+        carry_val=np.array(carry_val, dtype=np.int64),
+    )
+    return kernel, index, carry_slot
+
+
+def lower(circuit: CompiledCircuit) -> LoweredKernel:
+    """Lower a compiled netlist to its flat executable arrays.
+
+    A pure function of the circuit's structure plus its currently
+    injected faults; the result is position-independent data, ready to
+    pickle, persist, or execute via ``FastCircuit(kernel)``.
+    """
+    kernel, _, _ = _lower_with_maps(circuit)
+    return kernel
+
+
 class FastCircuit:
-    """A compiled circuit lowered to vectorized per-class updates."""
+    """Execute a :class:`LoweredKernel` with vectorized per-class updates.
+
+    Two construction paths:
+
+    * ``FastCircuit.from_compiled(circuit)`` (or ``FastCircuit(circuit)``)
+      lowers the circuit and keeps the live netlist bound, so faults
+      injected on the netlist *after* construction are honoured on the
+      next call — the behaviour verification campaigns rely on;
+    * ``FastCircuit(kernel)`` executes a pre-lowered kernel (from the
+      compile cache's disk artifacts or a pickled shard) with no netlist
+      anywhere in the process; the kernel's fault snapshot applies.
+    """
 
     ENGINES = ("scalar", "batched", "bitplane")
 
-    def __init__(self, circuit: CompiledCircuit) -> None:
-        self.plan = circuit.plan
-        self.decode_delta = circuit.decode_delta
-        self.run_cycles = circuit.run_cycles
-        self.netlist = circuit.netlist
-        components = circuit.netlist.components
-        index = {id(c): i for i, c in enumerate(components)}
-        self.size = len(components)
-        self._global_index = index
-
-        self._input_idx = np.array(
-            [index[id(c)] for c in components if isinstance(c, InputStream)],
-            dtype=np.int64,
-        )
-
-        def gather(kind):
-            return [c for c in components if type(c) is kind]
-
-        adders = gather(SerialAdder)
-        self._add_idx = np.array([index[id(c)] for c in adders], dtype=np.int64)
-        self._add_a = np.array([index[id(c.a)] for c in adders], dtype=np.int64)
-        self._add_b = np.array([index[id(c.b)] for c in adders], dtype=np.int64)
-
-        subs = gather(SerialSubtractor)
-        self._sub_idx = np.array([index[id(c)] for c in subs], dtype=np.int64)
-        self._sub_a = np.array([index[id(c.a)] for c in subs], dtype=np.int64)
-        self._sub_b = np.array([index[id(c.b)] for c in subs], dtype=np.int64)
-
-        negs = gather(SerialNegator)
-        self._neg_idx = np.array([index[id(c)] for c in negs], dtype=np.int64)
-        self._neg_b = np.array([index[id(c.b)] for c in negs], dtype=np.int64)
-
-        dffs = gather(DFF)
-        self._dff_idx = np.array([index[id(c)] for c in dffs], dtype=np.int64)
-        self._dff_d = np.array([index[id(c.d)] for c in dffs], dtype=np.int64)
-
-        self._probe_idx = np.array(
-            [index[id(p.src)] for p in circuit.column_probes], dtype=np.int64
-        )
-
-        self._carry_slot: dict[int, tuple[str, int]] = {}
-        for k, c in enumerate(adders):
-            self._carry_slot[id(c)] = ("add", k)
-        for k, c in enumerate(subs):
-            self._carry_slot[id(c)] = ("sub", k)
-        for k, c in enumerate(negs):
-            self._carry_slot[id(c)] = ("neg", k)
+    def __init__(
+        self,
+        source: CompiledCircuit | LoweredKernel,
+        plan=None,
+    ) -> None:
+        if isinstance(source, LoweredKernel):
+            self.kernel = source
+            self.plan = plan
+            self.netlist = None
+            self._global_index: dict[int, int] | None = None
+            self._carry_slot: dict[int, tuple[str, int]] | None = None
+        elif isinstance(source, CompiledCircuit):
+            self.kernel, self._global_index, self._carry_slot = _lower_with_maps(
+                source
+            )
+            self.plan = source.plan
+            self.netlist = source.netlist
+        else:
+            raise TypeError(
+                f"FastCircuit takes a CompiledCircuit or LoweredKernel, "
+                f"got {type(source).__name__}"
+            )
+        k = self.kernel
+        self.decode_delta = k.decode_delta
+        self.run_cycles = k.run_cycles
+        self.size = k.size
+        self._input_idx = k.input_idx
+        self._add_idx, self._add_a, self._add_b = k.add_idx, k.add_a, k.add_b
+        self._sub_idx, self._sub_a, self._sub_b = k.sub_idx, k.sub_a, k.sub_b
+        self._neg_idx, self._neg_b = k.neg_idx, k.neg_b
+        self._dff_idx, self._dff_d = k.dff_idx, k.dff_d
+        self._probe_idx = k.probe_idx
 
     @classmethod
     def from_compiled(cls, circuit: CompiledCircuit) -> "FastCircuit":
@@ -150,31 +415,38 @@ class FastCircuit:
             raise ValueError(
                 f"expected a (batch, rows) array of vectors, got shape {arr.shape}"
             )
-        if arr.shape[1] != self.plan.rows:
+        if arr.shape[1] != self.kernel.rows:
             raise ValueError(
-                f"vector length {arr.shape[1]} != matrix rows {self.plan.rows}"
+                f"vector length {arr.shape[1]} != matrix rows {self.kernel.rows}"
             )
         arr = arr.astype(np.int64)
-        lo, hi = signed_range(self.plan.input_width)
+        lo, hi = signed_range(self.kernel.input_width)
         bad = (arr < lo) | (arr > hi)
         if np.any(bad):
             v = int(arr[bad][0])
-            raise ValueError(f"input {v} does not fit in s{self.plan.input_width}")
+            raise ValueError(f"input {v} does not fit in s{self.kernel.input_width}")
         return arr
 
     # -- fault plumbing -----------------------------------------------------
 
-    def _fault_overrides(self):
-        """Snapshot the netlist's injected faults into engine-level plans.
+    def fault_overrides(self) -> tuple[list, dict]:
+        """The fault set to apply on the next execution.
 
         Returns ``(stuck_out, carry)`` where ``stuck_out`` is a list of
         ``(component index, value)`` applied post-commit, and ``carry``
         maps ``"add"/"sub"/"neg"`` to ``(slot, value)`` lists applied to
         the packed carry planes before each compute — the same schedule
         the object engine uses in :meth:`Netlist.step`.
+
+        With a live netlist bound, the netlist's *current* injected
+        faults are translated; a bare kernel replays its lowering-time
+        snapshot.  Either form is picklable and can be handed to a
+        worker's :meth:`multiply_batch` as ``overrides``.
         """
+        if self.netlist is None:
+            return self.kernel.static_overrides()
         stuck_out: list[tuple[int, int]] = []
-        carry: dict[str, list[tuple[int, int]]] = {"add": [], "sub": [], "neg": []}
+        carry: dict[str, list[tuple[int, int]]] = {k: [] for k in CARRY_KINDS}
         for component, kind, value in self.netlist.iter_faults():
             if kind == "stuck_output":
                 stuck_out.append((self._global_index[id(component)], value))
@@ -197,20 +469,29 @@ class FastCircuit:
         """Cycle-accurate ``a^T V``, bit-exact with the object simulator."""
         values = np.asarray(vector).ravel()
         batch = self._validate_batch(values[None, :])
-        return self._run_dense(batch)[0]
+        return self._run_dense(batch, None)[0]
 
     def multiply_batch(
-        self, vectors: np.ndarray, engine: str = "bitplane"
+        self,
+        vectors: np.ndarray,
+        engine: str = "bitplane",
+        overrides: tuple[list, dict] | None = None,
     ) -> np.ndarray:
         """Evaluate a ``(B, rows)`` batch of vectors; returns ``(B, cols)``.
 
         ``engine`` selects the execution strategy:
 
-        * ``"scalar"`` — per-vector loop over :meth:`multiply` (the seed
+        * ``"scalar"`` — per-vector loop over the dense engine (the seed
           behaviour; useful as a baseline and for debugging);
         * ``"batched"`` — one cycle loop with a dense batch axis;
         * ``"bitplane"`` — the same loop with 64 lanes packed per
           ``uint64`` word (default, fastest).
+
+        ``overrides`` replaces the fault set for this call only (the
+        exact structure :meth:`fault_overrides` returns) — the hook
+        process-level shards use to replay the parent's live faults on a
+        worker that only holds the kernel.  ``None`` means "resolve the
+        current faults now".
 
         All engines validate identically and produce bit-identical
         results, including under injected faults.
@@ -219,26 +500,28 @@ class FastCircuit:
             raise ValueError(f"engine must be one of {self.ENGINES}, got {engine!r}")
         batch = self._validate_batch(vectors)
         if batch.shape[0] == 0:
-            dtype = np.int64 if self.plan.result_width <= 62 else object
+            dtype = np.int64 if self.kernel.result_width <= 62 else object
             return np.zeros((0, len(self._probe_idx)), dtype=dtype)
         if engine == "scalar":
-            return np.stack([self.multiply(row) for row in batch])
+            return np.stack(
+                [self._run_dense(row[None, :], overrides)[0] for row in batch]
+            )
         if engine == "batched":
-            return self._run_dense(batch)
-        return self._run_bitplane(batch)
+            return self._run_dense(batch, overrides)
+        return self._run_bitplane(batch, overrides)
 
     # -- shared helpers -----------------------------------------------------
 
     def _input_bit_streams(self, batch: np.ndarray) -> np.ndarray:
         """``(B, rows, cycles)`` sign-extended LSb-first input bits."""
         cycles = self.run_cycles
-        width = self.plan.input_width
+        width = self.kernel.input_width
         shifts = np.minimum(np.arange(cycles), width - 1).astype(np.int64)
         return ((batch[:, :, None] >> shifts[None, None, :]) & 1).astype(np.int8)
 
     def _decode_bits(self, bits: np.ndarray) -> np.ndarray:
         """Decode ``(B, probes, result_width)`` two's-complement bit slabs."""
-        width = self.plan.result_width
+        width = self.kernel.result_width
         if width <= 62:
             weights = np.left_shift(np.int64(1), np.arange(width, dtype=np.int64))
             weights[-1] = -weights[-1]
@@ -253,11 +536,15 @@ class FastCircuit:
 
     # -- dense batched engine ------------------------------------------------
 
-    def _run_dense(self, batch: np.ndarray) -> np.ndarray:
+    def _run_dense(
+        self, batch: np.ndarray, overrides: tuple[list, dict] | None
+    ) -> np.ndarray:
         lanes = batch.shape[0]
         cycles = self.run_cycles
         input_bits = self._input_bit_streams(batch)
-        stuck_out, carry_faults = self._fault_overrides()
+        stuck_out, carry_faults = (
+            overrides if overrides is not None else self.fault_overrides()
+        )
         out = np.zeros((lanes, self.size), dtype=np.int8)
         add_carry = np.zeros((lanes, len(self._add_idx)), dtype=np.int8)
         sub_carry = np.ones((lanes, len(self._sub_idx)), dtype=np.int8)
@@ -290,18 +577,22 @@ class FastCircuit:
                 nxt[:, idx] = value
             out = nxt
             captured[:, :, cycle] = out[:, self._probe_idx]
-        width = self.plan.result_width
+        width = self.kernel.result_width
         slab = captured[:, :, self.decode_delta : self.decode_delta + width]
         return self._decode_bits(slab)
 
     # -- bit-plane engine ----------------------------------------------------
 
-    def _run_bitplane(self, batch: np.ndarray) -> np.ndarray:
+    def _run_bitplane(
+        self, batch: np.ndarray, overrides: tuple[list, dict] | None
+    ) -> np.ndarray:
         lanes = batch.shape[0]
         cycles = self.run_cycles
         words = -(-lanes // _WORD_BITS)
         input_words = pack_lanes(self._input_bit_streams(batch))
-        stuck_out, carry_faults = self._fault_overrides()
+        stuck_out, carry_faults = (
+            overrides if overrides is not None else self.fault_overrides()
+        )
         fault_word = {0: np.uint64(0), 1: _ALL_ONES}
         out = np.zeros((words, self.size), dtype=np.uint64)
         add_carry = np.zeros((words, len(self._add_idx)), dtype=np.uint64)
@@ -341,7 +632,7 @@ class FastCircuit:
                 nxt[:, idx] = fault_word[value]
             out = nxt
             captured[:, :, cycle] = out[:, self._probe_idx]
-        width = self.plan.result_width
+        width = self.kernel.result_width
         slab = captured[:, :, self.decode_delta : self.decode_delta + width]
         return self._decode_bits(unpack_lanes(slab, lanes))
 

@@ -78,6 +78,9 @@ def fault_campaign(
     max_faults: int | None = None,
     rng: np.random.Generator | None = None,
     engine: str = "bitplane",
+    service=None,
+    shards: int | None = None,
+    keep_deployment: bool = False,
 ) -> dict:
     """Stuck-at-output campaign: what fraction of faults do vectors expose?
 
@@ -94,11 +97,44 @@ def fault_campaign(
     stimulus batch in one packed cycle loop per fault.  All engines are
     bit-exact, so the report is identical; only the wall clock differs.
 
+    With ``service`` (a :class:`repro.serve.MatMulService`), the campaign
+    is routed through the serving stack instead of driving the circuit
+    directly: the plan's matrix is deployed (optionally column-sharded
+    via ``shards``), faults are injected per shard, and every evaluation
+    is a ``service.multiply`` call — so reliability sweeps share the
+    shard executor, compile cache, and telemetry with production
+    traffic.  The sweep covers the *deployment's* circuit, which the
+    service compiles deterministically from the matrix (as all serve
+    deploys are): functionally identical to ``circuit``, and
+    structurally identical unless ``circuit`` was planned with a custom
+    ``rng`` (seeded CSD coin flips) or is measured against a sharded
+    deployment — in those cases per-gate counts can differ from the
+    direct path even though both campaigns are exact for the structure
+    they measure.  That is the intended semantics: a served sweep
+    reports on what would actually be deployed.  The direct path (``service=None``) remains the default and
+    the fallback.  Served reports carry extra ``served``/``deployment``/
+    ``shards``/``telemetry`` keys; ``injected``/``detected``/``coverage``
+    mean the same thing in both modes.  The campaign's private deployment
+    is retired (``service.undeploy``) before returning — its final
+    telemetry snapshot lives in the report — unless ``keep_deployment``
+    is set, so repeated sweeps against a long-lived service do not
+    accumulate executors.
+
     Returns a dict with ``injected``, ``detected`` and ``coverage``.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+    if service is not None:
+        if engine == "object":
+            raise ValueError(
+                "the served campaign path executes through the shard engines; "
+                "use the direct path (service=None) for engine='object'"
+            )
+        return _served_campaign(
+            circuit, vectors, max_faults, rng, engine, service, shards,
+            keep_deployment,
+        )
     if engine == "object":
         golden_rows = [circuit.multiply(v) for v in vectors]
 
@@ -118,17 +154,34 @@ def fault_campaign(
                 fast.multiply_batch(vectors, engine=engine), golden
             )
     candidates = [
-        c
+        (circuit.netlist, c)
         for c in circuit.netlist.components
         if not isinstance(c, (InputStream, ConstantZero))
     ]
+    return _run_campaign(candidates, fault_exposed, max_faults, rng)
+
+
+def _sample_candidates(
+    candidates: list, max_faults: int | None, rng: np.random.Generator | None
+) -> list:
     if max_faults is not None and max_faults < len(candidates):
         rng = rng or np.random.default_rng(0)
         picks = rng.choice(len(candidates), size=max_faults, replace=False)
         candidates = [candidates[i] for i in sorted(picks)]
+    return candidates
+
+
+def _run_campaign(
+    candidates: list,
+    fault_exposed,
+    max_faults: int | None,
+    rng: np.random.Generator | None,
+) -> dict:
+    """Shared inject/evaluate/revert loop over (netlist, component) pairs."""
+    candidates = _sample_candidates(candidates, max_faults, rng)
     detected = 0
-    for component in candidates:
-        injection = inject_stuck_output(circuit.netlist, component, 1)
+    for netlist, component in candidates:
+        injection = inject_stuck_output(netlist, component, 1)
         try:
             exposed = fault_exposed()
         finally:
@@ -141,3 +194,65 @@ def fault_campaign(
         "detected": detected,
         "coverage": detected / injected if injected else 1.0,
     }
+
+
+def _served_campaign(
+    circuit: CompiledCircuit,
+    vectors: np.ndarray,
+    max_faults: int | None,
+    rng: np.random.Generator | None,
+    engine: str,
+    service,
+    shards: int | None,
+    keep_deployment: bool,
+) -> dict:
+    """Campaign through the serving stack (see :func:`fault_campaign`).
+
+    The deployment compiles its shards fresh (bypassing the service's
+    shared compile cache) for two reasons: campaign fault injections must
+    not leak into cached ``FastCircuit`` instances other traffic shares,
+    and injection needs live netlists, which kernel-cache hits
+    deliberately do not carry.
+    """
+    from repro.serve.service import MatMulService
+
+    if not isinstance(service, MatMulService):
+        raise TypeError(
+            f"service must be a MatMulService, got {type(service).__name__}"
+        )
+    plan = circuit.plan
+    handle = service.deploy(
+        plan.matrix(),
+        input_width=plan.input_width,
+        scheme=plan.split.scheme,
+        tree_style=plan.tree_style,
+        shards=shards,
+        use_cache=False,
+    )
+    try:
+        sharded = handle.sharded
+        golden = service.multiply(handle, vectors, engine=engine)
+
+        def fault_exposed() -> bool:
+            return not np.array_equal(
+                service.multiply(handle, vectors, engine=engine), golden
+            )
+
+        candidates = [
+            (shard.circuit.netlist, c)
+            for shard in sharded.shards
+            for c in shard.circuit.netlist.components
+            if not isinstance(c, (InputStream, ConstantZero))
+        ]
+        report = _run_campaign(candidates, fault_exposed, max_faults, rng)
+        report.update(
+            served=True,
+            deployment=handle.name,
+            shards=sharded.shard_count,
+            engine=engine,
+            telemetry=service.telemetry(handle),
+        )
+    finally:
+        if not keep_deployment:
+            service.undeploy(handle)
+    return report

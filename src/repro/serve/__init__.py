@@ -48,7 +48,12 @@ Quick taste::
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import CompileCache, CompiledEntry, CompileKey, compile_key
 from repro.serve.service import Deployment, MatMulService, ServedESN
-from repro.serve.shards import Shard, ShardedMultiplier, even_column_shards
+from repro.serve.shards import (
+    SHARD_BACKENDS,
+    Shard,
+    ShardedMultiplier,
+    even_column_shards,
+)
 from repro.serve.telemetry import DeploymentTelemetry, LatencyWindow
 
 __all__ = [
@@ -63,6 +68,7 @@ __all__ = [
     "ServedESN",
     "Shard",
     "ShardedMultiplier",
+    "SHARD_BACKENDS",
     "even_column_shards",
     "DeploymentTelemetry",
     "LatencyWindow",

@@ -19,6 +19,7 @@ loop keeps accepting (and coalescing) requests while a batch simulates.
 from __future__ import annotations
 
 import asyncio
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -73,6 +74,10 @@ class MicroBatcher:
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
+        # The loop (and its thread) this batcher coalesces on, captured
+        # at first submit; lets teardown paths hop onto the loop thread.
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: int | None = None
 
     # -- public API ----------------------------------------------------------
 
@@ -87,6 +92,8 @@ class MicroBatcher:
         if self._validate is not None:
             self._validate(arr)
         loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._loop_thread = threading.get_ident()
         future: asyncio.Future = loop.create_future()
         self._pending.append((arr, future))
         self.stats.requests += 1
@@ -103,6 +110,56 @@ class MicroBatcher:
         self._flush("forced")
         while self._inflight:
             await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+
+    def reject_pending(self, exc: Exception) -> None:
+        """Fail every queued-but-unflushed request with ``exc``, now.
+
+        The synchronous teardown hook: when a deployment is retired its
+        executor is about to close, so requests still waiting for a
+        flush deadline must be rejected cleanly rather than dispatched
+        into a dead executor.  In-flight batches are unaffected (their
+        futures resolve or fail on their own).
+
+        Asyncio futures and timer handles are not thread-safe, so a call
+        from outside the coalescing loop's thread (an operator thread
+        retiring a deployment) is marshalled onto the loop via
+        ``call_soon_threadsafe`` and *waited for*, so that when this
+        method returns the queue really is empty and the caller may shut
+        executors down.  (A batch the deadline timer flushed before the
+        rejection landed runs to completion — or fails — into its own
+        futures, exactly as any in-flight batch would.)  On the loop
+        thread — or with no loop ever seen — it rejects inline.
+        """
+        loop = self._loop
+        if (
+            loop is not None
+            and loop.is_running()
+            and threading.get_ident() != self._loop_thread
+        ):
+            done = threading.Event()
+
+            def _reject_and_signal() -> None:
+                try:
+                    self._reject_pending_now(exc)
+                finally:
+                    done.set()
+
+            loop.call_soon_threadsafe(_reject_and_signal)
+            # Bounded wait: if the loop stops before running the
+            # callback, nothing can flush the queue into a dead executor
+            # either, so proceeding is safe.
+            done.wait(timeout=5.0)
+        else:
+            self._reject_pending_now(exc)
+
+    def _reject_pending_now(self, exc: Exception) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        for _, future in pending:
+            if not future.done():
+                future.set_exception(exc)
 
     @property
     def pending(self) -> int:

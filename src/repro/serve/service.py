@@ -155,10 +155,23 @@ class MatMulService:
         tree_style: str = "compact",
         shards: int | None = None,
         lut_budget: int | None = None,
+        backend: str = "thread",
         max_batch: int | None = None,
         max_delay_s: float | None = None,
+        use_cache: bool = True,
     ) -> Deployment:
-        """Compile (through the cache) and register one served matrix."""
+        """Compile (through the cache) and register one served matrix.
+
+        ``backend`` selects the shard executor (``"thread"`` or
+        ``"process"``; see :class:`~repro.serve.shards.ShardedMultiplier`).
+        ``max_batch`` / ``max_delay_s`` override the service-wide
+        micro-batching limits for this deployment; the effective values
+        are recorded in every telemetry snapshot under ``"batching"``.
+        ``use_cache=False`` compiles private shards outside the shared
+        compile cache — required by experiments that mutate shard
+        netlists (fault campaigns), since cached circuits are shared
+        across deployments and kernel-cache hits carry no netlist at all.
+        """
         arr = np.asarray(matrix, dtype=np.int64)
         digest = matrix_digest(arr)
         sharded = ShardedMultiplier(
@@ -168,11 +181,12 @@ class MatMulService:
             input_width=input_width,
             scheme=scheme,
             tree_style=tree_style,
-            cache=self.cache,
+            cache=self.cache if use_cache else None,
+            backend=backend,
         )
         batch_limit = max_batch if max_batch is not None else self.max_batch
         delay = max_delay_s if max_delay_s is not None else self.max_delay_s
-        telemetry = DeploymentTelemetry(max_batch=batch_limit)
+        telemetry = DeploymentTelemetry(max_batch=batch_limit, max_delay_s=delay)
         engine = self.engine
 
         def _execute(batch: np.ndarray) -> np.ndarray:
@@ -211,6 +225,7 @@ class MatMulService:
         served_backend: str = "gates",
         shards: int | None = None,
         lut_budget: int | None = None,
+        backend: str = "thread",
         max_batch: int | None = None,
         max_delay_s: float | None = None,
     ) -> Deployment:
@@ -239,6 +254,7 @@ class MatMulService:
             scheme=scheme,
             shards=shards,
             lut_budget=lut_budget,
+            backend=backend,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
         )
@@ -257,6 +273,24 @@ class MatMulService:
     @property
     def deployments(self) -> dict[str, Deployment]:
         return dict(self._deployments)
+
+    def undeploy(self, handle: "Deployment | str") -> None:
+        """Retire one deployment: shut its shard executor down and drop
+        it from the registry (and from service-wide telemetry).
+
+        Needed by anything that deploys transiently — fault campaigns, A/B
+        recompiles — so a long-lived service does not accumulate dead
+        executors.  Requests still queued in the micro-batcher are
+        rejected with a clear error before the executor closes;
+        idempotent on already-retired handles.
+        """
+        name = handle if isinstance(handle, str) else handle.name
+        deployment = self._deployments.pop(name, None)
+        if deployment is not None:
+            deployment.batcher.reject_pending(
+                RuntimeError(f"deployment {name!r} was retired")
+            )
+            deployment.sharded.close()
 
     # -- request paths -------------------------------------------------------
 

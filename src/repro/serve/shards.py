@@ -13,17 +13,34 @@ number of near-equal shards or under a LUT budget via
 :func:`repro.core.tiling.plan_column_tiles` (the paper's greedy device
 packing), compiles each shard once (optionally through a
 :class:`repro.serve.cache.CompileCache`), and executes all shards
-concurrently on the bit-plane engine.  Results are bit-exact with the
-monolithic circuit — asserted by the serve test suite across sparsities,
-widths, recoding schemes, and injected faults.
+concurrently.  Results are bit-exact with the monolithic circuit —
+asserted by the serve test suite across sparsities, widths, recoding
+schemes, backends, and injected faults.
+
+Two execution backends:
+
+* ``backend="thread"`` (default) — one thread per shard over the shared
+  bit-plane engine.  Zero setup cost, but numpy releases the GIL only
+  partially, so parallelism saturates early.
+* ``backend="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers receive each shard's :class:`~repro.hwsim.fast.LoweredKernel`
+  **once at pool creation** (kernels are plain arrays, hence picklable —
+  the payoff of the staged compile pipeline) and rebuild a bare
+  ``FastCircuit`` from it.  Per call, the input batch is published
+  through one :class:`multiprocessing.shared_memory.SharedMemory` block
+  (no per-shard copies of the batch cross the pipe) and each shard's
+  *current* fault overrides — tiny index/value lists — ride along, so
+  live fault injection on a shard's netlist is replayed deterministically
+  in the worker and stays bit-exact with the thread backend.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -31,10 +48,17 @@ from repro.core.bits import signed_range
 from repro.core.plan import plan_matrix
 from repro.core.tiling import plan_column_tiles
 from repro.hwsim.builder import CompiledCircuit, build_circuit
-from repro.hwsim.fast import FastCircuit
+from repro.hwsim.fast import FastCircuit, LoweredKernel
 from repro.serve.cache import CompileCache
 
-__all__ = ["Shard", "ShardedMultiplier", "even_column_shards"]
+__all__ = [
+    "Shard",
+    "ShardedMultiplier",
+    "even_column_shards",
+    "SHARD_BACKENDS",
+]
+
+SHARD_BACKENDS = ("thread", "process")
 
 
 def even_column_shards(cols: int, shards: int) -> list[tuple[int, int]]:
@@ -55,12 +79,17 @@ def even_column_shards(cols: int, shards: int) -> list[tuple[int, int]]:
 
 @dataclass
 class Shard:
-    """One compiled column range plus its execution accounting."""
+    """One compiled column range plus its execution accounting.
+
+    ``circuit`` is ``None`` when the shard came out of a kernel-cache
+    hit — there is no netlist in the process, only the kernel.  Fault
+    injection needs the netlist, so campaigns deploy with fresh compiles.
+    """
 
     index: int
     start: int
     stop: int
-    circuit: CompiledCircuit
+    circuit: CompiledCircuit | None
     fast: FastCircuit
     calls: int = 0
     busy_s: float = 0.0
@@ -70,8 +99,52 @@ class Shard:
         return self.stop - self.start
 
     @property
+    def kernel(self) -> LoweredKernel:
+        return self.fast.kernel
+
+    @property
     def digest(self) -> str:
-        return self.circuit.digest
+        return self.fast.kernel.fingerprint
+
+
+# -- process-backend worker side ---------------------------------------------
+#
+# Each shard owns a single-worker pool whose process holds exactly that
+# shard's bare FastCircuit, built from the kernel shipped through the
+# pool initializer — total resident kernel/engine state is O(shards),
+# not O(shards^2) as an all-kernels-to-all-workers pool would be.
+# Workers never see a netlist, a plan, or a matrix: kernels are the
+# deployment unit.
+
+_WORKER_FAST: FastCircuit | None = None
+
+
+def _process_worker_init(kernel: LoweredKernel) -> None:
+    global _WORKER_FAST
+    _WORKER_FAST = FastCircuit(kernel)
+
+
+def _process_worker_run(
+    shm_name: str,
+    shape: tuple[int, int],
+    engine: str,
+    overrides: tuple[list, dict],
+) -> tuple[np.ndarray, float]:
+    """Execute this worker's shard against the shared-memory input batch.
+
+    Returns ``(columns, busy_seconds)`` so the parent can keep the same
+    per-shard utilization accounting as the thread backend.
+    """
+    start = time.perf_counter()
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        batch = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+        out = _WORKER_FAST.multiply_batch(
+            batch, engine=engine, overrides=overrides
+        )
+    finally:
+        shm.close()
+    return out, time.perf_counter() - start
 
 
 class ShardedMultiplier:
@@ -87,8 +160,13 @@ class ShardedMultiplier:
         input_width / scheme / tree_style: compile options, as for
             :func:`repro.core.plan.plan_matrix`.
         cache: optional :class:`CompileCache`; shard compiles go through
-            it so identical shards across deployments are compiled once.
+            it so identical shards across deployments are compiled once
+            (and, with a warm kernel store, never built at all).
+        backend: ``"thread"`` (default) or ``"process"``; see the module
+            docstring for the trade-off.
         max_workers: thread-pool width (default: one thread per shard).
+            The process backend always runs one worker per shard — each
+            worker holds exactly its own shard's kernel.
     """
 
     def __init__(
@@ -100,6 +178,7 @@ class ShardedMultiplier:
         scheme: str = "csd",
         tree_style: str = "compact",
         cache: CompileCache | None = None,
+        backend: str = "thread",
         max_workers: int | None = None,
     ) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
@@ -107,10 +186,15 @@ class ShardedMultiplier:
             raise ValueError(f"expected a non-empty 2-D matrix, got shape {arr.shape}")
         if shards is not None and lut_budget is not None:
             raise ValueError("pass either shards or lut_budget, not both")
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+            )
         self.matrix = arr
         self.input_width = int(input_width)
         self.scheme = scheme
         self.tree_style = tree_style
+        self.backend = backend
         if lut_budget is not None:
             ranges = plan_column_tiles(arr, lut_budget, scheme=scheme)
         else:
@@ -140,13 +224,25 @@ class ShardedMultiplier:
                 Shard(index=k, start=start, stop=stop, circuit=circuit, fast=fast)
             )
         workers = max_workers if max_workers is not None else len(self.shards)
-        self._pool = (
-            ThreadPoolExecutor(
+        self._pool: Executor | None = None
+        self._shard_pools: list[ProcessPoolExecutor] = []
+        if backend == "process":
+            # One single-worker pool per shard: each shard's kernel
+            # crosses the process boundary exactly once, into exactly one
+            # worker.  (``max_workers`` applies to the thread backend;
+            # process parallelism is one worker per shard by design.)
+            self._shard_pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_process_worker_init,
+                    initargs=(shard.kernel,),
+                )
+                for shard in self.shards
+            ]
+        elif len(self.shards) > 1:
+            self._pool = ThreadPoolExecutor(
                 max_workers=max(1, workers), thread_name_prefix="repro-shard"
             )
-            if len(self.shards) > 1
-            else None
-        )
         self._stats_lock = threading.Lock()
         self._created = time.monotonic()
 
@@ -197,14 +293,46 @@ class ShardedMultiplier:
             )
         self._validate(arr[None, :])
 
-    def _run_shard(self, shard: Shard, batch: np.ndarray, engine: str) -> np.ndarray:
-        start = time.perf_counter()
-        out = shard.fast.multiply_batch(batch, engine=engine)
-        elapsed = time.perf_counter() - start
+    def _record(self, shard: Shard, elapsed: float) -> None:
         with self._stats_lock:
             shard.calls += 1
             shard.busy_s += elapsed
+
+    def _run_shard(self, shard: Shard, batch: np.ndarray, engine: str) -> np.ndarray:
+        start = time.perf_counter()
+        out = shard.fast.multiply_batch(batch, engine=engine)
+        self._record(shard, time.perf_counter() - start)
         return out
+
+    def _run_process_backend(
+        self, batch: np.ndarray, engine: str
+    ) -> list[np.ndarray]:
+        """All shards against one shared-memory copy of the batch."""
+        shm = shared_memory.SharedMemory(create=True, size=batch.nbytes)
+        try:
+            staged = np.ndarray(batch.shape, dtype=np.int64, buffer=shm.buf)
+            staged[:] = batch
+            futures = [
+                pool.submit(
+                    _process_worker_run,
+                    shm.name,
+                    batch.shape,
+                    engine,
+                    # Snapshot each shard's live faults; workers hold only
+                    # kernels, so the overrides are the fault channel.
+                    shard.fast.fault_overrides(),
+                )
+                for shard, pool in zip(self.shards, self._shard_pools)
+            ]
+            results = [f.result() for f in futures]
+        finally:
+            shm.close()
+            shm.unlink()
+        pieces = []
+        for shard, (out, elapsed) in zip(self.shards, results):
+            self._record(shard, elapsed)
+            pieces.append(out)
+        return pieces
 
     def multiply_batch(
         self, vectors: np.ndarray, engine: str = "bitplane"
@@ -221,7 +349,9 @@ class ShardedMultiplier:
                 s.fast.multiply_batch(batch, engine=engine) for s in self.shards
             ]
             return np.concatenate(pieces, axis=1)
-        if self._pool is None:
+        if self.backend == "process":
+            pieces = self._run_process_backend(batch, engine)
+        elif self._pool is None:
             pieces = [self._run_shard(s, batch, engine) for s in self.shards]
         else:
             futures = [
@@ -254,6 +384,7 @@ class ShardedMultiplier:
             ]
         return {
             "shards": self.shard_count,
+            "backend": self.backend,
             "elapsed_s": round(elapsed, 6),
             "per_shard": per_shard,
         }
@@ -262,6 +393,9 @@ class ShardedMultiplier:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for pool in self._shard_pools:
+            pool.shutdown(wait=True)
+        self._shard_pools = []
 
     def __enter__(self) -> "ShardedMultiplier":
         return self

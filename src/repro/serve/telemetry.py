@@ -49,8 +49,18 @@ class DeploymentTelemetry:
     shard executor threads, and synchronous ``run_stream`` rollouts.
     """
 
-    def __init__(self, max_batch: int = 64, window: int = 4096) -> None:
+    def __init__(
+        self,
+        max_batch: int = 64,
+        window: int = 4096,
+        max_delay_s: float | None = None,
+    ) -> None:
         self.max_batch = max_batch
+        # The micro-batcher flush deadline this deployment is actually
+        # running with; surfaced in snapshots so an operator reading a
+        # dashboard can see the configured latency/throughput trade-off
+        # next to the measured percentiles.
+        self.max_delay_s = max_delay_s
         self._lock = threading.Lock()
         self._latency = LatencyWindow(window)
         self._started = time.monotonic()
@@ -93,6 +103,10 @@ class DeploymentTelemetry:
             )
             return {
                 "uptime_s": round(elapsed, 6),
+                "batching": {
+                    "max_batch": self.max_batch,
+                    "max_delay_s": self.max_delay_s,
+                },
                 "requests": self.requests,
                 "products": self.products,
                 "batches": self.batches,

@@ -53,6 +53,36 @@ class TestDigestReuse:
         assert b.ones != c.ones or b.ones != a.ones
 
 
+class TestServeCacheIntegration:
+    def test_cache_backed_planning_shares_the_plan_memo(self, rng):
+        """Design-point evaluation through a serve CompileCache re-plans
+        nothing a deploy (or an earlier sweep) already planned."""
+        from repro.core.stages import STAGES
+        from repro.serve.cache import CompileCache
+
+        matrix = rng.integers(-64, 64, size=(20, 20))
+        cache = CompileCache()
+        point = design_point_from_matrix(matrix, 0.0, scheme="csd", cache=cache)
+        assert point.fits
+        # The plan is now memoized: a service deploying the same matrix —
+        # or a re-evaluation after the point memo is dropped — hits it.
+        before = STAGES.snapshot()
+        plan = cache.get_plan(matrix, input_width=8, scheme="csd")
+        assert STAGES.delta(before).get("plan", 0) == 0
+        assert cache.plan_hits >= 1
+        assert plan.rows == 20
+
+    def test_cache_backed_point_keys_separately_from_seeded(self, rng):
+        from repro.serve.cache import CompileCache
+
+        matrix = rng.integers(-64, 64, size=(20, 20))
+        seeded = design_point_from_matrix(matrix, 0.0, scheme="csd")
+        deterministic = design_point_from_matrix(
+            matrix, 0.0, scheme="csd", cache=CompileCache()
+        )
+        assert seeded is not deterministic
+
+
 class TestEvaluationCache:
     def test_cached_identity(self):
         a = evaluation_design_point(64, 0.95, "csd")

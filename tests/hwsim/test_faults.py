@@ -97,3 +97,99 @@ class TestCampaign:
             and type(c).__name__ != "ConstantZero"
         )
         assert report["injected"] == non_input
+
+
+class TestServedCampaign:
+    """fault_campaign routed through MatMulService: reliability sweeps on
+    the same shard executor and telemetry as serving traffic."""
+
+    def test_served_campaign_matches_direct_coverage(self, rng):
+        from repro.serve import MatMulService
+
+        matrix, circuit = build(rng, rows=5, cols=4, input_width=4)
+        vectors = rng.integers(-8, 8, size=(4, 5))
+        direct = fault_campaign(circuit, vectors)
+        with MatMulService() as service:
+            served = fault_campaign(circuit, vectors, service=service, shards=1)
+        assert served["served"] is True
+        assert served["shards"] == 1
+        # A single-shard deployment is the same structure as the
+        # monolith, so the campaign is candidate-for-candidate identical.
+        assert served["injected"] == direct["injected"]
+        assert served["detected"] == direct["detected"]
+        assert served["coverage"] == direct["coverage"]
+
+    def test_served_campaign_shares_shard_executor_and_telemetry(self, rng):
+        from repro.serve import MatMulService
+
+        matrix, circuit = build(rng, rows=5, cols=4, input_width=4)
+        vectors = rng.integers(-8, 8, size=(3, 5))
+        with MatMulService() as service:
+            report = fault_campaign(circuit, vectors, service=service, shards=2)
+        snapshot = report["telemetry"]
+        assert report["coverage"] > 0.9
+        # One golden evaluation plus one per injected fault, each a
+        # sharded hardware batch recorded by the service.
+        assert snapshot["batches"] == report["injected"] + 1
+        assert snapshot["shards"]["shards"] == 2
+
+    def test_served_campaign_retires_its_deployment(self, rng):
+        """Repeated sweeps against one long-lived service must not
+        accumulate executors; keep_deployment=True opts out."""
+        from repro.serve import MatMulService
+
+        matrix, circuit = build(rng, rows=4, cols=3, input_width=4)
+        vectors = rng.integers(-8, 8, size=(2, 4))
+        with MatMulService() as service:
+            for _ in range(3):
+                fault_campaign(
+                    circuit, vectors, service=service, max_faults=5, rng=rng
+                )
+            assert service.deployments == {}
+            report = fault_campaign(
+                circuit,
+                vectors,
+                service=service,
+                max_faults=5,
+                rng=rng,
+                keep_deployment=True,
+            )
+            assert report["deployment"] in service.deployments
+            # undeploy is the explicit cleanup, idempotent.
+            service.undeploy(report["deployment"])
+            service.undeploy(report["deployment"])
+            assert service.deployments == {}
+
+    def test_served_campaign_leaves_no_faults_behind(self, rng):
+        from repro.serve import MatMulService
+
+        matrix, circuit = build(rng, rows=4, cols=3, input_width=4)
+        vectors = rng.integers(-8, 8, size=(2, 4))
+        with MatMulService() as service:
+            report = fault_campaign(
+                circuit, vectors, service=service, keep_deployment=True
+            )
+            handle = service.deployments[report["deployment"]]
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+
+    def test_served_campaign_rejects_object_engine(self, rng):
+        from repro.serve import MatMulService
+
+        matrix, circuit = build(rng, rows=4, cols=3, input_width=4)
+        with MatMulService() as service:
+            with pytest.raises(ValueError, match="direct path"):
+                fault_campaign(
+                    circuit,
+                    rng.integers(-8, 8, size=(2, 4)),
+                    service=service,
+                    engine="object",
+                )
+
+    def test_rejects_non_service(self, rng):
+        matrix, circuit = build(rng, rows=4, cols=3, input_width=4)
+        with pytest.raises(TypeError, match="MatMulService"):
+            fault_campaign(
+                circuit, rng.integers(-8, 8, size=(2, 4)), service=object()
+            )

@@ -12,6 +12,7 @@ from repro.core.serialize import (
     plan_from_dict,
     plan_to_dict,
 )
+from repro.core.stages import STAGES
 from repro.hwsim.builder import build_circuit
 from repro.serve.cache import CompileCache, compile_key
 
@@ -116,32 +117,58 @@ class TestCompileCache:
 
 
 class TestDiskPersistence:
-    def test_fresh_process_loads_plan_from_disk(self, tmp_path):
+    def test_fresh_process_loads_kernel_from_disk(self, tmp_path):
+        """A warm artifact store serves the *kernel*: no planning, no
+        netlist build, no lowering — asserted via the stage counters."""
         m = _matrix()
         warm = CompileCache(directory=tmp_path)
         first = warm.get(m)
         assert first.source == "compiled"
         assert list(tmp_path.glob("*.plan.json"))
+        assert list(tmp_path.glob("*.kernel.npz"))
 
-        # A new cache instance (fresh process) skips re-planning.
         cold = CompileCache(directory=tmp_path)
+        before = STAGES.snapshot()
         loaded = cold.get(m)
-        assert loaded.source == "disk"
-        assert cold.disk_hits == 1 and cold.misses == 0
+        delta = STAGES.delta(before)
+        assert loaded.source == "kernel"
+        assert cold.kernel_hits == 1 and cold.misses == 0
+        assert delta.get("plan", 0) == 0
+        assert delta.get("build", 0) == 0
+        assert delta.get("lower", 0) == 0
+        assert loaded.circuit is None  # no netlist was ever constructed
         assert loaded.fingerprint == first.fingerprint
+        assert loaded.kernel.equivalent(first.kernel)
         rng = np.random.default_rng(4)
         vectors = rng.integers(-128, 128, size=(3, m.shape[0]))
         assert np.array_equal(loaded.fast.multiply_batch(vectors), vectors @ m)
 
-    def test_corrupt_artifact_falls_back_to_compile(self, tmp_path):
+    def test_plan_survives_without_kernel(self, tmp_path):
+        """Dropping the kernel artifact degrades to the plan-hit path:
+        re-planning is skipped, only the mechanical build re-runs."""
         m = _matrix()
         CompileCache(directory=tmp_path).get(m)
-        artifact = next(tmp_path.glob("*.plan.json"))
-        artifact.write_text("{not json")
+        next(tmp_path.glob("*.kernel.npz")).unlink()
+        cold = CompileCache(directory=tmp_path)
+        before = STAGES.snapshot()
+        loaded = cold.get(m)
+        delta = STAGES.delta(before)
+        assert loaded.source == "disk"
+        assert cold.disk_hits == 1 and cold.kernel_hits == 0 and cold.misses == 0
+        assert delta.get("plan", 0) == 0
+        assert delta.get("build", 0) == 1
+        # The rebuild re-persists the kernel for the next cold start.
+        assert list(tmp_path.glob("*.kernel.npz"))
+
+    def test_corrupt_artifacts_fall_back_to_compile(self, tmp_path):
+        m = _matrix()
+        CompileCache(directory=tmp_path).get(m)
+        next(tmp_path.glob("*.plan.json")).write_text("{not json")
+        next(tmp_path.glob("*.kernel.npz")).write_bytes(b"not a zip archive")
         cache = CompileCache(directory=tmp_path)
         entry = cache.get(m)
         assert entry.source == "compiled"
-        assert cache.misses == 1 and cache.disk_hits == 0
+        assert cache.misses == 1 and cache.disk_hits == 0 and cache.kernel_hits == 0
 
     def test_tampered_plan_is_rejected_by_fingerprint(self, tmp_path):
         m = _matrix()
@@ -150,5 +177,54 @@ class TestDiskPersistence:
         payload = json.loads(artifact.read_text())
         payload["plan"]["positive"][0][0] += 1
         artifact.write_text(json.dumps(payload))
+        next(tmp_path.glob("*.kernel.npz")).unlink()
         cache = CompileCache(directory=tmp_path)
         assert cache.get(m).source == "compiled"
+
+    def test_fault_bearing_kernel_artifact_is_rejected(self, tmp_path):
+        """The fingerprint covers structure, not the fault snapshot, so
+        the cache must refuse any artifact whose snapshot is non-empty —
+        the cache itself only ever writes fault-free kernels."""
+        from repro.core.serialize import kernel_to_npz
+        from repro.hwsim.fast import lower
+        from repro.hwsim.faults import inject_stuck_output
+
+        m = _matrix()
+        cache = CompileCache(directory=tmp_path)
+        entry = cache.get(m)
+        circuit = entry.circuit
+        inject_stuck_output(circuit.netlist, circuit.column_probes[0].src, 1)
+        faulty = lower(circuit)
+        assert faulty.fingerprint == entry.fingerprint  # same structure!
+        kernel_to_npz(faulty, tmp_path / entry.key.kernel_filename)
+
+        cold = CompileCache(directory=tmp_path)
+        loaded = cold.get(m)
+        # Tampered kernel refused; the intact plan artifact still serves,
+        # so the fallback is a plan-hit rebuild, and the rebuild replaces
+        # the artifact with a clean kernel.
+        assert loaded.source == "disk"
+        assert cold.kernel_hits == 0
+        assert not loaded.kernel.has_faults
+        rng = np.random.default_rng(6)
+        vectors = rng.integers(-128, 128, size=(3, m.shape[0]))
+        assert np.array_equal(loaded.fast.multiply_batch(vectors), vectors @ m)
+        assert CompileCache(directory=tmp_path).get(m).source == "kernel"
+
+    def test_kernel_not_matching_plan_is_rejected(self, tmp_path):
+        """A kernel whose fingerprint disagrees with the (re)planned
+        matrix must never execute: cross-key copies are caught."""
+        m, other = _matrix(), _matrix(seed=9)
+        cache = CompileCache(directory=tmp_path)
+        key_m = cache.get(m).key
+        key_other = cache.get(other).key
+        # Graft the other matrix's kernel artifact onto m's key.
+        (tmp_path / key_other.kernel_filename).replace(
+            tmp_path / key_m.kernel_filename
+        )
+        cold = CompileCache(directory=tmp_path)
+        entry = cold.get(m)
+        assert entry.source == "compiled"
+        rng = np.random.default_rng(5)
+        vectors = rng.integers(-128, 128, size=(3, m.shape[0]))
+        assert np.array_equal(entry.fast.multiply_batch(vectors), vectors @ m)

@@ -1,0 +1,218 @@
+"""CompileCache disk eviction: the artifact store as a bounded LRU.
+
+A deploy fleet sharing one artifact directory needs the store to stay
+bounded without operator babysitting: an ``index.json`` manifest tracks
+per-key sizes and last-use times, and every store/load prunes expired
+keys then least-recently-used keys until the byte budget holds.  Plan
+and kernel artifacts for one key live and die together.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import CompileCache, compile_key
+
+
+def _matrix(seed=0, shape=(12, 10)):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 51, size=shape)
+    matrix[rng.random(shape) < 0.7] = 0
+    return matrix
+
+
+def _stems(tmp_path):
+    return {
+        p.name[: -len(".plan.json")] for p in tmp_path.glob("*.plan.json")
+    } | {p.name[: -len(".kernel.npz")] for p in tmp_path.glob("*.kernel.npz")}
+
+
+class TestManifest:
+    def test_index_written_and_versioned(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        cache.get(_matrix())
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["format_version"] == 1
+        assert len(index["entries"]) == 1
+        (entry,) = index["entries"].values()
+        assert entry["bytes"] > 0 and entry["last_used"] > 0
+
+    def test_manifest_tracks_real_file_sizes(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        entry = cache.get(_matrix())
+        index = json.loads((tmp_path / "index.json").read_text())
+        stem = entry.key.stem
+        expected = (
+            (tmp_path / entry.key.filename).stat().st_size
+            + (tmp_path / entry.key.kernel_filename).stat().st_size
+        )
+        assert index["entries"][stem]["bytes"] == expected
+
+    def test_corrupt_manifest_is_rebuilt(self, tmp_path):
+        # A bounded cache must be able to reconstruct the manifest from
+        # the directory contents (it is what decides evictions).
+        cache = CompileCache(directory=tmp_path, max_disk_bytes=10_000_000)
+        cache.get(_matrix())
+        (tmp_path / "index.json").write_text("garbage")
+        cache.get(_matrix(1))
+        index = json.loads((tmp_path / "index.json").read_text())
+        # Both keys present again: the pre-corruption artifact was
+        # adopted back from the directory contents.
+        assert len(index["entries"]) == 2
+
+    def test_unbounded_loads_skip_manifest_maintenance(self, tmp_path):
+        """Without an eviction policy the hot load path does no manifest
+        work: warm-start cost is artifact I/O only."""
+        CompileCache(directory=tmp_path).get(_matrix())
+        before = (tmp_path / "index.json").read_text()
+        cold = CompileCache(directory=tmp_path)
+        assert cold.get(_matrix()).source == "kernel"
+        assert (tmp_path / "index.json").read_text() == before
+        # disk_stats still reports the true directory contents on demand.
+        assert cold.disk_stats()["keys"] == 1
+
+    def test_malformed_manifest_entries_never_fail_a_deploy(self, tmp_path):
+        """Wrong-schema (but valid-JSON) manifests from foreign writers
+        are sanitized on load instead of crashing prune/stats paths."""
+        cache = CompileCache(directory=tmp_path, max_disk_bytes=10_000_000)
+        kept = cache.get(_matrix()).key
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["entries"]["foreign-stem"] = {}  # no bytes/last_used
+        index["entries"]["other-stem"] = "not even a dict"
+        index["entries"][kept.stem]["bytes"] = "twelve"
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        entry = cache.get(_matrix(1))  # stores -> prune runs over the mess
+        assert entry.source == "compiled"
+        assert cache.disk_stats()["keys"] == 2
+        rebuilt = json.loads((tmp_path / "index.json").read_text())
+        # The malformed foreign entries are gone; the real key was
+        # re-adopted from its files.
+        assert "other-stem" not in rebuilt["entries"]
+        assert kept.stem in rebuilt["entries"]
+
+    def test_disk_stats(self, tmp_path):
+        cache = CompileCache(directory=tmp_path, max_disk_bytes=10_000_000)
+        cache.get(_matrix())
+        stats = cache.disk_stats()
+        assert stats["persistent"] and stats["keys"] == 1
+        assert stats["bytes"] > 0
+        assert stats["max_disk_bytes"] == 10_000_000
+        assert CompileCache().disk_stats() == {
+            "persistent": False,
+            "keys": 0,
+            "bytes": 0,
+        }
+
+
+class TestSizeEviction:
+    def test_lru_keys_dropped_when_over_budget(self, tmp_path):
+        # Budget sized for roughly two entries: filling with four keys
+        # must keep only the most recently used ones.
+        probe = CompileCache(directory=tmp_path)
+        probe.get(_matrix(0))
+        one_entry = sum(
+            p.stat().st_size
+            for p in list(tmp_path.glob("*.plan.json"))
+            + list(tmp_path.glob("*.kernel.npz"))
+        )
+        for p in tmp_path.iterdir():
+            p.unlink()
+
+        cache = CompileCache(
+            directory=tmp_path, max_disk_bytes=int(one_entry * 2.5)
+        )
+        keys = []
+        for seed in range(4):
+            m = _matrix(seed)
+            keys.append(cache.get(m).key)
+            time.sleep(0.01)  # strictly ordered last_used stamps
+        stems = _stems(tmp_path)
+        assert keys[0].stem not in stems  # oldest evicted
+        assert keys[3].stem in stems  # newest survives
+        assert cache.evicted_keys >= 1
+        index = json.loads((tmp_path / "index.json").read_text())
+        total = sum(e["bytes"] for e in index["entries"].values())
+        assert total <= int(one_entry * 2.5)
+
+    def test_plan_and_kernel_evicted_together(self, tmp_path):
+        probe = CompileCache(directory=tmp_path)
+        probe.get(_matrix(0))
+        one_entry = sum(p.stat().st_size for p in tmp_path.iterdir() if p.name != "index.json")
+        for p in tmp_path.iterdir():
+            p.unlink()
+        cache = CompileCache(directory=tmp_path, max_disk_bytes=int(one_entry * 1.5))
+        a = cache.get(_matrix(0)).key
+        time.sleep(0.01)
+        b = cache.get(_matrix(1)).key
+        # a was evicted whole: neither artifact survives.
+        assert not (tmp_path / a.filename).exists()
+        assert not (tmp_path / a.kernel_filename).exists()
+        assert (tmp_path / b.filename).exists()
+        assert (tmp_path / b.kernel_filename).exists()
+
+    def test_touch_refreshes_lru_order(self, tmp_path):
+        probe = CompileCache(directory=tmp_path)
+        probe.get(_matrix(0))
+        one_entry = sum(p.stat().st_size for p in tmp_path.iterdir() if p.name != "index.json")
+        for p in tmp_path.iterdir():
+            p.unlink()
+        cache = CompileCache(directory=tmp_path, max_disk_bytes=int(one_entry * 2.5))
+        a, b = _matrix(0), _matrix(1)
+        key_a = cache.get(a).key
+        time.sleep(0.01)
+        cache.get(b)
+        time.sleep(0.01)
+        # Reload a from a fresh cache instance: its last_used refreshes.
+        fresh = CompileCache(directory=tmp_path, max_disk_bytes=int(one_entry * 2.5))
+        assert fresh.get(a).source == "kernel"
+        time.sleep(0.01)
+        fresh.get(_matrix(2))  # pushes the store over budget
+        stems = _stems(tmp_path)
+        assert key_a.stem in stems  # refreshed, so b was the LRU victim
+
+
+class TestAgeEviction:
+    def test_expired_keys_pruned(self, tmp_path):
+        cache = CompileCache(directory=tmp_path, max_age_s=0.05)
+        old = cache.get(_matrix(0)).key
+        time.sleep(0.12)
+        cache.get(_matrix(1))
+        stems = _stems(tmp_path)
+        assert old.stem not in stems
+        assert cache.evicted_keys == 1
+
+    def test_unexpired_keys_survive(self, tmp_path):
+        cache = CompileCache(directory=tmp_path, max_age_s=3600)
+        kept = cache.get(_matrix(0)).key
+        cache.get(_matrix(1))
+        assert kept.stem in _stems(tmp_path)
+
+    def test_eviction_never_breaks_lookups(self, tmp_path):
+        """An evicted key simply recompiles (and re-persists) next time."""
+        cache = CompileCache(directory=tmp_path, max_age_s=0.05)
+        m = _matrix(0)
+        cache.get(m)
+        time.sleep(0.12)
+        cache.get(_matrix(1))  # triggers the prune of m's artifacts
+        fresh = CompileCache(directory=tmp_path, max_age_s=0.05)
+        entry = fresh.get(m)
+        assert entry.source == "compiled"
+        vectors = np.random.default_rng(2).integers(-128, 128, size=(3, m.shape[0]))
+        assert np.array_equal(entry.fast.multiply_batch(vectors), vectors @ m)
+
+
+class TestValidation:
+    def test_rejects_bad_budgets(self, tmp_path):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            CompileCache(directory=tmp_path, max_disk_bytes=0)
+        with pytest.raises(ValueError, match="max_age_s"):
+            CompileCache(directory=tmp_path, max_age_s=0)
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        for seed in range(5):
+            cache.get(_matrix(seed))
+        assert cache.evicted_keys == 0
+        assert len(_stems(tmp_path)) == 5

@@ -88,14 +88,102 @@ class TestDeployAndSubmit:
         with MatMulService(cache=cache) as service:
             service.deploy(matrix)
         assert cache.misses == 1
-        # A fresh service over the same persistent directory re-plans nothing.
+        # A fresh service over the same persistent directory loads the
+        # lowered kernel: no re-planning, no netlist rebuild.
         with MatMulService(cache=CompileCache(directory=tmp_path)) as fresh:
             fresh.deploy(matrix)
-            assert fresh.cache.disk_hits == 1
+            assert fresh.cache.kernel_hits == 1
             assert fresh.cache.misses == 0
 
 
+class TestProcessBackendDeployment:
+    def test_deploy_process_backend_serves_exact_products(self):
+        matrix = _matrix()
+        with MatMulService() as service:
+            handle = service.deploy(matrix, shards=2, backend="process")
+            assert handle.sharded.backend == "process"
+            vectors = np.random.default_rng(21).integers(-128, 128, size=(9, 16))
+            direct = service.multiply(handle, vectors)
+            batched = asyncio.run(service.submit_many(handle, vectors))
+        assert np.array_equal(direct, vectors @ matrix)
+        assert np.array_equal(batched, vectors @ matrix)
+
+    def test_deploy_rejects_unknown_backend(self):
+        with MatMulService() as service:
+            with pytest.raises(ValueError, match="backend"):
+                service.deploy(_matrix(), backend="quantum")
+
+    def test_deploy_without_cache_compiles_privately(self):
+        matrix = _matrix()
+        with MatMulService() as service:
+            handle = service.deploy(matrix, shards=2, use_cache=False)
+            assert service.cache.stats()["misses"] == 0
+            assert all(s.circuit is not None for s in handle.sharded.shards)
+
+    def test_undeploy_retires_and_rejects_queued_requests(self):
+        matrix = _matrix()
+        with MatMulService(max_delay_s=5.0) as service:  # deadline never fires
+            handle = service.deploy(matrix, name="transient")
+            vector = np.random.default_rng(8).integers(-128, 128, size=16)
+
+            async def main():
+                task = asyncio.create_task(service.submit(handle, vector))
+                await asyncio.sleep(0.01)  # request is queued, not flushed
+                service.undeploy(handle)
+                return await asyncio.gather(task, return_exceptions=True)
+
+            (result,) = asyncio.run(main())
+        assert isinstance(result, RuntimeError)
+        assert "retired" in str(result)
+        assert "transient" not in service.deployments
+        service.undeploy("transient")  # idempotent on unknown names
+
+    def test_undeploy_from_another_thread_rejects_queued_requests(self):
+        """Retiring a deployment from an operator thread must marshal the
+        rejection onto the coalescing loop, not race it."""
+        import threading
+
+        matrix = _matrix()
+        with MatMulService(max_delay_s=5.0) as service:
+            handle = service.deploy(matrix, name="xthread")
+            vector = np.random.default_rng(17).integers(-128, 128, size=16)
+
+            async def main():
+                task = asyncio.create_task(service.submit(handle, vector))
+                await asyncio.sleep(0.01)
+                worker = threading.Thread(target=service.undeploy, args=(handle,))
+                worker.start()
+                result = await asyncio.gather(task, return_exceptions=True)
+                worker.join()
+                return result
+
+            (result,) = asyncio.run(main())
+        assert isinstance(result, RuntimeError)
+        assert "retired" in str(result)
+
+
 class TestTelemetry:
+    def test_snapshot_records_effective_batching_config(self):
+        """The deploy-time micro-batching knobs are observable: an
+        operator can read the deadline/batch limit a deployment is
+        actually running with straight off its snapshot."""
+        with MatMulService(max_batch=64, max_delay_s=0.002) as service:
+            default = service.deploy(_matrix(), name="default")
+            tuned = service.deploy(
+                _matrix(1), name="tuned", max_batch=16, max_delay_s=0.01
+            )
+            assert service.telemetry(default)["batching"] == {
+                "max_batch": 64,
+                "max_delay_s": 0.002,
+            }
+            assert service.telemetry(tuned)["batching"] == {
+                "max_batch": 16,
+                "max_delay_s": 0.01,
+            }
+            # The batcher itself runs with the same effective values.
+            assert tuned.batcher.max_batch == 16
+            assert tuned.batcher.max_delay_s == 0.01
+
     def test_snapshot_reflects_traffic(self):
         matrix = _matrix()
         with MatMulService(max_delay_s=0.001) as service:
