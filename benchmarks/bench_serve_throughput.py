@@ -18,6 +18,15 @@ contract: micro-batching sustains **>= 4x** the single-request-per-call
 throughput at offered batch 64 — in practice the gap is far larger,
 because a 64-lane bit-plane pass costs barely more than a 1-lane pass.
 
+The measured deployment is pinned to ``engine="bitplane"``: the >= 4x
+claim is about amortizing the *gate-level cycle loop* across lanes,
+and the gate engines remain the serving path whenever faults are
+active.  The default ``engine="auto"`` deployment (fused shift-add
+schedule, no cycle loop) is measured alongside and recorded in the
+JSON without an assertion — per-request overhead, not hardware time,
+dominates there, so batching matters far less (that engine's own bar
+lives in ``BENCH_engine_fused.json``).
+
 Run::
 
     pytest benchmarks/bench_serve_throughput.py
@@ -45,9 +54,14 @@ def deployed():
     matrix = rng.integers(-128, 128, size=(64, 64))
     matrix[rng.random((64, 64)) < 0.5] = 0
     service = MatMulService(max_batch=OFFERED_BATCH, max_delay_s=0.005)
-    handle = service.deploy(matrix, input_width=8, scheme="csd", shards=SHARDS)
+    handle = service.deploy(
+        matrix, input_width=8, scheme="csd", shards=SHARDS, engine="bitplane"
+    )
+    fused_handle = service.deploy(
+        matrix, input_width=8, scheme="csd", shards=SHARDS, engine="auto"
+    )
     vectors = rng.integers(-128, 128, size=(OFFERED_BATCH, 64))
-    yield service, handle, matrix, vectors
+    yield service, handle, fused_handle, matrix, vectors
     service.close()
 
 
@@ -61,7 +75,7 @@ def _best_of(fn, repeats=3):
 
 
 def test_micro_batched_throughput(deployed):
-    service, handle, matrix, vectors = deployed
+    service, handle, fused_handle, matrix, vectors = deployed
     golden = vectors @ matrix
 
     # Warm both paths and check bit-exactness before timing anything.
@@ -69,6 +83,9 @@ def test_micro_batched_throughput(deployed):
     assert np.array_equal(single, golden)
     batched = asyncio.run(service.submit_many(handle, vectors))
     assert np.array_equal(batched, golden)
+    assert np.array_equal(
+        asyncio.run(service.submit_many(fused_handle, vectors)), golden
+    )
 
     def run_single():
         for vec in vectors:
@@ -84,6 +101,21 @@ def test_micro_batched_throughput(deployed):
     speedup = seconds["single_request_per_call"] / seconds["micro_batched"]
     telemetry = service.telemetry(handle)
 
+    # The default fused deployment, measured for the record (no bar here;
+    # see the module docstring and BENCH_engine_fused.json).
+    fused_seconds = {
+        "single_request_per_call": _best_of(
+            lambda: [
+                service.multiply(fused_handle, vec[None, :]) for vec in vectors
+            ],
+            repeats=3,
+        ),
+        "micro_batched": _best_of(
+            lambda: asyncio.run(service.submit_many(fused_handle, vectors)),
+            repeats=3,
+        ),
+    }
+
     record = {
         "matrix": "64x64 csd, ~50% element sparsity, s8 inputs",
         "offered_batch": OFFERED_BATCH,
@@ -95,6 +127,15 @@ def test_micro_batched_throughput(deployed):
         },
         "speedup_micro_batched": round(speedup, 2),
         "required_speedup": REQUIRED_SPEEDUP,
+        "fused_engine": {
+            "effective_engine": service.telemetry(fused_handle)["engine"][
+                "effective"
+            ],
+            "seconds": {k: round(v, 6) for k, v in fused_seconds.items()},
+            "requests_per_second": {
+                k: round(OFFERED_BATCH / v, 1) for k, v in fused_seconds.items()
+            },
+        },
         "batcher_mean_occupancy": telemetry["batcher"]["mean_occupancy"],
         "cache": service.cache.stats(),
     }

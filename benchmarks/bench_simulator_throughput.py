@@ -91,6 +91,11 @@ def test_batched_engine_comparison(compiled):
     record = {
         "matrix": "64x64 csd, ~50% element sparsity, s8 inputs",
         "batch": BATCH,
+        "engines": (
+            "gate-level engines scalar/batched/bitplane measured here; the "
+            "fourth engine (fused, the cycle-loop-free shift-add schedule) "
+            "is measured in BENCH_engine_fused.json"
+        ),
         "seconds": {k: round(v, 6) for k, v in timings.items()},
         "products_per_second": {
             k: round(BATCH / v, 1) for k, v in timings.items()

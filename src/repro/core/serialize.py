@@ -15,6 +15,12 @@ Three artifact kinds, one per pipeline boundary (see ``docs/artifacts.md``):
   :class:`~repro.hwsim.fast.LoweredKernel`, as a compressed ``.npz``
   with an embedded JSON header; loading one skips netlist construction
   *and* lowering entirely;
+* **fused kernels** (:func:`fused_to_npz` / :func:`fused_from_npz`) —
+  the static CSD shift-add schedule of a
+  :class:`~repro.hwsim.fused.FusedKernel` (flat ``(out, row, shift,
+  sign)`` term arrays), same ``.npz`` layout; loading one also skips
+  the ``fuse`` sweep, so a warm deploy of the cycle-loop-free engine is
+  pure artifact I/O;
 * **censuses** (:func:`census_to_dict` / :func:`census_from_dict`) — the
   combinatorial cost model, as JSON.
 
@@ -55,6 +61,7 @@ from repro.core.stats import CircuitCensus, PlaneCensus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hwsim imports core)
     from repro.hwsim.fast import LoweredKernel
+    from repro.hwsim.fused import FusedKernel
 
 __all__ = [
     "plan_to_dict",
@@ -63,9 +70,12 @@ __all__ = [
     "census_from_dict",
     "kernel_to_npz",
     "kernel_from_npz",
+    "fused_to_npz",
+    "fused_from_npz",
     "matrix_digest",
     "plan_fingerprint",
     "KERNEL_FORMAT_VERSION",
+    "FUSED_FORMAT_VERSION",
 ]
 
 _FORMAT_VERSION = 1
@@ -75,7 +85,12 @@ _FORMAT_VERSION = 1
 #: arrays encode; old readers must refuse newer artifacts.
 KERNEL_FORMAT_VERSION = 1
 
+#: Version of the ``.npz`` fused-kernel (shift-add schedule) layout.
+#: Same bump policy as :data:`KERNEL_FORMAT_VERSION`.
+FUSED_FORMAT_VERSION = 1
+
 _KERNEL_KIND = "repro-lowered-kernel"
+_FUSED_KIND = "repro-fused-kernel"
 
 
 def plan_to_dict(plan: MatrixPlan) -> dict[str, Any]:
@@ -141,68 +156,89 @@ def plan_fingerprint(plan: MatrixPlan) -> str:
     return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
-def kernel_to_npz(kernel: "LoweredKernel", path: str | pathlib.Path) -> None:
-    """Persist a lowered kernel as a compressed ``.npz`` artifact.
+def _arrays_to_npz(
+    artifact: Any, path: str | pathlib.Path, kind: str, version: int
+) -> None:
+    """Shared ``.npz`` writer for flat-array artifacts (kernels, fused).
 
     Layout: one ``__header__`` entry holding a JSON string (format
     version, artifact kind, the plan fingerprint, and every scalar
-    execution parameter) plus one named entry per kernel index array.
-    The write is atomic (temp file + rename) so a crashed writer never
-    leaves a half-written artifact for a later reader to trip on.
+    execution parameter) plus one named entry per artifact array (from
+    the class's ``SCALAR_FIELDS``/``ARRAY_FIELDS`` contract).  The write
+    is atomic (temp file + rename) so a crashed writer never leaves a
+    half-written artifact for a later reader to trip on.
     """
     path = pathlib.Path(path)
-    header = {
-        "format_version": KERNEL_FORMAT_VERSION,
-        "kind": _KERNEL_KIND,
-    }
-    for name in type(kernel).SCALAR_FIELDS:
-        value = getattr(kernel, name)
+    header: dict[str, Any] = {"format_version": version, "kind": kind}
+    for name in type(artifact).SCALAR_FIELDS:
+        value = getattr(artifact, name)
         header[name] = value if isinstance(value, str) else int(value)
-    arrays = {name: getattr(kernel, name) for name in type(kernel).ARRAY_FIELDS}
+    arrays = {name: getattr(artifact, name) for name in type(artifact).ARRAY_FIELDS}
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
         np.savez_compressed(fh, __header__=json.dumps(header), **arrays)
     tmp.replace(path)
 
 
-def kernel_from_npz(path: str | pathlib.Path) -> "LoweredKernel":
-    """Load a :func:`kernel_to_npz` artifact back into a ``LoweredKernel``.
-
-    Raises ``ValueError`` for anything that is not a well-formed kernel
-    artifact of the supported version — wrong kind, unknown
-    ``format_version``, or missing entries — so callers can fall back to
-    a rebuild instead of executing a misinterpreted artifact.
-    """
-    from repro.hwsim.fast import LoweredKernel
-
+def _arrays_from_npz(
+    path: str | pathlib.Path, cls: type, kind: str, version: int
+) -> Any:
+    """Shared ``.npz`` reader; raises ``ValueError`` on anything that is
+    not a well-formed artifact of ``kind`` at ``version`` — wrong kind,
+    unknown ``format_version``, or missing entries — so callers can fall
+    back to a rebuild instead of executing a misinterpreted artifact."""
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as data:
         if "__header__" not in data:
-            raise ValueError(f"{path.name}: not a kernel artifact (no header)")
+            raise ValueError(f"{path.name}: not a {kind} artifact (no header)")
         header = json.loads(str(data["__header__"][()]))
-        if header.get("kind") != _KERNEL_KIND:
+        if header.get("kind") != kind:
             raise ValueError(
                 f"{path.name}: unexpected artifact kind {header.get('kind')!r}"
             )
-        version = header.get("format_version")
-        if version != KERNEL_FORMAT_VERSION:
+        found = header.get("format_version")
+        if found != version:
             raise ValueError(
-                f"{path.name}: unsupported kernel format version {version!r}"
+                f"{path.name}: unsupported {kind} format version {found!r}"
             )
         fields: dict[str, Any] = {}
-        for name in LoweredKernel.SCALAR_FIELDS:
+        for name in cls.SCALAR_FIELDS:
             if name not in header:
                 raise ValueError(f"{path.name}: header missing {name!r}")
             fields[name] = header[name]
-        for name in LoweredKernel.ARRAY_FIELDS:
+        for name in cls.ARRAY_FIELDS:
             if name not in data:
                 raise ValueError(f"{path.name}: artifact missing array {name!r}")
             fields[name] = np.asarray(data[name], dtype=np.int64)
     fields["fingerprint"] = str(fields["fingerprint"])
-    for name in LoweredKernel.SCALAR_FIELDS:
+    for name in cls.SCALAR_FIELDS:
         if name != "fingerprint":
             fields[name] = int(fields[name])
-    return LoweredKernel(**fields)
+    return cls(**fields)
+
+
+def kernel_to_npz(kernel: "LoweredKernel", path: str | pathlib.Path) -> None:
+    """Persist a lowered kernel as a compressed ``.npz`` artifact."""
+    _arrays_to_npz(kernel, path, _KERNEL_KIND, KERNEL_FORMAT_VERSION)
+
+
+def kernel_from_npz(path: str | pathlib.Path) -> "LoweredKernel":
+    """Load a :func:`kernel_to_npz` artifact back into a ``LoweredKernel``."""
+    from repro.hwsim.fast import LoweredKernel
+
+    return _arrays_from_npz(path, LoweredKernel, _KERNEL_KIND, KERNEL_FORMAT_VERSION)
+
+
+def fused_to_npz(fused: "FusedKernel", path: str | pathlib.Path) -> None:
+    """Persist a fused shift-add schedule as a compressed ``.npz`` artifact."""
+    _arrays_to_npz(fused, path, _FUSED_KIND, FUSED_FORMAT_VERSION)
+
+
+def fused_from_npz(path: str | pathlib.Path) -> "FusedKernel":
+    """Load a :func:`fused_to_npz` artifact back into a ``FusedKernel``."""
+    from repro.hwsim.fused import FusedKernel
+
+    return _arrays_from_npz(path, FusedKernel, _FUSED_KIND, FUSED_FORMAT_VERSION)
 
 
 def census_to_dict(census: CircuitCensus) -> dict[str, Any]:

@@ -1,9 +1,10 @@
 """Compile-pipeline stage counters.
 
-The matrix-to-hardware path is an explicit three-stage pipeline with a
+The matrix-to-hardware path is an explicit four-stage pipeline with a
 serializable artifact at every boundary::
 
     matrix --plan--> MatrixPlan --build--> Netlist --lower--> LoweredKernel
+                                                                  --fuse--> FusedKernel
 
 Each stage is instrumented with a process-global counter so callers can
 *prove* which stages ran — the warm-start contract of the serve layer's
@@ -17,7 +18,9 @@ Counted stages:
 * ``"build"`` — :func:`repro.hwsim.builder.build_circuit` (netlist
   construction);
 * ``"lower"`` — :func:`repro.hwsim.fast.lower` (netlist to flat
-  index/opcode arrays).
+  index/opcode arrays);
+* ``"fuse"`` — :func:`repro.hwsim.fused.fuse` (kernel topology to the
+  static CSD shift-add schedule the cycle-loop-free engine executes).
 
 The registry is intentionally open: any future stage (RTL emission,
 place-and-route modelling) can count itself without touching this

@@ -8,6 +8,7 @@ from repro.hwsim.fast import (
     pack_lanes,
     unpack_lanes,
 )
+from repro.hwsim.fused import FusedCircuit, FusedKernel, fuse
 from repro.hwsim.faults import (
     FaultInjection,
     fault_campaign,
@@ -33,6 +34,9 @@ __all__ = [
     "FastCircuit",
     "LoweredKernel",
     "lower",
+    "FusedCircuit",
+    "FusedKernel",
+    "fuse",
     "pack_lanes",
     "unpack_lanes",
     "SramWrapper",

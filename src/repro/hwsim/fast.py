@@ -1,6 +1,6 @@
 """Vectorized and bit-plane-batched gate-level simulation engines.
 
-The repository ships three ways to execute one compiled netlist, each
+The repository ships four ways to execute one compiled netlist, each
 bit-exact with the others (equivalence is asserted by tests on random
 matrices, so any engine can stand in for any other):
 
@@ -20,10 +20,18 @@ matrices, so any engine can stand in for any other):
   ("bit-planes"), so one bitwise numpy op per component class per cycle
   advances all lanes at once: a serial adder over all lanes is three
   XOR/AND/OR expressions, not a per-lane add.  Batches larger than 64
-  simply use multiple words.  This is the engine to use for reservoir
-  rollouts, fault campaigns and throughput benchmarks; at batch >= 64 it
-  is well over an order of magnitude faster than looping the scalar
-  path.
+  simply use multiple words.  This is the fastest *gate-level* engine —
+  the one fault campaigns and verification runs should use; at batch >=
+  64 it is well over an order of magnitude faster than looping the
+  scalar path.
+* **fused engine** (``multiply_batch(engine="fused")``) — not a
+  simulation at all: :func:`repro.hwsim.fused.fuse` recovers the static
+  CSD shift-add schedule from the kernel's topology once, and execution
+  is a handful of vectorized int64 ops with **no cycle loop** (see
+  :mod:`repro.hwsim.fused`).  Another order of magnitude faster than the
+  bit-plane engine, bit-exact with it — but linear-only: it refuses to
+  run while faults or per-call overrides are active (the serve layer
+  auto-falls back to ``bitplane`` in that case).
 
 Staged compilation
 ------------------
@@ -32,7 +40,7 @@ Since the matrix is fixed, everything between the matrix and the cycle
 loop is a pure, cacheable transformation.  The pipeline has a
 serializable artifact at each boundary::
 
-    MatrixPlan --build_circuit--> Netlist --lower--> LoweredKernel
+    MatrixPlan --build_circuit--> Netlist --lower--> LoweredKernel --fuse--> FusedKernel
 
 :func:`lower` extracts the flat index/opcode arrays the engines actually
 execute into a :class:`LoweredKernel` — plain numpy arrays plus a few
@@ -63,7 +71,6 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
-from repro.core.bits import from_twos_complement_bits, signed_range
 from repro.core.stages import STAGES
 from repro.hwsim.builder import CompiledCircuit
 from repro.hwsim.components import (
@@ -73,6 +80,7 @@ from repro.hwsim.components import (
     SerialNegator,
     SerialSubtractor,
 )
+from repro.hwsim.fused import FusedCircuit, FusedKernel, fuse, validate_batch
 
 __all__ = [
     "FastCircuit",
@@ -367,12 +375,17 @@ class FastCircuit:
       anywhere in the process; the kernel's fault snapshot applies.
     """
 
-    ENGINES = ("scalar", "batched", "bitplane")
+    ENGINES = ("scalar", "batched", "bitplane", "fused")
+
+    #: Engines that honour injected faults / per-call overrides.  The
+    #: fused engine is linear-only and raises when any fault is active.
+    FAULT_CAPABLE_ENGINES = ("scalar", "batched", "bitplane")
 
     def __init__(
         self,
         source: CompiledCircuit | LoweredKernel,
         plan=None,
+        fused: FusedKernel | None = None,
     ) -> None:
         if isinstance(source, LoweredKernel):
             self.kernel = source
@@ -401,31 +414,53 @@ class FastCircuit:
         self._neg_idx, self._neg_b = k.neg_idx, k.neg_b
         self._dff_idx, self._dff_d = k.dff_idx, k.dff_d
         self._probe_idx = k.probe_idx
+        if fused is not None and fused.fingerprint != k.fingerprint:
+            raise ValueError(
+                "fused kernel fingerprint does not match the lowered kernel"
+            )
+        self._fused_kernel = fused
+        self._fused_exec: FusedCircuit | None = (
+            FusedCircuit(fused) if fused is not None else None
+        )
 
     @classmethod
     def from_compiled(cls, circuit: CompiledCircuit) -> "FastCircuit":
         return cls(circuit)
 
+    # -- fused lowering ------------------------------------------------------
+
+    @property
+    def fused(self) -> FusedKernel | None:
+        """The attached/derived fused kernel, if one exists (no forcing)."""
+        return self._fused_kernel
+
+    def fuse(self) -> FusedKernel:
+        """The kernel's shift-add schedule, fusing (once) on first use.
+
+        Runs the ``fuse`` pipeline stage unless a pre-fused kernel was
+        attached at construction (the compile cache attaches persisted
+        artifacts, so warm deploys never re-fuse).
+        """
+        if self._fused_kernel is None:
+            self._fused_kernel = fuse(self.kernel)
+        return self._fused_kernel
+
+    def _fused_circuit(self) -> FusedCircuit:
+        if self._fused_exec is None:
+            self._fused_exec = FusedCircuit(self.fuse())
+        return self._fused_exec
+
+    @property
+    def has_faults(self) -> bool:
+        """True when any fault would apply to the next execution."""
+        stuck_out, carry = self.fault_overrides()
+        return bool(stuck_out) or any(carry.values())
+
     # -- validation ---------------------------------------------------------
 
     def _validate_batch(self, vectors: np.ndarray) -> np.ndarray:
         """Shape/range checks shared by every engine, scalar included."""
-        arr = np.atleast_2d(np.asarray(vectors))
-        if arr.ndim != 2:
-            raise ValueError(
-                f"expected a (batch, rows) array of vectors, got shape {arr.shape}"
-            )
-        if arr.shape[1] != self.kernel.rows:
-            raise ValueError(
-                f"vector length {arr.shape[1]} != matrix rows {self.kernel.rows}"
-            )
-        arr = arr.astype(np.int64)
-        lo, hi = signed_range(self.kernel.input_width)
-        bad = (arr < lo) | (arr > hi)
-        if np.any(bad):
-            v = int(arr[bad][0])
-            raise ValueError(f"input {v} does not fit in s{self.kernel.input_width}")
-        return arr
+        return validate_batch(vectors, self.kernel.rows, self.kernel.input_width)
 
     # -- fault plumbing -----------------------------------------------------
 
@@ -485,7 +520,10 @@ class FastCircuit:
           behaviour; useful as a baseline and for debugging);
         * ``"batched"`` — one cycle loop with a dense batch axis;
         * ``"bitplane"`` — the same loop with 64 lanes packed per
-          ``uint64`` word (default, fastest).
+          ``uint64`` word (default; fastest gate-level engine);
+        * ``"fused"`` — the pre-fused static shift-add schedule, no
+          cycle loop at all (:mod:`repro.hwsim.fused`).  Fault-free
+          only: raises if faults or non-empty overrides are active.
 
         ``overrides`` replaces the fault set for this call only (the
         exact structure :meth:`fault_overrides` returns) — the hook
@@ -494,11 +532,23 @@ class FastCircuit:
         current faults now".
 
         All engines validate identically and produce bit-identical
-        results, including under injected faults.
+        results, including (for the gate-level engines) under injected
+        faults.
         """
         if engine not in self.ENGINES:
             raise ValueError(f"engine must be one of {self.ENGINES}, got {engine!r}")
         batch = self._validate_batch(vectors)
+        if engine == "fused":
+            stuck_out, carry = (
+                overrides if overrides is not None else self.fault_overrides()
+            )
+            if stuck_out or any(carry.values()):
+                raise ValueError(
+                    "engine='fused' executes the static shift-add schedule and "
+                    "cannot apply faults; use a gate-level engine "
+                    f"{self.FAULT_CAPABLE_ENGINES}"
+                )
+            return self._fused_circuit().execute(batch)
         if batch.shape[0] == 0:
             dtype = np.int64 if self.kernel.result_width <= 62 else object
             return np.zeros((0, len(self._probe_idx)), dtype=dtype)
@@ -526,15 +576,51 @@ class FastCircuit:
             weights = np.left_shift(np.int64(1), np.arange(width, dtype=np.int64))
             weights[-1] = -weights[-1]
             return bits.astype(np.int64) @ weights
-        out = np.empty(bits.shape[:2], dtype=object)
-        for b in range(bits.shape[0]):
-            for j in range(bits.shape[1]):
-                out[b, j] = from_twos_complement_bits(
-                    [int(x) for x in bits[b, j]]
-                )
-        return out
+        # Wide results decode exactly into Python ints: dot each <= 62-bit
+        # limb against int64 power-of-two weights (vectorized over every
+        # lane and probe at once), then recombine the limbs — and apply
+        # the two's-complement sign — in exact object arithmetic.
+        slab = bits.astype(np.int64)
+        unsigned: np.ndarray | None = None
+        for lo in range(0, width, 62):
+            chunk = slab[:, :, lo : min(lo + 62, width)]
+            weights = np.left_shift(
+                np.int64(1), np.arange(chunk.shape[2], dtype=np.int64)
+            )
+            limb = (chunk @ weights).astype(object)
+            if lo:
+                limb *= 1 << lo
+            unsigned = limb if unsigned is None else unsigned + limb
+        sign = bits[:, :, -1].astype(object)
+        return unsigned - sign * (1 << width)
 
     # -- dense batched engine ------------------------------------------------
+
+    @staticmethod
+    def _fault_index_arrays(
+        stuck_out: list, carry_faults: dict, values: np.ndarray
+    ) -> tuple:
+        """Faults as fancy-index ``(slots, values)`` pairs, or ``None``s.
+
+        Hoisted out of the cycle loops: the fault-free hot path tests
+        four ``None``s per cycle instead of iterating four Python lists,
+        and a faulted run applies each kind with one vectorized
+        assignment.  ``values`` maps a fault value 0/1 to the engine's
+        lane representation (int8 bits or uint64 planes).
+        """
+
+        def pack(pairs):
+            if not pairs:
+                return None
+            slots = np.array([s for s, _ in pairs], dtype=np.int64)
+            return slots, values[[v for _, v in pairs]]
+
+        return (
+            pack(stuck_out),
+            pack(carry_faults["add"]),
+            pack(carry_faults["sub"]),
+            pack(carry_faults["neg"]),
+        )
 
     def _run_dense(
         self, batch: np.ndarray, overrides: tuple[list, dict] | None
@@ -545,19 +631,26 @@ class FastCircuit:
         stuck_out, carry_faults = (
             overrides if overrides is not None else self.fault_overrides()
         )
+        stuck, add_f, sub_f, neg_f = self._fault_index_arrays(
+            stuck_out, carry_faults, np.array([0, 1], dtype=np.int8)
+        )
+        # Double-buffered state: every live component class writes its
+        # slots every cycle (ConstantZero slots stay at their zero
+        # initialization in both buffers), so swapping buffers replaces
+        # the per-cycle full-state copy with zero allocation.
         out = np.zeros((lanes, self.size), dtype=np.int8)
+        nxt = np.zeros((lanes, self.size), dtype=np.int8)
         add_carry = np.zeros((lanes, len(self._add_idx)), dtype=np.int8)
         sub_carry = np.ones((lanes, len(self._sub_idx)), dtype=np.int8)
         neg_carry = np.ones((lanes, len(self._neg_idx)), dtype=np.int8)
         captured = np.zeros((lanes, len(self._probe_idx), cycles), dtype=np.int8)
         for cycle in range(cycles):
-            for slot, value in carry_faults["add"]:
-                add_carry[:, slot] = value
-            for slot, value in carry_faults["sub"]:
-                sub_carry[:, slot] = value
-            for slot, value in carry_faults["neg"]:
-                neg_carry[:, slot] = value
-            nxt = out.copy()
+            if add_f is not None:
+                add_carry[:, add_f[0]] = add_f[1]
+            if sub_f is not None:
+                sub_carry[:, sub_f[0]] = sub_f[1]
+            if neg_f is not None:
+                neg_carry[:, neg_f[0]] = neg_f[1]
             nxt[:, self._input_idx] = input_bits[:, :, cycle]
             if len(self._add_idx):
                 total = out[:, self._add_a] + out[:, self._add_b] + add_carry
@@ -573,9 +666,9 @@ class FastCircuit:
                 neg_carry = total >> 1
             if len(self._dff_idx):
                 nxt[:, self._dff_idx] = out[:, self._dff_d]
-            for idx, value in stuck_out:
-                nxt[:, idx] = value
-            out = nxt
+            if stuck is not None:
+                nxt[:, stuck[0]] = stuck[1]
+            out, nxt = nxt, out
             captured[:, :, cycle] = out[:, self._probe_idx]
         width = self.kernel.result_width
         slab = captured[:, :, self.decode_delta : self.decode_delta + width]
@@ -593,8 +686,12 @@ class FastCircuit:
         stuck_out, carry_faults = (
             overrides if overrides is not None else self.fault_overrides()
         )
-        fault_word = {0: np.uint64(0), 1: _ALL_ONES}
+        stuck, add_f, sub_f, neg_f = self._fault_index_arrays(
+            stuck_out, carry_faults, np.array([0, _ALL_ONES], dtype=np.uint64)
+        )
+        # Double-buffered, as in _run_dense: no per-cycle state copy.
         out = np.zeros((words, self.size), dtype=np.uint64)
+        nxt = np.zeros((words, self.size), dtype=np.uint64)
         add_carry = np.zeros((words, len(self._add_idx)), dtype=np.uint64)
         sub_carry = np.full((words, len(self._sub_idx)), _ALL_ONES, dtype=np.uint64)
         neg_carry = np.full((words, len(self._neg_idx)), _ALL_ONES, dtype=np.uint64)
@@ -602,13 +699,12 @@ class FastCircuit:
             (words, len(self._probe_idx), cycles), dtype=np.uint64
         )
         for cycle in range(cycles):
-            for slot, value in carry_faults["add"]:
-                add_carry[:, slot] = fault_word[value]
-            for slot, value in carry_faults["sub"]:
-                sub_carry[:, slot] = fault_word[value]
-            for slot, value in carry_faults["neg"]:
-                neg_carry[:, slot] = fault_word[value]
-            nxt = out.copy()
+            if add_f is not None:
+                add_carry[:, add_f[0]] = add_f[1]
+            if sub_f is not None:
+                sub_carry[:, sub_f[0]] = sub_f[1]
+            if neg_f is not None:
+                neg_carry[:, neg_f[0]] = neg_f[1]
             nxt[:, self._input_idx] = input_words[:, :, cycle]
             if len(self._add_idx):
                 a = out[:, self._add_a]
@@ -628,9 +724,9 @@ class FastCircuit:
                 neg_carry = b & neg_carry
             if len(self._dff_idx):
                 nxt[:, self._dff_idx] = out[:, self._dff_d]
-            for idx, value in stuck_out:
-                nxt[:, idx] = fault_word[value]
-            out = nxt
+            if stuck is not None:
+                nxt[:, stuck[0]] = stuck[1]
+            out, nxt = nxt, out
             captured[:, :, cycle] = out[:, self._probe_idx]
         width = self.kernel.result_width
         slab = captured[:, :, self.decode_delta : self.decode_delta + width]

@@ -124,6 +124,12 @@ def fault_campaign(
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "fused":
+        raise ValueError(
+            "engine='fused' executes the static shift-add schedule and cannot "
+            "replay injected faults; campaigns run on the gate-level engines "
+            "('object', 'scalar', 'batched', 'bitplane')"
+        )
     vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
     if service is not None:
         if engine == "object":

@@ -7,9 +7,13 @@ execution backends are provided:
 
 * ``backend="functional"`` — the multiplier's exact integer path (fast;
   bit-identical to the hardware by the library's own cross-validation);
-* ``backend="gates"`` — the cycle-accurate gate-level simulator
-  (vectorized engine, :mod:`repro.hwsim.fast`), stepping every serial
-  adder of the compiled netlist each state update.
+* ``backend="gates"`` — the compiled circuit's execution engines
+  (:mod:`repro.hwsim.fast`).  ``engine="auto"`` (the default) runs the
+  fused cycle-loop-free shift-add schedule while the circuit is
+  fault-free and falls back to the cycle-accurate bit-plane simulation
+  whenever faults are injected; pass an explicit gate engine
+  (``"bitplane"``/``"batched"``/``"scalar"``) to force stepping every
+  serial adder of the netlist each state update.
 
 Both backends also accept *batched* states (:meth:`HardwareESN.step_batch`
 / :meth:`HardwareESN.run_batch`): ``B`` independent reservoir instances
@@ -54,11 +58,13 @@ class HardwareESN:
         include_input: bool = False,
         input_quant_width: int = 8,
         plan: MatrixPlan | None = None,
+        engine: str = "auto",
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.esn = esn
         self.backend = backend
+        self.engine = engine
         self.include_input = include_input
         if include_input:
             matrix = np.vstack([esn.w_q.T, esn.w_in_q.T])
@@ -77,21 +83,34 @@ class HardwareESN:
         if backend == "gates":
             from repro.hwsim.fast import FastCircuit
 
+            if engine != "auto" and engine not in FastCircuit.ENGINES:
+                raise ValueError(
+                    f"engine must be 'auto' or one of {FastCircuit.ENGINES}, "
+                    f"got {engine!r}"
+                )
             self._circuit = FastCircuit.from_compiled(self.multiplier.build_circuit())
 
     @property
     def dim(self) -> int:
         return self.esn.dim
 
+    def _gates_engine(self) -> str:
+        """Resolve ``engine="auto"`` against the circuit's current faults."""
+        if self.engine != "auto":
+            return self.engine
+        return "bitplane" if self._circuit.has_faults else "fused"
+
     def _hardware_multiply(self, vector: np.ndarray) -> np.ndarray:
         """One hardware product; a 2-D input batches independent vectors."""
         arr = np.asarray(vector)
         if arr.ndim == 2:
             if self.backend == "gates":
-                return self._circuit.multiply_batch(arr)
+                return self._circuit.multiply_batch(arr, engine=self._gates_engine())
             return self.multiplier.multiply_batch(arr)
         if self.backend == "gates":
-            return self._circuit.multiply(arr)
+            return self._circuit.multiply_batch(
+                arr[None, :], engine=self._gates_engine()
+            )[0]
         return self.multiplier.multiply(arr)
 
     def recurrent_product(self, state: np.ndarray) -> np.ndarray:

@@ -10,19 +10,25 @@ pay that cost twice for the same bytes.
 :func:`repro.core.serialize.matrix_digest` plus the compile options
 (``input_width``, ``scheme``, ``tree_style``) — everything that affects
 the resulting circuit.  Entries are held in memory under an LRU policy;
-with a ``directory`` every compile persists *two* artifacts per key via
-:mod:`repro.core.serialize`:
+with a ``directory`` every compile persists *three* artifacts per key
+via :mod:`repro.core.serialize`:
 
 * ``<key>.plan.json`` — the compilation plan (cheap, human-auditable);
 * ``<key>.kernel.npz`` — the lowered kernel, i.e. the exact flat arrays
-  the bit-plane engine executes.
+  the bit-plane engine executes;
+* ``<key>.fused.npz`` — the fused shift-add schedule
+  (:class:`~repro.hwsim.fused.FusedKernel`), i.e. what the
+  cycle-loop-free ``engine="fused"`` serving path executes.
 
 A *fresh process* deploying a known matrix therefore loads the kernel
-and performs **zero** planning, ``build_circuit``, or lowering work (the
-contract asserted by ``benchmarks/bench_compile_cold_start.py`` against
+and fused schedule and performs **zero** planning, ``build_circuit``,
+lowering, or fusing work (the contract asserted by
+``benchmarks/bench_compile_cold_start.py`` against
 :data:`repro.core.stages.STAGES`); if only the plan survives (older
 store, pruned kernel), it skips re-planning and pays just the mechanical
-netlist build.
+netlist build.  A store written before the fused artifact existed
+re-fuses from the loaded kernel (cheap next to a build) and backfills
+the missing artifact.
 
 The cache compiles deterministically (``rng=None``), so a key always
 names exactly one circuit; stored artifacts are verified on load
@@ -35,8 +41,8 @@ directory becomes a bounded artifact store.  An ``index.json`` manifest
 records per-key sizes and last-use times (shareable by a deploy fleet);
 after every store or load the cache prunes expired keys and then the
 least-recently-used keys until the store fits the byte budget.  A key's
-plan and kernel artifacts are evicted together, so a surviving key is
-always a full-speed kernel hit.  Unbounded stores (no limits set) keep
+plan, kernel, and fused artifacts are evicted together, so a surviving
+key is always a full-speed kernel hit.  Unbounded stores (no limits set) keep
 the manifest as a cheap per-store record — loads skip manifest work,
 and a later bounded cache over the same directory adopts everything by
 file mtime.
@@ -56,6 +62,8 @@ import numpy as np
 
 from repro.core.plan import MatrixPlan, plan_matrix
 from repro.core.serialize import (
+    fused_from_npz,
+    fused_to_npz,
     kernel_from_npz,
     kernel_to_npz,
     matrix_digest,
@@ -65,6 +73,7 @@ from repro.core.serialize import (
 )
 from repro.hwsim.builder import CompiledCircuit, build_circuit
 from repro.hwsim.fast import FastCircuit, LoweredKernel
+from repro.hwsim.fused import FusedKernel
 
 __all__ = ["CompileKey", "CompiledEntry", "CompileCache", "compile_key"]
 
@@ -74,8 +83,8 @@ _INDEX_NAME = "index.json"
 
 # Per-key artifact suffixes — the single place the naming scheme lives;
 # CompileKey, eviction, and manifest adoption all derive from this.
-_ARTIFACT_SUFFIXES = (".plan.json", ".kernel.npz")
-_PLAN_SUFFIX, _KERNEL_SUFFIX = _ARTIFACT_SUFFIXES
+_ARTIFACT_SUFFIXES = (".plan.json", ".kernel.npz", ".fused.npz")
+_PLAN_SUFFIX, _KERNEL_SUFFIX, _FUSED_SUFFIX = _ARTIFACT_SUFFIXES
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,11 @@ class CompileKey:
     def kernel_filename(self) -> str:
         """Stable on-disk name for this key's persisted lowered kernel."""
         return f"{self.stem}{_KERNEL_SUFFIX}"
+
+    @property
+    def fused_filename(self) -> str:
+        """Stable on-disk name for this key's persisted fused schedule."""
+        return f"{self.stem}{_FUSED_SUFFIX}"
 
 
 def compile_key(
@@ -137,6 +151,7 @@ class CompiledEntry:
     circuit: CompiledCircuit | None
     fast: FastCircuit
     kernel: LoweredKernel
+    fused: FusedKernel
     source: str  # "memory" | "kernel" | "disk" | "compiled"
 
     @property
@@ -196,6 +211,7 @@ class CompileCache:
         self._disk_lock = threading.Lock()
         self.hits = 0
         self.kernel_hits = 0
+        self.fused_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.plan_hits = 0
@@ -230,6 +246,7 @@ class CompileCache:
                     circuit=entry.circuit,
                     fast=entry.fast,
                     kernel=entry.kernel,
+                    fused=entry.fused,
                     source="memory",
                 )
         kernel = self._load_kernel(key)
@@ -245,34 +262,53 @@ class CompileCache:
                 # tampered with or replaced): never execute it.
                 kernel = None
         if kernel is not None:
+            fused = self._load_fused(key)
+            if fused is not None and fused.fingerprint != plan_fp:
+                fused = None  # stale schedule: never execute it
+            fused_loaded = fused is not None
+            if fused is None:
+                # Pre-fused-artifact store (or a pruned/corrupt schedule):
+                # re-fuse from the loaded kernel and backfill the artifact.
+                fast = FastCircuit(kernel, plan=plan)
+                fused = fast.fuse()
+                self._store_fused(key, fused)
+            else:
+                fast = FastCircuit(kernel, plan=plan, fused=fused)
             entry = CompiledEntry(
                 key=key,
                 plan=plan,
                 circuit=None,
-                fast=FastCircuit(kernel, plan=plan),
+                fast=fast,
                 kernel=kernel,
+                fused=fused,
                 source="kernel",
             )
             counter = "kernel"
         else:
+            fused_loaded = False
             plan, _, plan_source = self._plan_for(
                 key, matrix, input_width, scheme, tree_style
             )
             circuit = build_circuit(plan)
             fast = FastCircuit.from_compiled(circuit)
             self._store_kernel(key, fast.kernel)
+            fused = fast.fuse()
+            self._store_fused(key, fused)
             entry = CompiledEntry(
                 key=key,
                 plan=plan,
                 circuit=circuit,
                 fast=fast,
                 kernel=fast.kernel,
+                fused=fused,
                 source="disk" if plan_source == "disk" else "compiled",
             )
             counter = entry.source
         with self._lock:
             if counter == "kernel":
                 self.kernel_hits += 1
+                if fused_loaded:
+                    self.fused_hits += 1
             elif counter == "disk":
                 self.disk_hits += 1
             else:
@@ -355,6 +391,7 @@ class CompileCache:
             "capacity": self.capacity,
             "hits": self.hits,
             "kernel_hits": self.kernel_hits,
+            "fused_hits": self.fused_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "plan_hits": self.plan_hits,
@@ -396,6 +433,11 @@ class CompileCache:
         if self.directory is None:
             return None
         return self.directory / key.kernel_filename
+
+    def _fused_path(self, key: CompileKey) -> pathlib.Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / key.fused_filename
 
     def _store_plan(self, key: CompileKey, plan: MatrixPlan) -> str:
         """Persist a plan (when a directory is set); returns its fingerprint."""
@@ -474,6 +516,39 @@ class CompileCache:
             return None
         self._touch(key)
         return kernel
+
+    def _store_fused(self, key: CompileKey, fused: FusedKernel) -> None:
+        """Best-effort persist: unlike the compile-path artifact writes,
+        this also runs on warm kernel hits (backfilling pre-fused-era
+        stores), so a read-only shared store must degrade to an
+        unpersisted schedule, never fail the deploy."""
+        path = self._fused_path(key)
+        if path is None:
+            return
+        try:
+            fused_to_npz(fused, path)
+        except OSError:
+            return
+        self._touch(key, stored=True)
+
+    def _load_fused(self, key: CompileKey) -> FusedKernel | None:
+        """Load a persisted fused schedule; None on absence or any
+        validation failure (the caller re-fuses from the kernel)."""
+        path = self._fused_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            fused = fused_from_npz(path)
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+        ):
+            return None
+        self._touch(key)
+        return fused
 
     # -- disk eviction -------------------------------------------------------
 

@@ -33,7 +33,7 @@ from repro.reservoir.hw_esn import HardwareESN
 from repro.reservoir.quantize import IntegerESN
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import CompileCache
-from repro.serve.shards import ShardedMultiplier
+from repro.serve.shards import SERVE_ENGINES, ShardedMultiplier
 from repro.serve.telemetry import DeploymentTelemetry
 
 __all__ = ["Deployment", "MatMulService", "ServedESN"]
@@ -43,14 +43,21 @@ _SERVED_BACKENDS = ("gates", "functional")
 
 @dataclass
 class Deployment:
-    """Handle to one deployed matrix: the object callers submit against."""
+    """Handle to one deployed matrix: the object callers submit against.
+
+    ``engine`` is the *configured* engine — ``"auto"`` by default, which
+    resolves per hardware call to the fused cycle-loop-free engine for
+    fault-free shards and to the bit-plane gate engine whenever faults
+    are active.  The resolved choice of every batch is recorded in the
+    deployment's telemetry under ``"engine"``.
+    """
 
     name: str
     matrix_digest: str
     sharded: ShardedMultiplier
     batcher: MicroBatcher
     telemetry: DeploymentTelemetry
-    engine: str = "bitplane"
+    engine: str = "auto"
     esn: "ServedESN | None" = field(default=None, repr=False)
 
     @property
@@ -90,6 +97,7 @@ class ServedESN(HardwareESN):
         include_input: bool = False,
         input_quant_width: int = 8,
         plan=None,
+        engine: str = "auto",
     ) -> None:
         if served_backend not in _SERVED_BACKENDS:
             raise ValueError(
@@ -107,17 +115,40 @@ class ServedESN(HardwareESN):
         self.served_backend = served_backend
         self._sharded = sharded
         self._telemetry = telemetry
+        self._engine = engine
 
     def _hardware_multiply(self, vector: np.ndarray) -> np.ndarray:
         arr = np.asarray(vector)
         batch = arr if arr.ndim == 2 else arr[None, :]
         if self.served_backend == "gates":
-            out = self._sharded.multiply_batch(batch)
+            effective, out = _resolved_multiply(self._sharded, self._engine, batch)
+            self._telemetry.record_batch(batch.shape[0], engine=effective)
         else:
             out = self.multiplier.multiply_batch(batch)
-        self._telemetry.record_batch(batch.shape[0])
+            self._telemetry.record_batch(batch.shape[0])
         self._telemetry.record_products(batch.shape[0])
         return out if arr.ndim == 2 else out[0]
+
+
+def _resolved_multiply(
+    sharded: ShardedMultiplier, engine: str, batch: np.ndarray
+) -> tuple[str, np.ndarray]:
+    """Resolve ``engine`` and execute, returning ``(effective, result)``.
+
+    Resolution and execution are not atomic: a fault injected between
+    ``resolve_engine("auto") -> "fused"`` and the shard run makes the
+    fused engine refuse mid-batch.  For ``"auto"`` deployments that
+    refusal is retried on the gate engine — the fallback stays
+    transparent under concurrent fault injection instead of failing the
+    whole coalesced batch.  Explicitly pinned engines keep the refusal.
+    """
+    effective = sharded.resolve_engine(engine)
+    try:
+        return effective, sharded.multiply_batch(batch, engine=effective)
+    except ValueError:
+        if engine != "auto" or effective != "fused":
+            raise
+        return "bitplane", sharded.multiply_batch(batch, engine="bitplane")
 
 
 class MatMulService:
@@ -136,8 +167,12 @@ class MatMulService:
         cache: CompileCache | None = None,
         max_batch: int = 64,
         max_delay_s: float = 0.002,
-        engine: str = "bitplane",
+        engine: str = "auto",
     ) -> None:
+        if engine not in SERVE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
+            )
         self.cache = cache if cache is not None else CompileCache()
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
@@ -159,6 +194,7 @@ class MatMulService:
         max_batch: int | None = None,
         max_delay_s: float | None = None,
         use_cache: bool = True,
+        engine: str | None = None,
     ) -> Deployment:
         """Compile (through the cache) and register one served matrix.
 
@@ -171,9 +207,20 @@ class MatMulService:
         compile cache — required by experiments that mutate shard
         netlists (fault campaigns), since cached circuits are shared
         across deployments and kernel-cache hits carry no netlist at all.
+        ``engine`` pins this deployment's execution engine (overriding
+        the service-wide default): ``"auto"`` serves the fused
+        cycle-loop-free schedule while the deployment is fault-free and
+        falls back to the bit-plane gate engine whenever faults are
+        active; an explicit gate engine forces cycle simulation.  Every
+        batch's *resolved* engine lands in telemetry under ``"engine"``.
         """
         arr = np.asarray(matrix, dtype=np.int64)
         digest = matrix_digest(arr)
+        engine = engine if engine is not None else self.engine
+        if engine not in SERVE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
+            )
         sharded = ShardedMultiplier(
             arr,
             shards=shards,
@@ -187,11 +234,11 @@ class MatMulService:
         batch_limit = max_batch if max_batch is not None else self.max_batch
         delay = max_delay_s if max_delay_s is not None else self.max_delay_s
         telemetry = DeploymentTelemetry(max_batch=batch_limit, max_delay_s=delay)
-        engine = self.engine
 
         def _execute(batch: np.ndarray) -> np.ndarray:
-            telemetry.record_batch(batch.shape[0])
-            return sharded.multiply_batch(batch, engine=engine)
+            effective, out = _resolved_multiply(sharded, engine, batch)
+            telemetry.record_batch(batch.shape[0], engine=effective)
+            return out
 
         if name is None:
             name = f"m-{digest[:12]}"
@@ -228,6 +275,7 @@ class MatMulService:
         backend: str = "thread",
         max_batch: int | None = None,
         max_delay_s: float | None = None,
+        engine: str | None = None,
     ) -> Deployment:
         """Deploy a quantized reservoir's recurrent matrix for rollouts.
 
@@ -257,6 +305,7 @@ class MatMulService:
             backend=backend,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
+            engine=engine,
         )
         deployment.esn = ServedESN(
             esn,
@@ -267,6 +316,7 @@ class MatMulService:
             include_input=include_input,
             input_quant_width=input_quant_width,
             plan=plan,
+            engine=deployment.engine,
         )
         return deployment
 
@@ -316,10 +366,10 @@ class MatMulService:
     ) -> np.ndarray:
         """Synchronous direct path: one hardware call, no coalescing."""
         batch = np.atleast_2d(np.asarray(vectors))
-        out = handle.sharded.multiply_batch(
-            batch, engine=engine if engine is not None else handle.engine
+        effective, out = _resolved_multiply(
+            handle.sharded, engine if engine is not None else handle.engine, batch
         )
-        handle.telemetry.record_batch(batch.shape[0])
+        handle.telemetry.record_batch(batch.shape[0], engine=effective)
         handle.telemetry.record_products(batch.shape[0])
         return out
 
@@ -353,11 +403,15 @@ class MatMulService:
     def telemetry(self, handle: Deployment | None = None) -> dict:
         """Metrics for one deployment, or the whole service when omitted."""
         if handle is not None:
+            snap = handle.telemetry.snapshot()
+            # Merge the configured engine into the snapshot's per-batch
+            # effective-engine record: a dashboard reader sees both what
+            # the deployment asked for and what it actually ran.
+            snap["engine"] = {"configured": handle.engine, **snap["engine"]}
             return {
                 "name": handle.name,
                 "matrix_digest": handle.matrix_digest,
-                "engine": handle.engine,
-                **handle.telemetry.snapshot(),
+                **snap,
                 "batcher": {
                     "requests": handle.batcher.stats.requests,
                     "batches": handle.batcher.stats.batches,

@@ -24,14 +24,25 @@ Two execution backends:
   partially, so parallelism saturates early.
 * ``backend="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
   whose workers receive each shard's :class:`~repro.hwsim.fast.LoweredKernel`
-  **once at pool creation** (kernels are plain arrays, hence picklable —
-  the payoff of the staged compile pipeline) and rebuild a bare
-  ``FastCircuit`` from it.  Per call, the input batch is published
-  through one :class:`multiprocessing.shared_memory.SharedMemory` block
-  (no per-shard copies of the batch cross the pipe) and each shard's
-  *current* fault overrides — tiny index/value lists — ride along, so
-  live fault injection on a shard's netlist is replayed deterministically
-  in the worker and stays bit-exact with the thread backend.
+  (and, when available, its pre-fused shift-add schedule) **once at pool
+  creation** (kernels are plain arrays, hence picklable — the payoff of
+  the staged compile pipeline) and rebuild a bare ``FastCircuit`` from
+  them.  Per call, the input batch is published through one
+  :class:`multiprocessing.shared_memory.SharedMemory` block (no
+  per-shard copies of the batch cross the pipe), each shard's *current*
+  fault overrides — tiny index/value lists — ride along (so live fault
+  injection on a shard's netlist is replayed deterministically in the
+  worker and stays bit-exact with the thread backend), and results come
+  back through a *second* shared-memory block: each worker writes its
+  column slice in place, so no result rows are pickled either (shards
+  with >62-bit results fall back to a pickled return — exact Python
+  integers cannot live in shared memory).
+
+Engine selection: every execution method takes ``engine``, defaulting
+to ``"auto"`` — the fused cycle-loop-free engine when no shard has live
+faults, the bit-plane gate engine otherwise (faults break the static
+schedule).  :meth:`ShardedMultiplier.resolve_engine` exposes the choice
+so the serve layer can record the *effective* engine in telemetry.
 """
 
 from __future__ import annotations
@@ -56,9 +67,14 @@ __all__ = [
     "ShardedMultiplier",
     "even_column_shards",
     "SHARD_BACKENDS",
+    "SERVE_ENGINES",
 ]
 
 SHARD_BACKENDS = ("thread", "process")
+
+#: Engines a deployment may be pinned to: ``"auto"`` (fused when
+#: fault-free, bitplane otherwise) plus every FastCircuit engine.
+SERVE_ENGINES = ("auto",) + FastCircuit.ENGINES
 
 
 def even_column_shards(cols: int, shards: int) -> list[tuple[int, int]]:
@@ -119,9 +135,16 @@ class Shard:
 _WORKER_FAST: FastCircuit | None = None
 
 
-def _process_worker_init(kernel: LoweredKernel) -> None:
+def _process_worker_init(kernel: LoweredKernel, fused) -> None:
+    """Bind this worker to its shard's kernel (and fused schedule).
+
+    ``fused`` is the shard's pre-fused :class:`FusedKernel` when the
+    parent had one (compile-cache deployments always do), shipped once
+    here so ``engine="fused"`` calls never re-fuse in the worker; a
+    worker given ``None`` fuses lazily on first fused execution.
+    """
     global _WORKER_FAST
-    _WORKER_FAST = FastCircuit(kernel)
+    _WORKER_FAST = FastCircuit(kernel, fused=fused)
 
 
 def _process_worker_run(
@@ -129,21 +152,35 @@ def _process_worker_run(
     shape: tuple[int, int],
     engine: str,
     overrides: tuple[list, dict],
-) -> tuple[np.ndarray, float]:
+    out_name: str,
+    out_cols: int,
+    col_range: tuple[int, int],
+) -> tuple[np.ndarray | None, float]:
     """Execute this worker's shard against the shared-memory input batch.
 
-    Returns ``(columns, busy_seconds)`` so the parent can keep the same
-    per-shard utilization accounting as the thread backend.
+    The result's column slice is written straight into the parent's
+    shared-memory output block (``out_name``, shape ``(batch,
+    out_cols)`` int64) — nothing crosses the pipe but accounting.
+    Shards whose results exceed int64 (``result_width > 62``) return
+    their object-dtype columns by value instead.  Returns ``(columns or
+    None, busy_seconds)`` so the parent keeps the same per-shard
+    utilization accounting as the thread backend.
     """
     start = time.perf_counter()
     shm = shared_memory.SharedMemory(name=shm_name)
+    out_shm = shared_memory.SharedMemory(name=out_name)
     try:
         batch = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
         out = _WORKER_FAST.multiply_batch(
             batch, engine=engine, overrides=overrides
         )
+        if out.dtype == np.int64:
+            dest = np.ndarray((shape[0], out_cols), dtype=np.int64, buffer=out_shm.buf)
+            dest[:, col_range[0] : col_range[1]] = out
+            out = None
     finally:
         shm.close()
+        out_shm.close()
     return out, time.perf_counter() - start
 
 
@@ -235,7 +272,7 @@ class ShardedMultiplier:
                 ProcessPoolExecutor(
                     max_workers=1,
                     initializer=_process_worker_init,
-                    initargs=(shard.kernel,),
+                    initargs=(shard.kernel, shard.fast.fused),
                 )
                 for shard in self.shards
             ]
@@ -298,17 +335,47 @@ class ShardedMultiplier:
             shard.calls += 1
             shard.busy_s += elapsed
 
+    def has_faults(self) -> bool:
+        """True when any shard has live or snapshotted faults pending."""
+        return any(s.fast.has_faults for s in self.shards)
+
+    def resolve_engine(self, engine: str = "auto") -> str:
+        """The engine an execution with ``engine`` would actually run.
+
+        ``"auto"`` resolves to the cycle-loop-free ``"fused"`` schedule
+        when every shard is fault-free, and to the bit-plane gate engine
+        whenever faults are active (the fused engine refuses faults).
+        Explicit engines pass through unchanged; the serve layer records
+        the resolved value in telemetry per hardware call.
+        """
+        if engine == "auto":
+            return "bitplane" if self.has_faults() else "fused"
+        if engine not in FastCircuit.ENGINES:
+            raise ValueError(
+                f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
+            )
+        return engine
+
     def _run_shard(self, shard: Shard, batch: np.ndarray, engine: str) -> np.ndarray:
         start = time.perf_counter()
         out = shard.fast.multiply_batch(batch, engine=engine)
         self._record(shard, time.perf_counter() - start)
         return out
 
-    def _run_process_backend(
-        self, batch: np.ndarray, engine: str
-    ) -> list[np.ndarray]:
-        """All shards against one shared-memory copy of the batch."""
+    def _run_process_backend(self, batch: np.ndarray, engine: str) -> np.ndarray:
+        """All shards against one shared-memory copy of the batch.
+
+        Results travel back through a second shared-memory block that
+        every worker fills in place (its own column slice), so the
+        return pipe carries only timing accounting — except for >62-bit
+        shards, whose exact-integer columns are merged from their
+        pickled returns into an object-dtype result.
+        """
+        rows = batch.shape[0]
         shm = shared_memory.SharedMemory(create=True, size=batch.nbytes)
+        out_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, rows * self.cols * 8)
+        )
         try:
             staged = np.ndarray(batch.shape, dtype=np.int64, buffer=shm.buf)
             staged[:] = batch
@@ -321,37 +388,53 @@ class ShardedMultiplier:
                     # Snapshot each shard's live faults; workers hold only
                     # kernels, so the overrides are the fault channel.
                     shard.fast.fault_overrides(),
+                    out_shm.name,
+                    self.cols,
+                    (shard.start, shard.stop),
                 )
                 for shard, pool in zip(self.shards, self._shard_pools)
             ]
             results = [f.result() for f in futures]
+            staged_out = np.ndarray(
+                (rows, self.cols), dtype=np.int64, buffer=out_shm.buf
+            )
+            merged = staged_out.copy()
         finally:
             shm.close()
             shm.unlink()
-        pieces = []
+            out_shm.close()
+            out_shm.unlink()
+        wide_pieces = []
         for shard, (out, elapsed) in zip(self.shards, results):
             self._record(shard, elapsed)
-            pieces.append(out)
-        return pieces
+            if out is not None:
+                wide_pieces.append((shard, out))
+        if wide_pieces:
+            merged = merged.astype(object)
+            for shard, out in wide_pieces:
+                merged[:, shard.start : shard.stop] = out
+        return merged
 
     def multiply_batch(
-        self, vectors: np.ndarray, engine: str = "bitplane"
+        self, vectors: np.ndarray, engine: str = "auto"
     ) -> np.ndarray:
         """``(B, rows) -> (B, cols)``, every shard advancing concurrently.
 
         Each shard receives the *full* input vectors (the architecture
         broadcasts inputs to every column) and produces its own column
         slice; slices concatenate into the monolithic result bit-exactly.
+        ``engine`` defaults to ``"auto"`` (see :meth:`resolve_engine`).
         """
         batch = self._validate(vectors)
+        engine = self.resolve_engine(engine)
         if batch.shape[0] == 0:
             pieces = [
                 s.fast.multiply_batch(batch, engine=engine) for s in self.shards
             ]
             return np.concatenate(pieces, axis=1)
         if self.backend == "process":
-            pieces = self._run_process_backend(batch, engine)
-        elif self._pool is None:
+            return self._run_process_backend(batch, engine)
+        if self._pool is None:
             pieces = [self._run_shard(s, batch, engine) for s in self.shards]
         else:
             futures = [

@@ -68,6 +68,12 @@ class DeploymentTelemetry:
         self.products = 0
         self.batches = 0
         self.lanes = 0
+        # Hardware batches per *effective* engine: an "auto" deployment
+        # serves fused traffic until a fault campaign flips it to the
+        # gate-level engine, and an operator should be able to see both
+        # the current choice and the history on the dashboard.
+        self.engine_batches: dict[str, int] = {}
+        self.effective_engine: str | None = None
 
     def record_request(self, latency_s: float) -> None:
         """One request completed end to end (submit to result)."""
@@ -81,11 +87,20 @@ class DeploymentTelemetry:
         with self._lock:
             self.products += int(count)
 
-    def record_batch(self, lanes: int) -> None:
-        """One hardware batch dispatched with ``lanes`` lanes filled."""
+    def record_batch(self, lanes: int, engine: str | None = None) -> None:
+        """One hardware batch dispatched with ``lanes`` lanes filled.
+
+        ``engine`` is the *effective* engine the batch executed on (the
+        resolved value of an ``"auto"`` deployment), recorded per batch.
+        """
         with self._lock:
             self.batches += 1
             self.lanes += int(lanes)
+            if engine is not None:
+                self.effective_engine = engine
+                self.engine_batches[engine] = (
+                    self.engine_batches.get(engine, 0) + 1
+                )
 
     @property
     def uptime_s(self) -> float:
@@ -106,6 +121,10 @@ class DeploymentTelemetry:
                 "batching": {
                     "max_batch": self.max_batch,
                     "max_delay_s": self.max_delay_s,
+                },
+                "engine": {
+                    "effective": self.effective_engine,
+                    "batches": dict(self.engine_batches),
                 },
                 "requests": self.requests,
                 "products": self.products,

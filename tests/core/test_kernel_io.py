@@ -98,10 +98,14 @@ class TestRoundTrip:
         kernel_to_npz(lower(circuit), path)
         loaded = kernel_from_npz(path)
         assert loaded.has_faults
-        for engine in FastCircuit.ENGINES:
+        for engine in FastCircuit.FAULT_CAPABLE_ENGINES:
             assert np.array_equal(
                 FastCircuit(loaded).multiply_batch(vectors, engine=engine), faulty
             )
+        # The fused engine is linear-only: a fault-bearing kernel must be
+        # refused loudly, never silently simulated fault-free.
+        with pytest.raises(ValueError, match="fused"):
+            FastCircuit(loaded).multiply_batch(vectors, engine="fused")
 
 
 class TestArtifactValidation:

@@ -154,10 +154,20 @@ class TestFaultSnapshotAndOverrides:
         overrides = bound.fault_overrides()
         injection.revert()
         bare = FastCircuit(clean_kernel)
-        for engine in FastCircuit.ENGINES:
+        for engine in FastCircuit.FAULT_CAPABLE_ENGINES:
             assert np.array_equal(
                 bare.multiply_batch(vectors, engine=engine, overrides=overrides),
                 faulty,
             )
+        # The fused engine refuses non-empty overrides (linear-only)...
+        with pytest.raises(ValueError, match="fused"):
+            bare.multiply_batch(vectors, engine="fused", overrides=overrides)
+        # ...but accepts an explicitly empty override set (the process
+        # shard path always ships one).
+        empty = ([], {"add": [], "sub": [], "neg": []})
+        assert np.array_equal(
+            bare.multiply_batch(vectors, engine="fused", overrides=empty),
+            vectors @ matrix,
+        )
         # Without overrides the clean kernel stays clean.
         assert np.array_equal(bare.multiply_batch(vectors), vectors @ matrix)

@@ -23,10 +23,15 @@ def _matrix(seed=0, shape=(12, 10)):
     return matrix
 
 
+_SUFFIXES = (".plan.json", ".kernel.npz", ".fused.npz")
+
+
 def _stems(tmp_path):
     return {
-        p.name[: -len(".plan.json")] for p in tmp_path.glob("*.plan.json")
-    } | {p.name[: -len(".kernel.npz")] for p in tmp_path.glob("*.kernel.npz")}
+        p.name[: -len(suffix)]
+        for suffix in _SUFFIXES
+        for p in tmp_path.glob(f"*{suffix}")
+    }
 
 
 class TestManifest:
@@ -47,6 +52,7 @@ class TestManifest:
         expected = (
             (tmp_path / entry.key.filename).stat().st_size
             + (tmp_path / entry.key.kernel_filename).stat().st_size
+            + (tmp_path / entry.key.fused_filename).stat().st_size
         )
         assert index["entries"][stem]["bytes"] == expected
 
@@ -114,8 +120,8 @@ class TestSizeEviction:
         probe.get(_matrix(0))
         one_entry = sum(
             p.stat().st_size
-            for p in list(tmp_path.glob("*.plan.json"))
-            + list(tmp_path.glob("*.kernel.npz"))
+            for suffix in _SUFFIXES
+            for p in tmp_path.glob(f"*{suffix}")
         )
         for p in tmp_path.iterdir():
             p.unlink()
@@ -146,11 +152,13 @@ class TestSizeEviction:
         a = cache.get(_matrix(0)).key
         time.sleep(0.01)
         b = cache.get(_matrix(1)).key
-        # a was evicted whole: neither artifact survives.
+        # a was evicted whole: none of its three artifacts survives.
         assert not (tmp_path / a.filename).exists()
         assert not (tmp_path / a.kernel_filename).exists()
+        assert not (tmp_path / a.fused_filename).exists()
         assert (tmp_path / b.filename).exists()
         assert (tmp_path / b.kernel_filename).exists()
+        assert (tmp_path / b.fused_filename).exists()
 
     def test_touch_refreshes_lru_order(self, tmp_path):
         probe = CompileCache(directory=tmp_path)
