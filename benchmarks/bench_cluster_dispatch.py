@@ -1,0 +1,154 @@
+"""Cluster dispatch benchmark: a loopback shard fleet vs the monolith.
+
+A 96x96 CSD-recoded matrix is served two ways against the same offered
+load — 64 concurrent single-vector requests, micro-batched by the
+service:
+
+* **monolith** — one in-process deployment (thread backend, 1 shard),
+  the repository's standard serving path;
+* **fleet** — three :class:`~repro.cluster.server.ShardServer`
+  instances on loopback TCP, one column shard each, deployed via
+  :meth:`ClusterController.deploy_fleet` after the store was prewarmed
+  by the :mod:`repro.serve.prewarm` compile farm.
+
+Two contracts are *asserted* (the numbers are recorded for the curious
+— loopback sockets obviously tax a matrix this small; the fleet's value
+is matrices wider than one host, not speed at 96 columns):
+
+* **bit-exactness** — fleet results equal the monolith's equal
+  ``vectors @ matrix``, through the full micro-batching path;
+* **zero-stage warm start** — deploying onto the prewarmed store
+  executes zero ``plan``/``build``/``lower``/``fuse`` stages anywhere
+  in the process (deploying client *and* all three servers), proven by
+  :data:`repro.core.stages.STAGES` counters, not timings.
+
+Results are written to ``BENCH_cluster_dispatch.json`` at the repo root.
+
+Run::
+
+    pytest benchmarks/bench_cluster_dispatch.py
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.stages import STAGES
+from repro.cluster import ClusterController
+from repro.serve import CompileCache, MatMulService
+from repro.serve.prewarm import prewarm
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DIM = 96
+SPARSITY = 0.5
+SERVERS = 3
+OFFERED = 64
+REPEATS = 3
+
+
+def _matrix():
+    rng = np.random.default_rng(23)
+    matrix = rng.integers(-128, 128, size=(DIM, DIM))
+    matrix[rng.random((DIM, DIM)) < SPARSITY] = 0
+    return matrix
+
+
+def _offered_load(service, handle, vectors):
+    """One offered batch of single-vector requests; returns (rows, s)."""
+
+    async def drive():
+        start = time.perf_counter()
+        rows = await service.submit_many(handle, vectors)
+        return rows, time.perf_counter() - start
+
+    return asyncio.run(drive())
+
+
+def _best_offered(service, handle, vectors, golden):
+    best = float("inf")
+    for _ in range(REPEATS):
+        rows, elapsed = _offered_load(service, handle, vectors)
+        assert np.array_equal(rows, golden)  # bit-exact, every repeat
+        best = min(best, elapsed)
+    return best
+
+
+def test_cluster_dispatch(tmp_path):
+    matrix = _matrix()
+    vectors = np.random.default_rng(29).integers(-128, 128, size=(OFFERED, DIM))
+    golden = vectors @ matrix
+    store = tmp_path / "store"
+
+    # Stage 1: the offline compile farm fills the store — the monolith
+    # key plus each of the three fleet shard pieces.
+    manifest = {
+        "defaults": {"input_width": 8, "scheme": "csd"},
+        "workloads": [
+            {"name": "monolith", "matrix": matrix.tolist()},
+            {"name": "fleet", "matrix": matrix.tolist(), "shards": SERVERS},
+        ],
+    }
+    prewarm_report = prewarm(manifest, store=store)
+    assert prewarm_report["stages"]["plan"] == SERVERS + 1
+
+    # Stage 2: everything below runs against the warm store and must
+    # execute zero pipeline stages — client side and server side.
+    before = STAGES.snapshot()
+
+    with ClusterController(store) as controller:
+        controller.start_local_fleet(SERVERS)
+        with controller.remote_service() as fleet_service:
+            fleet_handle = controller.deploy_fleet(fleet_service, matrix)
+            fleet_s = _best_offered(fleet_service, fleet_handle, vectors, golden)
+            fleet_util = fleet_handle.sharded.utilization()
+            fleet_stats = controller.fleet_stats()
+
+        with MatMulService(cache=CompileCache(directory=store)) as mono_service:
+            mono_handle = mono_service.deploy(matrix, input_width=8, scheme="csd")
+            mono_s = _best_offered(mono_service, mono_handle, vectors, golden)
+
+    stage_delta = STAGES.delta(before)
+    for stage in ("plan", "build", "lower", "fuse"):
+        assert stage_delta.get(stage, 0) == 0, (stage, stage_delta)
+    # Every shard server answered a LOAD from the shared store and
+    # every batch went over a socket — no silent local fallbacks.
+    assert [s["loads"] for s in fleet_stats] == [1] * SERVERS
+    assert all(
+        p["healthy"] and p["local_fallbacks"] == 0
+        for p in fleet_util["per_shard"]
+    )
+
+    record = {
+        "matrix": f"{DIM}x{DIM} csd, ~{SPARSITY:.0%} element sparsity, s8 inputs",
+        "offered_batch": OFFERED,
+        "servers": SERVERS,
+        "seconds": {
+            "fleet_remote": round(fleet_s, 6),
+            "monolith_in_process": round(mono_s, 6),
+        },
+        "requests_per_s": {
+            "fleet_remote": round(OFFERED / fleet_s, 1),
+            "monolith_in_process": round(OFFERED / mono_s, 1),
+        },
+        "remote_overhead_x": round(fleet_s / mono_s, 2),
+        "stage_counts_after_prewarm": stage_delta,
+        "prewarm_stage_counts": prewarm_report["stages"],
+        "per_shard": [
+            {
+                "endpoint": p["endpoint"],
+                "columns": p["columns"],
+                "remote_calls": p["remote_calls"],
+                "rtt_s": p["rtt_s"],
+            }
+            for p in fleet_util["per_shard"]
+        ],
+        "server_loads": [s["loads"] for s in fleet_stats],
+        "bit_exact": True,
+    }
+    out_path = REPO_ROOT / "BENCH_cluster_dispatch.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

@@ -1,0 +1,69 @@
+"""`repro.cluster` — one wide matrix served by a fleet over sockets.
+
+The paper's economics end at the edge of one host: a fixed sparse
+matrix compiled spatially amortizes beautifully, but a matrix can be
+wider than any single device *or any single machine's worth of
+devices*.  Columns are independent in this architecture, so the
+scale-out step is the same one the serve layer already took in-process
+(:mod:`repro.serve.shards`): column shards, each a self-contained
+kernel artifact, executed concurrently and reassembled bit-exactly.
+This package extends that ship-kernel-once / stream-batches pattern to
+a network transport:
+
+* :mod:`repro.cluster.protocol` — the length-prefixed binary frame
+  protocol (HELLO version handshake, LOAD by content digest, EXECUTE/
+  RESULT batch frames with a pickled-exact-integer fallback for
+  >62-bit results, FAULT override sync, STATS);
+* :mod:`repro.cluster.server` — :class:`ShardServer`, an asyncio TCP
+  server resolving kernels from a shared
+  :class:`~repro.serve.cache.CompileCache` artifact store **by digest
+  only** (kernels and matrices never cross the wire) and executing
+  batches on the usual engine-auto selection;
+* :mod:`repro.cluster.client` — :class:`RemoteShard` /
+  :class:`ClusterClient`: per-request timeouts, one reconnect-retry,
+  unhealthy-host marking, and per-shard RTT telemetry;
+* :mod:`repro.cluster.controller` — :class:`ClusterController`:
+  loopback fleets for tests and benchmarks, ``deploy_fleet`` /
+  ``remote_service`` wiring into :class:`~repro.serve.MatMulService`
+  so micro-batching, telemetry, and ``fault_campaign(service=...)``
+  work unchanged over the network.
+
+Quick taste (one process; real fleets run
+``python -m repro.cluster.server --store ...`` per host)::
+
+    from repro.cluster import ClusterController
+
+    controller = ClusterController(store="/shared/artifacts")
+    controller.start_local_fleet(3)
+    service = controller.remote_service()
+    handle = controller.deploy_fleet(service, matrix)   # 3 column shards
+    service.multiply(handle, vectors)                   # == vectors @ matrix
+
+See ``docs/cluster.md`` for the protocol reference, a deploy
+walkthrough, and the failure semantics.
+"""
+
+from repro.cluster.client import ClusterClient, RemoteShard, RemoteShardError
+from repro.cluster.controller import ClusterController, LocalServerHandle
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameType,
+    ProtocolError,
+    RemoteFault,
+)
+from repro.cluster.server import ShardServer
+
+__all__ = [
+    "ClusterClient",
+    "ClusterController",
+    "FrameType",
+    "LocalServerHandle",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteFault",
+    "RemoteShard",
+    "RemoteShardError",
+    "ShardServer",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro.cluster`` — run one shard server.
+
+A convenience alias for ``python -m repro.cluster.server``; both accept
+the same flags (``--store`` is required, ``--port 0`` picks and prints a
+free port).
+"""
+
+from repro.cluster.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,347 @@
+"""Client side of the cluster protocol: shard handles and fleet fan-out.
+
+:class:`RemoteShard` is the unit the serve layer actually executes
+through: one column shard bound to one endpoint, with
+
+* lazy connect + HELLO/version handshake + LOAD(digest) on first use
+  (and again after every reconnect — connection state is the only
+  server-side state);
+* per-request timeouts (socket-level, covering connect, send and the
+  full response);
+* lazy fault synchronization: the shard's current override schedule is
+  diffed against what the server last acknowledged, and a FAULT frame
+  is sent only when it changed — steady-state traffic pays zero fault
+  frames, a campaign's inject/revert cycle pays exactly two;
+* **one reconnect-retry**: a transport failure tears the connection
+  down and retries once on a fresh connection; a second failure marks
+  the shard *unhealthy* and raises :class:`RemoteShardError`, which the
+  sharded executor treats as "fall back to local execution".  Unhealthy
+  shards fail fast (no timeout per batch) until
+  :meth:`RemoteShard.revive` is called.
+
+:class:`ClusterClient` maps shard indices onto an endpoint list
+(round-robin when there are more shards than hosts) and offers
+fleet-level stats probes.  It holds no sockets itself; every
+:class:`RemoteShard` owns exactly one.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    EMPTY_OVERRIDES,
+    PROTOCOL_VERSION,
+    FrameType,
+    ProtocolError,
+    RemoteFault,
+    batch_frame,
+    encode_frame,
+    encode_overrides,
+    frame_array,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.telemetry import LatencyWindow
+
+__all__ = ["RemoteShardError", "RemoteShard", "ClusterClient"]
+
+
+class RemoteShardError(RuntimeError):
+    """This shard cannot currently be served remotely (fall back local)."""
+
+
+def _overrides_token(overrides: tuple[list, dict]) -> tuple:
+    """Hashable normal form for change detection."""
+    stuck_out, carry = overrides
+    return (
+        tuple((int(i), int(v)) for i, v in stuck_out),
+        tuple(
+            (kind, tuple((int(s), int(v)) for s, v in carry.get(kind, ())))
+            for kind in ("add", "sub", "neg")
+        ),
+    )
+
+
+class _Connection:
+    """One socket speaking the cluster protocol, request/response."""
+
+    def __init__(self, host: str, port: int, timeout_s: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        self.sock.settimeout(timeout_s)
+        try:
+            send_frame(self.sock, FrameType.HELLO, {"version": PROTOCOL_VERSION})
+            ftype, meta, _ = recv_frame(self.sock)
+            if ftype is FrameType.ERROR:
+                raise RemoteFault(
+                    str(meta.get("error", "error")), str(meta.get("message", ""))
+                )
+            if ftype is not FrameType.HELLO or meta.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(f"unexpected handshake reply {ftype.name}")
+        except BaseException:
+            self.sock.close()
+            raise
+
+    def request(
+        self, frame: bytes
+    ) -> tuple[FrameType, dict[str, Any], bytes]:
+        """Send one frame, return the (non-ERROR) reply.
+
+        ERROR replies raise :class:`RemoteFault` — the connection itself
+        is still good (the server answered), so callers must not treat
+        it as a transport failure.
+        """
+        self.sock.sendall(frame)
+        ftype, meta, blob = recv_frame(self.sock)
+        if ftype is FrameType.ERROR:
+            raise RemoteFault(
+                str(meta.get("error", "error")), str(meta.get("message", ""))
+            )
+        return ftype, meta, blob
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteShard:
+    """One column shard served over one endpoint (see module docstring).
+
+    ``key_meta`` is the LOAD frame body: the shard piece's compile key
+    (content digest + options), its column range, and the expected plan
+    fingerprint — everything the server needs to resolve the kernel
+    from the shared store, and nothing it could execute unverified.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        key_meta: dict[str, Any],
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.key_meta = dict(key_meta)
+        self.timeout_s = float(timeout_s)
+        self.healthy = True
+        self.rtt = LatencyWindow(1024)
+        self.remote_calls = 0
+        # Batches the executor served locally because this link was down;
+        # incremented by the sharded executor's fallback path.
+        self.local_fallbacks = 0
+        self.load_info: dict[str, Any] | None = None
+        self._conn: _Connection | None = None
+        self._synced: tuple | None = None
+        # One request in flight per connection: the protocol is strict
+        # request/response, and the RTT window mutates under this too.
+        self._lock = threading.Lock()
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- connection management ----------------------------------------------
+
+    def _ensure(self) -> _Connection:
+        if self._conn is None:
+            conn = _Connection(self.host, self.port, self.timeout_s)
+            try:
+                _, meta, _ = conn.request(
+                    encode_frame(FrameType.LOAD, self.key_meta)
+                )
+            except BaseException:
+                conn.close()
+                raise
+            self.load_info = meta
+            self._conn = conn
+            self._synced = _overrides_token(EMPTY_OVERRIDES)
+        return self._conn
+
+    def _drop(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._synced = None
+
+    def warm(self) -> bool:
+        """Best-effort connect + LOAD now (deploy-time warmup).
+
+        Transport failures are swallowed — the host may simply not be
+        up yet, and the execute path has its own retry-then-fallback —
+        but a server that *answers* with a refusal (unknown digest,
+        fingerprint mismatch) raises :class:`RemoteFault`: that is a
+        store misconfiguration worth failing the deploy over.
+        """
+        with self._lock:
+            try:
+                self._ensure()
+                return True
+            except RemoteFault:
+                self._drop()
+                raise
+            except (OSError, ConnectionError, ProtocolError, EOFError):
+                self._drop()
+                return False
+
+    def revive(self) -> None:
+        """Clear the unhealthy flag so the next call probes the host again."""
+        with self._lock:
+            self.healthy = True
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    # -- request paths --------------------------------------------------------
+
+    def execute(
+        self,
+        batch: np.ndarray,
+        engine: str,
+        overrides: tuple[list, dict] | None = None,
+    ) -> tuple[np.ndarray, str, float]:
+        """One batch through the remote shard; ``(columns, engine, busy_s)``.
+
+        Synchronizes ``overrides`` (the shard's current live-fault
+        schedule) before the batch when it changed, retries exactly once
+        on a fresh connection after a transport failure, and marks the
+        shard unhealthy — raising :class:`RemoteShardError`, the
+        executor's fall-back-locally signal — when the retry fails too,
+        *or* when a (re-)LOAD is refused (a bounded store may have
+        evicted the kernel mid-service; the batch must still succeed).
+        A :class:`RemoteFault` answering the EXECUTE itself is raised
+        as-is: the link is healthy and the request was wrong — an
+        application error the caller must see.
+        """
+        wanted = _overrides_token(overrides if overrides is not None else EMPTY_OVERRIDES)
+        with self._lock:
+            if not self.healthy:
+                raise RemoteShardError(f"{self.endpoint} is marked unhealthy")
+            last_exc: Exception | None = None
+            for attempt in range(2):
+                try:
+                    conn = self._ensure()
+                except RemoteFault as exc:
+                    # The server answered the (re-)LOAD with a refusal —
+                    # e.g. a bounded store evicted this kernel.  Remote
+                    # service cannot resume until the store is refilled,
+                    # but the batch must not fail: fall back locally.
+                    self._drop()
+                    self.healthy = False
+                    raise RemoteShardError(
+                        f"{self.endpoint} refused LOAD ({exc}); serving locally"
+                    ) from exc
+                except (OSError, ConnectionError, ProtocolError, EOFError) as exc:
+                    last_exc = exc
+                    self._drop()
+                    if attempt:
+                        self.healthy = False
+                    continue
+                try:
+                    if wanted != self._synced:
+                        if wanted == _overrides_token(EMPTY_OVERRIDES):
+                            conn.request(
+                                encode_frame(FrameType.FAULT, {"action": "clear"})
+                            )
+                        else:
+                            meta = {"action": "set"}
+                            meta.update(encode_overrides(overrides))
+                            conn.request(encode_frame(FrameType.FAULT, meta))
+                        self._synced = wanted
+                    start = time.perf_counter()
+                    _, meta, blob = conn.request(batch_frame(batch, engine))
+                    self.rtt.record(time.perf_counter() - start)
+                    self.remote_calls += 1
+                    return (
+                        frame_array(meta, blob),
+                        str(meta.get("engine", engine)),
+                        float(meta.get("busy_s", 0.0)),
+                    )
+                except RemoteFault:
+                    # The link is fine — the server answered, refusing
+                    # *this request* (bad engine, malformed frame).  An
+                    # application error the caller must see.
+                    raise
+                except (OSError, ConnectionError, ProtocolError, EOFError) as exc:
+                    last_exc = exc
+                    self._drop()
+                    if attempt:
+                        self.healthy = False
+            raise RemoteShardError(
+                f"{self.endpoint} failed twice ({last_exc}); serving locally"
+            ) from last_exc
+
+    def stats(self) -> dict[str, Any]:
+        """The server's STATS reply (raises on transport failure)."""
+        with self._lock:
+            conn = self._ensure()
+            _, meta, _ = conn.request(encode_frame(FrameType.STATS, {}))
+            return meta.get("stats", {})
+
+    def telemetry(self) -> dict[str, Any]:
+        """Client-side view of this shard link for utilization reports."""
+        return {
+            "endpoint": self.endpoint,
+            "healthy": self.healthy,
+            "remote_calls": self.remote_calls,
+            "local_fallbacks": self.local_fallbacks,
+            "rtt_s": self.rtt.summary(),
+        }
+
+
+class ClusterClient:
+    """Map column shards onto a fleet of endpoints.
+
+    Args:
+        endpoints: ``[(host, port), ...]`` — one per shard server.
+            Shards are assigned round-robin (shard ``k`` to endpoint
+            ``k % len(endpoints)``), so fewer hosts than shards simply
+            multiplexes connections onto servers.
+        timeout_s: per-request socket timeout for every shard handle.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[tuple[str, int]],
+        timeout_s: float = 5.0,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("a cluster client needs at least one endpoint")
+        self.endpoints = [(str(h), int(p)) for h, p in endpoints]
+        self.timeout_s = float(timeout_s)
+
+    def shard_handle(self, index: int, key_meta: dict[str, Any]) -> RemoteShard:
+        """The :class:`RemoteShard` for shard ``index``."""
+        host, port = self.endpoints[index % len(self.endpoints)]
+        return RemoteShard(host, port, key_meta, timeout_s=self.timeout_s)
+
+    def fleet_stats(self) -> list[dict[str, Any]]:
+        """STATS from every endpoint (``{"error": ...}`` for dead hosts).
+
+        Uses throwaway probe connections (no LOAD), so it is safe to
+        call while deployments stream batches on their own sockets.
+        """
+        reports: list[dict[str, Any]] = []
+        for host, port in self.endpoints:
+            try:
+                conn = _Connection(host, port, self.timeout_s)
+                try:
+                    _, meta, _ = conn.request(encode_frame(FrameType.STATS, {}))
+                    reports.append(
+                        {"endpoint": f"{host}:{port}", **meta.get("stats", {})}
+                    )
+                finally:
+                    conn.close()
+            except (OSError, ConnectionError, ProtocolError, RemoteFault) as exc:
+                reports.append(
+                    {"endpoint": f"{host}:{port}", "error": str(exc)}
+                )
+        return reports

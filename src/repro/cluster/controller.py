@@ -1,0 +1,256 @@
+"""`ClusterController`: one wide matrix, deployed across a server fleet.
+
+The operational glue of :mod:`repro.cluster`:
+
+* :meth:`start_local_fleet` spawns loopback :class:`ShardServer`\\ s on
+  background threads (one asyncio loop per server), all sharing one
+  artifact store — the in-process stand-in for ``python -m
+  repro.cluster.server`` hosts on real machines, used by the tests, the
+  benchmark, and quick local experiments;
+* :meth:`deploy_fleet` deploys a matrix through a
+  :class:`~repro.serve.service.MatMulService` with
+  ``backend="remote"`` bound to the fleet's endpoints and store, so
+  micro-batching, telemetry, and ``fault_campaign(service=...)`` run
+  unchanged over the network;
+* :meth:`remote_service` builds a service whose *defaults* are the
+  fleet (every deploy routes remote, including the private deployments
+  a fault campaign creates);
+* :meth:`kill_server` / :meth:`stop` tear hosts down — abruptly, the
+  way real hosts die — which is how the fallback path is exercised.
+
+A controller pointed at externally-started servers (pass ``endpoints``)
+never owns processes; it is then purely the deploy/stats side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.server import ShardServer
+from repro.serve.cache import CompileCache
+from repro.serve.service import Deployment, MatMulService
+
+__all__ = ["LocalServerHandle", "ClusterController"]
+
+
+class LocalServerHandle:
+    """One :class:`ShardServer` hosted on a background thread's loop.
+
+    ``stop()`` (graceful) and ``kill()`` (abort live connections, the
+    way a dying host would) are both idempotent and join the thread.
+    """
+
+    def __init__(
+        self,
+        store: str | pathlib.Path,
+        host: str = "127.0.0.1",
+        name: str | None = None,
+    ) -> None:
+        self.server = ShardServer(store, host=host, port=0, name=name)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-server-{name}", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"shard server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("shard server did not start within 10s")
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the spawner
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            # The loop is dying: suppress the stream-protocol callback
+            # noise that aborted connections otherwise emit here.
+            loop.set_exception_handler(lambda _loop, _ctx: None)
+            loop.run_until_complete(self.server.stop(abort_connections=True))
+            # The aborts wake every connection handler with a transport
+            # error; give them a beat to exit on their own, then cancel
+            # stragglers so nothing is destroyed while pending.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            if pending:
+                loop.run_until_complete(asyncio.wait(pending, timeout=2.0))
+            for task in asyncio.all_tasks(loop):
+                if not task.done():
+                    task.cancel()
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server.endpoint
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def _shutdown(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def stop(self) -> None:
+        """Stop serving and join the host thread."""
+        self._shutdown()
+
+    def kill(self) -> None:
+        """Die abruptly: live connections are aborted mid-stream."""
+        self._shutdown()
+
+
+class ClusterController:
+    """Operate a shard fleet over one shared artifact store.
+
+    Args:
+        store: the artifact directory every server resolves kernels
+            from (and every deploy compiles/persists into).  Prewarm it
+            with ``python -m repro.serve.prewarm`` for zero-stage
+            deploys.
+        endpoints: pre-existing ``[(host, port), ...]`` servers; extend
+            with :meth:`start_local_fleet` for in-process hosts.
+        request_timeout_s: per-request socket timeout handed to every
+            deployment's shard links.
+    """
+
+    def __init__(
+        self,
+        store: str | pathlib.Path,
+        endpoints: list[tuple[str, int]] | None = None,
+        request_timeout_s: float = 5.0,
+    ) -> None:
+        self.store = pathlib.Path(store)
+        self.endpoints: list[tuple[str, int]] = list(endpoints or [])
+        self.request_timeout_s = float(request_timeout_s)
+        self._local: list[LocalServerHandle] = []
+
+    # -- fleet lifecycle ------------------------------------------------------
+
+    def start_local_fleet(
+        self, count: int, host: str = "127.0.0.1"
+    ) -> list[tuple[str, int]]:
+        """Spawn ``count`` loopback servers on this controller's store."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        for k in range(count):
+            handle = LocalServerHandle(
+                self.store, host=host, name=f"local-{len(self._local)}"
+            )
+            self._local.append(handle)
+            self.endpoints.append(handle.endpoint)
+        return list(self.endpoints)
+
+    def kill_server(self, index: int) -> None:
+        """Abruptly kill one locally-started server (fallback drills).
+
+        The endpoint stays in the fleet map — exactly the situation a
+        real outage creates — so deployments exercise the
+        reconnect-retry and local-fallback path instead of resharding.
+        """
+        self._local[index].kill()
+
+    def stop(self) -> None:
+        """Stop every locally-started server."""
+        for handle in self._local:
+            handle.stop()
+        self._local = []
+
+    def __enter__(self) -> "ClusterController":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- deployment -----------------------------------------------------------
+
+    def remote_service(
+        self,
+        cache: CompileCache | None = None,
+        **service_kwargs: Any,
+    ) -> MatMulService:
+        """A :class:`MatMulService` whose default backend is this fleet.
+
+        Every ``deploy`` (and every deployment made *on the caller's
+        behalf*, e.g. by ``fault_campaign(service=...)``) then routes
+        over the fleet's endpoints with kernels resolved from the
+        shared store.  ``cache`` defaults to a fresh
+        :class:`CompileCache` on the fleet store, making warm deploys
+        zero-stage end to end.
+        """
+        if cache is None:
+            cache = CompileCache(directory=self.store)
+        return MatMulService(
+            cache=cache,
+            backend="remote",
+            endpoints=list(self.endpoints),
+            store=str(self.store),
+            request_timeout_s=self.request_timeout_s,
+            **service_kwargs,
+        )
+
+    def deploy_fleet(
+        self,
+        service: MatMulService,
+        matrix: np.ndarray,
+        shards: int | None = None,
+        **deploy_kwargs: Any,
+    ) -> Deployment:
+        """Deploy ``matrix`` across the fleet through ``service``.
+
+        ``shards`` defaults to one shard per endpoint — the canonical
+        one-host-one-column-range fleet — and every other ``deploy``
+        keyword (``input_width``, ``scheme``, ``engine``, micro-batch
+        limits, ``use_cache`` ...) passes through unchanged.  The
+        returned handle is an ordinary :class:`Deployment`: submit,
+        stream, telemetry, and campaigns all behave as for local
+        backends.
+        """
+        if not self.endpoints:
+            raise RuntimeError(
+                "no endpoints: start_local_fleet(...) or pass endpoints="
+            )
+        return service.deploy(
+            matrix,
+            shards=shards if shards is not None else len(self.endpoints),
+            backend="remote",
+            endpoints=list(self.endpoints),
+            store=str(self.store),
+            request_timeout_s=self.request_timeout_s,
+            **deploy_kwargs,
+        )
+
+    # -- observability --------------------------------------------------------
+
+    def fleet_stats(self) -> list[dict[str, Any]]:
+        """STATS from every endpoint (error entries for dead hosts)."""
+        client = ClusterClient(
+            self.endpoints, timeout_s=self.request_timeout_s
+        )
+        return client.fleet_stats()

@@ -1,0 +1,269 @@
+"""The cluster wire protocol: length-prefixed binary frames over TCP.
+
+One frame per request or response, in both directions::
+
+    uint32 (big-endian)   total payload length
+    uint8                 frame type (FrameType)
+    uint32 (big-endian)   meta length
+    bytes                 meta — a JSON object (UTF-8)
+    bytes                 blob — type-specific binary body (may be empty)
+
+The meta/blob split keeps the hot path cheap: an EXECUTE frame's batch
+travels as raw little-endian int64 bytes (or, for exact >62-bit results,
+a pickled list of Python ints — see
+:func:`repro.core.serialize.array_to_payload`), while everything
+small and structural rides in the JSON meta.
+
+Frame types
+-----------
+
+``HELLO``    first frame on every connection, both directions.  The
+             client announces ``{"version": PROTOCOL_VERSION}``; the
+             server echoes its version (plus a server name).  A major
+             version mismatch is answered with ``ERROR`` and the
+             connection is closed — no silent reinterpretation.
+``LOAD``     bind the connection to one shard: a full compile key
+             (matrix digest + compile options), the shard's column
+             range, and the expected plan fingerprint.  The server
+             resolves it through :meth:`CompileCache.load_key` — from
+             the shared artifact store **by content digest only**;
+             kernels and matrices never cross the wire.
+``EXECUTE``  one batch (meta: engine + array payload header; blob: the
+             batch bytes).  Answered by ``RESULT``.
+``RESULT``   the shard's column slice (same array payload form) plus
+             the resolved engine and server-side busy seconds.
+``FAULT``    replace (``action="set"``) or drop (``action="clear"``)
+             the connection's fault-override set — the network form of
+             the per-call ``overrides`` the process backend ships.
+``STATS``    request the server's counters; answered with ``OK``.
+``OK``       generic success (meta carries the reply body).
+``ERROR``    failure; meta carries ``error`` (a stable token) and
+             ``message`` (human-readable).
+
+Security note: frames may embed pickled integer lists (the >62-bit
+result codec) and are therefore only safe between mutually trusted
+hosts — the same trust model as the shared artifact directory itself.
+Run fleets on private networks; see ``docs/cluster.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from enum import IntEnum
+from typing import Any
+
+import numpy as np
+
+from repro.core.serialize import array_from_payload, array_to_payload
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "EMPTY_OVERRIDES",
+    "FrameType",
+    "ProtocolError",
+    "RemoteFault",
+    "encode_frame",
+    "decode_payload",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "encode_overrides",
+    "decode_overrides",
+    "overrides_active",
+    "batch_frame",
+    "result_frame",
+    "frame_array",
+]
+
+#: Bumped on any change to the frame layout or the meaning of a frame
+#: type.  Both ends refuse mismatched peers at HELLO time.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload; a length prefix beyond this is
+#: treated as a corrupt or hostile stream and the connection dropped
+#: (1 GiB comfortably covers a 64-lane batch of any servable width).
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct("!I")
+_HEAD = struct.Struct("!BI")
+
+
+class FrameType(IntEnum):
+    HELLO = 1
+    OK = 2
+    ERROR = 3
+    LOAD = 4
+    EXECUTE = 5
+    RESULT = 6
+    FAULT = 7
+    STATS = 8
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a well-formed frame."""
+
+
+class RemoteFault(RuntimeError):
+    """The server answered ERROR; ``token`` is its stable error code."""
+
+    def __init__(self, token: str, message: str) -> None:
+        super().__init__(f"{token}: {message}")
+        self.token = token
+
+
+# -- encode / decode ----------------------------------------------------------
+
+
+def encode_frame(ftype: FrameType, meta: dict[str, Any], blob: bytes = b"") -> bytes:
+    """One wire-ready frame: length prefix + type + meta JSON + blob."""
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    payload_len = _HEAD.size + len(meta_bytes) + len(blob)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {payload_len} bytes exceeds the cap")
+    return b"".join(
+        (
+            _LEN.pack(payload_len),
+            _HEAD.pack(int(ftype), len(meta_bytes)),
+            meta_bytes,
+            blob,
+        )
+    )
+
+
+def decode_payload(payload: bytes) -> tuple[FrameType, dict[str, Any], bytes]:
+    """Split one length-delimited payload back into (type, meta, blob)."""
+    if len(payload) < _HEAD.size:
+        raise ProtocolError(f"truncated frame ({len(payload)} bytes)")
+    code, meta_len = _HEAD.unpack_from(payload)
+    try:
+        ftype = FrameType(code)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown frame type {code}") from exc
+    end = _HEAD.size + meta_len
+    if end > len(payload):
+        raise ProtocolError("frame meta extends past the payload")
+    try:
+        meta = json.loads(payload[_HEAD.size : end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame meta is not JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("frame meta must be a JSON object")
+    return ftype, meta, payload[end:]
+
+
+# -- synchronous transport (the client side) ----------------------------------
+
+
+def send_frame(
+    sock: socket.socket,
+    ftype: FrameType,
+    meta: dict[str, Any],
+    blob: bytes = b"",
+) -> None:
+    sock.sendall(encode_frame(ftype, meta, blob))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[FrameType, dict[str, Any], bytes]:
+    """Block (under the socket's timeout) for one complete frame."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame")
+    return decode_payload(_recv_exact(sock, length))
+
+
+# -- asyncio transport (the server side) --------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[FrameType, dict[str, Any], bytes]:
+    """Read one complete frame; raises ``IncompleteReadError`` at EOF."""
+    (length,) = _LEN.unpack(await reader.readexactly(_LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame")
+    return decode_payload(await reader.readexactly(length))
+
+
+# -- frame bodies -------------------------------------------------------------
+
+#: The fault-override schedule of a fault-free connection — the shape
+#: :meth:`FastCircuit.fault_overrides` returns with nothing injected.
+#: Shared by both protocol ends so the carry-kind set lives in one place.
+EMPTY_OVERRIDES: tuple[list, dict] = ([], {"add": [], "sub": [], "neg": []})
+
+
+def overrides_active(overrides: tuple[list, dict]) -> bool:
+    """True when the schedule would actually fault an execution."""
+    stuck_out, carry = overrides
+    return bool(stuck_out) or any(carry.values())
+
+
+def encode_overrides(overrides: tuple[list, dict]) -> dict[str, Any]:
+    """JSON form of an engine fault-override schedule.
+
+    The exact structure :meth:`FastCircuit.fault_overrides` returns —
+    ``(stuck_out, carry)`` with tiny index/value pair lists — which is
+    what makes live fault injection replayable on a server that holds
+    only the kernel.
+    """
+    stuck_out, carry = overrides
+    return {
+        "stuck": [[int(i), int(v)] for i, v in stuck_out],
+        "carry": {
+            kind: [[int(s), int(v)] for s, v in pairs]
+            for kind, pairs in carry.items()
+        },
+    }
+
+
+def decode_overrides(meta: dict[str, Any]) -> tuple[list, dict]:
+    """Inverse of :func:`encode_overrides`, validated."""
+    try:
+        stuck_out = [(int(i), int(v)) for i, v in meta["stuck"]]
+        carry = {
+            str(kind): [(int(s), int(v)) for s, v in pairs]
+            for kind, pairs in meta["carry"].items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed fault override frame: {exc}") from exc
+    return stuck_out, carry
+
+
+def batch_frame(batch: np.ndarray, engine: str) -> bytes:
+    """An EXECUTE frame carrying one batch for ``engine``."""
+    meta, blob = array_to_payload(batch)
+    meta["engine"] = engine
+    return encode_frame(FrameType.EXECUTE, meta, blob)
+
+
+def result_frame(result: np.ndarray, engine: str, busy_s: float) -> bytes:
+    """A RESULT frame carrying one shard's column slice."""
+    meta, blob = array_to_payload(result)
+    meta["engine"] = engine
+    meta["busy_s"] = round(float(busy_s), 9)
+    return encode_frame(FrameType.RESULT, meta, blob)
+
+
+def frame_array(meta: dict[str, Any], blob: bytes) -> np.ndarray:
+    """Decode an EXECUTE/RESULT frame's array, mapping codec errors to
+    :class:`ProtocolError` so transport code has one failure type."""
+    try:
+        return array_from_payload(meta, blob)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc

@@ -1,0 +1,399 @@
+"""`ShardServer`: one network host of a sharded spatial multiplier.
+
+The process-shard pattern (ship the kernel once, stream batches) lifted
+onto a socket: an asyncio TCP server that
+
+* **loads kernels by content digest** from a shared
+  :class:`~repro.serve.cache.CompileCache` artifact store
+  (:meth:`~repro.serve.cache.CompileCache.load_key`) — a LOAD frame
+  carries a compile key and a column range, never a matrix or a kernel;
+* **executes batches** on the same engine-auto selection the in-process
+  shard executor uses — the fused cycle-loop-free schedule while the
+  connection is fault-free, the bit-plane gate engine whenever FAULT
+  overrides are active (and whenever the client pins a gate engine);
+* **replays faults deterministically**: FAULT frames install the exact
+  override schedule :meth:`FastCircuit.fault_overrides` produces, so a
+  client-side fault campaign stays bit-exact across the network, as it
+  does across the process boundary;
+* answers STATS with its counters (loads, executes, per-engine batches,
+  store statistics) for fleet dashboards.
+
+Batches execute in the event loop's default thread pool, so the loop
+keeps accepting frames (from other connections) while numpy works.  Each
+connection serves one shard at a time — the cluster client opens one
+connection per shard — and all connection state (kernel, overrides) dies
+with the connection.
+
+Run one from a shell (the deployment unit of ``docs/cluster.md``)::
+
+    python -m repro.cluster.server --store /shared/artifacts --port 9401
+
+The first stdout line is a JSON object with the bound host/port (port 0
+picks a free one), so orchestration scripts can scrape endpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import functools
+import json
+import pathlib
+import threading
+import time
+from typing import Any
+
+from repro.serve.cache import CompileCache, CompileKey
+from repro.serve.shards import SERVE_ENGINES
+from repro.cluster.protocol import (
+    EMPTY_OVERRIDES,
+    PROTOCOL_VERSION,
+    FrameType,
+    ProtocolError,
+    decode_overrides,
+    encode_frame,
+    frame_array,
+    overrides_active,
+    read_frame,
+    result_frame,
+)
+
+__all__ = ["ShardServer", "main"]
+
+
+class _Connection:
+    """Per-connection shard state: the loaded engine plus live overrides."""
+
+    def __init__(self) -> None:
+        self.fast = None  # FastCircuit, after a successful LOAD
+        self.key: CompileKey | None = None
+        self.columns: tuple[int, int] | None = None
+        self.overrides: tuple[list, dict] = EMPTY_OVERRIDES
+
+    def resolve_engine(self, engine: str) -> str:
+        """The server half of ``engine="auto"``: fused unless faults are
+        installed on this connection (store kernels are fault-free, so
+        the overrides are the only fault source here)."""
+        if engine == "auto":
+            return "bitplane" if overrides_active(self.overrides) else "fused"
+        return engine
+
+
+class ShardServer:
+    """Serve shard kernels from a shared artifact store over TCP.
+
+    Args:
+        store: artifact directory (shared with the deploying client and
+            any sibling servers), or an existing :class:`CompileCache`.
+        host / port: bind address; port 0 binds an ephemeral port
+            (read :attr:`port` after :meth:`start`).
+        name: server identity echoed in the HELLO reply and stats.
+    """
+
+    def __init__(
+        self,
+        store: str | pathlib.Path | CompileCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(store, CompileCache):
+            self.cache = store
+        else:
+            self.cache = CompileCache(directory=store)
+        if self.cache.directory is None:
+            raise ValueError(
+                "a shard server needs an on-disk artifact store; construct "
+                "the CompileCache with directory=..."
+            )
+        self.host = host
+        self.port = int(port)
+        self.name = name if name is not None else f"shard-{id(self) & 0xFFFF:04x}"
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stats_lock = threading.Lock()
+        self._started = time.monotonic()
+        self.connections = 0
+        self.loads = 0
+        self.executes = 0
+        self.faults_set = 0
+        self.errors = 0
+        self.engine_batches: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` for port 0."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, abort_connections: bool = True) -> None:
+        """Stop listening; with ``abort_connections`` also drop every
+        live connection mid-stream (how tests model a dying host)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if abort_connections:
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stats(self) -> dict[str, Any]:
+        with self._stats_lock:
+            return {
+                "name": self.name,
+                "uptime_s": round(time.monotonic() - self._started, 6),
+                "connections": self.connections,
+                "loads": self.loads,
+                "executes": self.executes,
+                "faults_set": self.faults_set,
+                "errors": self.errors,
+                "engine_batches": dict(self.engine_batches),
+                "store": self.cache.stats(),
+            }
+
+    def _count(self, field: str, engine: str | None = None) -> None:
+        with self._stats_lock:
+            setattr(self, field, getattr(self, field) + 1)
+            if engine is not None:
+                self.engine_batches[engine] = self.engine_batches.get(engine, 0) + 1
+
+    # -- the per-connection protocol loop ------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._count("connections")
+        self._writers.add(writer)
+        state = _Connection()
+        try:
+            if not await self._handshake(reader, writer):
+                return
+            while True:
+                try:
+                    ftype, meta, blob = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # clean (or abrupt) client disconnect
+                except ProtocolError as exc:
+                    # A corrupt stream (garbage length prefix, torn
+                    # frame): answer with the stable token and drop the
+                    # connection — framing is unrecoverable mid-stream.
+                    self._count("errors")
+                    writer.write(_error("protocol", str(exc)))
+                    await writer.drain()
+                    return
+                try:
+                    reply = await self._dispatch(state, ftype, meta, blob)
+                except ProtocolError as exc:
+                    self._count("errors")
+                    reply = _error("protocol", str(exc))
+                except Exception as exc:  # noqa: BLE001 - fail the request,
+                    # not the server: the client maps this to a retry or
+                    # a local fallback.
+                    self._count("errors")
+                    reply = _error("execution", f"{type(exc).__name__}: {exc}")
+                writer.write(reply)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        try:
+            ftype, meta, _ = await read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, ProtocolError):
+            return False
+        version = meta.get("version")
+        if ftype is not FrameType.HELLO or version != PROTOCOL_VERSION:
+            self._count("errors")
+            writer.write(
+                _error(
+                    "version",
+                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"client sent {version!r}",
+                )
+            )
+            await writer.drain()
+            return False
+        writer.write(
+            encode_frame(
+                FrameType.HELLO,
+                {"version": PROTOCOL_VERSION, "server": self.name},
+            )
+        )
+        await writer.drain()
+        return True
+
+    async def _dispatch(
+        self, state: _Connection, ftype: FrameType, meta: dict, blob: bytes
+    ) -> bytes:
+        if ftype is FrameType.LOAD:
+            return await self._load(state, meta)
+        if ftype is FrameType.EXECUTE:
+            return await self._execute(state, meta, blob)
+        if ftype is FrameType.FAULT:
+            return self._fault(state, meta)
+        if ftype is FrameType.STATS:
+            return encode_frame(FrameType.OK, {"stats": self.stats()})
+        raise ProtocolError(f"unexpected frame type {ftype.name}")
+
+    async def _load(self, state: _Connection, meta: dict) -> bytes:
+        try:
+            key = CompileKey(
+                matrix_digest=str(meta["matrix_digest"]),
+                input_width=int(meta["input_width"]),
+                scheme=str(meta["scheme"]),
+                tree_style=str(meta["tree_style"]),
+            )
+            start, stop = int(meta["start"]), int(meta["stop"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed LOAD frame: {exc}") from exc
+        loop = asyncio.get_running_loop()
+        try:
+            # Artifact I/O (and a possible re-fuse backfill) off the loop.
+            entry = await loop.run_in_executor(None, self.cache.load_key, key)
+        except KeyError as exc:
+            self._count("errors")
+            return _error("unknown-kernel", str(exc))
+        expected = meta.get("fingerprint")
+        if expected is not None and entry.kernel.fingerprint != str(expected):
+            self._count("errors")
+            return _error(
+                "fingerprint-mismatch",
+                f"store kernel for {key.stem!r} has fingerprint "
+                f"{entry.kernel.fingerprint[:16]}..., client expected "
+                f"{str(expected)[:16]}...",
+            )
+        if entry.kernel.cols != stop - start:
+            self._count("errors")
+            return _error(
+                "shape-mismatch",
+                f"kernel has {entry.kernel.cols} columns, LOAD named the "
+                f"range [{start}, {stop})",
+            )
+        state.fast = entry.fast
+        state.key = key
+        state.columns = (start, stop)
+        state.overrides = EMPTY_OVERRIDES
+        self._count("loads")
+        return encode_frame(
+            FrameType.OK,
+            {
+                "rows": entry.kernel.rows,
+                "cols": entry.kernel.cols,
+                "result_width": entry.kernel.result_width,
+                "fingerprint": entry.kernel.fingerprint,
+                "source": entry.source,
+            },
+        )
+
+    async def _execute(self, state: _Connection, meta: dict, blob: bytes) -> bytes:
+        if state.fast is None:
+            return _error("not-loaded", "EXECUTE before a successful LOAD")
+        engine = str(meta.get("engine", "auto"))
+        if engine not in SERVE_ENGINES:
+            raise ProtocolError(f"unknown engine {engine!r}")
+        batch = frame_array(meta, blob)
+        resolved = state.resolve_engine(engine)
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        result = await loop.run_in_executor(
+            None,
+            functools.partial(
+                state.fast.multiply_batch,
+                batch,
+                engine=resolved,
+                overrides=state.overrides,
+            ),
+        )
+        busy = time.perf_counter() - start
+        self._count("executes", engine=resolved)
+        return result_frame(result, resolved, busy)
+
+    def _fault(self, state: _Connection, meta: dict) -> bytes:
+        action = meta.get("action")
+        if action == "clear":
+            state.overrides = EMPTY_OVERRIDES
+        elif action == "set":
+            state.overrides = decode_overrides(meta)
+            self._count("faults_set")
+        else:
+            raise ProtocolError(f"unknown FAULT action {action!r}")
+        return encode_frame(FrameType.OK, {"active": overrides_active(state.overrides)})
+
+
+def _error(token: str, message: str) -> bytes:
+    return encode_frame(FrameType.ERROR, {"error": token, "message": message})
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.cluster.server``: run one shard server."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.server",
+        description=(
+            "Serve compiled shard kernels from a shared artifact store "
+            "over the repro cluster protocol."
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="artifact directory shared with the deploying client "
+        "(filled by `python -m repro.serve.prewarm` or by cached deploys)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument("--name", default=None, help="server identity for stats")
+    args = parser.parse_args(argv)
+
+    async def _run() -> None:
+        server = ShardServer(
+            args.store, host=args.host, port=args.port, name=args.name
+        )
+        await server.start()
+        print(
+            json.dumps(
+                {"host": server.host, "port": server.port, "store": str(args.store)}
+            ),
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,13 @@ Three artifact kinds, one per pipeline boundary (see ``docs/artifacts.md``):
 * **censuses** (:func:`census_to_dict` / :func:`census_from_dict`) — the
   combinatorial cost model, as JSON.
 
+A fourth pair serves the network transport rather than the disk:
+:func:`array_to_payload` / :func:`array_from_payload` canonicalize one
+batch or result array into ``(meta, blob)`` wire form for the cluster
+protocol (:mod:`repro.cluster.protocol`).  int64 arrays travel as raw
+little-endian bytes; object-dtype arrays of exact Python integers (the
+>62-bit result path) fall back to a pickled list of ints.
+
 Two content digests make the stored artifacts addressable:
 
 * :func:`matrix_digest` — SHA-256 over the signed matrix's shape and
@@ -50,7 +57,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
+import pickle
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -74,6 +83,11 @@ __all__ = [
     "fused_from_npz",
     "matrix_digest",
     "plan_fingerprint",
+    "array_to_payload",
+    "array_from_payload",
+    "ARRAY_CODECS",
+    "unique_tmp",
+    "atomic_write_text",
     "KERNEL_FORMAT_VERSION",
     "FUSED_FORMAT_VERSION",
 ]
@@ -156,6 +170,34 @@ def plan_fingerprint(plan: MatrixPlan) -> str:
     return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
+def unique_tmp(path: str | pathlib.Path) -> pathlib.Path:
+    """A sibling temp-file name no concurrent writer will collide on.
+
+    Atomic artifact writes are temp-file + ``os.replace``; a *shared*
+    temp name (``<file>.tmp``) is only atomic against crashes, not
+    against a second process writing the same artifact — both would
+    truncate and interleave the same temp file.  Salting with the pid
+    and a random token makes every writer's staging file private, so a
+    shared artifact store (a shard-server fleet on one directory) is
+    last-writer-wins, never corrupted.
+    """
+    path = pathlib.Path(path)
+    token = os.urandom(4).hex()
+    return path.with_name(f"{path.name}.{os.getpid()}.{token}.tmp")
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` (private tmp + ``os.replace``)."""
+    path = pathlib.Path(path)
+    tmp = unique_tmp(path)
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def _arrays_to_npz(
     artifact: Any, path: str | pathlib.Path, kind: str, version: int
 ) -> None:
@@ -165,8 +207,9 @@ def _arrays_to_npz(
     version, artifact kind, the plan fingerprint, and every scalar
     execution parameter) plus one named entry per artifact array (from
     the class's ``SCALAR_FIELDS``/``ARRAY_FIELDS`` contract).  The write
-    is atomic (temp file + rename) so a crashed writer never leaves a
-    half-written artifact for a later reader to trip on.
+    is atomic (private temp file + rename, see :func:`unique_tmp`) so
+    neither a crashed writer nor a concurrent one leaves a half-written
+    artifact for a later reader to trip on.
     """
     path = pathlib.Path(path)
     header: dict[str, Any] = {"format_version": version, "kind": kind}
@@ -174,10 +217,14 @@ def _arrays_to_npz(
         value = getattr(artifact, name)
         header[name] = value if isinstance(value, str) else int(value)
     arrays = {name: getattr(artifact, name) for name in type(artifact).ARRAY_FIELDS}
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, __header__=json.dumps(header), **arrays)
-    tmp.replace(path)
+    tmp = unique_tmp(path)
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, __header__=json.dumps(header), **arrays)
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _arrays_from_npz(
@@ -239,6 +286,71 @@ def fused_from_npz(path: str | pathlib.Path) -> "FusedKernel":
     from repro.hwsim.fused import FusedKernel
 
     return _arrays_from_npz(path, FusedKernel, _FUSED_KIND, FUSED_FORMAT_VERSION)
+
+
+# -- wire codecs (the cluster protocol's array frames) -----------------------
+
+#: Wire codecs for one 2-D batch/result array.  ``"i64"`` is raw
+#: little-endian int64 bytes (canonical, endian-stable across hosts);
+#: ``"pickle"`` carries a pickled flat list of exact Python integers —
+#: the only representation for >62-bit results.  Frames are only ever
+#: exchanged inside a trusted fleet (see ``docs/cluster.md``); the
+#: pickle payload is restricted to a list of ints at encode time.
+ARRAY_CODECS = ("i64", "pickle")
+
+
+def array_to_payload(arr: np.ndarray) -> tuple[dict[str, Any], bytes]:
+    """Canonical ``(meta, blob)`` wire form of a 2-D batch/result array.
+
+    int64-representable arrays become raw little-endian bytes; anything
+    carrying exact Python integers (object dtype, the >62-bit result
+    path) falls back to a pickled flat list of ints.  The inverse is
+    :func:`array_from_payload`.
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+    if arr.dtype != object:
+        canonical = np.ascontiguousarray(arr, dtype="<i8")
+        return {"codec": "i64", "shape": list(arr.shape)}, canonical.tobytes()
+    flat = [int(x) for x in arr.ravel()]
+    return (
+        {"codec": "pickle", "shape": list(arr.shape)},
+        pickle.dumps(flat, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
+    """Rebuild the array of :func:`array_to_payload` output.
+
+    Raises ``ValueError`` on unknown codecs or meta/blob disagreement —
+    a malformed frame must fail the request, never decode into a
+    plausible-but-wrong batch.
+    """
+    codec = meta.get("codec")
+    try:
+        shape = tuple(int(s) for s in meta["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed array payload meta: {meta!r}") from exc
+    if len(shape) != 2 or any(s < 0 for s in shape):
+        raise ValueError(f"array payload shape must be 2-D, got {shape}")
+    count = shape[0] * shape[1]
+    if codec == "i64":
+        if len(blob) != count * 8:
+            raise ValueError(
+                f"i64 payload carries {len(blob)} bytes for shape {shape}"
+            )
+        flat = np.frombuffer(blob, dtype="<i8")
+        return flat.astype(np.int64).reshape(shape)
+    if codec == "pickle":
+        values = pickle.loads(blob)
+        if not isinstance(values, list) or len(values) != count:
+            raise ValueError(f"pickle payload disagrees with shape {shape}")
+        out = np.empty(count, dtype=object)
+        for i, value in enumerate(values):
+            out[i] = int(value)
+        return out.reshape(shape)
+    raise ValueError(f"unknown array codec {codec!r} (known: {ARRAY_CODECS})")
 
 
 def census_to_dict(census: CircuitCensus) -> dict[str, Any]:

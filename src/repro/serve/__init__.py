@@ -24,7 +24,13 @@ each module is the runtime realization of a section of the paper:
   micro-batcher coalesces single-vector requests into 64-lane bit-plane
   executions under a max-latency deadline.
 * :mod:`repro.serve.telemetry` — the observable quantities: throughput,
-  p50/p99 latency, lane occupancy, shard utilization.
+  p50/p99 latency, lane occupancy, shard utilization (plus per-shard
+  RTT/health for remote fleets).
+* :mod:`repro.serve.prewarm` — the offline compile farm:
+  ``python -m repro.serve.prewarm manifest.json`` fills an artifact
+  store through all four pipeline stages ahead of rollout, so fleet
+  deploys (including :mod:`repro.cluster` shard servers) are
+  zero-stage kernel hits.
 * :mod:`repro.serve.service` — the :class:`MatMulService` facade
   (``deploy`` / ``await submit`` / ``run_stream``) binding all of the
   above, including served reservoir rollouts (``deploy_esn``) where each
@@ -46,7 +52,13 @@ Quick taste::
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
-from repro.serve.cache import CompileCache, CompiledEntry, CompileKey, compile_key
+from repro.serve.cache import (
+    CompileCache,
+    CompiledEntry,
+    CompileKey,
+    compile_key,
+    persist_artifacts,
+)
 from repro.serve.service import Deployment, MatMulService, ServedESN
 from repro.serve.shards import (
     SHARD_BACKENDS,
@@ -63,6 +75,7 @@ __all__ = [
     "CompiledEntry",
     "CompileKey",
     "compile_key",
+    "persist_artifacts",
     "Deployment",
     "MatMulService",
     "ServedESN",

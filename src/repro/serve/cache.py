@@ -36,9 +36,20 @@ names exactly one circuit; stored artifacts are verified on load
 kernels) and any mismatch degrades to a recompile, never a wrong
 answer.
 
+Fleet loading: :meth:`CompileCache.load_key` resolves a compile by
+:class:`CompileKey` alone — artifacts or ``KeyError``, never a compile —
+which is how cluster shard servers (:mod:`repro.cluster.server`) answer
+``LOAD(digest, ...)`` requests from a shared store without matrices or
+kernels ever crossing the network.  :func:`persist_artifacts` is the
+matching producer-side escape hatch for compiles that must happen
+outside the shared cache (fault campaigns) but still feed the store.
+
 Disk eviction: with ``max_disk_bytes`` and/or ``max_age_s`` set, the
 directory becomes a bounded artifact store.  An ``index.json`` manifest
-records per-key sizes and last-use times (shareable by a deploy fleet);
+records per-key sizes and last-use times (shareable by a deploy fleet —
+all manifest and artifact writes stage to private temp names and
+``os.replace`` into place, so concurrent writers are last-writer-wins,
+never torn);
 after every store or load the cache prunes expired keys and then the
 least-recently-used keys until the store fits the byte budget.  A key's
 plan, kernel, and fused artifacts are evicted together, so a surviving
@@ -62,6 +73,7 @@ import numpy as np
 
 from repro.core.plan import MatrixPlan, plan_matrix
 from repro.core.serialize import (
+    atomic_write_text,
     fused_from_npz,
     fused_to_npz,
     kernel_from_npz,
@@ -75,7 +87,13 @@ from repro.hwsim.builder import CompiledCircuit, build_circuit
 from repro.hwsim.fast import FastCircuit, LoweredKernel
 from repro.hwsim.fused import FusedKernel
 
-__all__ = ["CompileKey", "CompiledEntry", "CompileCache", "compile_key"]
+__all__ = [
+    "CompileKey",
+    "CompiledEntry",
+    "CompileCache",
+    "compile_key",
+    "persist_artifacts",
+]
 
 _DISK_FORMAT_VERSION = 1
 _INDEX_FORMAT_VERSION = 1
@@ -135,6 +153,62 @@ def compile_key(
     )
 
 
+def _plan_payload(key: CompileKey, plan: MatrixPlan) -> tuple[dict, str]:
+    """The on-disk JSON form of one plan artifact, plus its fingerprint."""
+    fingerprint = plan_fingerprint(plan)
+    payload = {
+        "format_version": _DISK_FORMAT_VERSION,
+        "key": {
+            "matrix_digest": key.matrix_digest,
+            "input_width": key.input_width,
+            "scheme": key.scheme,
+            "tree_style": key.tree_style,
+        },
+        "fingerprint": fingerprint,
+        "plan": plan_to_dict(plan),
+    }
+    return payload, fingerprint
+
+
+def persist_artifacts(
+    directory: str | pathlib.Path,
+    key: CompileKey,
+    plan: MatrixPlan,
+    kernel: LoweredKernel,
+    fused: FusedKernel | None = None,
+) -> None:
+    """Write one compile's artifacts into a store without a cache instance.
+
+    The escape hatch for deployments that must compile *outside* the
+    shared :class:`CompileCache` (fault campaigns use ``use_cache=False``
+    so their live netlists are private) but still need the fleet's
+    artifact store populated — remote shard servers only ever load by
+    digest, never receive kernels over the wire.  Enforces the store
+    invariant the cache itself keeps: artifacts are fault-free and the
+    kernel was lowered from exactly this plan.
+    """
+    if kernel.has_faults:
+        raise ValueError(
+            "refusing to persist a fault-bearing kernel into an artifact "
+            "store; stores hold only fault-free compiles"
+        )
+    payload, fingerprint = _plan_payload(key, plan)
+    if kernel.fingerprint != fingerprint:
+        raise ValueError(
+            "kernel fingerprint does not match the plan being persisted"
+        )
+    if fused is not None and fused.fingerprint != fingerprint:
+        raise ValueError(
+            "fused fingerprint does not match the plan being persisted"
+        )
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(directory / key.filename, json.dumps(payload))
+    kernel_to_npz(kernel, directory / key.kernel_filename)
+    if fused is not None:
+        fused_to_npz(fused, directory / key.fused_filename)
+
+
 @dataclass
 class CompiledEntry:
     """One cached compilation: plan, lowered kernel, and the fast engine.
@@ -143,11 +217,13 @@ class CompiledEntry:
     actually built one — a kernel-cache hit never constructs a netlist,
     which is the whole point.  Callers that need the object graph (fault
     injection, VCD dumps) should compile outside the kernel store or
-    check ``circuit is not None``.
+    check ``circuit is not None``.  ``plan`` may likewise be ``None`` on
+    a :meth:`CompileCache.load_key` hit against a store whose plan
+    artifact was pruned — the kernel alone is executable.
     """
 
     key: CompileKey
-    plan: MatrixPlan
+    plan: MatrixPlan | None
     circuit: CompiledCircuit | None
     fast: FastCircuit
     kernel: LoweredKernel
@@ -319,6 +395,76 @@ class CompileCache:
                 self._entries.popitem(last=False)
         return entry
 
+    def load_key(self, key: CompileKey) -> CompiledEntry:
+        """Load a persisted compile **by key alone** — no matrix anywhere.
+
+        The shard-server resolution path: a fleet server is handed a
+        content digest plus compile options (a :class:`CompileKey`) and
+        must answer from the shared artifact store or not at all —
+        kernels never travel over the wire, and without the matrix bytes
+        there is nothing to recompile from.  Raises ``KeyError`` when
+        the store holds no (valid) kernel for the key.
+
+        A plan artifact, when present, rides along (and cross-checks the
+        kernel's fingerprint); a missing fused artifact is re-fused from
+        the loaded kernel and backfilled, exactly as :meth:`get` does.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return CompiledEntry(
+                    key=key,
+                    plan=entry.plan,
+                    circuit=entry.circuit,
+                    fast=entry.fast,
+                    kernel=entry.kernel,
+                    fused=entry.fused,
+                    source="memory",
+                )
+        kernel = self._load_kernel(key)
+        if kernel is None:
+            raise KeyError(f"artifact store has no kernel for {key.stem!r}")
+        plan: MatrixPlan | None = None
+        loaded_plan = self._load_plan(key)
+        if loaded_plan is not None:
+            plan, plan_fp = loaded_plan
+            if kernel.fingerprint != plan_fp:
+                # The kernel artifact does not belong to the plan that
+                # shares its stem — tampering or a torn store; refuse.
+                raise KeyError(
+                    f"kernel for {key.stem!r} does not match its stored plan"
+                )
+        fused = self._load_fused(key)
+        if fused is not None and fused.fingerprint != kernel.fingerprint:
+            fused = None  # stale schedule: never execute it
+        fused_loaded = fused is not None
+        if fused is None:
+            fast = FastCircuit(kernel, plan=plan)
+            fused = fast.fuse()
+            self._store_fused(key, fused)
+        else:
+            fast = FastCircuit(kernel, plan=plan, fused=fused)
+        entry = CompiledEntry(
+            key=key,
+            plan=plan,
+            circuit=None,
+            fast=fast,
+            kernel=kernel,
+            fused=fused,
+            source="kernel",
+        )
+        with self._lock:
+            self.kernel_hits += 1
+            if fused_loaded:
+                self.fused_hits += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry
+
     def get_plan(
         self,
         matrix: np.ndarray,
@@ -441,24 +587,11 @@ class CompileCache:
 
     def _store_plan(self, key: CompileKey, plan: MatrixPlan) -> str:
         """Persist a plan (when a directory is set); returns its fingerprint."""
-        fingerprint = plan_fingerprint(plan)
         path = self._plan_path(key)
         if path is None:
-            return fingerprint
-        payload = {
-            "format_version": _DISK_FORMAT_VERSION,
-            "key": {
-                "matrix_digest": key.matrix_digest,
-                "input_width": key.input_width,
-                "scheme": key.scheme,
-                "tree_style": key.tree_style,
-            },
-            "fingerprint": fingerprint,
-            "plan": plan_to_dict(plan),
-        }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+            return plan_fingerprint(plan)
+        payload, fingerprint = _plan_payload(key, plan)
+        atomic_write_text(path, json.dumps(payload))
         self._touch(key, stored=True)
         return fingerprint
 
@@ -584,10 +717,15 @@ class CompileCache:
             return {"format_version": _INDEX_FORMAT_VERSION, "entries": {}}
 
     def _write_index(self, index: dict) -> None:
-        path = self._index_path()
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(index, sort_keys=True))
-        tmp.replace(path)
+        """Atomically publish the manifest (private tmp + ``os.replace``).
+
+        Multiple shard servers may share one artifact directory; each
+        writer stages to its own temp name, so concurrent rewrites are
+        last-writer-wins on a complete manifest — a reader can observe a
+        slightly stale index (repaired by the next adoption scan) but
+        never a torn one.
+        """
+        atomic_write_text(self._index_path(), json.dumps(index, sort_keys=True))
 
     def _stem_files(self, stem: str) -> list[pathlib.Path]:
         assert self.directory is not None

@@ -168,7 +168,20 @@ class MatMulService:
         max_batch: int = 64,
         max_delay_s: float = 0.002,
         engine: str = "auto",
+        backend: str = "thread",
+        endpoints: list[tuple[str, int]] | None = None,
+        store: str | None = None,
+        request_timeout_s: float = 5.0,
     ) -> None:
+        """``backend``/``endpoints``/``store``/``request_timeout_s`` are
+        service-wide deployment defaults: a service constructed with
+        ``backend="remote"`` (as :meth:`ClusterController.deploy_fleet
+        <repro.cluster.controller.ClusterController.deploy_fleet>` does)
+        routes *every* deploy — including the private deployments
+        ``fault_campaign(service=...)`` creates — over the fleet, with
+        no caller changes.  ``deploy(...)`` can still override any of
+        them per deployment.
+        """
         if engine not in SERVE_ENGINES:
             raise ValueError(
                 f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
@@ -177,6 +190,10 @@ class MatMulService:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.engine = engine
+        self.backend = backend
+        self.endpoints = endpoints
+        self.store = store
+        self.request_timeout_s = request_timeout_s
         self._deployments: dict[str, Deployment] = {}
 
     # -- deployment ----------------------------------------------------------
@@ -190,16 +207,23 @@ class MatMulService:
         tree_style: str = "compact",
         shards: int | None = None,
         lut_budget: int | None = None,
-        backend: str = "thread",
+        backend: str | None = None,
         max_batch: int | None = None,
         max_delay_s: float | None = None,
         use_cache: bool = True,
         engine: str | None = None,
+        endpoints: list[tuple[str, int]] | None = None,
+        store: str | None = None,
+        request_timeout_s: float | None = None,
     ) -> Deployment:
         """Compile (through the cache) and register one served matrix.
 
-        ``backend`` selects the shard executor (``"thread"`` or
-        ``"process"``; see :class:`~repro.serve.shards.ShardedMultiplier`).
+        ``backend`` selects the shard executor (``"thread"``,
+        ``"process"``, or ``"remote"``; see
+        :class:`~repro.serve.shards.ShardedMultiplier`), defaulting to
+        the service-wide value.  Remote deployments take the fleet
+        ``endpoints``, artifact ``store``, and ``request_timeout_s``
+        from the service unless overridden here.
         ``max_batch`` / ``max_delay_s`` override the service-wide
         micro-batching limits for this deployment; the effective values
         are recorded in every telemetry snapshot under ``"batching"``.
@@ -221,6 +245,7 @@ class MatMulService:
             raise ValueError(
                 f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
             )
+        backend = backend if backend is not None else self.backend
         sharded = ShardedMultiplier(
             arr,
             shards=shards,
@@ -230,6 +255,13 @@ class MatMulService:
             tree_style=tree_style,
             cache=self.cache if use_cache else None,
             backend=backend,
+            endpoints=endpoints if endpoints is not None else self.endpoints,
+            store=store if store is not None else self.store,
+            request_timeout_s=(
+                request_timeout_s
+                if request_timeout_s is not None
+                else self.request_timeout_s
+            ),
         )
         batch_limit = max_batch if max_batch is not None else self.max_batch
         delay = max_delay_s if max_delay_s is not None else self.max_delay_s
@@ -272,7 +304,7 @@ class MatMulService:
         served_backend: str = "gates",
         shards: int | None = None,
         lut_budget: int | None = None,
-        backend: str = "thread",
+        backend: str | None = None,
         max_batch: int | None = None,
         max_delay_s: float | None = None,
         engine: str | None = None,
@@ -436,8 +468,26 @@ class MatMulService:
         }
 
     def close(self) -> None:
-        """Shut down every deployment's shard executor."""
+        """Shut the service down: reject queued work, then stop executors.
+
+        Requests still coalescing in a deployment's micro-batcher are
+        failed with a clear error *before* its executor (thread pool,
+        process pools, or remote connections) goes away — a closing
+        service must never leave a caller awaiting a future no batch
+        will ever resolve, and must never dispatch into a dead executor.
+        Remote deployments additionally close their shard sockets, so
+        fleet servers see a clean disconnect instead of idle
+        connections.  Idempotent; in-flight batches run to completion
+        into their own futures first (executors shut down with
+        ``wait=True``).
+        """
         for deployment in self._deployments.values():
+            deployment.batcher.reject_pending(
+                RuntimeError(
+                    f"service closed while the request was queued "
+                    f"(deployment {deployment.name!r})"
+                )
+            )
             deployment.sharded.close()
 
     def __enter__(self) -> "MatMulService":

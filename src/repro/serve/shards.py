@@ -17,7 +17,7 @@ concurrently.  Results are bit-exact with the monolithic circuit —
 asserted by the serve test suite across sparsities, widths, recoding
 schemes, backends, and injected faults.
 
-Two execution backends:
+Three execution backends:
 
 * ``backend="thread"`` (default) — one thread per shard over the shared
   bit-plane engine.  Zero setup cost, but numpy releases the GIL only
@@ -37,6 +37,18 @@ Two execution backends:
   column slice in place, so no result rows are pickled either (shards
   with >62-bit results fall back to a pickled return — exact Python
   integers cannot live in shared memory).
+* ``backend="remote"`` — the process-backend pattern over sockets
+  (:mod:`repro.cluster`): each shard is bound to a
+  :class:`~repro.cluster.client.RemoteShard` endpoint, which LOADs the
+  shard's kernel **by content digest** from the shared artifact store
+  (``endpoints=`` names the fleet; the store comes from the cache's
+  directory or ``store=``) and then streams batches as binary frames.
+  Live faults ride along as FAULT-frame override schedules exactly as
+  the process backend ships them, so campaigns stay bit-exact over the
+  network.  A shard whose host times out is retried once on a fresh
+  connection and then served *locally* (the compiled engine is still in
+  this process) until the host is revived — degraded latency, never a
+  failed batch.
 
 Engine selection: every execution method takes ``engine``, defaulting
 to ``"auto"`` — the fused cycle-loop-free engine when no shard has live
@@ -47,6 +59,7 @@ so the serve layer can record the *effective* engine in telemetry.
 
 from __future__ import annotations
 
+import pathlib
 import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -60,7 +73,7 @@ from repro.core.plan import plan_matrix
 from repro.core.tiling import plan_column_tiles
 from repro.hwsim.builder import CompiledCircuit, build_circuit
 from repro.hwsim.fast import FastCircuit, LoweredKernel
-from repro.serve.cache import CompileCache
+from repro.serve.cache import CompileCache, compile_key, persist_artifacts
 
 __all__ = [
     "Shard",
@@ -70,7 +83,7 @@ __all__ = [
     "SERVE_ENGINES",
 ]
 
-SHARD_BACKENDS = ("thread", "process")
+SHARD_BACKENDS = ("thread", "process", "remote")
 
 #: Engines a deployment may be pinned to: ``"auto"`` (fused when
 #: fault-free, bitplane otherwise) plus every FastCircuit engine.
@@ -199,11 +212,20 @@ class ShardedMultiplier:
         cache: optional :class:`CompileCache`; shard compiles go through
             it so identical shards across deployments are compiled once
             (and, with a warm kernel store, never built at all).
-        backend: ``"thread"`` (default) or ``"process"``; see the module
-            docstring for the trade-off.
+        backend: ``"thread"`` (default), ``"process"``, or ``"remote"``;
+            see the module docstring for the trade-offs.
         max_workers: thread-pool width (default: one thread per shard).
             The process backend always runs one worker per shard — each
             worker holds exactly its own shard's kernel.
+        endpoints: remote backend only — ``[(host, port), ...]`` shard
+            servers; shard ``k`` binds to endpoint ``k % len(endpoints)``.
+        store: remote backend only — the shared artifact directory the
+            fleet loads kernels from.  Defaults to ``cache.directory``;
+            required explicitly when compiling outside a persistent
+            cache (the fresh-compile path then persists each shard's
+            fault-free artifacts itself so servers can resolve them).
+        request_timeout_s: remote backend only — per-request socket
+            timeout (connect, send, and the full response).
     """
 
     def __init__(
@@ -217,6 +239,9 @@ class ShardedMultiplier:
         cache: CompileCache | None = None,
         backend: str = "thread",
         max_workers: int | None = None,
+        endpoints: list[tuple[str, int]] | None = None,
+        store: str | None = None,
+        request_timeout_s: float = 5.0,
     ) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim != 2 or arr.size == 0:
@@ -227,6 +252,20 @@ class ShardedMultiplier:
             raise ValueError(
                 f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
             )
+        store_dir = None
+        if backend == "remote":
+            if not endpoints:
+                raise ValueError(
+                    "backend='remote' needs endpoints=[(host, port), ...]"
+                )
+            store_dir = store if store is not None else (
+                cache.directory if cache is not None else None
+            )
+            if store_dir is None:
+                raise ValueError(
+                    "backend='remote' needs a shared artifact store: pass a "
+                    "CompileCache with directory=... or store=..."
+                )
         self.matrix = arr
         self.input_width = int(input_width)
         self.scheme = scheme
@@ -236,6 +275,14 @@ class ShardedMultiplier:
             ranges = plan_column_tiles(arr, lut_budget, scheme=scheme)
         else:
             ranges = even_column_shards(arr.shape[1], shards if shards else 1)
+        # The fleet resolves kernels from store_dir, so a remote deploy
+        # must guarantee its shards' artifacts land *there* — which the
+        # cache only does when it persists to that same directory.
+        store_separately = backend == "remote" and (
+            cache is None
+            or cache.directory is None
+            or pathlib.Path(store_dir) != cache.directory
+        )
         self.shards: list[Shard] = []
         for k, (start, stop) in enumerate(ranges):
             piece = arr[:, start:stop]
@@ -246,23 +293,42 @@ class ShardedMultiplier:
                     scheme=scheme,
                     tree_style=tree_style,
                 )
-                circuit, fast = entry.circuit, entry.fast
+                circuit, fast, plan = entry.circuit, entry.fast, entry.plan
             else:
-                circuit = build_circuit(
-                    plan_matrix(
+                # Compiled outside the shared cache (fault campaigns do
+                # this for netlist privacy).
+                plan = plan_matrix(
+                    piece,
+                    input_width=input_width,
+                    scheme=scheme,
+                    tree_style=tree_style,
+                )
+                circuit = build_circuit(plan)
+                fast = FastCircuit.from_compiled(circuit)
+            if store_separately:
+                if plan is None:
+                    # A kernel-only memory hit (load_key) carries no
+                    # plan; the memo/disk path recovers it cheaply.
+                    plan = cache.get_plan(
                         piece,
                         input_width=input_width,
                         scheme=scheme,
                         tree_style=tree_style,
                     )
+                persist_artifacts(
+                    store_dir,
+                    compile_key(piece, input_width, scheme, tree_style),
+                    plan,
+                    fast.kernel,
+                    fast.fuse(),
                 )
-                fast = FastCircuit.from_compiled(circuit)
             self.shards.append(
                 Shard(index=k, start=start, stop=stop, circuit=circuit, fast=fast)
             )
         workers = max_workers if max_workers is not None else len(self.shards)
         self._pool: Executor | None = None
         self._shard_pools: list[ProcessPoolExecutor] = []
+        self._remotes: list = []
         if backend == "process":
             # One single-worker pool per shard: each shard's kernel
             # crosses the process boundary exactly once, into exactly one
@@ -276,10 +342,60 @@ class ShardedMultiplier:
                 )
                 for shard in self.shards
             ]
-        elif len(self.shards) > 1:
-            self._pool = ThreadPoolExecutor(
-                max_workers=max(1, workers), thread_name_prefix="repro-shard"
-            )
+        else:
+            if backend == "remote":
+                # Imported lazily: the serve layer stays importable (and
+                # thread/process deploys stay zero-cost) without the
+                # cluster subsystem.
+                from repro.cluster.client import ClusterClient
+
+                client = ClusterClient(endpoints, timeout_s=request_timeout_s)
+                for k, shard in enumerate(self.shards):
+                    self._remotes.append(
+                        client.shard_handle(
+                            k,
+                            {
+                                "matrix_digest": compile_key(
+                                    arr[:, shard.start : shard.stop],
+                                    input_width,
+                                    scheme,
+                                    tree_style,
+                                ).matrix_digest,
+                                "input_width": self.input_width,
+                                "scheme": scheme,
+                                "tree_style": tree_style,
+                                "start": shard.start,
+                                "stop": shard.stop,
+                                "fingerprint": shard.fast.kernel.fingerprint,
+                            },
+                        )
+                    )
+                # Deploy-time warmup: bind and LOAD each link now, so a
+                # misconfigured store fails the deploy loudly while a
+                # merely-unreachable host stays a soft (fallback) state.
+                # Concurrent, so a deploy over dead hosts costs one
+                # connect timeout, not one per shard; on a refusal every
+                # already-opened socket is closed before the raise.
+                with ThreadPoolExecutor(
+                    max_workers=max(1, len(self._remotes)),
+                    thread_name_prefix="repro-shard-warm",
+                ) as warmers:
+                    outcomes = []
+                    for remote, future in [
+                        (r, warmers.submit(r.warm)) for r in self._remotes
+                    ]:
+                        try:
+                            future.result()
+                        except Exception as exc:  # noqa: BLE001 - re-raised
+                            outcomes.append((remote, exc))
+                if outcomes:
+                    for remote in self._remotes:
+                        remote.close()
+                    raise outcomes[0][1]
+            if len(self.shards) > 1:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(1, workers), thread_name_prefix="repro-shard"
+                )
         self._stats_lock = threading.Lock()
         self._created = time.monotonic()
 
@@ -362,6 +478,34 @@ class ShardedMultiplier:
         self._record(shard, time.perf_counter() - start)
         return out
 
+    def _run_remote_shard(
+        self, shard: Shard, batch: np.ndarray, engine: str
+    ) -> np.ndarray:
+        """One shard's batch over its endpoint, falling back locally.
+
+        The shard's *current* live-fault schedule is snapshotted here
+        and synchronized to the server (a FAULT frame only when it
+        changed), mirroring the process backend's per-call override
+        shipping.  A :class:`~repro.cluster.client.RemoteShardError`
+        (connect/timeout twice, or an already-unhealthy link) degrades
+        to local execution on the shard's in-process engine — same
+        kernel, same overrides, bit-identical result.
+        """
+        from repro.cluster.client import RemoteShardError
+
+        remote = self._remotes[shard.index]
+        overrides = shard.fast.fault_overrides()
+        start = time.perf_counter()
+        try:
+            out, _, _ = remote.execute(batch, engine, overrides)
+        except RemoteShardError:
+            remote.local_fallbacks += 1
+            out = shard.fast.multiply_batch(
+                batch, engine=engine, overrides=overrides
+            )
+        self._record(shard, time.perf_counter() - start)
+        return out
+
     def _run_process_backend(self, batch: np.ndarray, engine: str) -> np.ndarray:
         """All shards against one shared-memory copy of the batch.
 
@@ -434,12 +578,12 @@ class ShardedMultiplier:
             return np.concatenate(pieces, axis=1)
         if self.backend == "process":
             return self._run_process_backend(batch, engine)
+        run = self._run_remote_shard if self.backend == "remote" else self._run_shard
         if self._pool is None:
-            pieces = [self._run_shard(s, batch, engine) for s in self.shards]
+            pieces = [run(s, batch, engine) for s in self.shards]
         else:
             futures = [
-                self._pool.submit(self._run_shard, s, batch, engine)
-                for s in self.shards
+                self._pool.submit(run, s, batch, engine) for s in self.shards
             ]
             pieces = [f.result() for f in futures]
         return np.concatenate(pieces, axis=1)
@@ -452,19 +596,27 @@ class ShardedMultiplier:
     # -- telemetry / lifecycle ----------------------------------------------
 
     def utilization(self) -> dict:
-        """Per-shard busy time against wall-clock since construction."""
+        """Per-shard busy time against wall-clock since construction.
+
+        Remote deployments additionally report each shard's link health,
+        endpoint, RTT percentiles, and how many batches fell back to
+        local execution — the per-shard view an operator needs to tell a
+        slow host from a dead one.
+        """
         elapsed = max(time.monotonic() - self._created, 1e-9)
         with self._stats_lock:
-            per_shard = [
-                {
+            per_shard = []
+            for s in self.shards:
+                entry = {
                     "shard": s.index,
                     "columns": [s.start, s.stop],
                     "calls": s.calls,
                     "busy_s": round(s.busy_s, 6),
                     "utilization": round(s.busy_s / elapsed, 6),
                 }
-                for s in self.shards
-            ]
+                if self.backend == "remote" and self._remotes:
+                    entry.update(self._remotes[s.index].telemetry())
+                per_shard.append(entry)
         return {
             "shards": self.shard_count,
             "backend": self.backend,
@@ -479,6 +631,9 @@ class ShardedMultiplier:
         for pool in self._shard_pools:
             pool.shutdown(wait=True)
         self._shard_pools = []
+        for remote in self._remotes:
+            remote.close()
+        self._remotes = []
 
     def __enter__(self) -> "ShardedMultiplier":
         return self

@@ -19,27 +19,52 @@ __all__ = ["LatencyWindow", "DeploymentTelemetry"]
 
 
 class LatencyWindow:
-    """Rolling window of request latencies with percentile snapshots."""
+    """Rolling window of request latencies with percentile snapshots.
+
+    Thread-safe on its own: recorders (shard-pool threads, the cluster
+    client's RTT path) and snapshotters (telemetry readers) hold
+    different outer locks, and iterating a ``deque`` while another
+    thread appends raises ``RuntimeError`` — so reads and writes
+    serialize on an internal lock here.
+    """
 
     def __init__(self, window: int = 4096) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
 
     def record(self, latency_s: float) -> None:
-        self._samples.append(latency_s)
+        with self._lock:
+            self._samples.append(latency_s)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     def percentiles(self, *points: float) -> dict[str, float]:
         """``{"p50": ..., "p99": ...}`` over the current window (NaN-free:
         an empty window reports zeros so snapshots stay JSON-friendly)."""
-        if not self._samples:
-            return {f"p{int(p)}": 0.0 for p in points}
-        arr = np.fromiter(self._samples, dtype=float)
+        with self._lock:
+            if not self._samples:
+                return {f"p{int(p)}": 0.0 for p in points}
+            arr = np.array(self._samples, dtype=float)
         values = np.percentile(arr, points)
         return {f"p{int(p)}": float(v) for p, v in zip(points, values)}
+
+    def summary(self) -> dict:
+        """The standard dashboard digest of one window: p50/p99/samples.
+
+        Shared by deployment latency snapshots and the cluster client's
+        per-shard RTT reporting, so every latency-shaped number in
+        telemetry reads the same way.
+        """
+        pct = self.percentiles(50, 99)
+        return {
+            "p50": round(pct["p50"], 6),
+            "p99": round(pct["p99"], 6),
+            "samples": len(self),
+        }
 
 
 class DeploymentTelemetry:
@@ -110,7 +135,6 @@ class DeploymentTelemetry:
         """Point-in-time metrics dict (JSON-serializable)."""
         with self._lock:
             elapsed = max(self.uptime_s, 1e-9)
-            pct = self._latency.percentiles(50, 99)
             occupancy = (
                 self.lanes / (self.batches * self.max_batch)
                 if self.batches
@@ -130,10 +154,6 @@ class DeploymentTelemetry:
                 "products": self.products,
                 "batches": self.batches,
                 "throughput_rps": round(self.products / elapsed, 3),
-                "latency_s": {
-                    "p50": round(pct["p50"], 6),
-                    "p99": round(pct["p99"], 6),
-                    "samples": len(self._latency),
-                },
+                "latency_s": self._latency.summary(),
                 "lane_occupancy": round(occupancy, 4),
             }

@@ -1,0 +1,156 @@
+"""Wire-protocol unit tests: framing, codecs, and malformed-peer handling."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import array_from_payload, array_to_payload
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameType,
+    ProtocolError,
+    batch_frame,
+    decode_overrides,
+    decode_payload,
+    encode_frame,
+    encode_overrides,
+    recv_frame,
+    result_frame,
+    send_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip_meta_and_blob(self):
+        frame = encode_frame(FrameType.LOAD, {"a": 1, "b": "x"}, b"\x00\x01raw")
+        ftype, meta, blob = decode_payload(frame[4:])
+        assert ftype is FrameType.LOAD
+        assert meta == {"a": 1, "b": "x"}
+        assert blob == b"\x00\x01raw"
+
+    def test_round_trip_over_a_real_socket(self):
+        server, client = socket.socketpair()
+        try:
+            payloads = [
+                (FrameType.HELLO, {"version": PROTOCOL_VERSION}, b""),
+                (FrameType.EXECUTE, {"engine": "auto"}, b"\xff" * 1000),
+            ]
+
+            def _send():
+                for ftype, meta, blob in payloads:
+                    send_frame(client, ftype, meta, blob)
+
+            thread = threading.Thread(target=_send)
+            thread.start()
+            for expected in payloads:
+                assert recv_frame(server) == expected
+            thread.join()
+        finally:
+            server.close()
+            client.close()
+
+    def test_unknown_frame_type_rejected(self):
+        frame = bytearray(encode_frame(FrameType.OK, {}))
+        frame[4] = 200  # not a FrameType
+        with pytest.raises(ProtocolError, match="frame type"):
+            decode_payload(bytes(frame[4:]))
+
+    def test_non_json_meta_rejected(self):
+        frame = bytearray(encode_frame(FrameType.OK, {"k": 1}))
+        frame[9] = 0xFF  # corrupt the JSON body
+        with pytest.raises(ProtocolError):
+            decode_payload(bytes(frame[4:]))
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_payload(b"\x01")
+
+    def test_oversized_frame_refused_at_encode(self):
+        class Huge:
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+            def __bytes__(self):  # pragma: no cover - never reached
+                raise AssertionError
+
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame(FrameType.EXECUTE, {}, Huge())
+
+    def test_peer_announcing_oversized_frame_dropped(self):
+        server, client = socket.socketpair()
+        try:
+            client.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="byte"):
+                recv_frame(server)
+        finally:
+            server.close()
+            client.close()
+
+
+class TestArrayPayloads:
+    def test_i64_round_trip(self):
+        batch = np.arange(12, dtype=np.int64).reshape(3, 4) - 6
+        meta, blob = array_to_payload(batch)
+        assert meta["codec"] == "i64"
+        out = array_from_payload(meta, blob)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, batch)
+
+    def test_pickle_round_trip_for_exact_big_integers(self):
+        wide = np.empty((2, 2), dtype=object)
+        wide[:] = [[1 << 80, -(1 << 90)], [3, -(1 << 100) + 7]]
+        meta, blob = array_to_payload(wide)
+        assert meta["codec"] == "pickle"
+        out = array_from_payload(meta, blob)
+        assert out.dtype == object
+        assert [int(x) for x in out.ravel()] == [int(x) for x in wide.ravel()]
+
+    def test_zero_row_batch(self):
+        meta, blob = array_to_payload(np.zeros((0, 7), dtype=np.int64))
+        out = array_from_payload(meta, blob)
+        assert out.shape == (0, 7)
+
+    def test_length_mismatch_rejected(self):
+        meta, blob = array_to_payload(np.ones((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="bytes"):
+            array_from_payload(meta, blob[:-8])
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            array_from_payload({"codec": "msgpack", "shape": [1, 1]}, b"")
+
+    def test_non_2d_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="2-D"):
+            array_to_payload(np.zeros(3, dtype=np.int64))
+
+    def test_batch_and_result_frames_round_trip(self):
+        batch = np.arange(8, dtype=np.int64).reshape(2, 4)
+        ftype, meta, blob = decode_payload(batch_frame(batch, "fused")[4:])
+        assert ftype is FrameType.EXECUTE and meta["engine"] == "fused"
+        assert np.array_equal(array_from_payload(meta, blob), batch)
+        ftype, meta, blob = decode_payload(
+            result_frame(batch * 2, "bitplane", 0.25)[4:]
+        )
+        assert ftype is FrameType.RESULT
+        assert meta["engine"] == "bitplane" and meta["busy_s"] == 0.25
+        assert np.array_equal(array_from_payload(meta, blob), batch * 2)
+
+
+class TestOverrideCodec:
+    def test_round_trip(self):
+        overrides = (
+            [(3, 1), (17, 0)],
+            {"add": [(0, 1)], "sub": [], "neg": [(2, 0)]},
+        )
+        assert decode_overrides(encode_overrides(overrides)) == overrides
+
+    def test_empty_round_trip(self):
+        empty = ([], {"add": [], "sub": [], "neg": []})
+        assert decode_overrides(encode_overrides(empty)) == empty
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError, match="override"):
+            decode_overrides({"stuck": "nope"})

@@ -1,0 +1,123 @@
+"""Fused-schedule term counts cross-checked against the adder census.
+
+Two independent paths describe the same hardware:
+
+* the **census** (:func:`repro.core.stats.census_plan`) counts the
+  primitives the builder *would* instantiate, combinatorially from the
+  plan's P/N planes;
+* the **fused schedule** (:func:`repro.hwsim.fused.fuse`) recovers each
+  output's exact row coefficients *from the built kernel's topology*
+  and re-encodes them in canonical NAF.
+
+For the ``naf`` recoding scheme the two must agree exactly — NAF is
+unique, so the plan's per-column plane popcount *is* the per-output
+term count — and under the builder's culling rule the tree adder count
+must be ``ones - live_roots`` per plane (a tree over ``k`` taps has
+``k - 1`` adders).  For ``csd``/``pn`` the schedule is a strict lower
+bound (NAF is minimal-weight).  Any drift between the builder, the
+cost model, and the fused recovery breaks one of these identities —
+this is the ROADMAP's "fused-schedule cost models" cross-check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bits import matrix_popcount
+from repro.core.plan import plan_matrix
+from repro.core.stats import census_plan
+from repro.hwsim.builder import build_circuit
+from repro.hwsim.fast import FastCircuit
+
+
+def _workload(seed, shape=(14, 11), sparsity=0.5, low=-100, high=101):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(low, high, size=shape)
+    matrix[rng.random(shape) < sparsity] = 0
+    return matrix
+
+
+def _fused(plan):
+    return FastCircuit.from_compiled(build_circuit(plan)).fuse()
+
+
+def _column_ones(plan):
+    """Per-column combined P/N plane popcount (the census's unit)."""
+    return np.array(
+        [
+            matrix_popcount(plan.split.positive[:, j : j + 1])
+            + matrix_popcount(plan.split.negative[:, j : j + 1])
+            for j in range(plan.cols)
+        ]
+    )
+
+
+class TestNafSchemeExactAgreement:
+    """NAF is unique: plan planes and fused schedule count the same terms."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("sparsity", [0.2, 0.6, 0.9])
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_per_output_term_counts_match_plane_ones(
+        self, seed, sparsity, tree_style
+    ):
+        matrix = _workload(seed, sparsity=sparsity)
+        plan = plan_matrix(
+            matrix, input_width=8, scheme="naf", tree_style=tree_style
+        )
+        fused = _fused(plan)
+        census = census_plan(plan)
+        per_output = np.bincount(fused.term_out, minlength=plan.cols)
+        assert np.array_equal(per_output, _column_ones(plan))
+        assert fused.terms == census.ones
+
+    def test_wide_weights_still_agree(self):
+        matrix = _workload(3, shape=(10, 6), low=-(2**14), high=2**14)
+        plan = plan_matrix(matrix, input_width=12, scheme="naf")
+        fused = _fused(plan)
+        assert fused.terms == census_plan(plan).ones
+
+
+class TestCullingRuleAdderCensus:
+    """Tree adders are exactly ``ones - live_roots`` per plane: every
+    column-bit tree over ``k`` taps is ``k - 1`` serial adders under the
+    culling rule (two live children: adder; one: DFF; zero: absent),
+    independent of recoding scheme or tree style."""
+
+    @pytest.mark.parametrize("scheme", ["pn", "csd", "naf"])
+    @pytest.mark.parametrize("tree_style", ["compact", "padded"])
+    def test_tree_adders_follow_term_counts(self, scheme, tree_style):
+        matrix = _workload(4)
+        plan = plan_matrix(
+            matrix, input_width=8, scheme=scheme, tree_style=tree_style
+        )
+        census = census_plan(plan)
+        for plane, arr in (
+            (census.positive, plan.split.positive),
+            (census.negative, plan.split.negative),
+        ):
+            assert plane.tree_adders == matrix_popcount(arr) - plane.live_roots
+
+    @pytest.mark.parametrize("scheme", ["pn", "csd"])
+    def test_fused_is_the_naf_lower_bound(self, scheme):
+        """Non-canonical recodings never beat the fused schedule's NAF."""
+        for seed in range(4):
+            matrix = _workload(seed)
+            plan = plan_matrix(matrix, input_width=8, scheme=scheme)
+            fused = _fused(plan)
+            census = census_plan(plan)
+            assert fused.terms <= census.ones
+            # And both describe the same matrix exactly.
+            assert np.array_equal(
+                np.asarray(fused.coefficients(), dtype=np.int64), matrix
+            )
+
+    def test_naf_plan_matches_fused_coefficient_recovery(self):
+        """End-to-end closure: plan -> netlist -> kernel -> fused recovers
+        the exact matrix, and its NAF term census equals the plan's."""
+        matrix = _workload(5, shape=(9, 9), sparsity=0.4)
+        plan = plan_matrix(matrix, input_width=8, scheme="naf")
+        fused = _fused(plan)
+        assert np.array_equal(
+            np.asarray(fused.coefficients(), dtype=np.int64), matrix
+        )
+        assert fused.terms == census_plan(plan).ones

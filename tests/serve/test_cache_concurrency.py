@@ -1,0 +1,115 @@
+"""Shared-store safety: concurrent writers must never corrupt the manifest.
+
+A shard-server fleet mounts one artifact directory; servers, prewarming
+farms, and deploying clients all read and write it at once.  The
+invariants under test:
+
+* ``index.json`` writes stage to **private** temp names and
+  ``os.replace`` into place — a reader never observes a torn manifest,
+  and two simultaneous writers cannot interleave bytes in a shared
+  temp file;
+* a concurrently-rewritten (or vandalized) manifest degrades to an
+  empty index that the next bounded store re-adopts from the files —
+  never an exception on the deploy path;
+* hammering one bounded store from many threads across several cache
+  instances leaves a valid manifest that tracks the surviving keys.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import atomic_write_text, unique_tmp
+from repro.serve import CompileCache
+
+
+def _matrix(seed, shape=(10, 8)):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 51, size=shape)
+    matrix[rng.random(shape) < 0.5] = 0
+    return matrix
+
+
+class TestUniqueTempNames:
+    def test_tmp_names_never_collide(self, tmp_path):
+        target = tmp_path / "index.json"
+        names = {unique_tmp(target).name for _ in range(64)}
+        assert len(names) == 64
+        assert all(n.startswith("index.json.") and n.endswith(".tmp") for n in names)
+
+    def test_atomic_write_replaces_completely(self, tmp_path):
+        target = tmp_path / "index.json"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second-longer-content")
+        assert target.read_text() == "second-longer-content"
+        # No staging debris left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+
+    def test_failed_write_cleans_its_tmp(self, tmp_path):
+        target = tmp_path / "gone" / "index.json"
+        with pytest.raises(OSError):
+            atomic_write_text(target, "x")
+
+
+class TestConcurrentManifestWriters:
+    def test_many_threads_many_caches_one_store(self, tmp_path):
+        store = tmp_path / "store"
+        matrices = [_matrix(seed) for seed in range(6)]
+        errors = []
+
+        def worker(worker_id):
+            try:
+                cache = CompileCache(
+                    directory=store, max_disk_bytes=10_000_000
+                )
+                for matrix in matrices:
+                    cache.get(matrix, input_width=8, scheme="csd")
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                errors.append((worker_id, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # The manifest is valid JSON and tracks every key's artifacts.
+        index = json.loads((store / "index.json").read_text())
+        assert index["format_version"] == 1
+        assert len(index["entries"]) == len(matrices)
+        for stem, entry in index["entries"].items():
+            assert entry["bytes"] > 0
+            assert (store / f"{stem}.kernel.npz").exists()
+        # No abandoned temp files.
+        assert not list(store.glob("*.tmp"))
+
+    def test_vandalized_manifest_degrades_and_recovers(self, tmp_path):
+        store = tmp_path / "store"
+        cache = CompileCache(directory=store, max_disk_bytes=10_000_000)
+        cache.get(_matrix(0))
+        # Another process rewrites the manifest to garbage mid-flight.
+        (store / "index.json").write_text("{torn")
+        assert cache.disk_stats()["keys"] == 1  # adopted back from files
+        cache.get(_matrix(1))
+        index = json.loads((store / "index.json").read_text())
+        assert len(index["entries"]) == 2
+
+    def test_concurrent_eviction_is_tolerated(self, tmp_path):
+        """A reader whose files a sibling evicted degrades to a miss."""
+        store = tmp_path / "store"
+        writer = CompileCache(directory=store, max_disk_bytes=10_000_000)
+        matrix = _matrix(2)
+        writer.get(matrix)
+        # A sibling with a tiny budget evicts everything.
+        CompileCache(directory=store, max_disk_bytes=1).get(_matrix(3))
+        fresh = CompileCache(directory=store)
+        entry = fresh.get(matrix)  # recompiles; no exception
+        assert entry.source in ("compiled", "disk")
+        vectors = np.random.default_rng(4).integers(-128, 128, size=(3, 10))
+        assert np.array_equal(
+            entry.fast.multiply_batch(vectors), vectors @ matrix
+        )

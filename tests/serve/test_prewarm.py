@@ -1,0 +1,163 @@
+"""The prewarm compile farm: manifests in, zero-stage deploys out."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.stages import STAGES
+from repro.serve import CompileCache
+from repro.serve.cache import compile_key
+from repro.serve.prewarm import load_manifest, main, prewarm, workload_matrix
+
+
+def _manifest(store, **overrides):
+    manifest = {
+        "store": str(store),
+        "defaults": {"input_width": 8, "scheme": "csd"},
+        "workloads": [
+            {
+                "name": "sharded-random",
+                "random": {
+                    "rows": 18,
+                    "cols": 15,
+                    "width": 7,
+                    "element_sparsity": 0.7,
+                    "seed": 3,
+                },
+                "shards": 3,
+            },
+            {
+                "name": "explicit",
+                "matrix": [[1, -2, 0], [4, 0, 3]],
+                "input_width": 6,
+            },
+        ],
+    }
+    manifest.update(overrides)
+    return manifest
+
+
+class TestPrewarm:
+    def test_fills_store_through_all_four_stages(self, tmp_path):
+        report = prewarm(_manifest(tmp_path / "store"))
+        assert report["stages"]["plan"] == 4  # 3 shard pieces + 1 monolith
+        assert report["stages"]["build"] == 4
+        assert report["stages"]["lower"] == 4
+        assert report["stages"]["fuse"] == 4
+        sources = [
+            k["source"] for w in report["workloads"] for k in w["keys"]
+        ]
+        assert sources == ["compiled"] * 4
+        # The three shard pieces cover the matrix's columns exactly.
+        spans = [k["columns"] for k in report["workloads"][0]["keys"]]
+        assert spans[0][0] == 0 and spans[-1][1] == 15
+
+    def test_idempotent_second_run_is_zero_stage(self, tmp_path):
+        manifest = _manifest(tmp_path / "store")
+        prewarm(manifest)
+        before = STAGES.snapshot()
+        report = prewarm(manifest)
+        delta = STAGES.delta(before)
+        for stage in ("plan", "build", "lower", "fuse"):
+            assert delta.get(stage, 0) == 0
+        assert all(
+            k["source"] == "kernel"
+            for w in report["workloads"]
+            for k in w["keys"]
+        )
+
+    def test_prewarmed_store_serves_a_fresh_cache_zero_stage(self, tmp_path):
+        store = tmp_path / "store"
+        prewarm(_manifest(store))
+        # A brand-new cache (a fleet server's view) resolves the shard
+        # piece by digest alone without running any pipeline stage.
+        rng = np.random.default_rng(3)
+        from repro.workloads.matrices import element_sparse_matrix
+
+        matrix = element_sparse_matrix(18, 15, 7, 0.7, rng, signed=True)
+        piece = matrix[:, 0:5]
+        before = STAGES.snapshot()
+        entry = CompileCache(directory=store).load_key(
+            compile_key(piece, input_width=8, scheme="csd")
+        )
+        delta = STAGES.delta(before)
+        for stage in ("plan", "build", "lower", "fuse"):
+            assert delta.get(stage, 0) == 0
+        vectors = rng.integers(-128, 128, size=(4, 18))
+        assert np.array_equal(
+            entry.fast.multiply_batch(vectors), vectors @ piece
+        )
+
+    def test_lut_budget_sharding(self, tmp_path):
+        manifest = _manifest(tmp_path / "store")
+        manifest["workloads"] = [
+            {
+                "name": "tiled",
+                "random": {"rows": 16, "cols": 12, "seed": 1},
+                "lut_budget": 800,
+            }
+        ]
+        report = prewarm(manifest)
+        keys = report["workloads"][0]["keys"]
+        assert keys[0]["columns"][0] == 0 and keys[-1]["columns"][1] == 12
+
+    def test_store_override_beats_manifest(self, tmp_path):
+        report = prewarm(
+            _manifest(tmp_path / "ignored"), store=tmp_path / "actual"
+        )
+        assert report["store"].endswith("actual")
+        assert (tmp_path / "actual").exists()
+        assert not (tmp_path / "ignored").exists()
+
+
+class TestManifestValidation:
+    def test_missing_workloads_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"workloads": []}))
+        with pytest.raises(ValueError, match="workload"):
+            load_manifest(path)
+
+    def test_matrix_and_random_are_exclusive(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            workload_matrix({"name": "x", "matrix": [[1]], "random": {}})
+        with pytest.raises(ValueError, match="exactly one"):
+            workload_matrix({"name": "x"})
+
+    def test_unknown_random_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            workload_matrix(
+                {"name": "x", "random": {"rows": 2, "cols": 2, "frobnicate": 1}}
+            )
+
+    def test_missing_random_dims_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            workload_matrix({"name": "x", "random": {"rows": 2}})
+
+    def test_shards_and_lut_budget_are_exclusive(self, tmp_path):
+        manifest = _manifest(tmp_path / "store")
+        manifest["workloads"][0]["lut_budget"] = 100
+        with pytest.raises(ValueError, match="not both"):
+            prewarm(manifest)
+
+    def test_no_store_anywhere_rejected(self, tmp_path):
+        manifest = _manifest(tmp_path / "store")
+        del manifest["store"]
+        with pytest.raises(ValueError, match="store"):
+            prewarm(manifest)
+
+
+class TestCli:
+    def test_main_happy_path(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(_manifest(tmp_path / "store")))
+        assert main([str(path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stages"]["plan"] == 4
+        assert (tmp_path / "store" / "index.json").exists()
+
+    def test_main_reports_bad_manifest(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 1
+        assert "prewarm:" in capsys.readouterr().err
