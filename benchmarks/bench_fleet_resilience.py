@@ -1,0 +1,187 @@
+"""Fleet resilience drill: kill a shard host mid-stream, watch it rejoin.
+
+A 48x48 matrix is served by three loopback
+:class:`~repro.cluster.server.ShardServer` hosts (one column shard
+each).  Offered load runs in waves of 24 concurrent single-vector
+requests through the micro-batcher while the drill walks the full
+outage arc:
+
+1. **healthy** — every batch travels over sockets;
+2. **outage** — one host is killed *while a wave is in flight*; its
+   shard degrades to local fallback execution;
+3. **revival** — the host is restarted on its original endpoint, and
+   the shard links' jittered-backoff probes promote it back to remote
+   serving with **no** ``revive()`` call and no fleet-map change.
+
+Three contracts are asserted (the timings are recorded for the
+curious):
+
+* **zero failed requests** — every row of every wave, through kill and
+  revival alike, equals ``vector @ matrix`` bit-exactly;
+* **the fallback actually engaged** — the killed shard's
+  ``local_fallbacks`` counter grew during the outage;
+* **recovery is automatic** — the link reports ``healthy`` with
+  ``auto_revivals >= 1`` within the revival deadline, and post-revival
+  waves run with zero additional fallbacks.
+
+Results are written to ``BENCH_fleet_resilience.json`` at the repo root.
+
+Run::
+
+    pytest benchmarks/bench_fleet_resilience.py
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.cluster import BackoffPolicy, ClusterController
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DIM = 48
+SPARSITY = 0.5
+SERVERS = 3
+WAVE = 24
+HEALTHY_WAVES = 2
+DEGRADED_WAVES = 2
+REVIVAL_DEADLINE_S = 15.0
+
+
+def _matrix():
+    rng = np.random.default_rng(31)
+    matrix = rng.integers(-128, 128, size=(DIM, DIM))
+    matrix[rng.random((DIM, DIM)) < SPARSITY] = 0
+    return matrix
+
+
+def test_fleet_resilience(tmp_path):
+    matrix = _matrix()
+    vectors = np.random.default_rng(37).integers(-128, 128, size=(WAVE, DIM))
+    golden = vectors @ matrix
+    requests = 0
+
+    def _assert_wave(rows):
+        nonlocal requests
+        requests += WAVE
+        assert np.array_equal(rows, golden)  # bit-exact, or the drill fails
+
+    def _wave(service, handle):
+        return asyncio.run(service.submit_many(handle, vectors))
+
+    def _wave_with_kill(service, handle, controller):
+        """Kill host 0 while this wave's requests are in flight."""
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            task = asyncio.ensure_future(service.submit_many(handle, vectors))
+            await asyncio.sleep(0.003)
+            await loop.run_in_executor(None, controller.kill_server, 0)
+            return await task
+
+        return asyncio.run(drive())
+
+    with ClusterController(tmp_path / "store") as controller:
+        controller.start_local_fleet(SERVERS)
+        backoff = BackoffPolicy(
+            initial_s=0.05, multiplier=2.0, max_s=0.5, jitter=0.25
+        )
+        with controller.remote_service(
+            probe_backoff=backoff, max_delay_s=0.001
+        ) as service:
+            handle = controller.deploy_fleet(service, matrix)
+            shard0 = handle.sharded._remotes[0]
+
+            for _ in range(HEALTHY_WAVES):
+                _assert_wave(_wave(service, handle))
+            assert shard0.local_fallbacks == 0
+
+            # Outage: the kill lands mid-wave, yet the wave still
+            # resolves bit-exactly (reconnect-retry, then local
+            # fallback on the shard's in-process engine).
+            outage_start = time.perf_counter()
+            _assert_wave(_wave_with_kill(service, handle, controller))
+            for _ in range(DEGRADED_WAVES):
+                _assert_wave(_wave(service, handle))
+            assert shard0.healthy is False
+            fallbacks_during_outage = shard0.local_fallbacks
+            assert fallbacks_during_outage > 0
+
+            # Revival: same endpoint, no revive() — traffic doubles as
+            # the probe once the backoff deadline passes.
+            controller.restart_server(0)
+            restart_at = time.perf_counter()
+            revival_waves = 0
+            while not shard0.healthy:
+                if time.perf_counter() - restart_at > REVIVAL_DEADLINE_S:
+                    raise AssertionError(
+                        "shard 0 did not rejoin within "
+                        f"{REVIVAL_DEADLINE_S}s: {shard0.telemetry()}"
+                    )
+                _assert_wave(_wave(service, handle))
+                revival_waves += 1
+                time.sleep(0.02)
+            time_to_revival = time.perf_counter() - restart_at
+            outage_s = time.perf_counter() - outage_start
+
+            probe = shard0.probe_state
+            assert probe.auto_revivals >= 1
+            assert probe.consecutive_failures == 0
+
+            # Post-revival: remote serving, zero further fallbacks.
+            fallbacks_after = shard0.local_fallbacks
+            remote_calls_before = shard0.remote_calls
+            for _ in range(HEALTHY_WAVES):
+                _assert_wave(_wave(service, handle))
+            assert shard0.healthy is True
+            assert shard0.local_fallbacks == fallbacks_after
+            assert shard0.remote_calls > remote_calls_before
+
+            util = handle.sharded.utilization()
+            record = {
+                "matrix": (
+                    f"{DIM}x{DIM} csd, ~{SPARSITY:.0%} element sparsity, "
+                    "s8 inputs"
+                ),
+                "servers": SERVERS,
+                "wave_size": WAVE,
+                "requests_total": requests,
+                "requests_failed": 0,
+                "bit_exact": True,
+                "fallbacks_during_outage": fallbacks_during_outage,
+                "fallbacks_after_revival": int(
+                    shard0.local_fallbacks - fallbacks_after
+                ),
+                "revival": {
+                    "automatic": True,
+                    "waves_until_healthy": revival_waves,
+                    "time_to_revival_s": round(time_to_revival, 4),
+                    "outage_window_s": round(outage_s, 4),
+                    "auto_revivals": probe.auto_revivals,
+                    "probes": probe.probes,
+                },
+                "backoff": {
+                    "initial_s": backoff.initial_s,
+                    "multiplier": backoff.multiplier,
+                    "max_s": backoff.max_s,
+                    "jitter": backoff.jitter,
+                },
+                "per_shard": [
+                    {
+                        "endpoint": p["endpoint"],
+                        "columns": p["columns"],
+                        "healthy": p["healthy"],
+                        "remote_calls": p["remote_calls"],
+                        "local_fallbacks": p["local_fallbacks"],
+                        "probe": p["probe"],
+                    }
+                    for p in util["per_shard"]
+                ],
+            }
+
+    out_path = REPO_ROOT / "BENCH_fleet_resilience.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

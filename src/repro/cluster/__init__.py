@@ -12,8 +12,8 @@ a network transport:
 
 * :mod:`repro.cluster.protocol` — the length-prefixed binary frame
   protocol (HELLO version handshake, LOAD by content digest, EXECUTE/
-  RESULT batch frames with a pickled-exact-integer fallback for
-  >62-bit results, FAULT override sync, STATS);
+  RESULT batch frames with a self-describing fixed-width ``"bigint"``
+  form for >62-bit results, FAULT override sync, STATS);
 * :mod:`repro.cluster.server` — :class:`ShardServer`, an asyncio TCP
   server resolving kernels from a shared
   :class:`~repro.serve.cache.CompileCache` artifact store **by digest
@@ -22,6 +22,10 @@ a network transport:
 * :mod:`repro.cluster.client` — :class:`RemoteShard` /
   :class:`ClusterClient`: per-request timeouts, one reconnect-retry,
   unhealthy-host marking, and per-shard RTT telemetry;
+* :mod:`repro.cluster.health` — :class:`BackoffPolicy` /
+  :class:`ProbeState` / :class:`HealthProber`: the jittered-backoff
+  revival state machine that promotes a recovered host back to remote
+  serving automatically (``revive()`` stays as the manual fast path);
 * :mod:`repro.cluster.controller` — :class:`ClusterController`:
   loopback fleets for tests and benchmarks, ``deploy_fleet`` /
   ``remote_service`` wiring into :class:`~repro.serve.MatMulService`
@@ -45,9 +49,11 @@ walkthrough, and the failure semantics.
 
 from repro.cluster.client import ClusterClient, RemoteShard, RemoteShardError
 from repro.cluster.controller import ClusterController, LocalServerHandle
+from repro.cluster.health import BackoffPolicy, HealthProber, ProbeState
 from repro.cluster.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
     RemoteFault,
@@ -55,12 +61,16 @@ from repro.cluster.protocol import (
 from repro.cluster.server import ShardServer
 
 __all__ = [
+    "BackoffPolicy",
     "ClusterClient",
     "ClusterController",
     "FrameType",
+    "HealthProber",
     "LocalServerHandle",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ProbeState",
     "ProtocolError",
     "RemoteFault",
     "RemoteShard",

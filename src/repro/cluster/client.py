@@ -15,9 +15,14 @@ through: one column shard bound to one endpoint, with
 * **one reconnect-retry**: a transport failure tears the connection
   down and retries once on a fresh connection; a second failure marks
   the shard *unhealthy* and raises :class:`RemoteShardError`, which the
-  sharded executor treats as "fall back to local execution".  Unhealthy
-  shards fail fast (no timeout per batch) until
-  :meth:`RemoteShard.revive` is called.
+  sharded executor treats as "fall back to local execution";
+* **automatic revival**: an unhealthy shard fails fast (no timeout per
+  batch) only until its jittered-backoff deadline
+  (:class:`repro.cluster.health.ProbeState`) passes — the next batch
+  after that spends a *single* connection attempt as a revival probe,
+  and success promotes the shard straight back to remote serving.
+  :meth:`RemoteShard.revive` remains as the manual fast path: it clears
+  the backoff schedule so the very next call probes immediately.
 
 :class:`ClusterClient` maps shard indices onto an endpoint list
 (round-robin when there are more shards than hosts) and offers
@@ -30,13 +35,15 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.cluster.health import BackoffPolicy, ProbeState
 from repro.cluster.protocol import (
     EMPTY_OVERRIDES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
     RemoteFault,
@@ -50,6 +57,11 @@ from repro.cluster.protocol import (
 from repro.serve.telemetry import LatencyWindow
 
 __all__ = ["RemoteShardError", "RemoteShard", "ClusterClient"]
+
+#: Failures of the link itself, as opposed to a server that answered.
+#: One tuple so every request path (execute, stats, probe, warm) tears
+#: down and books health identically.
+_TRANSPORT_ERRORS = (OSError, ConnectionError, ProtocolError, EOFError)
 
 
 class RemoteShardError(RuntimeError):
@@ -81,7 +93,7 @@ class _Connection:
                 raise RemoteFault(
                     str(meta.get("error", "error")), str(meta.get("message", ""))
                 )
-            if ftype is not FrameType.HELLO or meta.get("version") != PROTOCOL_VERSION:
+            if ftype is not FrameType.HELLO or meta.get("version") not in SUPPORTED_VERSIONS:
                 raise ProtocolError(f"unexpected handshake reply {ftype.name}")
         except BaseException:
             self.sock.close()
@@ -126,12 +138,15 @@ class RemoteShard:
         port: int,
         key_meta: dict[str, Any],
         timeout_s: float = 5.0,
+        probe_backoff: BackoffPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.key_meta = dict(key_meta)
         self.timeout_s = float(timeout_s)
         self.healthy = True
+        self.probe_state = ProbeState(probe_backoff, clock)
         self.rtt = LatencyWindow(1024)
         self.remote_calls = 0
         # Batches the executor served locally because this link was down;
@@ -192,15 +207,110 @@ class RemoteShard:
                 return False
 
     def revive(self) -> None:
-        """Clear the unhealthy flag so the next call probes the host again."""
+        """Manual fast path: clear the unhealthy flag *and* the backoff
+        schedule so the very next call probes the host immediately."""
         with self._lock:
             self.healthy = True
+            self.probe_state.reset()
+
+    def probe_due(self) -> bool:
+        """True when an unhealthy link's backoff deadline has passed."""
+        return self.probe_state.due()
+
+    def probe(self) -> bool:
+        """One explicit revival attempt (connect + HELLO + LOAD).
+
+        Respects the backoff schedule — inside the window it returns
+        ``False`` without touching the network.  Success promotes the
+        shard back to healthy; failure grows the backoff.  Already
+        healthy is trivially ``True``.  Driven by
+        :class:`repro.cluster.health.HealthProber` for idle fleets;
+        execute traffic performs the same probe implicitly.
+        """
+        with self._lock:
+            if self.healthy:
+                return True
+            if not self.probe_state.due():
+                return False
+            self.probe_state.note_probe()
+            try:
+                self._ensure()
+            except RemoteFault as exc:
+                self._drop()
+                self.probe_state.note_failure(f"LOAD refused: {exc}")
+                return False
+            except _TRANSPORT_ERRORS as exc:
+                self._drop()
+                self.probe_state.note_failure(str(exc))
+                return False
+            self.healthy = True
+            self.probe_state.note_success(revived=True)
+            return True
 
     def close(self) -> None:
         with self._lock:
             self._drop()
 
     # -- request paths --------------------------------------------------------
+
+    def _mark_unhealthy(self, error: str) -> None:
+        self.healthy = False
+        self.probe_state.note_failure(error)
+
+    def _run_request(self, fn: Callable[[_Connection], Any]) -> Any:
+        """The shared request skeleton: ensure-connection, retry once,
+        book health — ``fn(conn)`` performs the actual frame exchange.
+
+        A healthy link gets the usual two attempts.  An unhealthy link
+        whose backoff deadline has passed gets exactly *one* — this call
+        doubles as the revival probe, and success flips the shard back
+        to healthy; inside the backoff window it fails fast without
+        touching the network.  Callers hold ``self._lock``.
+        """
+        was_healthy = self.healthy
+        if not was_healthy:
+            if not self.probe_state.due():
+                raise RemoteShardError(f"{self.endpoint} is marked unhealthy")
+            self.probe_state.note_probe()
+        attempts = 2 if was_healthy else 1
+        last_exc: Exception | None = None
+        for _ in range(attempts):
+            try:
+                conn = self._ensure()
+            except RemoteFault as exc:
+                # The server answered the (re-)LOAD with a refusal —
+                # e.g. a bounded store evicted this kernel.  Remote
+                # service cannot resume until the store is refilled,
+                # but the batch must not fail: fall back locally.
+                self._drop()
+                self._mark_unhealthy(f"LOAD refused: {exc}")
+                raise RemoteShardError(
+                    f"{self.endpoint} refused LOAD ({exc}); serving locally"
+                ) from exc
+            except _TRANSPORT_ERRORS as exc:
+                last_exc = exc
+                self._drop()
+                continue
+            try:
+                result = fn(conn)
+            except RemoteFault:
+                # The link is fine — the server answered, refusing
+                # *this request* (bad engine, malformed frame).  An
+                # application error the caller must see.
+                raise
+            except _TRANSPORT_ERRORS as exc:
+                last_exc = exc
+                self._drop()
+                continue
+            if not was_healthy:
+                self.healthy = True
+                self.probe_state.note_success(revived=True)
+            return result
+        self._mark_unhealthy(str(last_exc))
+        failure = "failed twice" if attempts == 2 else "failed its revival probe"
+        raise RemoteShardError(
+            f"{self.endpoint} {failure} ({last_exc}); serving locally"
+        ) from last_exc
 
     def execute(
         self,
@@ -220,71 +330,57 @@ class RemoteShard:
         A :class:`RemoteFault` answering the EXECUTE itself is raised
         as-is: the link is healthy and the request was wrong — an
         application error the caller must see.
+
+        The fault-sync token (``self._synced``) is committed only after
+        the server's OK: a FAULT acknowledged on a connection that then
+        dies is forgotten with the connection (:meth:`_drop` nulls the
+        token, :meth:`_ensure` resets it to the fresh connection's
+        empty schedule), so every retry re-diffs and re-sends — the
+        override schedule can never be silently lost across reconnects.
         """
         wanted = _overrides_token(overrides if overrides is not None else EMPTY_OVERRIDES)
-        with self._lock:
-            if not self.healthy:
-                raise RemoteShardError(f"{self.endpoint} is marked unhealthy")
-            last_exc: Exception | None = None
-            for attempt in range(2):
-                try:
-                    conn = self._ensure()
-                except RemoteFault as exc:
-                    # The server answered the (re-)LOAD with a refusal —
-                    # e.g. a bounded store evicted this kernel.  Remote
-                    # service cannot resume until the store is refilled,
-                    # but the batch must not fail: fall back locally.
-                    self._drop()
-                    self.healthy = False
-                    raise RemoteShardError(
-                        f"{self.endpoint} refused LOAD ({exc}); serving locally"
-                    ) from exc
-                except (OSError, ConnectionError, ProtocolError, EOFError) as exc:
-                    last_exc = exc
-                    self._drop()
-                    if attempt:
-                        self.healthy = False
-                    continue
-                try:
-                    if wanted != self._synced:
-                        if wanted == _overrides_token(EMPTY_OVERRIDES):
-                            conn.request(
-                                encode_frame(FrameType.FAULT, {"action": "clear"})
-                            )
-                        else:
-                            meta = {"action": "set"}
-                            meta.update(encode_overrides(overrides))
-                            conn.request(encode_frame(FrameType.FAULT, meta))
-                        self._synced = wanted
-                    start = time.perf_counter()
-                    _, meta, blob = conn.request(batch_frame(batch, engine))
-                    self.rtt.record(time.perf_counter() - start)
-                    self.remote_calls += 1
-                    return (
-                        frame_array(meta, blob),
-                        str(meta.get("engine", engine)),
-                        float(meta.get("busy_s", 0.0)),
+
+        def run(conn: _Connection) -> tuple[np.ndarray, str, float]:
+            if wanted != self._synced:
+                if wanted == _overrides_token(EMPTY_OVERRIDES):
+                    conn.request(
+                        encode_frame(FrameType.FAULT, {"action": "clear"})
                     )
-                except RemoteFault:
-                    # The link is fine — the server answered, refusing
-                    # *this request* (bad engine, malformed frame).  An
-                    # application error the caller must see.
-                    raise
-                except (OSError, ConnectionError, ProtocolError, EOFError) as exc:
-                    last_exc = exc
-                    self._drop()
-                    if attempt:
-                        self.healthy = False
-            raise RemoteShardError(
-                f"{self.endpoint} failed twice ({last_exc}); serving locally"
-            ) from last_exc
+                else:
+                    meta = {"action": "set"}
+                    meta.update(encode_overrides(overrides))
+                    conn.request(encode_frame(FrameType.FAULT, meta))
+                self._synced = wanted
+            start = time.perf_counter()
+            _, meta, blob = conn.request(batch_frame(batch, engine))
+            self.rtt.record(time.perf_counter() - start)
+            self.remote_calls += 1
+            return (
+                frame_array(meta, blob),
+                str(meta.get("engine", engine)),
+                float(meta.get("busy_s", 0.0)),
+            )
+
+        with self._lock:
+            return self._run_request(run)
 
     def stats(self) -> dict[str, Any]:
-        """The server's STATS reply (raises on transport failure)."""
-        with self._lock:
-            conn = self._ensure()
+        """The server's STATS reply.
+
+        Same failure semantics as :meth:`execute`: transport failures
+        tear the connection down, retry once, and mark the shard
+        unhealthy (raising :class:`RemoteShardError`) when the retry
+        fails too — a dead host degrades telemetry collection exactly
+        like it degrades serving, instead of wedging it with raw socket
+        errors on a connection nobody tears down.
+        """
+
+        def run(conn: _Connection) -> dict[str, Any]:
             _, meta, _ = conn.request(encode_frame(FrameType.STATS, {}))
             return meta.get("stats", {})
+
+        with self._lock:
+            return self._run_request(run)
 
     def telemetry(self) -> dict[str, Any]:
         """Client-side view of this shard link for utilization reports."""
@@ -294,6 +390,7 @@ class RemoteShard:
             "remote_calls": self.remote_calls,
             "local_fallbacks": self.local_fallbacks,
             "rtt_s": self.rtt.summary(),
+            "probe": self.probe_state.telemetry(),
         }
 
 
@@ -306,22 +403,40 @@ class ClusterClient:
             ``k % len(endpoints)``), so fewer hosts than shards simply
             multiplexes connections onto servers.
         timeout_s: per-request socket timeout for every shard handle.
+        probe_backoff: revival backoff policy for every shard handle
+            (``None`` — each handle gets the default
+            :class:`~repro.cluster.health.BackoffPolicy`).  Benchmarks
+            and tests pass an aggressive one; production keeps the
+            default's 30 s ceiling.
+        clock: monotonic-seconds callable for the probe schedules
+            (tests inject a fake to avoid wall sleeps).
     """
 
     def __init__(
         self,
         endpoints: list[tuple[str, int]],
         timeout_s: float = 5.0,
+        probe_backoff: BackoffPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not endpoints:
             raise ValueError("a cluster client needs at least one endpoint")
         self.endpoints = [(str(h), int(p)) for h, p in endpoints]
         self.timeout_s = float(timeout_s)
+        self.probe_backoff = probe_backoff
+        self.clock = clock
 
     def shard_handle(self, index: int, key_meta: dict[str, Any]) -> RemoteShard:
         """The :class:`RemoteShard` for shard ``index``."""
         host, port = self.endpoints[index % len(self.endpoints)]
-        return RemoteShard(host, port, key_meta, timeout_s=self.timeout_s)
+        return RemoteShard(
+            host,
+            port,
+            key_meta,
+            timeout_s=self.timeout_s,
+            probe_backoff=self.probe_backoff,
+            clock=self.clock,
+        )
 
     def fleet_stats(self) -> list[dict[str, Any]]:
         """STATS from every endpoint (``{"error": ...}`` for dead hosts).

@@ -51,8 +51,9 @@ class LocalServerHandle:
         store: str | pathlib.Path,
         host: str = "127.0.0.1",
         name: str | None = None,
+        port: int = 0,
     ) -> None:
-        self.server = ShardServer(store, host=host, port=0, name=name)
+        self.server = ShardServer(store, host=host, port=port, name=name)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
@@ -175,6 +176,25 @@ class ClusterController:
         reconnect-retry and local-fallback path instead of resharding.
         """
         self._local[index].kill()
+
+    def restart_server(self, index: int) -> LocalServerHandle:
+        """Bring a killed local server back on its *original* endpoint.
+
+        The revival half of an outage drill: deployments hold shard
+        links keyed by ``(host, port)``, so the replacement binds the
+        dead server's exact port — once it answers, the links'
+        jittered-backoff probes promote the shard back to remote
+        serving with no fleet-map change and no ``revive()`` call.
+        """
+        old = self._local[index]
+        if old.alive:
+            raise RuntimeError(f"server {index} is still running; kill it first")
+        host, port = old.endpoint
+        handle = LocalServerHandle(
+            self.store, host=host, name=f"local-{index}-r", port=port
+        )
+        self._local[index] = handle
+        return handle
 
     def stop(self) -> None:
         """Stop every locally-started server."""

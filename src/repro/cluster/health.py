@@ -1,0 +1,210 @@
+"""Automatic shard revival: jittered-backoff health probing.
+
+PR 5's failure semantics stopped at *degradation*: a shard link that
+failed twice was marked unhealthy and served locally until a human
+called :meth:`RemoteShard.revive`.  This module is the closing half of
+the loop — the state machine that decides *when an unhealthy link is
+worth probing again*, so a host that comes back is promoted back to
+remote serving with no operator in the path.
+
+Three pieces, all clock-injectable so the test suite never sleeps:
+
+* :class:`BackoffPolicy` — jittered exponential backoff.  The delay
+  after ``n`` consecutive failures is ``initial_s * multiplier**(n-1)``
+  capped at ``max_s``, stretched by up to ``jitter`` (a fraction) of
+  itself from an injectable RNG.  Jitter matters at fleet scale: when a
+  host dies, every deployment's link to it fails in the same instant,
+  and un-jittered backoff would re-probe them in lock-step — a
+  reconnect stampede against a host that just restarted.
+* :class:`ProbeState` — one link's revival bookkeeping: consecutive
+  failures, the next-probe deadline, probe/revival counters, and the
+  last error string.  ``note_failure(now)`` schedules the next probe,
+  ``due(now)`` gates attempts, ``note_success()`` resets everything.
+  Surfaced verbatim in :meth:`RemoteShard.telemetry` (and therefore in
+  ``ShardedMultiplier.utilization()``) so a dashboard shows *when* a
+  dead link will next be tried, not just that it is dead.
+* :class:`HealthProber` — drives :meth:`RemoteShard.probe` across a
+  set of shard links.  Execution traffic probes lazily on its own
+  (an unhealthy link whose probe is due is re-attempted by the next
+  batch), so the prober exists for links with *no* offered load: call
+  :meth:`HealthProber.poke` from any housekeeping tick (a telemetry
+  scrape, a controller loop) and due links are probed via the normal
+  HELLO + LOAD handshake.
+
+The clock is any ``() -> float`` monotonic-seconds callable
+(``time.monotonic`` in production, a fake in tests); nothing in this
+module ever sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Iterable, Protocol
+
+__all__ = ["BackoffPolicy", "ProbeState", "HealthProber"]
+
+
+class BackoffPolicy:
+    """Jittered exponential backoff between revival probes.
+
+    Args:
+        initial_s: delay after the first failure.
+        multiplier: growth factor per additional consecutive failure.
+        max_s: ceiling on the un-jittered delay.
+        jitter: fraction of the delay added as random stretch — the
+            actual delay is uniform in ``[delay, delay * (1 + jitter)]``.
+        rng: injectable :class:`random.Random` (tests pass a seeded one
+            so schedules are deterministic).
+    """
+
+    def __init__(
+        self,
+        initial_s: float = 0.5,
+        multiplier: float = 2.0,
+        max_s: float = 30.0,
+        jitter: float = 0.25,
+        rng: random.Random | None = None,
+    ) -> None:
+        if initial_s <= 0:
+            raise ValueError(f"initial_s must be > 0, got {initial_s}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if max_s < initial_s:
+            raise ValueError(f"max_s must be >= initial_s, got {max_s}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.initial_s = float(initial_s)
+        self.multiplier = float(multiplier)
+        self.max_s = float(max_s)
+        self.jitter = float(jitter)
+        self._rng = rng if rng is not None else random.Random()
+
+    def base_delay(self, failures: int) -> float:
+        """The un-jittered delay after ``failures`` consecutive failures."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        # Cap the exponent before exponentiating so a long outage can
+        # never overflow to inf.
+        delay = self.initial_s
+        for _ in range(failures - 1):
+            delay *= self.multiplier
+            if delay >= self.max_s:
+                return self.max_s
+        return min(delay, self.max_s)
+
+    def delay(self, failures: int) -> float:
+        """The jittered delay: ``base * (1 + U[0, jitter])``."""
+        base = self.base_delay(failures)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+
+class ProbeState:
+    """Revival bookkeeping for one shard link (see module docstring)."""
+
+    def __init__(
+        self,
+        backoff: BackoffPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.clock = clock
+        self.consecutive_failures = 0
+        self.next_probe_at: float | None = None
+        self.last_delay_s = 0.0
+        self.probes = 0
+        self.auto_revivals = 0
+        self.last_error: str | None = None
+
+    def note_failure(self, error: str | None = None) -> float:
+        """Record one failed attempt; returns the scheduled backoff delay."""
+        self.consecutive_failures += 1
+        self.last_delay_s = self.backoff.delay(self.consecutive_failures)
+        self.next_probe_at = self.clock() + self.last_delay_s
+        if error is not None:
+            self.last_error = error
+        return self.last_delay_s
+
+    def note_success(self, revived: bool = False) -> None:
+        """Reset the machine after a successful request or probe."""
+        self.consecutive_failures = 0
+        self.next_probe_at = None
+        self.last_delay_s = 0.0
+        self.last_error = None
+        if revived:
+            self.auto_revivals += 1
+
+    def note_probe(self) -> None:
+        self.probes += 1
+
+    def reset(self) -> None:
+        """Clear all backoff state (the manual ``revive()`` fast path)."""
+        self.consecutive_failures = 0
+        self.next_probe_at = None
+        self.last_delay_s = 0.0
+
+    def due(self, now: float | None = None) -> bool:
+        """True when a probe should be attempted now.
+
+        A link that never failed (or was manually revived) is always
+        due — there is no backoff to respect.
+        """
+        if self.next_probe_at is None:
+            return True
+        return (now if now is not None else self.clock()) >= self.next_probe_at
+
+    def telemetry(self, now: float | None = None) -> dict[str, Any]:
+        """The probe-state block of a shard's telemetry entry."""
+        now = now if now is not None else self.clock()
+        return {
+            "consecutive_failures": self.consecutive_failures,
+            "next_probe_in_s": (
+                round(max(0.0, self.next_probe_at - now), 6)
+                if self.next_probe_at is not None
+                else 0.0
+            ),
+            "backoff_s": round(self.last_delay_s, 6),
+            "backoff_max_s": self.backoff.max_s,
+            "probes": self.probes,
+            "auto_revivals": self.auto_revivals,
+            "last_error": self.last_error,
+        }
+
+
+class _ProbeTarget(Protocol):  # pragma: no cover - typing only
+    healthy: bool
+
+    def probe(self) -> bool: ...
+
+
+class HealthProber:
+    """Probe due unhealthy links across a set of shard handles.
+
+    The executor's traffic already probes lazily; this covers idle
+    deployments (no traffic to trigger a probe) and operator loops that
+    want recovery *before* the next request pays for it.  Stateless
+    beyond the shard handles themselves — all backoff state lives in
+    each shard's :class:`ProbeState`, so traffic-driven and
+    prober-driven probing share one schedule.
+    """
+
+    def __init__(self, shards: Iterable[_ProbeTarget]) -> None:
+        self._shards = list(shards)
+
+    def poke(self) -> dict[str, int]:
+        """Probe every unhealthy shard whose backoff deadline has passed.
+
+        Returns ``{"probed": n, "revived": m, "waiting": k}`` — ``k``
+        counts unhealthy links still inside their backoff window.
+        """
+        probed = revived = waiting = 0
+        for shard in self._shards:
+            if shard.healthy:
+                continue
+            if not shard.probe_due():
+                waiting += 1
+                continue
+            probed += 1
+            if shard.probe():
+                revived += 1
+        return {"probed": probed, "revived": revived, "waiting": waiting}

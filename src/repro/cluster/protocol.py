@@ -9,8 +9,8 @@ One frame per request or response, in both directions::
     bytes                 blob — type-specific binary body (may be empty)
 
 The meta/blob split keeps the hot path cheap: an EXECUTE frame's batch
-travels as raw little-endian int64 bytes (or, for exact >62-bit results,
-a pickled list of Python ints — see
+travels as raw little-endian int64 bytes (or, for exact >62-bit
+results, self-describing fixed-width ``"bigint"`` limbs — see
 :func:`repro.core.serialize.array_to_payload`), while everything
 small and structural rides in the JSON meta.
 
@@ -19,9 +19,10 @@ Frame types
 
 ``HELLO``    first frame on every connection, both directions.  The
              client announces ``{"version": PROTOCOL_VERSION}``; the
-             server echoes its version (plus a server name).  A major
-             version mismatch is answered with ``ERROR`` and the
-             connection is closed — no silent reinterpretation.
+             server echoes its own version (plus a server name).  Each
+             end accepts any peer version in
+             :data:`SUPPORTED_VERSIONS` and refuses everything else
+             with ``ERROR`` + close — no silent reinterpretation.
 ``LOAD``     bind the connection to one shard: a full compile key
              (matrix digest + compile options), the shard's column
              range, and the expected plan fingerprint.  The server
@@ -40,10 +41,13 @@ Frame types
 ``ERROR``    failure; meta carries ``error`` (a stable token) and
              ``message`` (human-readable).
 
-Security note: frames may embed pickled integer lists (the >62-bit
-result codec) and are therefore only safe between mutually trusted
-hosts — the same trust model as the shared artifact directory itself.
-Run fleets on private networks; see ``docs/cluster.md``.
+Security note: v2 frames carry nothing executable — batches and
+results are raw bytes or fixed-width integer limbs, everything else is
+JSON — but the one-release decode shim for v1's pickled >62-bit
+results (:func:`repro.core.serialize.array_from_payload`) means a peer
+*claiming* v1 can still present a pickle payload.  Until that shim is
+removed, keep fleets on trusted private networks — the same trust
+model as the shared artifact directory itself; see ``docs/cluster.md``.
 """
 
 from __future__ import annotations
@@ -61,6 +65,7 @@ from repro.core.serialize import array_from_payload, array_to_payload
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "EMPTY_OVERRIDES",
     "FrameType",
@@ -80,8 +85,17 @@ __all__ = [
 ]
 
 #: Bumped on any change to the frame layout or the meaning of a frame
-#: type.  Both ends refuse mismatched peers at HELLO time.
-PROTOCOL_VERSION = 1
+#: type.  v2 replaced the pickled >62-bit result codec with the
+#: self-describing ``"bigint"`` frame form.
+PROTOCOL_VERSION = 2
+
+#: Peer versions either end accepts at HELLO time.  v1 is tolerated for
+#: one release as the rolling-upgrade window: a v1 peer's pickled
+#: >62-bit payloads still *decode* (see
+#: :func:`repro.core.serialize.array_from_payload`), while this end
+#: only ever emits v2 frames — drop v1 from this tuple (and the decode
+#: shim) next release.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on one frame's payload; a length prefix beyond this is
 #: treated as a corrupt or hostile stream and the connection dropped

@@ -48,6 +48,7 @@ from repro.serve.shards import SERVE_ENGINES
 from repro.cluster.protocol import (
     EMPTY_OVERRIDES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
     decode_overrides,
@@ -225,12 +226,12 @@ class ShardServer:
         except (asyncio.IncompleteReadError, ConnectionError, ProtocolError):
             return False
         version = meta.get("version")
-        if ftype is not FrameType.HELLO or version != PROTOCOL_VERSION:
+        if ftype is not FrameType.HELLO or version not in SUPPORTED_VERSIONS:
             self._count("errors")
             writer.write(
                 _error(
                     "version",
-                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"server speaks protocols {SUPPORTED_VERSIONS}, "
                     f"client sent {version!r}",
                 )
             )

@@ -29,7 +29,11 @@ A fourth pair serves the network transport rather than the disk:
 batch or result array into ``(meta, blob)`` wire form for the cluster
 protocol (:mod:`repro.cluster.protocol`).  int64 arrays travel as raw
 little-endian bytes; object-dtype arrays of exact Python integers (the
->62-bit result path) fall back to a pickled list of ints.
+>62-bit result path) travel as the self-describing ``"bigint"`` codec —
+fixed-width little-endian two's-complement limbs, width in the meta —
+so nothing executable ever rides a frame.  The retired ``"pickle"``
+codec is still *decoded* for one release (old peers and recorded
+frames) but never emitted; see :data:`ARRAY_CODECS`.
 
 Two content digests make the stored artifacts addressable:
 
@@ -86,6 +90,7 @@ __all__ = [
     "array_to_payload",
     "array_from_payload",
     "ARRAY_CODECS",
+    "MAX_BIGINT_ITEMSIZE",
     "unique_tmp",
     "atomic_write_text",
     "KERNEL_FORMAT_VERSION",
@@ -292,11 +297,20 @@ def fused_from_npz(path: str | pathlib.Path) -> "FusedKernel":
 
 #: Wire codecs for one 2-D batch/result array.  ``"i64"`` is raw
 #: little-endian int64 bytes (canonical, endian-stable across hosts);
-#: ``"pickle"`` carries a pickled flat list of exact Python integers —
-#: the only representation for >62-bit results.  Frames are only ever
-#: exchanged inside a trusted fleet (see ``docs/cluster.md``); the
-#: pickle payload is restricted to a list of ints at encode time.
-ARRAY_CODECS = ("i64", "pickle")
+#: ``"bigint"`` is the self-describing exact-integer form for >62-bit
+#: results — fixed-width little-endian two's-complement limbs, the
+#: per-element byte width carried in the meta — so a frame never embeds
+#: anything executable.  ``"pickle"`` is the retired v1 exact-integer
+#: codec: **decode-only** for one release (so mixed-version fleets and
+#: recorded v1 frames keep working during a rolling upgrade), never
+#: emitted by :func:`array_to_payload`.
+ARRAY_CODECS = ("i64", "bigint", "pickle")
+
+#: Cap on one ``"bigint"`` element's byte width: a plausibility bound a
+#: decoder checks *before* allocating, so a corrupt or hostile meta
+#: cannot demand absurd per-element widths (64 KiB ≈ a 524k-bit result,
+#: far beyond any servable ``result_width``).
+MAX_BIGINT_ITEMSIZE = 1 << 16
 
 
 def array_to_payload(arr: np.ndarray) -> tuple[dict[str, Any], bytes]:
@@ -304,8 +318,10 @@ def array_to_payload(arr: np.ndarray) -> tuple[dict[str, Any], bytes]:
 
     int64-representable arrays become raw little-endian bytes; anything
     carrying exact Python integers (object dtype, the >62-bit result
-    path) falls back to a pickled flat list of ints.  The inverse is
-    :func:`array_from_payload`.
+    path) becomes the ``"bigint"`` codec: every element encoded as
+    ``itemsize`` little-endian two's-complement bytes, ``itemsize``
+    (the smallest width that fits the widest element) recorded in the
+    meta.  The inverse is :func:`array_from_payload`.
     """
     arr = np.asarray(arr)
     if arr.ndim != 2:
@@ -314,10 +330,20 @@ def array_to_payload(arr: np.ndarray) -> tuple[dict[str, Any], bytes]:
         canonical = np.ascontiguousarray(arr, dtype="<i8")
         return {"codec": "i64", "shape": list(arr.shape)}, canonical.tobytes()
     flat = [int(x) for x in arr.ravel()]
-    return (
-        {"codec": "pickle", "shape": list(arr.shape)},
-        pickle.dumps(flat, protocol=pickle.HIGHEST_PROTOCOL),
+    # Smallest signed two's-complement width covering every element:
+    # bit_length() excludes the sign bit, so one extra bit is always
+    # needed (and -2**k fitting in k+1 bits just rounds up the same).
+    itemsize = max(
+        (x.bit_length() // 8 + 1 for x in flat),
+        default=1,
     )
+    if itemsize > MAX_BIGINT_ITEMSIZE:
+        raise ValueError(
+            f"bigint element needs {itemsize} bytes, over the "
+            f"{MAX_BIGINT_ITEMSIZE}-byte cap"
+        )
+    blob = b"".join(x.to_bytes(itemsize, "little", signed=True) for x in flat)
+    return {"codec": "bigint", "shape": list(arr.shape), "itemsize": itemsize}, blob
 
 
 def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
@@ -325,7 +351,9 @@ def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
 
     Raises ``ValueError`` on unknown codecs or meta/blob disagreement —
     a malformed frame must fail the request, never decode into a
-    plausible-but-wrong batch.
+    plausible-but-wrong batch.  Also decodes the retired ``"pickle"``
+    codec (v1 peers' >62-bit frames) for one compatibility release;
+    the payload is validated to be a flat list of ints.
     """
     codec = meta.get("codec")
     try:
@@ -342,12 +370,38 @@ def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
             )
         flat = np.frombuffer(blob, dtype="<i8")
         return flat.astype(np.int64).reshape(shape)
+    if codec == "bigint":
+        try:
+            itemsize = int(meta["itemsize"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bigint payload meta lacks a valid itemsize: {meta!r}"
+            ) from exc
+        if not 1 <= itemsize <= MAX_BIGINT_ITEMSIZE:
+            raise ValueError(f"bigint itemsize {itemsize} out of range")
+        if len(blob) != count * itemsize:
+            raise ValueError(
+                f"bigint payload carries {len(blob)} bytes for shape "
+                f"{shape} at itemsize {itemsize}"
+            )
+        out = np.empty(count, dtype=object)
+        for i in range(count):
+            out[i] = int.from_bytes(
+                blob[i * itemsize : (i + 1) * itemsize], "little", signed=True
+            )
+        return out.reshape(shape)
     if codec == "pickle":
+        # Decode-only compatibility shim for the retired v1 codec; to be
+        # removed next release.  Only ever reached on frames from a
+        # trusted v1 peer (the cluster's HELLO gate) or v1-era recorded
+        # payloads — new frames are always "bigint".
         values = pickle.loads(blob)
         if not isinstance(values, list) or len(values) != count:
             raise ValueError(f"pickle payload disagrees with shape {shape}")
         out = np.empty(count, dtype=object)
         for i, value in enumerate(values):
+            if not isinstance(value, int):
+                raise ValueError("pickle payload must be a flat list of ints")
             out[i] = int(value)
         return out.reshape(shape)
     raise ValueError(f"unknown array codec {codec!r} (known: {ARRAY_CODECS})")

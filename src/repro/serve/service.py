@@ -16,6 +16,13 @@ collaborator:
 * ``run_stream(handle, ...)`` rolls out reservoir state trajectories for
   deployments created by ``deploy_esn`` — every state update's batched
   recurrent product is one sharded hardware call;
+* ``swap(handle, matrix)`` replaces a deployment's matrix with zero
+  downtime: the new executor is compiled (and, for remote backends,
+  LOADed onto the fleet by content digest) *alongside* the old, routing
+  flips atomically, and the old executor drains and closes — in-flight
+  requests finish on the matrix they were submitted against, queued and
+  future requests see the new one, and a fleet refusal rolls back
+  before routing ever changes;
 * ``telemetry()`` reports throughput, p50/p99 latency, lane occupancy,
   shard utilization, and compile-cache hit rates.
 """
@@ -23,6 +30,7 @@ collaborator:
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -50,6 +58,13 @@ class Deployment:
     fault-free shards and to the bit-plane gate engine whenever faults
     are active.  The resolved choice of every batch is recorded in the
     deployment's telemetry under ``"engine"``.
+
+    ``sharded`` is *re-bound* by :meth:`MatMulService.swap` — the
+    execute and validate paths read it through this handle on every
+    call, which is what makes the swap's routing flip a single atomic
+    attribute assignment.  ``config`` remembers the shard-executor
+    keyword arguments the deployment was built with so a swap can
+    rebuild an identical executor around the new matrix.
     """
 
     name: str
@@ -59,6 +74,8 @@ class Deployment:
     telemetry: DeploymentTelemetry
     engine: str = "auto"
     esn: "ServedESN | None" = field(default=None, repr=False)
+    config: dict = field(default_factory=dict, repr=False)
+    swap_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def rows(self) -> int:
@@ -172,6 +189,8 @@ class MatMulService:
         endpoints: list[tuple[str, int]] | None = None,
         store: str | None = None,
         request_timeout_s: float = 5.0,
+        probe_backoff=None,
+        probe_clock=time.monotonic,
     ) -> None:
         """``backend``/``endpoints``/``store``/``request_timeout_s`` are
         service-wide deployment defaults: a service constructed with
@@ -194,6 +213,11 @@ class MatMulService:
         self.endpoints = endpoints
         self.store = store
         self.request_timeout_s = request_timeout_s
+        # Revival probing knobs for remote deployments (see
+        # repro.cluster.health): benchmarks pass an aggressive backoff,
+        # tests a fake clock.
+        self.probe_backoff = probe_backoff
+        self.probe_clock = probe_clock
         self._deployments: dict[str, Deployment] = {}
 
     # -- deployment ----------------------------------------------------------
@@ -246,8 +270,10 @@ class MatMulService:
                 f"engine must be one of {SERVE_ENGINES}, got {engine!r}"
             )
         backend = backend if backend is not None else self.backend
-        sharded = ShardedMultiplier(
-            arr,
+        # The full shard-executor construction recipe, remembered on the
+        # handle so swap() can rebuild an identical executor around a
+        # new matrix.
+        shard_config = dict(
             shards=shards,
             lut_budget=lut_budget,
             input_width=input_width,
@@ -262,15 +288,25 @@ class MatMulService:
                 if request_timeout_s is not None
                 else self.request_timeout_s
             ),
+            probe_backoff=self.probe_backoff,
+            probe_clock=self.probe_clock,
         )
+        sharded = ShardedMultiplier(arr, **shard_config)
         batch_limit = max_batch if max_batch is not None else self.max_batch
         delay = max_delay_s if max_delay_s is not None else self.max_delay_s
         telemetry = DeploymentTelemetry(max_batch=batch_limit, max_delay_s=delay)
 
+        # Execute and validate read the executor through the handle on
+        # every call (late binding): swap() re-points deployment.sharded
+        # and the very next batch runs against the new matrix, with no
+        # batcher rebuild and no routing table beyond this attribute.
         def _execute(batch: np.ndarray) -> np.ndarray:
-            effective, out = _resolved_multiply(sharded, engine, batch)
+            effective, out = _resolved_multiply(deployment.sharded, engine, batch)
             telemetry.record_batch(batch.shape[0], engine=effective)
             return out
+
+        def _validate(vector: np.ndarray) -> None:
+            deployment.sharded.validate_vector(vector)
 
         if name is None:
             name = f"m-{digest[:12]}"
@@ -286,10 +322,11 @@ class MatMulService:
                 _execute,
                 max_batch=batch_limit,
                 max_delay_s=delay,
-                validate=sharded.validate_vector,
+                validate=_validate,
             ),
             telemetry=telemetry,
             engine=engine,
+            config=shard_config,
         )
         self._deployments[name] = deployment
         return deployment
@@ -373,6 +410,79 @@ class MatMulService:
                 RuntimeError(f"deployment {name!r} was retired")
             )
             deployment.sharded.close()
+
+    def swap(
+        self,
+        handle: "Deployment | str",
+        matrix: np.ndarray,
+        drain_timeout_s: float = 30.0,
+        **config_overrides,
+    ) -> Deployment:
+        """Replace a deployment's matrix with zero downtime.
+
+        The new matrix is compiled into a fresh shard executor built
+        with the deployment's remembered configuration (sharding,
+        compile options, backend, fleet endpoints — override any of
+        them via keyword arguments) *while the old one keeps serving*.
+        For remote backends that construction performs the LOAD-by-
+        digest warmup against every fleet endpoint, so **any shard's
+        refusal raises here and rolls back for free** — routing has not
+        changed, already-opened sockets are closed, and the old matrix
+        never stopped serving.  Only after the new executor stands does
+        routing flip: one atomic re-bind of ``deployment.sharded``,
+        which the execute/validate closures read on every call.
+        Batches already executing finish against the old executor
+        (their results are bit-exact for the matrix they were submitted
+        against), which is then drained and closed.
+
+        The new matrix must have the same number of rows — the served
+        interface queued requests were validated against.  Column count
+        may change (the result row just gets wider or narrower).
+        Reservoir deployments (``deploy_esn``) are refused: a
+        :class:`ServedESN` holds reservoir state derived from its
+        matrix, so swapping underneath it would corrupt rollouts.
+
+        Returns the same (mutated) handle.  Raises ``TimeoutError``
+        when the old executor still has batches in flight after
+        ``drain_timeout_s`` (the flip is already done and stays done;
+        the old executor is left for ``close()`` to reap).
+        """
+        name = handle if isinstance(handle, str) else handle.name
+        try:
+            deployment = self._deployments[name]
+        except KeyError:
+            raise KeyError(f"no deployment named {name!r}") from None
+        with deployment.swap_lock:
+            if deployment.esn is not None:
+                raise ValueError(
+                    f"deployment {name!r} serves a reservoir; swap() would "
+                    "corrupt its rollout state — undeploy and redeploy instead"
+                )
+            arr = np.asarray(matrix, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[0] != deployment.rows:
+                raise ValueError(
+                    f"swap matrix must keep the served interface of "
+                    f"{deployment.rows} rows, got shape {arr.shape}"
+                )
+            config = {**deployment.config, **config_overrides}
+            # Build alongside the old executor; a compile failure or a
+            # fleet LOAD refusal raises out of here with routing (and
+            # the old executor) untouched.
+            new_sharded = ShardedMultiplier(arr, **config)
+            old_sharded = deployment.sharded
+            # The atomic flip: the next _execute/_validate call reads
+            # the new executor through the handle.
+            deployment.sharded = new_sharded
+            deployment.matrix_digest = matrix_digest(arr)
+            deployment.config = config
+            deployment.telemetry.record_swap()
+            if not old_sharded.drain(timeout_s=drain_timeout_s):
+                raise TimeoutError(
+                    f"deployment {name!r} swapped, but the previous executor "
+                    f"still had batches in flight after {drain_timeout_s}s"
+                )
+            old_sharded.close()
+        return deployment
 
     # -- request paths -------------------------------------------------------
 

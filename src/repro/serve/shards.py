@@ -34,9 +34,11 @@ Three execution backends:
   injection on a shard's netlist is replayed deterministically in the
   worker and stays bit-exact with the thread backend), and results come
   back through a *second* shared-memory block: each worker writes its
-  column slice in place, so no result rows are pickled either (shards
-  with >62-bit results fall back to a pickled return — exact Python
-  integers cannot live in shared memory).
+  column slice in place, so no result rows cross the pipe either
+  (shards with >62-bit results return the self-describing ``"bigint"``
+  payload of :func:`repro.core.serialize.array_to_payload` — exact
+  Python integers cannot live in shared memory, and object arrays do
+  not cross process boundaries here).
 * ``backend="remote"`` — the process-backend pattern over sockets
   (:mod:`repro.cluster`): each shard is bound to a
   :class:`~repro.cluster.client.RemoteShard` endpoint, which LOADs the
@@ -47,8 +49,12 @@ Three execution backends:
   the process backend ships them, so campaigns stay bit-exact over the
   network.  A shard whose host times out is retried once on a fresh
   connection and then served *locally* (the compiled engine is still in
-  this process) until the host is revived — degraded latency, never a
-  failed batch.
+  this process) — degraded latency, never a failed batch.  Recovery is
+  automatic: once the link's jittered-backoff deadline
+  (:mod:`repro.cluster.health`) passes, the next batch doubles as a
+  revival probe and a host that answers is promoted straight back to
+  remote serving; ``RemoteShard.revive()`` remains as the manual
+  fast path.
 
 Engine selection: every execution method takes ``engine``, defaulting
 to ``"auto"`` — the fused cycle-loop-free engine when no shard has live
@@ -70,6 +76,7 @@ import numpy as np
 
 from repro.core.bits import signed_range
 from repro.core.plan import plan_matrix
+from repro.core.serialize import array_from_payload, array_to_payload
 from repro.core.tiling import plan_column_tiles
 from repro.hwsim.builder import CompiledCircuit, build_circuit
 from repro.hwsim.fast import FastCircuit, LoweredKernel
@@ -168,20 +175,23 @@ def _process_worker_run(
     out_name: str,
     out_cols: int,
     col_range: tuple[int, int],
-) -> tuple[np.ndarray | None, float]:
+) -> tuple[tuple[dict, bytes] | None, float]:
     """Execute this worker's shard against the shared-memory input batch.
 
     The result's column slice is written straight into the parent's
     shared-memory output block (``out_name``, shape ``(batch,
     out_cols)`` int64) — nothing crosses the pipe but accounting.
     Shards whose results exceed int64 (``result_width > 62``) return
-    their object-dtype columns by value instead.  Returns ``(columns or
-    None, busy_seconds)`` so the parent keeps the same per-shard
-    utilization accounting as the thread backend.
+    their columns as the self-describing ``(meta, blob)`` payload of
+    :func:`array_to_payload` instead — fixed-width ``"bigint"`` limbs,
+    the same form the cluster wire uses, never a pickled object array.
+    Returns ``(payload or None, busy_seconds)`` so the parent keeps the
+    same per-shard utilization accounting as the thread backend.
     """
     start = time.perf_counter()
     shm = shared_memory.SharedMemory(name=shm_name)
     out_shm = shared_memory.SharedMemory(name=out_name)
+    payload = None
     try:
         batch = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
         out = _WORKER_FAST.multiply_batch(
@@ -190,11 +200,12 @@ def _process_worker_run(
         if out.dtype == np.int64:
             dest = np.ndarray((shape[0], out_cols), dtype=np.int64, buffer=out_shm.buf)
             dest[:, col_range[0] : col_range[1]] = out
-            out = None
+        else:
+            payload = array_to_payload(out)
     finally:
         shm.close()
         out_shm.close()
-    return out, time.perf_counter() - start
+    return payload, time.perf_counter() - start
 
 
 class ShardedMultiplier:
@@ -226,6 +237,13 @@ class ShardedMultiplier:
             fault-free artifacts itself so servers can resolve them).
         request_timeout_s: remote backend only — per-request socket
             timeout (connect, send, and the full response).
+        probe_backoff: remote backend only — revival backoff policy
+            shared by every shard link
+            (:class:`repro.cluster.health.BackoffPolicy`; ``None`` for
+            the default).  Benchmarks and tests pass an aggressive one.
+        probe_clock: remote backend only — monotonic-seconds callable
+            driving the probe schedules (tests inject a fake clock so
+            revival scenarios run with zero real sleeps).
     """
 
     def __init__(
@@ -242,6 +260,8 @@ class ShardedMultiplier:
         endpoints: list[tuple[str, int]] | None = None,
         store: str | None = None,
         request_timeout_s: float = 5.0,
+        probe_backoff=None,
+        probe_clock=time.monotonic,
     ) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim != 2 or arr.size == 0:
@@ -349,7 +369,12 @@ class ShardedMultiplier:
                 # cluster subsystem.
                 from repro.cluster.client import ClusterClient
 
-                client = ClusterClient(endpoints, timeout_s=request_timeout_s)
+                client = ClusterClient(
+                    endpoints,
+                    timeout_s=request_timeout_s,
+                    probe_backoff=probe_backoff,
+                    clock=probe_clock,
+                )
                 for k, shard in enumerate(self.shards):
                     self._remotes.append(
                         client.shard_handle(
@@ -397,6 +422,11 @@ class ShardedMultiplier:
                     max_workers=max(1, workers), thread_name_prefix="repro-shard"
                 )
         self._stats_lock = threading.Lock()
+        # In-flight batch accounting for drain(): the swap protocol
+        # needs "no batch is executing against the old matrix" as a
+        # waitable condition.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         self._created = time.monotonic()
 
     # -- structure -----------------------------------------------------------
@@ -549,10 +579,11 @@ class ShardedMultiplier:
             out_shm.close()
             out_shm.unlink()
         wide_pieces = []
-        for shard, (out, elapsed) in zip(self.shards, results):
+        for shard, (payload, elapsed) in zip(self.shards, results):
             self._record(shard, elapsed)
-            if out is not None:
-                wide_pieces.append((shard, out))
+            if payload is not None:
+                meta, blob = payload
+                wide_pieces.append((shard, array_from_payload(meta, blob)))
         if wide_pieces:
             merged = merged.astype(object)
             for shard, out in wide_pieces:
@@ -571,22 +602,29 @@ class ShardedMultiplier:
         """
         batch = self._validate(vectors)
         engine = self.resolve_engine(engine)
-        if batch.shape[0] == 0:
-            pieces = [
-                s.fast.multiply_batch(batch, engine=engine) for s in self.shards
-            ]
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            if batch.shape[0] == 0:
+                pieces = [
+                    s.fast.multiply_batch(batch, engine=engine) for s in self.shards
+                ]
+                return np.concatenate(pieces, axis=1)
+            if self.backend == "process":
+                return self._run_process_backend(batch, engine)
+            run = self._run_remote_shard if self.backend == "remote" else self._run_shard
+            if self._pool is None:
+                pieces = [run(s, batch, engine) for s in self.shards]
+            else:
+                futures = [
+                    self._pool.submit(run, s, batch, engine) for s in self.shards
+                ]
+                pieces = [f.result() for f in futures]
             return np.concatenate(pieces, axis=1)
-        if self.backend == "process":
-            return self._run_process_backend(batch, engine)
-        run = self._run_remote_shard if self.backend == "remote" else self._run_shard
-        if self._pool is None:
-            pieces = [run(s, batch, engine) for s in self.shards]
-        else:
-            futures = [
-                self._pool.submit(run, s, batch, engine) for s in self.shards
-            ]
-            pieces = [f.result() for f in futures]
-        return np.concatenate(pieces, axis=1)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
 
     def multiply(self, vector: np.ndarray | list[int]) -> np.ndarray:
         """One vector through every shard; returns the ``(cols,)`` product."""
@@ -594,6 +632,45 @@ class ShardedMultiplier:
         return self.multiply_batch(arr[None, :])[0]
 
     # -- telemetry / lifecycle ----------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Batches currently executing (all backends)."""
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Block until no batch is executing; ``True`` on quiescence.
+
+        The swap protocol's barrier: after routing flips away from this
+        executor, ``drain()`` returning ``True`` means every batch that
+        ever saw the old matrix has finished, so it is safe to close.
+        ``False`` means the timeout elapsed with work still in flight.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._inflight_cv:
+            while self._inflight:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
+
+    def poke_probes(self) -> dict:
+        """Probe due unhealthy remote links now (idle-fleet revival).
+
+        Execute traffic already revives lazily; this is the hook for
+        housekeeping loops (telemetry scrapes, benchmarks) that want
+        recovery before the next request pays for the probe.  Local
+        backends trivially report nothing to do.
+        """
+        if self.backend != "remote" or not self._remotes:
+            return {"probed": 0, "revived": 0, "waiting": 0}
+        from repro.cluster.health import HealthProber
+
+        return HealthProber(self._remotes).poke()
 
     def utilization(self) -> dict:
         """Per-shard busy time against wall-clock since construction.

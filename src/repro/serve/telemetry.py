@@ -99,6 +99,9 @@ class DeploymentTelemetry:
         # the current choice and the history on the dashboard.
         self.engine_batches: dict[str, int] = {}
         self.effective_engine: str | None = None
+        # Zero-downtime matrix swaps this deployment has been through —
+        # a dashboard's tell that latency blips line up with rollouts.
+        self.swaps = 0
 
     def record_request(self, latency_s: float) -> None:
         """One request completed end to end (submit to result)."""
@@ -127,6 +130,11 @@ class DeploymentTelemetry:
                     self.engine_batches.get(engine, 0) + 1
                 )
 
+    def record_swap(self) -> None:
+        """One zero-downtime matrix swap flipped routing."""
+        with self._lock:
+            self.swaps += 1
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self._started
@@ -153,6 +161,7 @@ class DeploymentTelemetry:
                 "requests": self.requests,
                 "products": self.products,
                 "batches": self.batches,
+                "swaps": self.swaps,
                 "throughput_rps": round(self.products / elapsed, 3),
                 "latency_s": self._latency.summary(),
                 "lane_occupancy": round(occupancy, 4),

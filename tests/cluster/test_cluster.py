@@ -8,11 +8,16 @@ claims:
 
 * a 3-server fleet is **bit-exact** with the monolithic multiplier,
   through both the direct path and the micro-batcher, including
-  per-shard fault injection and >62-bit (pickled-frame) shards;
+  per-shard fault injection and >62-bit (``"bigint"``-frame) shards;
 * warm deploys execute **zero** plan/build/lower/fuse stages anywhere
   in the process (client and servers), by stage counter;
 * a server killed mid-stream degrades to **local fallback** — results
-  stay exact, the link is marked unhealthy, and revival re-probes;
+  stay exact, the link is marked unhealthy, and a host that comes back
+  is promoted to remote serving automatically (manual ``revive()``
+  stays as the fast path);
+* fault-override schedules survive connection death — a FAULT frame
+  acknowledged on a link that then dies is re-synced on the retry
+  connection, in every interleaving;
 * ``service.close()`` rejects queued requests instead of hanging them
   and closes every shard socket.
 """
@@ -107,7 +112,7 @@ class TestFleetBitExactness:
         for stage in ("plan", "build", "lower", "fuse"):
             assert delta.get(stage, 0) == 0, (stage, delta)
 
-    def test_wide_shards_travel_as_pickled_frames(self, fleet):
+    def test_wide_shards_travel_as_bigint_frames(self, fleet):
         rng = np.random.default_rng(11)
         matrix = np.hstack(
             [
@@ -221,6 +226,132 @@ class TestFailureSemantics:
                 handle.sharded.utilization()["per_shard"][0]["local_fallbacks"]
                 >= 2
             )
+
+    def test_stats_on_a_killed_host_degrades_like_execute(self, fleet):
+        """Satellite regression: stats() used to raise raw transport
+        errors without dropping the broken connection or updating
+        health, so a dead host could wedge fleet telemetry collection
+        while execute() had already degraded gracefully."""
+        matrix = _matrix(24)
+        vectors = _vectors(25, 3, 20)
+        with fleet.remote_service() as service:
+            handle = fleet.deploy_fleet(service, matrix)
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+            remote = handle.sharded._remotes[0]
+            assert remote.stats()["executes"] >= 1
+            fleet.kill_server(0)
+            # The same RemoteShardError execute() raises — not a raw
+            # socket error — and the connection is torn down.
+            with pytest.raises(RemoteShardError):
+                remote.stats()
+            assert remote.healthy is False
+            assert remote._conn is None
+            # Telemetry collection keeps working (probe state included)
+            # and traffic stays exact through the local fallback.
+            assert remote.telemetry()["probe"]["consecutive_failures"] >= 1
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+
+    def test_fault_schedule_resyncs_when_link_dies_after_fault_ack(
+        self, fleet
+    ):
+        """Satellite regression: a FAULT frame acknowledged on a
+        connection that dies before (or after) its EXECUTE must be
+        re-synced on the retry connection — the server's override state
+        lives and dies with the connection, so skipping the re-send
+        would silently serve fault-free results mid-campaign."""
+        matrix = _matrix(26, shape=(12, 9))
+        vectors = _vectors(27, 5, 12)
+        with fleet.remote_service() as service:
+            handle = fleet.deploy_fleet(service, matrix, use_cache=False)
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+            shard = handle.sharded.shards[1]
+            component = shard.circuit.netlist.components[40]
+            injection = inject_stuck_output(
+                shard.circuit.netlist, component, 1
+            )
+            try:
+                # Sync the schedule: the FAULT frame is acknowledged on
+                # the current connection.
+                faulted = service.multiply(handle, vectors)
+                golden = shard.fast.multiply_batch(vectors, engine="bitplane")
+                assert np.array_equal(
+                    faulted[:, shard.start : shard.stop], golden
+                )
+                remote = handle.sharded._remotes[1]
+                assert remote._synced is not None
+                # The link dies *between* the FAULT ack and the next
+                # EXECUTE: sever the socket under the client.  The next
+                # call's first attempt fails in-flight, and the retry
+                # lands on a fresh connection whose server-side override
+                # state is empty — the schedule must be re-sent.
+                remote._conn.sock.close()
+                faulted = service.multiply(handle, vectors)
+                assert np.array_equal(
+                    faulted[:, shard.start : shard.stop], golden
+                )
+                # The retry succeeded remotely — no silent local
+                # fallback, no lingering unhealthy mark.
+                assert remote.healthy is True
+                assert remote.local_fallbacks == 0
+            finally:
+                injection.revert()
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+
+    def test_dead_host_rejoins_automatically_without_revive(self, tmp_path):
+        """The tentpole acceptance path: kill a loopback server under
+        offered load, restart it on the same endpoint, and watch the
+        link return to remote serving with *no* revive() call — every
+        request in between answered bit-exactly."""
+        import time as _time
+
+        from repro.cluster import BackoffPolicy
+
+        matrix = _matrix(28, shape=(10, 8))
+        vectors = _vectors(29, 4, 10)
+        with ClusterController(tmp_path / "store") as controller:
+            controller.start_local_fleet(1)
+            with controller.remote_service(
+                probe_backoff=BackoffPolicy(
+                    initial_s=0.01, multiplier=1.5, max_s=0.05, jitter=0.0
+                )
+            ) as service:
+                handle = controller.deploy_fleet(service, matrix, shards=1)
+                remote = handle.sharded._remotes[0]
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                controller.kill_server(0)
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert remote.healthy is False
+                controller.restart_server(0)
+                # Keep offering load; the link revives through its own
+                # traffic once the backoff deadline passes.
+                deadline = _time.monotonic() + 10.0
+                while not remote.healthy and _time.monotonic() < deadline:
+                    assert np.array_equal(
+                        service.multiply(handle, vectors), vectors @ matrix
+                    )
+                    _time.sleep(0.01)
+                assert remote.healthy is True
+                probe = remote.telemetry()["probe"]
+                assert probe["auto_revivals"] >= 1
+                assert probe["consecutive_failures"] == 0
+                # Remote serving actually resumed.
+                calls_before = remote.remote_calls
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert remote.remote_calls > calls_before
 
     def test_fleet_stats_reports_dead_hosts(self, fleet):
         fleet.kill_server(1)

@@ -1,0 +1,339 @@
+"""Revival state machine under a fake clock — zero real sleeps.
+
+The backoff/probe logic is the part of the self-healing fleet that is
+all about *time*, so these tests inject a hand-cranked clock into
+:class:`ProbeState` / :class:`RemoteShard` and step it explicitly: no
+test here ever waits on a wall clock (connection attempts against a
+reserved-but-unbound loopback port fail with ECONNREFUSED immediately).
+"""
+
+import random
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BackoffPolicy,
+    ClusterController,
+    HealthProber,
+    LocalServerHandle,
+    ProbeState,
+    RemoteShardError,
+)
+from repro.serve.cache import CompileCache
+from repro.serve.shards import ShardedMultiplier
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _reserve_port(host="127.0.0.1"):
+    """A currently-unbound loopback port (connects fail instantly)."""
+    sock = socket.socket()
+    sock.bind((host, 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_capped(self):
+        policy = BackoffPolicy(initial_s=0.5, multiplier=2.0, max_s=4.0, jitter=0.0)
+        assert [policy.base_delay(n) for n in (1, 2, 3, 4, 5, 50)] == [
+            0.5,
+            1.0,
+            2.0,
+            4.0,
+            4.0,
+            4.0,
+        ]
+
+    def test_jitter_is_bounded(self):
+        policy = BackoffPolicy(
+            initial_s=1.0,
+            multiplier=2.0,
+            max_s=8.0,
+            jitter=0.25,
+            rng=random.Random(7),
+        )
+        for failures in (1, 2, 3, 4):
+            base = policy.base_delay(failures)
+            for _ in range(200):
+                delay = policy.delay(failures)
+                assert base <= delay <= base * 1.25
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = BackoffPolicy(initial_s=0.5, jitter=0.0)
+        assert policy.delay(3) == policy.base_delay(3) == 2.0
+
+    def test_long_outages_do_not_overflow(self):
+        policy = BackoffPolicy(initial_s=0.5, multiplier=10.0, max_s=30.0, jitter=0.0)
+        assert policy.delay(10_000) == 30.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_s": 0.0},
+            {"multiplier": 0.5},
+            {"max_s": 0.1, "initial_s": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+
+class TestProbeState:
+    def test_failure_schedules_and_success_resets(self):
+        clock = FakeClock()
+        state = ProbeState(
+            BackoffPolicy(initial_s=2.0, multiplier=2.0, max_s=16.0, jitter=0.0),
+            clock=clock,
+        )
+        assert state.due()  # never failed: always due
+        state.note_failure("connection refused")
+        assert state.consecutive_failures == 1
+        assert not state.due()
+        clock.advance(1.9)
+        assert not state.due()
+        clock.advance(0.2)
+        assert state.due()
+        # A second failure doubles the window.
+        state.note_failure()
+        assert state.last_delay_s == 4.0
+        clock.advance(3.9)
+        assert not state.due()
+        clock.advance(0.2)
+        assert state.due()
+        state.note_success(revived=True)
+        assert state.consecutive_failures == 0
+        assert state.due()
+        assert state.auto_revivals == 1
+        assert state.last_error is None
+
+    def test_reset_is_the_manual_fast_path(self):
+        clock = FakeClock()
+        state = ProbeState(
+            BackoffPolicy(initial_s=60.0, max_s=120.0, jitter=0.0), clock=clock
+        )
+        state.note_failure()
+        assert not state.due()
+        state.reset()
+        assert state.due()  # no waiting out the hour
+
+    def test_telemetry_shape(self):
+        clock = FakeClock()
+        state = ProbeState(
+            BackoffPolicy(initial_s=3.0, max_s=12.0, jitter=0.0), clock=clock
+        )
+        state.note_probe()
+        state.note_failure("dead")
+        clock.advance(1.0)
+        snap = state.telemetry()
+        assert snap["consecutive_failures"] == 1
+        assert snap["next_probe_in_s"] == pytest.approx(2.0)
+        assert snap["backoff_s"] == 3.0
+        assert snap["backoff_max_s"] == 12.0
+        assert snap["probes"] == 1
+        assert snap["last_error"] == "dead"
+        # Past the deadline the countdown clamps to zero.
+        clock.advance(10.0)
+        assert state.telemetry()["next_probe_in_s"] == 0.0
+
+
+class TestHealthProber:
+    class _FakeShard:
+        def __init__(self, healthy, due=True, recovers=False):
+            self.healthy = healthy
+            self._due = due
+            self._recovers = recovers
+            self.probes = 0
+
+        def probe_due(self):
+            return self._due
+
+        def probe(self):
+            self.probes += 1
+            if self._recovers:
+                self.healthy = True
+            return self.healthy
+
+    def test_poke_probes_only_due_unhealthy_shards(self):
+        healthy = self._FakeShard(healthy=True)
+        waiting = self._FakeShard(healthy=False, due=False)
+        dead = self._FakeShard(healthy=False)
+        back = self._FakeShard(healthy=False, recovers=True)
+        prober = HealthProber([healthy, waiting, dead, back])
+        assert prober.poke() == {"probed": 2, "revived": 1, "waiting": 1}
+        assert healthy.probes == 0 and waiting.probes == 0
+        assert dead.probes == 1 and back.probes == 1
+        # The revived shard is healthy now; only the dead one re-probes.
+        assert prober.poke() == {"probed": 1, "revived": 0, "waiting": 1}
+
+
+class TestRemoteShardRevival:
+    """unhealthy -> probe -> still-dead (backoff grows) -> recovered,
+    driven entirely by a fake clock against instant-refusal endpoints."""
+
+    @pytest.fixture()
+    def dead_endpoint_sharded(self, tmp_path):
+        clock = FakeClock()
+        store = tmp_path / "store"
+        store.mkdir()
+        port = _reserve_port()
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(-50, 51, size=(8, 6))
+        sharded = ShardedMultiplier(
+            matrix,
+            shards=1,
+            cache=CompileCache(directory=store),
+            backend="remote",
+            endpoints=[("127.0.0.1", port)],
+            probe_backoff=BackoffPolicy(
+                initial_s=5.0, multiplier=2.0, max_s=40.0, jitter=0.0
+            ),
+            probe_clock=clock,
+        )
+        try:
+            yield sharded, matrix, clock, store, port
+        finally:
+            sharded.close()
+
+    def test_full_revival_cycle_with_zero_sleeps(self, dead_endpoint_sharded):
+        sharded, matrix, clock, store, port = dead_endpoint_sharded
+        remote = sharded._remotes[0]
+        vectors = np.arange(24, dtype=np.int64).reshape(3, 8) % 5 - 2
+
+        # 1. First batch: both attempts refused instantly -> unhealthy,
+        #    served locally, bit-exact.
+        assert np.array_equal(sharded.multiply_batch(vectors), vectors @ matrix)
+        assert remote.healthy is False
+        assert remote.local_fallbacks == 1
+        state = remote.probe_state
+        assert state.consecutive_failures == 1
+        first_deadline = state.next_probe_at
+
+        # 2. Inside the backoff window: fail-fast fallback, no probe.
+        assert np.array_equal(sharded.multiply_batch(vectors), vectors @ matrix)
+        assert state.consecutive_failures == 1
+        assert state.probes == 0
+        assert state.next_probe_at == first_deadline
+
+        # 3. Past the deadline, still dead: exactly one probe attempt,
+        #    backoff doubles, traffic stays exact.
+        clock.advance(5.1)
+        assert np.array_equal(sharded.multiply_batch(vectors), vectors @ matrix)
+        assert state.probes == 1
+        assert state.consecutive_failures == 2
+        assert state.last_delay_s == 10.0
+        assert remote.local_fallbacks == 3
+
+        # 4. The host comes back on the same endpoint; within the new
+        #    window nothing probes, past it the next batch revives.
+        server = LocalServerHandle(store, port=port, name="revived")
+        try:
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.healthy is False  # still inside the window
+            clock.advance(10.1)
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.healthy is True
+            assert state.auto_revivals == 1
+            assert state.consecutive_failures == 0
+            assert remote.remote_calls == 1
+            fallbacks = remote.local_fallbacks
+            # 5. Recovered: remote serving resumes, fallback counter stops.
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.remote_calls == 2
+            assert remote.local_fallbacks == fallbacks
+            probe_snap = sharded.utilization()["per_shard"][0]["probe"]
+            assert probe_snap["auto_revivals"] == 1
+        finally:
+            server.stop()
+
+    def test_explicit_prober_poke_revives_idle_links(self, dead_endpoint_sharded):
+        sharded, matrix, clock, store, port = dead_endpoint_sharded
+        remote = sharded._remotes[0]
+        vectors = np.zeros((1, 8), dtype=np.int64)
+        assert np.array_equal(sharded.multiply_batch(vectors), vectors @ matrix)
+        assert remote.healthy is False
+        # No traffic from here on: the prober drives recovery instead.
+        assert sharded.poke_probes() == {"probed": 0, "revived": 0, "waiting": 1}
+        clock.advance(5.1)
+        report = sharded.poke_probes()
+        assert report == {"probed": 1, "revived": 0, "waiting": 0}
+        server = LocalServerHandle(store, port=port, name="revived")
+        try:
+            clock.advance(10.1)
+            assert sharded.poke_probes() == {
+                "probed": 1,
+                "revived": 1,
+                "waiting": 0,
+            }
+            assert remote.healthy is True
+        finally:
+            server.stop()
+
+    def test_manual_revive_skips_the_backoff_window(self, dead_endpoint_sharded):
+        sharded, matrix, clock, store, port = dead_endpoint_sharded
+        remote = sharded._remotes[0]
+        vectors = np.zeros((2, 8), dtype=np.int64)
+        assert np.array_equal(sharded.multiply_batch(vectors), vectors @ matrix)
+        assert remote.healthy is False
+        server = LocalServerHandle(store, port=port, name="revived")
+        try:
+            # The window has not passed — but revive() clears it.
+            assert not remote.probe_due()
+            remote.revive()
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.healthy is True
+            assert remote.remote_calls == 1
+        finally:
+            server.stop()
+
+    def test_unhealthy_inside_window_raises_fast(self, dead_endpoint_sharded):
+        sharded, matrix, clock, store, port = dead_endpoint_sharded
+        remote = sharded._remotes[0]
+        vectors = np.zeros((1, 8), dtype=np.int64)
+        sharded.multiply_batch(vectors)
+        with pytest.raises(RemoteShardError, match="unhealthy"):
+            remote.execute(vectors, "auto")
+
+
+class TestControllerRestart:
+    def test_restart_refuses_a_live_server(self, tmp_path):
+        with ClusterController(tmp_path / "store") as controller:
+            controller.start_local_fleet(1)
+            with pytest.raises(RuntimeError, match="still running"):
+                controller.restart_server(0)
+
+    def test_restart_rebinds_the_original_endpoint(self, tmp_path):
+        with ClusterController(tmp_path / "store") as controller:
+            controller.start_local_fleet(1)
+            endpoint = controller.endpoints[0]
+            controller.kill_server(0)
+            handle = controller.restart_server(0)
+            assert handle.endpoint == endpoint
+            assert controller.endpoints[0] == endpoint
+            stats = controller.fleet_stats()
+            assert stats[0].get("name") == "local-0-r"

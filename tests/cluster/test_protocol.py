@@ -99,14 +99,57 @@ class TestArrayPayloads:
         assert out.dtype == np.int64
         assert np.array_equal(out, batch)
 
-    def test_pickle_round_trip_for_exact_big_integers(self):
+    def test_bigint_round_trip_for_exact_big_integers(self):
         wide = np.empty((2, 2), dtype=object)
         wide[:] = [[1 << 80, -(1 << 90)], [3, -(1 << 100) + 7]]
         meta, blob = array_to_payload(wide)
-        assert meta["codec"] == "pickle"
+        assert meta["codec"] == "bigint"
+        # Fixed-width limbs: widest element (ceil(100+1 bits / 8) = 13
+        # bytes) sets the itemsize, blob is exactly count * itemsize.
+        assert meta["itemsize"] == 13
+        assert len(blob) == 4 * 13
         out = array_from_payload(meta, blob)
         assert out.dtype == object
         assert [int(x) for x in out.ravel()] == [int(x) for x in wide.ravel()]
+
+    def test_bigint_exact_boundary_values_round_trip(self):
+        # -2**k fits in k+1 signed bits; 2**k needs k+2.  Hit both edges.
+        wide = np.empty((1, 4), dtype=object)
+        wide[:] = [[-(1 << 127), (1 << 127) - 1, 0, -1]]
+        meta, blob = array_to_payload(wide)
+        out = array_from_payload(meta, blob)
+        assert [int(x) for x in out.ravel()] == [int(x) for x in wide.ravel()]
+
+    def test_bigint_blob_length_mismatch_rejected(self):
+        wide = np.empty((1, 2), dtype=object)
+        wide[:] = [[1 << 70, -(1 << 70)]]
+        meta, blob = array_to_payload(wide)
+        with pytest.raises(ValueError, match="bytes"):
+            array_from_payload(meta, blob[:-1])
+
+    def test_bigint_absurd_itemsize_rejected_before_decode(self):
+        meta = {"codec": "bigint", "shape": [1, 1], "itemsize": (1 << 16) + 1}
+        with pytest.raises(ValueError, match="itemsize"):
+            array_from_payload(meta, b"\x00" * ((1 << 16) + 1))
+
+    def test_pickle_codec_is_decode_only(self):
+        # The retired v1 codec: array_to_payload never emits it, but
+        # frames from a v1 peer still decode for one release.
+        import pickle
+
+        values = [1 << 80, -(1 << 90), 3, 7]
+        meta = {"codec": "pickle", "shape": [2, 2]}
+        out = array_from_payload(meta, pickle.dumps(values))
+        assert [int(x) for x in out.ravel()] == values
+
+    def test_pickle_shim_rejects_non_int_payloads(self):
+        import pickle
+
+        meta = {"codec": "pickle", "shape": [1, 2]}
+        with pytest.raises(ValueError, match="ints"):
+            array_from_payload(meta, pickle.dumps([1, "nope"]))
+        with pytest.raises(ValueError, match="shape"):
+            array_from_payload(meta, pickle.dumps([1, 2, 3]))
 
     def test_zero_row_batch(self):
         meta, blob = array_to_payload(np.zeros((0, 7), dtype=np.int64))

@@ -2,8 +2,18 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
+
+#: Per-test wall-clock ceiling (seconds) for the fallback watchdog
+#: below.  The cluster/serve suites exercise sockets, drains, and
+#: condition-variable waits, where a regression's natural failure mode
+#: is a hang, not an assertion — a hung test must fail, not wedge the
+#: run.  Override with ``REPRO_TEST_TIMEOUT_S=0`` to disable.
+DEFAULT_TEST_TIMEOUT_S = 120.0
 
 
 @pytest.fixture
@@ -24,3 +34,47 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running test (gate-level sims of larger matrices)"
     )
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit (pytest-timeout "
+        "syntax; honored by the SIGALRM fallback when the plugin is absent)",
+    )
+
+
+def _fallback_timeout_active(config) -> bool:
+    """True when this conftest should arm its own per-test watchdog.
+
+    CI installs ``pytest-timeout`` and passes ``--timeout``; when that
+    plugin is present it owns the job and this fallback stays inert.
+    The fallback also needs ``SIGALRM`` (main thread, POSIX), so
+    platforms without it simply run unguarded — same as before.
+    """
+    if config.pluginmanager.hasplugin("timeout"):
+        return False
+    return hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if not _fallback_timeout_active(item.config):
+        return (yield)
+    limit = float(os.environ.get("REPRO_TEST_TIMEOUT_S", DEFAULT_TEST_TIMEOUT_S))
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        limit = float(marker.args[0])
+    if limit <= 0:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:g}s fallback timeout "
+            "(REPRO_TEST_TIMEOUT_S / @pytest.mark.timeout to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
