@@ -140,12 +140,16 @@ class RemoteShard:
         timeout_s: float = 5.0,
         probe_backoff: BackoffPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder: Any | None = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.key_meta = dict(key_meta)
         self.timeout_s = float(timeout_s)
         self.healthy = True
+        # Optional FlightRecorder: health transitions on this link are
+        # exactly the events an operator reads after an incident.
+        self.recorder = recorder
         self.probe_state = ProbeState(probe_backoff, clock)
         self.rtt = LatencyWindow(1024)
         self.remote_calls = 0
@@ -238,13 +242,16 @@ class RemoteShard:
             except RemoteFault as exc:
                 self._drop()
                 self.probe_state.note_failure(f"LOAD refused: {exc}")
+                self._record("probe_failed", error=f"LOAD refused: {exc}")
                 return False
             except _TRANSPORT_ERRORS as exc:
                 self._drop()
                 self.probe_state.note_failure(str(exc))
+                self._record("probe_failed", error=str(exc))
                 return False
             self.healthy = True
             self.probe_state.note_success(revived=True)
+            self._record("shard_revived", via="probe")
             return True
 
     def close(self) -> None:
@@ -253,9 +260,14 @@ class RemoteShard:
 
     # -- request paths --------------------------------------------------------
 
+    def _record(self, kind: str, **fields: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.record(kind, endpoint=self.endpoint, **fields)
+
     def _mark_unhealthy(self, error: str) -> None:
         self.healthy = False
         self.probe_state.note_failure(error)
+        self._record("shard_unhealthy", error=error)
 
     def _run_request(self, fn: Callable[[_Connection], Any]) -> Any:
         """The shared request skeleton: ensure-connection, retry once,
@@ -305,6 +317,7 @@ class RemoteShard:
             if not was_healthy:
                 self.healthy = True
                 self.probe_state.note_success(revived=True)
+                self._record("shard_revived", via="traffic")
             return result
         self._mark_unhealthy(str(last_exc))
         failure = "failed twice" if attempts == 2 else "failed its revival probe"
@@ -317,8 +330,17 @@ class RemoteShard:
         batch: np.ndarray,
         engine: str,
         overrides: tuple[list, dict] | None = None,
-    ) -> tuple[np.ndarray, str, float]:
-        """One batch through the remote shard; ``(columns, engine, busy_s)``.
+        trace: dict[str, Any] | None = None,
+    ) -> tuple[np.ndarray, str, float, list[dict[str, Any]]]:
+        """One batch through the remote shard;
+        ``(columns, engine, busy_s, spans)``.
+
+        ``trace`` is the optional v3 trace context
+        (``{"trace_id", "span_id"}``) stamped onto the EXECUTE frame;
+        ``spans`` is whatever server-side span records the RESULT
+        carried back (empty against an untraced request or a v2
+        server).  Propagation rides the same frame as the batch, so
+        every retry re-sends the context with the batch it belongs to.
 
         Synchronizes ``overrides`` (the shard's current live-fault
         schedule) before the batch when it changed, retries exactly once
@@ -340,7 +362,7 @@ class RemoteShard:
         """
         wanted = _overrides_token(overrides if overrides is not None else EMPTY_OVERRIDES)
 
-        def run(conn: _Connection) -> tuple[np.ndarray, str, float]:
+        def run(conn: _Connection) -> tuple[np.ndarray, str, float, list]:
             if wanted != self._synced:
                 if wanted == _overrides_token(EMPTY_OVERRIDES):
                     conn.request(
@@ -351,14 +373,20 @@ class RemoteShard:
                     meta.update(encode_overrides(overrides))
                     conn.request(encode_frame(FrameType.FAULT, meta))
                 self._synced = wanted
+                self._record(
+                    "fault_sync",
+                    active=wanted != _overrides_token(EMPTY_OVERRIDES),
+                )
             start = time.perf_counter()
-            _, meta, blob = conn.request(batch_frame(batch, engine))
+            _, meta, blob = conn.request(batch_frame(batch, engine, trace=trace))
             self.rtt.record(time.perf_counter() - start)
             self.remote_calls += 1
+            spans = meta.get("spans")
             return (
                 frame_array(meta, blob),
                 str(meta.get("engine", engine)),
                 float(meta.get("busy_s", 0.0)),
+                spans if isinstance(spans, list) else [],
             )
 
         with self._lock:
@@ -418,6 +446,7 @@ class ClusterClient:
         timeout_s: float = 5.0,
         probe_backoff: BackoffPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder: Any | None = None,
     ) -> None:
         if not endpoints:
             raise ValueError("a cluster client needs at least one endpoint")
@@ -425,6 +454,9 @@ class ClusterClient:
         self.timeout_s = float(timeout_s)
         self.probe_backoff = probe_backoff
         self.clock = clock
+        # Handed to every shard handle so link health transitions land
+        # in one flight-recorder ring for the whole fleet.
+        self.recorder = recorder
 
     def shard_handle(self, index: int, key_meta: dict[str, Any]) -> RemoteShard:
         """The :class:`RemoteShard` for shard ``index``."""
@@ -436,6 +468,7 @@ class ClusterClient:
             timeout_s=self.timeout_s,
             probe_backoff=self.probe_backoff,
             clock=self.clock,
+            recorder=self.recorder,
         )
 
     def fleet_stats(self) -> list[dict[str, Any]]:

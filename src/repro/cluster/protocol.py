@@ -29,10 +29,15 @@ Frame types
              resolves it through :meth:`CompileCache.load_key` — from
              the shared artifact store **by content digest only**;
              kernels and matrices never cross the wire.
-``EXECUTE``  one batch (meta: engine + array payload header; blob: the
-             batch bytes).  Answered by ``RESULT``.
+``EXECUTE``  one batch (meta: engine + array payload header, plus an
+             optional ``"trace"`` context — ``{"trace_id", "span_id"}``
+             — when the client is tracing; blob: the batch bytes).
+             Answered by ``RESULT``.
 ``RESULT``   the shard's column slice (same array payload form) plus
-             the resolved engine and server-side busy seconds.
+             the resolved engine and server-side busy seconds; when the
+             EXECUTE carried trace context, also a ``"spans"`` list of
+             server-side span records parented on the propagated
+             ``span_id`` (see :mod:`repro.obs.tracing`).
 ``FAULT``    replace (``action="set"``) or drop (``action="clear"``)
              the connection's fault-override set — the network form of
              the per-call ``overrides`` the process backend ships.
@@ -41,13 +46,13 @@ Frame types
 ``ERROR``    failure; meta carries ``error`` (a stable token) and
              ``message`` (human-readable).
 
-Security note: v2 frames carry nothing executable — batches and
-results are raw bytes or fixed-width integer limbs, everything else is
-JSON — but the one-release decode shim for v1's pickled >62-bit
-results (:func:`repro.core.serialize.array_from_payload`) means a peer
-*claiming* v1 can still present a pickle payload.  Until that shim is
-removed, keep fleets on trusted private networks — the same trust
-model as the shared artifact directory itself; see ``docs/cluster.md``.
+Security note: frames carry nothing executable — batches and results
+are raw bytes or fixed-width integer limbs, everything else is JSON.
+v3 closed the last gap: the decode-only shim for v1's pickled >62-bit
+results is gone from :func:`repro.core.serialize.array_from_payload`,
+so a ``"pickle"`` codec frame is rejected like any other malformed
+payload.  Fleets still belong on trusted private networks — the same
+trust model as the shared artifact directory; see ``docs/cluster.md``.
 """
 
 from __future__ import annotations
@@ -86,16 +91,19 @@ __all__ = [
 
 #: Bumped on any change to the frame layout or the meaning of a frame
 #: type.  v2 replaced the pickled >62-bit result codec with the
-#: self-describing ``"bigint"`` frame form.
-PROTOCOL_VERSION = 2
+#: self-describing ``"bigint"`` frame form; v3 retired v1 (and the
+#: pickle decode shim with it) and added optional distributed-tracing
+#: context: EXECUTE meta may carry ``"trace"``, RESULT meta may carry
+#: ``"spans"``.
+PROTOCOL_VERSION = 3
 
-#: Peer versions either end accepts at HELLO time.  v1 is tolerated for
-#: one release as the rolling-upgrade window: a v1 peer's pickled
-#: >62-bit payloads still *decode* (see
-#: :func:`repro.core.serialize.array_from_payload`), while this end
-#: only ever emits v2 frames — drop v1 from this tuple (and the decode
-#: shim) next release.
-SUPPORTED_VERSIONS = (1, 2)
+#: Peer versions either end accepts at HELLO time.  v2 is tolerated for
+#: one release as the rolling-upgrade window: trace context is additive
+#: (a v2 server ignores the unknown ``"trace"`` meta key; a v3 client
+#: tolerates a RESULT without ``"spans"``), so mixed v2/v3 fleets serve
+#: correctly — they just lose server-side spans.  Drop v2 from this
+#: tuple next release.
+SUPPORTED_VERSIONS = (2, 3)
 
 #: Upper bound on one frame's payload; a length prefix beyond this is
 #: treated as a corrupt or hostile stream and the connection dropped
@@ -259,18 +267,43 @@ def decode_overrides(meta: dict[str, Any]) -> tuple[list, dict]:
     return stuck_out, carry
 
 
-def batch_frame(batch: np.ndarray, engine: str) -> bytes:
-    """An EXECUTE frame carrying one batch for ``engine``."""
+def batch_frame(
+    batch: np.ndarray,
+    engine: str,
+    trace: dict[str, Any] | None = None,
+) -> bytes:
+    """An EXECUTE frame carrying one batch for ``engine``.
+
+    ``trace`` is the optional v3 trace context — a small JSON object
+    (``{"trace_id", "span_id"}``) identifying the client-side span this
+    dispatch belongs to.  Omitted entirely when the client isn't
+    tracing, so the untraced wire bytes are identical to v2's.
+    """
     meta, blob = array_to_payload(batch)
     meta["engine"] = engine
+    if trace is not None:
+        meta["trace"] = trace
     return encode_frame(FrameType.EXECUTE, meta, blob)
 
 
-def result_frame(result: np.ndarray, engine: str, busy_s: float) -> bytes:
-    """A RESULT frame carrying one shard's column slice."""
+def result_frame(
+    result: np.ndarray,
+    engine: str,
+    busy_s: float,
+    spans: list[dict[str, Any]] | None = None,
+) -> bytes:
+    """A RESULT frame carrying one shard's column slice.
+
+    ``spans`` is the optional v3 return leg of trace propagation: the
+    server-side span records (dicts, see
+    :meth:`repro.obs.tracing.Span.to_dict`) parented on the EXECUTE
+    frame's propagated context, for the client tracer to adopt.
+    """
     meta, blob = array_to_payload(result)
     meta["engine"] = engine
     meta["busy_s"] = round(float(busy_s), 9)
+    if spans:
+        meta["spans"] = spans
     return encode_frame(FrameType.RESULT, meta, blob)
 
 

@@ -317,6 +317,7 @@ class ShardServer:
             raise ProtocolError(f"unknown engine {engine!r}")
         batch = frame_array(meta, blob)
         resolved = state.resolve_engine(engine)
+        trace = meta.get("trace")
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         result = await loop.run_in_executor(
@@ -330,7 +331,48 @@ class ShardServer:
         )
         busy = time.perf_counter() - start
         self._count("executes", engine=resolved)
-        return result_frame(result, resolved, busy)
+        spans = None
+        if isinstance(trace, dict):
+            spans = [self._server_span(state, trace, resolved, batch, busy)]
+        return result_frame(result, resolved, busy, spans=spans)
+
+    def _server_span(
+        self,
+        state: _Connection,
+        trace: dict,
+        engine: str,
+        batch,
+        busy_s: float,
+    ) -> dict[str, Any]:
+        """One ``server_execute`` span record for a traced EXECUTE.
+
+        Parented on the *propagated* client span (the v3 ``"trace"``
+        context), which is what lets the client assemble a single tree
+        without guessing.  ``start_s`` is this host's wall clock — the
+        tree hangs together by parent links, not by clock agreement.
+
+        Built as the wire dict directly (the shape of
+        :meth:`repro.obs.tracing.Span.to_dict`) rather than via a
+        ``Span`` round-trip: this sits on every traced EXECUTE's
+        serving path.
+        """
+        from repro.obs.tracing import Tracer
+
+        lanes = int(batch.shape[0]) if getattr(batch, "ndim", 0) == 2 else 0
+        return {
+            "trace_id": str(trace.get("trace_id", "")),
+            "span_id": Tracer.new_span_id(),
+            "parent_id": str(trace.get("span_id", "")) or None,
+            "stage": "server_execute",
+            "start_s": round(time.time() - busy_s, 6),
+            "duration_s": round(busy_s, 9),
+            "attrs": {
+                "server": self.name,
+                "engine": engine,
+                "lanes": lanes,
+                "columns": list(state.columns) if state.columns else None,
+            },
+        }
 
     def _fault(self, state: _Connection, meta: dict) -> bytes:
         action = meta.get("action")

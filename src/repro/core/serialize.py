@@ -31,9 +31,10 @@ protocol (:mod:`repro.cluster.protocol`).  int64 arrays travel as raw
 little-endian bytes; object-dtype arrays of exact Python integers (the
 >62-bit result path) travel as the self-describing ``"bigint"`` codec —
 fixed-width little-endian two's-complement limbs, width in the meta —
-so nothing executable ever rides a frame.  The retired ``"pickle"``
-codec is still *decoded* for one release (old peers and recorded
-frames) but never emitted; see :data:`ARRAY_CODECS`.
+so nothing executable ever rides a frame.  The v1-era ``"pickle"``
+codec is fully retired: its one-release decode shim was dropped with
+protocol v3, and any frame presenting it is rejected as malformed; see
+:data:`ARRAY_CODECS`.
 
 Two content digests make the stored artifacts addressable:
 
@@ -63,7 +64,6 @@ import hashlib
 import json
 import os
 import pathlib
-import pickle
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -300,11 +300,11 @@ def fused_from_npz(path: str | pathlib.Path) -> "FusedKernel":
 #: ``"bigint"`` is the self-describing exact-integer form for >62-bit
 #: results — fixed-width little-endian two's-complement limbs, the
 #: per-element byte width carried in the meta — so a frame never embeds
-#: anything executable.  ``"pickle"`` is the retired v1 exact-integer
-#: codec: **decode-only** for one release (so mixed-version fleets and
-#: recorded v1 frames keep working during a rolling upgrade), never
-#: emitted by :func:`array_to_payload`.
-ARRAY_CODECS = ("i64", "bigint", "pickle")
+#: anything executable.  The v1-era ``"pickle"`` codec is gone: its
+#: decode-only rolling-upgrade shim rode exactly one release and was
+#: removed with protocol v3, so a frame presenting it now fails decode
+#: like any other unknown codec.
+ARRAY_CODECS = ("i64", "bigint")
 
 #: Cap on one ``"bigint"`` element's byte width: a plausibility bound a
 #: decoder checks *before* allocating, so a corrupt or hostile meta
@@ -351,9 +351,9 @@ def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
 
     Raises ``ValueError`` on unknown codecs or meta/blob disagreement —
     a malformed frame must fail the request, never decode into a
-    plausible-but-wrong batch.  Also decodes the retired ``"pickle"``
-    codec (v1 peers' >62-bit frames) for one compatibility release;
-    the payload is validated to be a flat list of ints.
+    plausible-but-wrong batch.  The v1-era ``"pickle"`` codec is no
+    longer decoded (its one-release compatibility shim ended with
+    protocol v3); such frames are rejected as unknown.
     """
     codec = meta.get("codec")
     try:
@@ -389,20 +389,6 @@ def array_from_payload(meta: dict[str, Any], blob: bytes) -> np.ndarray:
             out[i] = int.from_bytes(
                 blob[i * itemsize : (i + 1) * itemsize], "little", signed=True
             )
-        return out.reshape(shape)
-    if codec == "pickle":
-        # Decode-only compatibility shim for the retired v1 codec; to be
-        # removed next release.  Only ever reached on frames from a
-        # trusted v1 peer (the cluster's HELLO gate) or v1-era recorded
-        # payloads — new frames are always "bigint".
-        values = pickle.loads(blob)
-        if not isinstance(values, list) or len(values) != count:
-            raise ValueError(f"pickle payload disagrees with shape {shape}")
-        out = np.empty(count, dtype=object)
-        for i, value in enumerate(values):
-            if not isinstance(value, int):
-                raise ValueError("pickle payload must be a flat list of ints")
-            out[i] = int(value)
         return out.reshape(shape)
     raise ValueError(f"unknown array codec {codec!r} (known: {ARRAY_CODECS})")
 

@@ -1,0 +1,55 @@
+"""`repro.obs` — observability for the served multiplier stack.
+
+The paper's whole argument is a latency/throughput trade-off (pipelined
+spatial multipliers vs. batched accelerators, Figs. 5–7), and the
+ROADMAP's next step — closed-loop adaptive batching and shard
+rebalancing — is a *controller over measured signals*.  This package is
+the measurement substrate those signals come from, three instruments
+over one serving stack:
+
+* :mod:`repro.obs.tracing` — distributed request tracing.  One
+  ``submit()`` yields one span tree: the request root, its queue-wait
+  in the micro-batcher, the coalesced batch execution, per-shard
+  dispatch, and — for remote backends — the wire round-trip with the
+  *server-side* execute span linked in by trace context propagated on
+  the EXECUTE frame (protocol v3), not reconstructed by client-side
+  guessing.
+* :mod:`repro.obs.metrics` — fleet metrics aggregation: one merged
+  JSON document per collection (deployment telemetry + scraped
+  per-server STATS + fleet rollup) and a dependency-free Prometheus
+  text exposition writer.  ``python -m repro.obs.top`` renders the
+  same documents as a one-shot or watch terminal view.
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded,
+  thread-safe ring of structured events (deploys, swaps, shard health
+  transitions, revival probes, slow-request exemplars) dumpable as
+  JSONL on demand or automatically when a shard dies.
+
+All three are opt-in at the serve layer (``MatMulService(tracer=...,
+recorder=...)``); the untraced path pays only ``None`` checks, held to
+<10% overhead by ``benchmarks/bench_obs_overhead.py``.  See
+``docs/observability.md`` for the span taxonomy, metrics glossary, and
+event schema.
+"""
+
+from repro.obs.metrics import FleetMetrics, to_prometheus
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    span_tree,
+    trace_meta,
+    tree_stages,
+)
+
+__all__ = [
+    "FleetMetrics",
+    "FlightRecorder",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "span_tree",
+    "trace_meta",
+    "tree_stages",
+    "to_prometheus",
+]

@@ -1,0 +1,162 @@
+"""The flight recorder: a bounded ring buffer of operational events.
+
+Telemetry snapshots answer "how is the fleet doing *now*"; the flight
+recorder answers "what happened *just before* it stopped doing well".
+It is the black box an operator reads after an incident: a bounded,
+thread-safe ring of structured events that the serve and cluster layers
+emit into as they act —
+
+* deployment lifecycle: ``deploy`` / ``undeploy`` / ``swap`` /
+  ``service_close``;
+* shard link health: ``shard_unhealthy`` (with the error that killed
+  it), ``shard_revived`` (manual or automatic), ``local_fallback``
+  (a batch served in-process because its link was down), and
+  ``probe_failed`` revival attempts;
+* fault campaigns' override pushes (``fault_sync``), and
+* ``slow_request`` exemplars — requests whose end-to-end latency
+  crossed the service's threshold, each carrying its ``trace_id`` so
+  the span tree of precisely that slow request can be pulled from the
+  :class:`~repro.obs.tracing.Tracer`.
+
+Events are plain dicts (``ts`` wall-clock, ``seq`` monotonic sequence
+number, ``kind``, free-form fields), dumpable as JSONL on demand —
+or *automatically*: a recorder constructed with ``auto_dump_path``
+writes the whole ring to disk the moment an event of an
+``auto_dump_kinds`` kind (by default ``shard_unhealthy``) is recorded,
+so the window of events leading up to a shard death is preserved even
+if the process never gets another chance.
+
+The ring is bounded (default 1024 events) and eviction is counted, so
+an always-on recorder in a long-lived service is a window, not a leak.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of structured events.
+
+    Args:
+        capacity: events retained (oldest evicted first).
+        auto_dump_path: when set, recording an event whose kind is in
+            ``auto_dump_kinds`` immediately dumps the ring there as
+            JSONL (atomic replace, last dump wins).
+        auto_dump_kinds: event kinds that trigger the automatic dump.
+        clock: wall-clock callable stamped on every event (tests inject
+            a fake for deterministic dumps).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        auto_dump_path: str | os.PathLike | None = None,
+        auto_dump_kinds: Iterable[str] = ("shard_unhealthy",),
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._seq = 0
+        self._dump_id = 0
+        self.recorded = 0
+        self.auto_dumps = 0
+        self.auto_dump_path = (
+            pathlib.Path(auto_dump_path) if auto_dump_path is not None else None
+        )
+        self.auto_dump_kinds = frozenset(auto_dump_kinds)
+
+    def record(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the stored record.
+
+        Field values should be JSON-serializable (the dump path will
+        fall back to ``str()`` rather than fail — a black box that
+        raises while recording a crash would be worse than lossy).
+        """
+        with self._lock:
+            event = {"ts": round(self._clock(), 6), "seq": self._seq, "kind": kind}
+            event.update(fields)
+            self._seq += 1
+            self._events.append(event)
+            self.recorded += 1
+        if self.auto_dump_path is not None and kind in self.auto_dump_kinds:
+            try:
+                self.dump_jsonl(self.auto_dump_path)
+                with self._lock:
+                    self.auto_dumps += 1
+            except OSError:
+                # The black box must never take the service down over a
+                # full disk; the in-memory ring still holds the events.
+                pass
+        return event
+
+    # -- reading --------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Snapshot of retained events, oldest first (optionally one kind)."""
+        with self._lock:
+            out = [dict(e) for e in self._events]
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            buffered = len(self._events)
+            recorded = self.recorded
+            return {
+                "recorded": recorded,
+                "buffered": buffered,
+                "evicted": recorded - buffered,
+                "capacity": self._events.maxlen,
+                "auto_dumps": self.auto_dumps,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # -- dumping --------------------------------------------------------------
+
+    def to_jsonl(self, kind: str | None = None) -> str:
+        """The ring as JSONL text, oldest event first."""
+        return "\n".join(
+            json.dumps(e, sort_keys=True, default=str) for e in self.events(kind)
+        )
+
+    def dump_jsonl(self, path: str | os.PathLike) -> pathlib.Path:
+        """Write the ring to ``path`` as JSONL (atomic rename-in-place).
+
+        The staging-plus-``os.replace`` discipline of the artifact store
+        (:mod:`repro.core.serialize`): a reader never sees a torn dump,
+        concurrent dumpers are last-writer-wins on complete files.
+        """
+        target = pathlib.Path(path)
+        text = self.to_jsonl()
+        # The staging name must be unique per *call*, not per recorder:
+        # concurrent dumpers sharing one staging file would interleave
+        # and could publish a torn dump.
+        with self._lock:
+            self._dump_id += 1
+            dump_id = self._dump_id
+        tmp = target.with_name(
+            f"{target.name}.tmp-{os.getpid()}-{threading.get_ident()}-{dump_id}"
+        )
+        tmp.write_text(text + ("\n" if text else ""))
+        os.replace(tmp, target)
+        return target

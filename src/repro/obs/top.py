@@ -1,0 +1,168 @@
+"""``python -m repro.obs.top`` — a terminal view of a shard fleet.
+
+The ``top(1)`` of the cluster: scrape every fleet server's STATS over
+throwaway connections (the same :meth:`ClusterClient.fleet_stats` path
+telemetry uses, safe to run while deployments stream batches) and
+render one table per collection — one-shot by default, a refreshing
+watch loop with ``--watch``:
+
+.. code-block:: console
+
+    $ python -m repro.obs.top --endpoints hostA:9401,hostB:9401,hostC:9401
+    FLEET  3/3 up   executes 4231   loads 6   errors 0
+    ENDPOINT          SERVER     UP  UPTIME    LOADS  EXECUTES  ENGINES
+    hostA:9401        shard-a    up  633.2s        2      1411  fused:1411
+    hostB:9401        shard-b    up  633.1s        2      1410  fused:1410
+    hostC:9401        shard-c    up  633.0s        2      1410  fused:1410
+
+``--format prom`` emits the Prometheus text exposition instead
+(:func:`repro.obs.metrics.to_prometheus`), ``--format json`` the raw
+merged document — so the same command backs a human, a scraper, and a
+script.  Exit status is 0 when every server answered, 1 when any
+scrape failed (watchable by a cron probe).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.obs.metrics import FleetMetrics, to_prometheus
+
+__all__ = ["main", "parse_endpoints", "render_table"]
+
+
+def parse_endpoints(text: str) -> list[tuple[str, int]]:
+    """``"hostA:9401,hostB:9402"`` → ``[("hostA", 9401), ...]``."""
+    endpoints: list[tuple[str, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"endpoint {part!r} is not host:port")
+        try:
+            endpoints.append((host, int(port)))
+        except ValueError as exc:
+            raise ValueError(f"endpoint {part!r} has a non-integer port") from exc
+    if not endpoints:
+        raise ValueError("no endpoints given")
+    return endpoints
+
+
+def _engines(stats: dict[str, Any]) -> str:
+    batches = stats.get("engine_batches", {})
+    if not batches:
+        return "-"
+    return ",".join(f"{k}:{v}" for k, v in sorted(batches.items()))
+
+
+def render_table(doc: dict[str, Any]) -> str:
+    """The human rendering of one collected metrics document."""
+    servers = doc.get("servers", [])
+    fleet = doc.get("fleet", {}).get("servers", {})
+    lines = [
+        f"FLEET  {fleet.get('reachable', 0)}/{fleet.get('configured', 0)} up"
+        f"   executes {fleet.get('executes', 0)}"
+        f"   loads {fleet.get('loads', 0)}"
+    ]
+    rows = [("ENDPOINT", "SERVER", "UP", "UPTIME", "LOADS", "EXECUTES", "ENGINES")]
+    for stats in servers:
+        if "error" in stats:
+            rows.append(
+                (stats.get("endpoint", "?"), "-", "DOWN", "-", "-", "-",
+                 stats["error"][:40])
+            )
+            continue
+        rows.append(
+            (
+                stats.get("endpoint", "?"),
+                str(stats.get("name", "-")),
+                "up",
+                f"{stats.get('uptime_s', 0.0):.1f}s",
+                str(stats.get("loads", 0)),
+                str(stats.get("executes", 0)),
+                _engines(stats),
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.top",
+        description="Scrape and render shard-fleet metrics (one-shot or watch).",
+    )
+    parser.add_argument(
+        "--endpoints",
+        required=True,
+        help="comma-separated host:port list of fleet servers to scrape",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="output form: human table (default), merged JSON document, "
+        "or Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-collect and re-render every SECONDS (one-shot when omitted)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="with --watch: stop after this many collections "
+        "(default: until interrupted)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-server scrape timeout in seconds (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        endpoints = parse_endpoints(args.endpoints)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    metrics = FleetMetrics(endpoints=endpoints, timeout_s=args.timeout)
+    iterations = 1 if args.watch is None else args.count
+    all_up = True
+    done = 0
+    try:
+        while iterations is None or done < iterations:
+            doc = metrics.collect()
+            if args.format == "json":
+                print(json.dumps(doc, indent=2))
+            elif args.format == "prom":
+                print(to_prometheus(doc), end="")
+            else:
+                print(render_table(doc))
+            sys.stdout.flush()
+            all_up = all(
+                "error" not in s for s in doc.get("servers", [])
+            ) and bool(doc.get("servers"))
+            done += 1
+            if args.watch is not None and (iterations is None or done < iterations):
+                time.sleep(args.watch)
+                print()
+    except KeyboardInterrupt:
+        pass
+    return 0 if all_up else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,9 @@ loop keeps accepting (and coalescing) requests while a batch simulates.
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -61,6 +63,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_delay_s: float = 0.002,
         validate: Callable[[np.ndarray], None] | None = None,
+        tracer=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -68,10 +71,23 @@ class MicroBatcher:
             raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
         self._execute = execute
         self._validate = validate
+        # Optional repro.obs.tracing.Tracer.  When set and a submit
+        # passes its request span, the batcher records each request's
+        # queue_wait and one coalesce span per dispatched batch — and
+        # calls ``execute`` with a ``trace=`` keyword (the coalesce
+        # span's context) so the executor can hang shard spans under
+        # it.  Untraced submits call ``execute(vectors)`` exactly as
+        # before.
+        self._tracer = tracer
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.stats = BatcherStats()
-        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        # Pending entries: (vector, future, trace_info) where
+        # trace_info is None or (parent SpanContext, enqueue
+        # perf_counter) for the queue_wait span; the wall-clock start
+        # is reconstructed once per flush rather than sampled per
+        # submit.
+        self._pending: list[tuple[np.ndarray, asyncio.Future, tuple | None]] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
         # The loop (and its thread) this batcher coalesces on, captured
@@ -81,12 +97,19 @@ class MicroBatcher:
 
     # -- public API ----------------------------------------------------------
 
-    async def submit(self, vector: np.ndarray) -> np.ndarray:
+    async def submit(self, vector: np.ndarray, span=None) -> np.ndarray:
         """Queue one vector; resolves to its product row when its batch runs.
 
         With a ``validate`` callable installed, a malformed vector raises
         here — to its own caller only — instead of poisoning the batch it
         would have been coalesced into.
+
+        ``span`` is the request's root :class:`SpanContext` (the
+        service's ``request`` span); with a tracer configured it
+        parents this request's ``queue_wait`` span and — for the batch
+        carrier — the ``coalesce`` span.  Context is passed explicitly
+        because the batch executes on a loop-pool thread where ambient
+        context would not propagate.
         """
         arr = np.asarray(vector)
         if self._validate is not None:
@@ -95,7 +118,10 @@ class MicroBatcher:
         self._loop = loop
         self._loop_thread = threading.get_ident()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((arr, future))
+        trace_info = None
+        if self._tracer is not None and span is not None:
+            trace_info = (span, time.perf_counter())
+        self._pending.append((arr, future, trace_info))
         self.stats.requests += 1
         if len(self._pending) >= self.max_batch:
             self._flush("full")
@@ -157,7 +183,7 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
-        for _, future in pending:
+        for _, future, _ in pending:
             if not future.done():
                 future.set_exception(exc)
 
@@ -183,24 +209,96 @@ class MicroBatcher:
             self.stats.deadline_flushes += 1
         else:
             self.stats.forced_flushes += 1
-        task = asyncio.get_running_loop().create_task(self._run(batch))
+        task = asyncio.get_running_loop().create_task(self._run(batch, reason))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
+    def _start_batch_spans(
+        self, batch: list[tuple[np.ndarray, asyncio.Future, tuple | None]], reason: str
+    ):
+        """Record each traced request's queue_wait; open the coalesce span.
+
+        A coalesced batch can carry requests from *different* traces,
+        and a span has one parent: the batch's ``coalesce`` span is
+        parented on the first traced request (the carrier) with every
+        other trace id listed in a ``linked_traces`` attribute — see
+        ``docs/observability.md``.  Returns ``None`` when nothing in
+        the batch is traced.
+        """
+        now_pc = time.perf_counter()
+        traced = [info for _, _, info in batch if info is not None]
+        if not traced:
+            return None
+        # Built inline and recorded under one lock: this runs on the
+        # event-loop thread for up to ``max_batch`` requests per flush,
+        # where per-span helper-call and locking overhead is measurable.
+        # Each queue_wait's wall-clock start is back-derived from one
+        # ``time.time()`` sample here minus its monotonic wait, keeping
+        # the per-submit cost to a single ``perf_counter`` read.
+        from repro.obs.tracing import Span, Tracer
+
+        now_wall = time.time()
+        self._tracer.record_many(
+            [
+                Span(
+                    trace_id=ctx.trace_id,
+                    span_id=Tracer.new_span_id(),
+                    parent_id=ctx.span_id,
+                    stage="queue_wait",
+                    start_s=now_wall - (now_pc - enq_pc),
+                    duration_s=max(0.0, now_pc - enq_pc),
+                    attrs={"reason": reason},
+                )
+                for ctx, enq_pc in traced
+            ]
+        )
+        carrier = traced[0][0]
+        span = self._tracer.start_span(
+            "coalesce", parent=carrier, lanes=len(batch), reason=reason
+        )
+        linked = sorted(
+            {
+                ctx.trace_id
+                for ctx, _ in traced[1:]
+                if ctx.trace_id != carrier.trace_id
+            }
+        )
+        if linked:
+            span.annotate(linked_traces=linked)
+        return span
+
     async def _run(
-        self, batch: list[tuple[np.ndarray, asyncio.Future]]
+        self,
+        batch: list[tuple[np.ndarray, asyncio.Future, tuple | None]],
+        reason: str,
     ) -> None:
         loop = asyncio.get_running_loop()
+        coalesce = (
+            self._start_batch_spans(batch, reason)
+            if self._tracer is not None
+            else None
+        )
         try:
             # Inside the try so even a shape mismatch at stack time fails
             # every waiting future instead of leaving them pending forever.
-            vectors = np.stack([vec for vec, _ in batch])
-            results = await loop.run_in_executor(None, self._execute, vectors)
+            vectors = np.stack([vec for vec, _, _ in batch])
+            if coalesce is not None:
+                run = functools.partial(
+                    self._execute, vectors, trace=coalesce.context
+                )
+            else:
+                run = functools.partial(self._execute, vectors)
+            results = await loop.run_in_executor(None, run)
         except Exception as exc:  # propagate to every caller in the batch
-            for _, future in batch:
+            if coalesce is not None:
+                coalesce.annotate(error=f"{type(exc).__name__}: {exc}")
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_, future), row in zip(batch, results):
+        finally:
+            if coalesce is not None:
+                coalesce.finish()
+        for (_, future, _), row in zip(batch, results):
             if not future.done():
                 future.set_result(row)

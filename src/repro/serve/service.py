@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.serialize import matrix_digest
+from repro.obs.tracing import Span, SpanContext, Tracer
 from repro.reservoir.hw_esn import HardwareESN
 from repro.reservoir.quantize import IntegerESN
 from repro.serve.batcher import MicroBatcher
@@ -148,7 +149,7 @@ class ServedESN(HardwareESN):
 
 
 def _resolved_multiply(
-    sharded: ShardedMultiplier, engine: str, batch: np.ndarray
+    sharded: ShardedMultiplier, engine: str, batch: np.ndarray, trace=None
 ) -> tuple[str, np.ndarray]:
     """Resolve ``engine`` and execute, returning ``(effective, result)``.
 
@@ -158,14 +159,21 @@ def _resolved_multiply(
     refusal is retried on the gate engine — the fallback stays
     transparent under concurrent fault injection instead of failing the
     whole coalesced batch.  Explicitly pinned engines keep the refusal.
+
+    ``trace`` (an optional span context) threads straight through to
+    the shard executor — see :meth:`ShardedMultiplier.multiply_batch`.
     """
     effective = sharded.resolve_engine(engine)
     try:
-        return effective, sharded.multiply_batch(batch, engine=effective)
+        return effective, sharded.multiply_batch(
+            batch, engine=effective, trace=trace
+        )
     except ValueError:
         if engine != "auto" or effective != "fused":
             raise
-        return "bitplane", sharded.multiply_batch(batch, engine="bitplane")
+        return "bitplane", sharded.multiply_batch(
+            batch, engine="bitplane", trace=trace
+        )
 
 
 class MatMulService:
@@ -191,6 +199,9 @@ class MatMulService:
         request_timeout_s: float = 5.0,
         probe_backoff=None,
         probe_clock=time.monotonic,
+        tracer=None,
+        recorder=None,
+        slow_request_s: float | None = None,
     ) -> None:
         """``backend``/``endpoints``/``store``/``request_timeout_s`` are
         service-wide deployment defaults: a service constructed with
@@ -200,6 +211,19 @@ class MatMulService:
         ``fault_campaign(service=...)`` creates — over the fleet, with
         no caller changes.  ``deploy(...)`` can still override any of
         them per deployment.
+
+        Observability is opt-in (see :mod:`repro.obs`): ``tracer`` (a
+        :class:`~repro.obs.tracing.Tracer`) records a span tree per
+        ``submit`` — request root, queue wait, coalesced batch, shard
+        dispatch, and for remote backends the wire round-trip with the
+        server's execute span adopted off the RESULT frame.
+        ``recorder`` (a :class:`~repro.obs.recorder.FlightRecorder`)
+        receives lifecycle events (``deploy``/``undeploy``/``swap``/
+        ``service_close``), shard-link health transitions, and — with
+        ``slow_request_s`` set — ``slow_request`` exemplars carrying
+        the trace id of each request whose end-to-end latency crossed
+        the threshold.  Both default to ``None``: the uninstrumented
+        hot path pays only ``None`` checks.
         """
         if engine not in SERVE_ENGINES:
             raise ValueError(
@@ -218,7 +242,14 @@ class MatMulService:
         # tests a fake clock.
         self.probe_backoff = probe_backoff
         self.probe_clock = probe_clock
+        self.tracer = tracer
+        self.recorder = recorder
+        self.slow_request_s = slow_request_s
         self._deployments: dict[str, Deployment] = {}
+
+    def _record_event(self, kind: str, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.record(kind, **fields)
 
     # -- deployment ----------------------------------------------------------
 
@@ -290,6 +321,8 @@ class MatMulService:
             ),
             probe_backoff=self.probe_backoff,
             probe_clock=self.probe_clock,
+            tracer=self.tracer,
+            recorder=self.recorder,
         )
         sharded = ShardedMultiplier(arr, **shard_config)
         batch_limit = max_batch if max_batch is not None else self.max_batch
@@ -300,8 +333,12 @@ class MatMulService:
         # every call (late binding): swap() re-points deployment.sharded
         # and the very next batch runs against the new matrix, with no
         # batcher rebuild and no routing table beyond this attribute.
-        def _execute(batch: np.ndarray) -> np.ndarray:
-            effective, out = _resolved_multiply(deployment.sharded, engine, batch)
+        # ``trace`` arrives from a tracing batcher (the coalesce span's
+        # context) and threads through to the shard executor.
+        def _execute(batch: np.ndarray, trace=None) -> np.ndarray:
+            effective, out = _resolved_multiply(
+                deployment.sharded, engine, batch, trace=trace
+            )
             telemetry.record_batch(batch.shape[0], engine=effective)
             return out
 
@@ -323,12 +360,20 @@ class MatMulService:
                 max_batch=batch_limit,
                 max_delay_s=delay,
                 validate=_validate,
+                tracer=self.tracer,
             ),
             telemetry=telemetry,
             engine=engine,
             config=shard_config,
         )
         self._deployments[name] = deployment
+        self._record_event(
+            "deploy",
+            deployment=name,
+            matrix_digest=digest,
+            backend=backend,
+            shards=sharded.shard_count,
+        )
         return deployment
 
     def deploy_esn(
@@ -410,6 +455,7 @@ class MatMulService:
                 RuntimeError(f"deployment {name!r} was retired")
             )
             deployment.sharded.close()
+            self._record_event("undeploy", deployment=name)
 
     def swap(
         self,
@@ -472,10 +518,17 @@ class MatMulService:
             old_sharded = deployment.sharded
             # The atomic flip: the next _execute/_validate call reads
             # the new executor through the handle.
+            old_digest = deployment.matrix_digest
             deployment.sharded = new_sharded
             deployment.matrix_digest = matrix_digest(arr)
             deployment.config = config
             deployment.telemetry.record_swap()
+            self._record_event(
+                "swap",
+                deployment=name,
+                old_digest=old_digest,
+                new_digest=deployment.matrix_digest,
+            )
             if not old_sharded.drain(timeout_s=drain_timeout_s):
                 raise TimeoutError(
                     f"deployment {name!r} swapped, but the previous executor "
@@ -487,10 +540,63 @@ class MatMulService:
     # -- request paths -------------------------------------------------------
 
     async def submit(self, handle: Deployment, vector: np.ndarray) -> np.ndarray:
-        """One vector in, its product row out, micro-batched underneath."""
+        """One vector in, its product row out, micro-batched underneath.
+
+        With a tracer configured this opens the request's root span and
+        threads its context through the batcher, the shard executor,
+        and (remote backends) the wire — one ``submit`` yields one span
+        tree.  With a recorder and ``slow_request_s`` set, a request
+        over the threshold leaves a ``slow_request`` exemplar carrying
+        its trace id, so the slow request's exact tree can be pulled
+        from the tracer afterwards.
+        """
+        handle.telemetry.record_arrival()
+        # The root span is recorded post-hoc from the interval submit
+        # measures for telemetry anyway: only its *context* (the ids
+        # children parent onto) must exist up front.  This keeps the
+        # per-request tracing cost to id generation plus one record —
+        # the span-object-per-call shape of ``start_span`` is reserved
+        # for the per-batch spans, where it amortizes.
+        if self.tracer is None:
+            ctx = None
+        else:
+            ctx = SpanContext(Tracer.new_trace_id(), Tracer.new_span_id())
+            start_wall = time.time()
         start = time.perf_counter()
-        result = await handle.batcher.submit(vector)
-        handle.telemetry.record_request(time.perf_counter() - start)
+        try:
+            if ctx is None:
+                result = await handle.batcher.submit(vector)
+            else:
+                result = await handle.batcher.submit(vector, span=ctx)
+        except Exception as exc:
+            if ctx is not None:
+                self.tracer.record(Span(
+                    ctx.trace_id, ctx.span_id, None, "request", start_wall,
+                    time.perf_counter() - start,
+                    {"deployment": handle.name,
+                     "error": f"{type(exc).__name__}: {exc}"},
+                ))
+            raise
+        elapsed = time.perf_counter() - start
+        handle.telemetry.record_request(elapsed)
+        if ctx is not None:
+            self.tracer.record(Span(
+                ctx.trace_id, ctx.span_id, None, "request", start_wall,
+                elapsed,
+                {"deployment": handle.name, "latency_s": elapsed},
+            ))
+        if (
+            self.slow_request_s is not None
+            and elapsed >= self.slow_request_s
+            and self.recorder is not None
+        ):
+            self.recorder.record(
+                "slow_request",
+                deployment=handle.name,
+                latency_s=round(elapsed, 6),
+                threshold_s=self.slow_request_s,
+                trace_id=ctx.trace_id if ctx is not None else None,
+            )
         return result
 
     async def submit_many(
@@ -569,13 +675,24 @@ class MatMulService:
                 },
                 "shards": handle.sharded.utilization(),
             }
-        return {
+        doc = {
             "cache": self.cache.stats(),
             "deployments": {
                 name: self.telemetry(dep)
                 for name, dep in self._deployments.items()
             },
         }
+        # Collector health (not span/event payloads — those are pulled
+        # from the instruments directly): enough for a dashboard to see
+        # that tracing is live and whether the rings are evicting.
+        obs = {}
+        if self.tracer is not None:
+            obs["tracer"] = self.tracer.stats()
+        if self.recorder is not None:
+            obs["flight_recorder"] = self.recorder.stats()
+        if obs:
+            doc["observability"] = obs
+        return doc
 
     def close(self) -> None:
         """Shut the service down: reject queued work, then stop executors.
@@ -599,6 +716,9 @@ class MatMulService:
                 )
             )
             deployment.sharded.close()
+        self._record_event(
+            "service_close", deployments=sorted(self._deployments)
+        )
 
     def __enter__(self) -> "MatMulService":
         return self

@@ -244,6 +244,15 @@ class ShardedMultiplier:
         probe_clock: remote backend only — monotonic-seconds callable
             driving the probe schedules (tests inject a fake clock so
             revival scenarios run with zero real sleeps).
+        tracer: optional :class:`repro.obs.tracing.Tracer`.  When set
+            *and* a call passes ``trace=``, each shard's execution is
+            recorded as a ``shard_dispatch`` span (remote shards adding
+            a ``wire`` child for the socket round-trip, with the
+            server's ``server_execute`` span adopted from the RESULT
+            frame).  ``None`` (default) instruments nothing.
+        recorder: optional :class:`repro.obs.recorder.FlightRecorder`
+            receiving shard-link health events (``shard_unhealthy``,
+            ``shard_revived``, ``probe_failed``, ``local_fallback``).
     """
 
     def __init__(
@@ -262,6 +271,8 @@ class ShardedMultiplier:
         request_timeout_s: float = 5.0,
         probe_backoff=None,
         probe_clock=time.monotonic,
+        tracer=None,
+        recorder=None,
     ) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim != 2 or arr.size == 0:
@@ -291,6 +302,8 @@ class ShardedMultiplier:
         self.scheme = scheme
         self.tree_style = tree_style
         self.backend = backend
+        self.tracer = tracer
+        self.recorder = recorder
         if lut_budget is not None:
             ranges = plan_column_tiles(arr, lut_budget, scheme=scheme)
         else:
@@ -374,6 +387,7 @@ class ShardedMultiplier:
                     timeout_s=request_timeout_s,
                     probe_backoff=probe_backoff,
                     clock=probe_clock,
+                    recorder=recorder,
                 )
                 for k, shard in enumerate(self.shards):
                     self._remotes.append(
@@ -502,14 +516,34 @@ class ShardedMultiplier:
             )
         return engine
 
-    def _run_shard(self, shard: Shard, batch: np.ndarray, engine: str) -> np.ndarray:
+    def _dispatch_span(self, shard: Shard, engine: str, trace):
+        """Open a ``shard_dispatch`` span, or ``None`` when untraced."""
+        if self.tracer is None or trace is None:
+            return None
+        return self.tracer.start_span(
+            "shard_dispatch",
+            parent=trace,
+            shard=shard.index,
+            columns=[shard.start, shard.stop],
+            backend=self.backend,
+            engine=engine,
+        )
+
+    def _run_shard(
+        self, shard: Shard, batch: np.ndarray, engine: str, trace=None
+    ) -> np.ndarray:
         start = time.perf_counter()
-        out = shard.fast.multiply_batch(batch, engine=engine)
+        dispatch = self._dispatch_span(shard, engine, trace)
+        try:
+            out = shard.fast.multiply_batch(batch, engine=engine)
+        finally:
+            if dispatch is not None:
+                dispatch.finish()
         self._record(shard, time.perf_counter() - start)
         return out
 
     def _run_remote_shard(
-        self, shard: Shard, batch: np.ndarray, engine: str
+        self, shard: Shard, batch: np.ndarray, engine: str, trace=None
     ) -> np.ndarray:
         """One shard's batch over its endpoint, falling back locally.
 
@@ -520,19 +554,56 @@ class ShardedMultiplier:
         (connect/timeout twice, or an already-unhealthy link) degrades
         to local execution on the shard's in-process engine — same
         kernel, same overrides, bit-identical result.
+
+        When tracing, the dispatch span gains a ``wire`` child covering
+        the socket round-trip; the wire span's context rides the
+        EXECUTE frame, and the server's ``server_execute`` span comes
+        back in the RESULT for the tracer to adopt — so the client
+        holds a single tree linked by propagated ids, not clock math.
         """
         from repro.cluster.client import RemoteShardError
 
         remote = self._remotes[shard.index]
         overrides = shard.fast.fault_overrides()
+        dispatch = self._dispatch_span(shard, engine, trace)
         start = time.perf_counter()
         try:
-            out, _, _ = remote.execute(batch, engine, overrides)
-        except RemoteShardError:
-            remote.local_fallbacks += 1
-            out = shard.fast.multiply_batch(
-                batch, engine=engine, overrides=overrides
-            )
+            try:
+                if dispatch is not None:
+                    with self.tracer.start_span(
+                        "wire",
+                        parent=dispatch.context,
+                        endpoint=remote.endpoint,
+                        shard=shard.index,
+                    ) as wire:
+                        out, _, _, spans = remote.execute(
+                            batch,
+                            engine,
+                            overrides,
+                            trace=wire.context.to_meta(),
+                        )
+                        wire.annotate(server_spans=len(spans))
+                    if spans:
+                        self.tracer.adopt(spans)
+                else:
+                    out, _, _, _ = remote.execute(batch, engine, overrides)
+            except RemoteShardError as exc:
+                remote.local_fallbacks += 1
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "local_fallback",
+                        endpoint=remote.endpoint,
+                        shard=shard.index,
+                        error=str(exc),
+                    )
+                if dispatch is not None:
+                    dispatch.annotate(local_fallback=True)
+                out = shard.fast.multiply_batch(
+                    batch, engine=engine, overrides=overrides
+                )
+        finally:
+            if dispatch is not None:
+                dispatch.finish()
         self._record(shard, time.perf_counter() - start)
         return out
 
@@ -591,7 +662,7 @@ class ShardedMultiplier:
         return merged
 
     def multiply_batch(
-        self, vectors: np.ndarray, engine: str = "auto"
+        self, vectors: np.ndarray, engine: str = "auto", trace=None
     ) -> np.ndarray:
         """``(B, rows) -> (B, cols)``, every shard advancing concurrently.
 
@@ -599,6 +670,13 @@ class ShardedMultiplier:
         broadcasts inputs to every column) and produces its own column
         slice; slices concatenate into the monolithic result bit-exactly.
         ``engine`` defaults to ``"auto"`` (see :meth:`resolve_engine`).
+
+        ``trace`` is an optional :class:`repro.obs.tracing.SpanContext`
+        naming the parent span (the batcher's ``coalesce`` span); with a
+        tracer configured it hangs per-shard ``shard_dispatch`` spans —
+        and, for remote shards, ``wire``/``server_execute`` children —
+        under it.  Context crosses the executor's thread pool explicitly
+        as this argument, never through ambient thread-local state.
         """
         batch = self._validate(vectors)
         engine = self.resolve_engine(engine)
@@ -611,13 +689,26 @@ class ShardedMultiplier:
                 ]
                 return np.concatenate(pieces, axis=1)
             if self.backend == "process":
+                if self.tracer is not None and trace is not None:
+                    # One span for the whole fan-out: worker processes
+                    # hold no tracer, so per-shard timing stays in
+                    # utilization() while the trace records the fan-out.
+                    with self.tracer.start_span(
+                        "shard_dispatch",
+                        parent=trace,
+                        backend="process",
+                        shards=self.shard_count,
+                        engine=engine,
+                    ):
+                        return self._run_process_backend(batch, engine)
                 return self._run_process_backend(batch, engine)
             run = self._run_remote_shard if self.backend == "remote" else self._run_shard
             if self._pool is None:
-                pieces = [run(s, batch, engine) for s in self.shards]
+                pieces = [run(s, batch, engine, trace) for s in self.shards]
             else:
                 futures = [
-                    self._pool.submit(run, s, batch, engine) for s in self.shards
+                    self._pool.submit(run, s, batch, engine, trace)
+                    for s in self.shards
                 ]
                 pieces = [f.result() for f in futures]
             return np.concatenate(pieces, axis=1)

@@ -12,10 +12,23 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
-__all__ = ["LatencyWindow", "DeploymentTelemetry"]
+__all__ = ["LatencyWindow", "RateWindow", "DeploymentTelemetry"]
+
+
+def _point_label(point: float) -> str:
+    """Percentile point → stable snapshot key: 50 → ``"p50"``, 99.9 →
+    ``"p99_9"``.
+
+    Fractional points keep their fraction (dot swapped for an
+    underscore so the key stays a valid identifier/Prometheus label);
+    the old ``f"p{int(p)}"`` collapsed 99.9 onto ``"p99"`` and silently
+    overwrote the real p99 entry.
+    """
+    return "p" + f"{float(point):g}".replace(".", "_")
 
 
 class LatencyWindow:
@@ -43,28 +56,102 @@ class LatencyWindow:
             return len(self._samples)
 
     def percentiles(self, *points: float) -> dict[str, float]:
-        """``{"p50": ..., "p99": ...}`` over the current window (NaN-free:
-        an empty window reports zeros so snapshots stay JSON-friendly)."""
+        """``{"p50": ..., "p99_9": ...}`` over the current window
+        (NaN-free: an empty window reports zeros so snapshots stay
+        JSON-friendly).  Fractional points keep their fraction in the
+        key — ``percentiles(99, 99.9)`` yields distinct ``"p99"`` and
+        ``"p99_9"`` entries."""
         with self._lock:
             if not self._samples:
-                return {f"p{int(p)}": 0.0 for p in points}
+                return {_point_label(p): 0.0 for p in points}
             arr = np.array(self._samples, dtype=float)
         values = np.percentile(arr, points)
-        return {f"p{int(p)}": float(v) for p, v in zip(points, values)}
+        return {_point_label(p): float(v) for p, v in zip(points, values)}
 
     def summary(self) -> dict:
-        """The standard dashboard digest of one window: p50/p99/samples.
+        """The standard dashboard digest of one window: p50/p99/p99.9.
 
         Shared by deployment latency snapshots and the cluster client's
         per-shard RTT reporting, so every latency-shaped number in
-        telemetry reads the same way.
+        telemetry reads the same way.  p99.9 is in the standard digest
+        because tail SLOs are where the paper's batching trade-off
+        actually bites — and it must not collide with p99 (see
+        :func:`_point_label`).
         """
-        pct = self.percentiles(50, 99)
+        pct = self.percentiles(50, 99, 99.9)
         return {
             "p50": round(pct["p50"], 6),
             "p99": round(pct["p99"], 6),
+            "p99_9": round(pct["p99_9"], 6),
             "samples": len(self),
         }
+
+
+class RateWindow:
+    """Sliding-window event rate: events per second over the recent past.
+
+    The lifetime ``products / uptime`` quotient answers "how much work
+    has this deployment ever done" but decays toward zero the moment
+    traffic stops — a deployment idle for an hour reports ~0 rps
+    forever, which is useless to an adaptive controller that needs the
+    *current* arrival rate.  This window answers "how fast right now":
+    events are counted into coarse time buckets (1 s by default) and
+    the rate is the bucket sum over the window span, so memory is
+    O(window/bucket) regardless of traffic volume.
+
+    Thread-safe; the clock is injectable (tests drive a fake, so rate
+    assertions never race real time).  Until a full window has elapsed
+    since construction the divisor is the elapsed time instead, so a
+    young window reports its true rate rather than an underestimate.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 30.0,
+        bucket_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if not 0 < bucket_s <= window_s:
+            raise ValueError(
+                f"bucket_s must be in (0, {window_s}], got {bucket_s}"
+            )
+        self.window_s = float(window_s)
+        self.bucket_s = float(bucket_s)
+        self._span = max(1, int(round(self.window_s / self.bucket_s)))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: deque[list[float]] = deque()  # [bucket_index, count]
+        self._started = clock()
+        self.total = 0
+
+    def _trim(self, index: int) -> None:
+        cutoff = index - self._span
+        while self._buckets and self._buckets[0][0] <= cutoff:
+            self._buckets.popleft()
+
+    def record(self, count: int = 1) -> None:
+        now = self._clock()
+        index = int(now / self.bucket_s)
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == index:
+                self._buckets[-1][1] += count
+            else:
+                self._buckets.append([index, count])
+                self._trim(index)
+            self.total += int(count)
+
+    def rate(self) -> float:
+        """Events per second over the window (0.0 when quiet)."""
+        now = self._clock()
+        with self._lock:
+            self._trim(int(now / self.bucket_s))
+            counted = sum(c for _, c in self._buckets)
+            horizon = min(
+                self.window_s, max(now - self._started, self.bucket_s)
+            )
+        return counted / horizon
 
 
 class DeploymentTelemetry:
@@ -79,6 +166,8 @@ class DeploymentTelemetry:
         max_batch: int = 64,
         window: int = 4096,
         max_delay_s: float | None = None,
+        rate_window_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.max_batch = max_batch
         # The micro-batcher flush deadline this deployment is actually
@@ -88,7 +177,14 @@ class DeploymentTelemetry:
         self.max_delay_s = max_delay_s
         self._lock = threading.Lock()
         self._latency = LatencyWindow(window)
-        self._started = time.monotonic()
+        self._clock = clock
+        self._started = clock()
+        # Windowed rates alongside the lifetime quotient: the lifetime
+        # ``products / uptime`` number never recovers from an idle
+        # stretch, while the adaptive-batching controller needs the
+        # *current* arrival rate to pick a flush deadline.
+        self._arrivals = RateWindow(window_s=rate_window_s, clock=clock)
+        self._completions = RateWindow(window_s=rate_window_s, clock=clock)
         self.requests = 0
         self.products = 0
         self.batches = 0
@@ -103,17 +199,28 @@ class DeploymentTelemetry:
         # a dashboard's tell that latency blips line up with rollouts.
         self.swaps = 0
 
+    def record_arrival(self, count: int = 1) -> None:
+        """Requests *offered* (called at submit time, before queueing).
+
+        Feeds the windowed arrival rate — the load signal an adaptive
+        batching controller reacts to, distinct from the completion
+        rate when the service is falling behind.
+        """
+        self._arrivals.record(count)
+
     def record_request(self, latency_s: float) -> None:
         """One request completed end to end (submit to result)."""
         with self._lock:
             self.requests += 1
             self.products += 1
             self._latency.record(latency_s)
+        self._completions.record(1)
 
     def record_products(self, count: int) -> None:
         """Products completed outside the request path (stream rollouts)."""
         with self._lock:
             self.products += int(count)
+        self._completions.record(int(count))
 
     def record_batch(self, lanes: int, engine: str | None = None) -> None:
         """One hardware batch dispatched with ``lanes`` lanes filled.
@@ -137,7 +244,7 @@ class DeploymentTelemetry:
 
     @property
     def uptime_s(self) -> float:
-        return time.monotonic() - self._started
+        return self._clock() - self._started
 
     def snapshot(self) -> dict:
         """Point-in-time metrics dict (JSON-serializable)."""
@@ -162,7 +269,14 @@ class DeploymentTelemetry:
                 "products": self.products,
                 "batches": self.batches,
                 "swaps": self.swaps,
+                # Lifetime average — kept for continuity, but it decays
+                # toward zero over any idle stretch and never recovers.
                 "throughput_rps": round(self.products / elapsed, 3),
+                # Windowed rates: what's happening *now*.  These are the
+                # signals the adaptive controller and the fleet rollup
+                # (repro.obs.metrics) actually consume.
+                "throughput_rps_windowed": round(self._completions.rate(), 3),
+                "arrival_rate_rps": round(self._arrivals.rate(), 3),
                 "latency_s": self._latency.summary(),
                 "lane_occupancy": round(occupancy, 4),
             }

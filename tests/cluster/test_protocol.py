@@ -132,24 +132,22 @@ class TestArrayPayloads:
         with pytest.raises(ValueError, match="itemsize"):
             array_from_payload(meta, b"\x00" * ((1 << 16) + 1))
 
-    def test_pickle_codec_is_decode_only(self):
-        # The retired v1 codec: array_to_payload never emits it, but
-        # frames from a v1 peer still decode for one release.
+    def test_pickle_codec_is_fully_retired(self):
+        # The v1 codec's decode-only shim rode exactly one release; with
+        # protocol v3 a pickle frame is rejected like any other unknown
+        # codec — nothing executable can ride a frame, even by claim.
         import pickle
 
         values = [1 << 80, -(1 << 90), 3, 7]
         meta = {"codec": "pickle", "shape": [2, 2]}
-        out = array_from_payload(meta, pickle.dumps(values))
-        assert [int(x) for x in out.ravel()] == values
+        with pytest.raises(ValueError, match="codec"):
+            array_from_payload(meta, pickle.dumps(values))
 
-    def test_pickle_shim_rejects_non_int_payloads(self):
-        import pickle
+    def test_pickle_not_listed_in_known_codecs(self):
+        from repro.core.serialize import ARRAY_CODECS
 
-        meta = {"codec": "pickle", "shape": [1, 2]}
-        with pytest.raises(ValueError, match="ints"):
-            array_from_payload(meta, pickle.dumps([1, "nope"]))
-        with pytest.raises(ValueError, match="shape"):
-            array_from_payload(meta, pickle.dumps([1, 2, 3]))
+        assert "pickle" not in ARRAY_CODECS
+        assert ARRAY_CODECS == ("i64", "bigint")
 
     def test_zero_row_batch(self):
         meta, blob = array_to_payload(np.zeros((0, 7), dtype=np.int64))

@@ -1,0 +1,199 @@
+"""Fleet metrics: rollup math, Prometheus rendering, top helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import FleetMetrics, to_prometheus
+from repro.obs.top import parse_endpoints, render_table
+from repro.serve import CompileCache, MatMulService
+
+
+def _doc():
+    """A synthetic collected document with every section populated."""
+    return {
+        "collected_at": 1.0,
+        "service": {
+            "deployments": {
+                "m0": {
+                    "uptime_s": 10.0,
+                    "requests": 100,
+                    "products": 120,
+                    "batches": 30,
+                    "swaps": 2,
+                    "throughput_rps": 12.0,
+                    "throughput_rps_windowed": 4.0,
+                    "arrival_rate_rps": 3.5,
+                    "lane_occupancy": 0.75,
+                    "latency_s": {"p50": 0.001, "p99": 0.004, "p99_9": 0.009},
+                    "engine": {"batches": {"fused": 25, "bitplane": 5}},
+                    "shards": {
+                        "per_shard": [
+                            {"shard": 0, "busy_s": 0.5, "calls": 30,
+                             "healthy": True, "endpoint": "h:1",
+                             "local_fallbacks": 0},
+                            {"shard": 1, "busy_s": 0.4, "calls": 30,
+                             "healthy": False, "endpoint": "h:2",
+                             "local_fallbacks": 7},
+                        ]
+                    },
+                },
+                "m1": {
+                    "requests": 10, "products": 10, "batches": 10,
+                    "arrival_rate_rps": 0.5,
+                    "throughput_rps_windowed": 0.5,
+                    "engine": {"batches": {"fused": 10}},
+                    "shards": {"per_shard": [{"shard": 0, "busy_s": 0.1,
+                                              "calls": 10}]},
+                },
+            },
+            "cache": {"hits": 5, "kernel_hits": 2, "disk_hits": 1, "misses": 3},
+            "observability": {
+                "tracer": {"recorded": 77},
+                "flight_recorder": {"recorded": 9},
+            },
+        },
+        "servers": [
+            {"endpoint": "h:1", "name": "srv-a", "uptime_s": 9.0,
+             "executes": 30, "loads": 2, "errors": 0,
+             "engine_batches": {"fused": 30}},
+            {"endpoint": "h:2", "error": "connection refused"},
+        ],
+    }
+
+
+class TestRollup:
+    def test_rollup_sums_deployments_and_servers(self):
+        doc = _doc()
+        fleet = FleetMetrics._rollup(doc["service"], doc["servers"])
+        assert fleet["deployments"] == 2
+        assert fleet["requests"] == 110
+        assert fleet["products"] == 130
+        assert fleet["batches"] == 40
+        assert fleet["arrival_rate_rps"] == 4.0
+        assert fleet["throughput_rps_windowed"] == 4.5
+        assert fleet["engine_batches"] == {"fused": 35, "bitplane": 5}
+        # Only shards with a remote link carry "healthy"; the local m1
+        # shard must not count as a link.
+        assert fleet["remote_links"] == {
+            "total": 2, "healthy": 1, "local_fallbacks": 7,
+        }
+        assert fleet["servers"] == {
+            "configured": 2, "reachable": 1, "executes": 30, "loads": 2,
+            "engine_batches": {"fused": 30},
+        }
+
+    def test_rollup_of_nothing(self):
+        fleet = FleetMetrics._rollup(None, [])
+        assert fleet["deployments"] == 0
+        assert fleet["remote_links"]["total"] == 0
+        assert fleet["servers"]["configured"] == 0
+
+    def test_needs_a_service_or_endpoints(self):
+        with pytest.raises(ValueError, match="service"):
+            FleetMetrics()
+
+    def test_collect_against_a_live_local_service(self):
+        with MatMulService(cache=CompileCache()) as service:
+            matrix = np.arange(12).reshape(4, 3) - 5
+            handle = service.deploy(matrix, name="m0", shards=2)
+            service.multiply(handle, np.ones((3, 4), dtype=np.int64))
+            doc = FleetMetrics(service=service).collect()
+        assert "collected_at" in doc
+        assert "servers" not in doc  # no endpoints configured
+        snap = doc["service"]["deployments"]["m0"]
+        assert snap["products"] == 3
+        assert doc["fleet"]["products"] == 3
+        assert doc["fleet"]["servers"]["configured"] == 0
+        # The document renders without needing a fleet.
+        assert "repro_products_total" in to_prometheus(doc)
+
+
+class TestPrometheusRendering:
+    def test_families_have_help_and_type_once(self):
+        text = to_prometheus(_doc())
+        assert text.count("# HELP repro_requests_total ") == 1
+        assert text.count("# TYPE repro_requests_total counter") == 1
+        # Two deployments → two samples in the family.
+        assert text.count('repro_requests_total{deployment=') == 2
+        assert 'repro_requests_total{deployment="m0"} 100' in text
+        assert text.endswith("\n")
+
+    def test_latency_quantile_labels(self):
+        text = to_prometheus(_doc())
+        assert (
+            'repro_request_latency_seconds{deployment="m0",quantile="0.5"} 0.001'
+            in text
+        )
+        assert (
+            'repro_request_latency_seconds{deployment="m0",quantile="0.999"} 0.009'
+            in text
+        )
+
+    def test_shard_and_server_samples(self):
+        text = to_prometheus(_doc())
+        assert (
+            'repro_shard_healthy{deployment="m0",endpoint="h:2",shard="1"} 0'
+            in text
+        )
+        assert (
+            'repro_shard_local_fallbacks_total{deployment="m0",shard="1"} 7'
+            in text
+        )
+        assert 'repro_server_up{endpoint="h:1"} 1' in text
+        assert 'repro_server_up{endpoint="h:2"} 0' in text
+        assert (
+            'repro_server_executes_total{endpoint="h:1",server="srv-a"} 30'
+            in text
+        )
+
+    def test_observability_and_cache_counters(self):
+        text = to_prometheus(_doc())
+        assert "repro_tracer_spans_total 77" in text
+        assert "repro_flight_recorder_events_total 9" in text
+        assert 'repro_compile_cache_lookups_total{outcome="misses"} 3' in text
+
+    def test_fleet_gauges(self):
+        doc = _doc()
+        doc["fleet"] = FleetMetrics._rollup(doc["service"], doc["servers"])
+        text = to_prometheus(doc)
+        assert "repro_fleet_remote_links 2" in text
+        assert "repro_fleet_remote_links_healthy 1" in text
+        assert "repro_fleet_servers_reachable 1" in text
+
+    def test_label_values_escaped(self):
+        doc = {
+            "servers": [
+                {"endpoint": 'h"1\n', "error": "x"},
+            ]
+        }
+        text = to_prometheus(doc)
+        assert 'repro_server_up{endpoint="h\\"1\\n"} 0' in text
+
+    def test_integer_valued_samples_render_without_decimal_point(self):
+        text = to_prometheus(_doc())
+        assert "repro_requests_total{deployment=\"m1\"} 10\n" in text
+        assert 'repro_lane_occupancy{deployment="m0"} 0.75' in text
+
+
+class TestTopHelpers:
+    def test_parse_endpoints(self):
+        assert parse_endpoints("hostA:9401, hostB:9402,") == [
+            ("hostA", 9401), ("hostB", 9402),
+        ]
+
+    @pytest.mark.parametrize("bad", ["", "host", "host:", ":9401", "h:port"])
+    def test_parse_endpoints_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoints(bad)
+
+    def test_render_table_shows_up_and_down_rows(self):
+        doc = _doc()
+        doc["fleet"] = FleetMetrics._rollup(doc["service"], doc["servers"])
+        table = render_table(doc)
+        lines = table.splitlines()
+        assert lines[0].startswith("FLEET  1/2 up")
+        assert "executes 30" in lines[0]
+        assert any("srv-a" in line and "up" in line for line in lines)
+        assert any("h:2" in line and "DOWN" in line for line in lines)

@@ -1,0 +1,154 @@
+"""Flight-recorder unit tests: ring bounds, dumps, thread safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+
+
+class TestRing:
+    def test_events_carry_ts_seq_kind_and_fields(self):
+        recorder = FlightRecorder(clock=lambda: 42.0)
+        event = recorder.record("deploy", deployment="m0", shards=3)
+        assert event == {
+            "ts": 42.0, "seq": 0, "kind": "deploy",
+            "deployment": "m0", "shards": 3,
+        }
+        assert recorder.events() == [event]
+        assert recorder.events(kind="deploy") == [event]
+        assert recorder.events(kind="swap") == []
+
+    def test_ring_is_bounded_and_counts_evictions(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("tick", i=i)
+        assert len(recorder) == 4
+        assert [e["i"] for e in recorder.events()] == [6, 7, 8, 9]
+        # seq keeps counting across evictions — gaps reveal how much
+        # history the ring lost.
+        assert [e["seq"] for e in recorder.events()] == [6, 7, 8, 9]
+        assert recorder.stats() == {
+            "recorded": 10, "buffered": 4, "evicted": 6,
+            "capacity": 4, "auto_dumps": 0,
+        }
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.record("deploy")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.stats()["recorded"] == 1  # lifetime counter stays
+
+
+class TestDumps:
+    def test_to_jsonl_oldest_first(self):
+        recorder = FlightRecorder(clock=lambda: 1.0)
+        recorder.record("deploy", deployment="m0")
+        recorder.record("swap", deployment="m0")
+        lines = [json.loads(l) for l in recorder.to_jsonl().splitlines()]
+        assert [e["kind"] for e in lines] == ["deploy", "swap"]
+
+    def test_unserializable_fields_degrade_to_str(self):
+        recorder = FlightRecorder()
+        recorder.record("fault_sync", campaign=object())
+        (line,) = recorder.to_jsonl().splitlines()
+        assert "object object" in json.loads(line)["campaign"]
+
+    def test_dump_jsonl_writes_atomically(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("deploy")
+        target = recorder.dump_jsonl(tmp_path / "box.jsonl")
+        assert json.loads(target.read_text())["kind"] == "deploy"
+        # No staging temp file survives the rename.
+        assert [p.name for p in tmp_path.iterdir()] == ["box.jsonl"]
+
+    def test_empty_ring_dumps_an_empty_file(self, tmp_path):
+        target = FlightRecorder().dump_jsonl(tmp_path / "box.jsonl")
+        assert target.read_text() == ""
+
+    def test_auto_dump_on_configured_kind(self, tmp_path):
+        path = tmp_path / "blackbox.jsonl"
+        recorder = FlightRecorder(auto_dump_path=path)
+        recorder.record("deploy", deployment="m0")
+        assert not path.exists()  # deploy is not a trigger kind
+        recorder.record("shard_unhealthy", endpoint="h:1", error="boom")
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["kind"] for e in events] == ["deploy", "shard_unhealthy"]
+        assert recorder.stats()["auto_dumps"] == 1
+        # The next trigger overwrites with the fuller window.
+        recorder.record("shard_unhealthy", endpoint="h:2", error="boom")
+        assert len(path.read_text().splitlines()) == 3
+        assert recorder.stats()["auto_dumps"] == 2
+
+    def test_auto_dump_kinds_are_configurable(self, tmp_path):
+        path = tmp_path / "blackbox.jsonl"
+        recorder = FlightRecorder(
+            auto_dump_path=path, auto_dump_kinds=("swap",)
+        )
+        recorder.record("shard_unhealthy")
+        assert not path.exists()
+        recorder.record("swap")
+        assert path.exists()
+
+    def test_auto_dump_failure_never_raises(self, tmp_path):
+        # A full disk / missing directory must not take the service down.
+        recorder = FlightRecorder(auto_dump_path=tmp_path / "no" / "dir.jsonl")
+        recorder.record("shard_unhealthy")
+        assert len(recorder) == 1
+        assert recorder.stats()["auto_dumps"] == 0
+
+
+class TestThreaded:
+    def test_concurrent_recorders_and_snapshotters(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=256, auto_dump_path=tmp_path / "box.jsonl"
+        )
+        threads_n, per_thread = 8, 300
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def snapshotter() -> None:
+            try:
+                while not stop.is_set():
+                    for event in recorder.events():
+                        assert "ts" in event and "seq" in event
+                    recorder.to_jsonl()
+                    recorder.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=snapshotter) for _ in range(2)]
+        for t in readers:
+            t.start()
+
+        def work(k: int) -> None:
+            for i in range(per_thread):
+                kind = "shard_unhealthy" if i % 100 == 0 else "tick"
+                recorder.record(kind, worker=k, i=i)
+
+        writers = [
+            threading.Thread(target=work, args=(k,)) for k in range(threads_n)
+        ]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        stats = recorder.stats()
+        assert stats["recorded"] == threads_n * per_thread
+        assert stats["buffered"] == 256
+        # seq numbers are unique even across concurrent recorders.
+        seqs = [e["seq"] for e in recorder.events()]
+        assert len(set(seqs)) == len(seqs)
+        # Every auto-dump produced a complete, parseable file.
+        dumped = (tmp_path / "box.jsonl").read_text().splitlines()
+        assert dumped and all(json.loads(line)["kind"] for line in dumped)

@@ -1,0 +1,204 @@
+"""Telemetry primitives: percentile labels, windowed rates, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.telemetry import DeploymentTelemetry, LatencyWindow, RateWindow
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for rate-window tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPercentileLabels:
+    def test_fractional_points_get_distinct_keys(self):
+        window = LatencyWindow()
+        for value in range(1, 1001):
+            window.record(value / 1000.0)
+        pct = window.percentiles(99, 99.9)
+        # The old f"p{int(p)}" collapsed both onto "p99" and the dict
+        # silently kept only one of them.
+        assert set(pct) == {"p99", "p99_9"}
+        assert pct["p99_9"] > pct["p99"]
+
+    def test_empty_window_keys_match_filled_window_keys(self):
+        empty = LatencyWindow().percentiles(50, 99, 99.9)
+        assert set(empty) == {"p50", "p99", "p99_9"}
+        assert all(v == 0.0 for v in empty.values())
+
+    def test_summary_reports_p99_9(self):
+        window = LatencyWindow()
+        for value in range(1, 1001):
+            window.record(value / 1000.0)
+        summary = window.summary()
+        assert set(summary) == {"p50", "p99", "p99_9", "samples"}
+        assert summary["p50"] <= summary["p99"] <= summary["p99_9"]
+        assert summary["samples"] == 1000
+
+
+class TestRateWindow:
+    def test_rate_is_events_over_elapsed_before_window_fills(self):
+        clock = FakeClock()
+        window = RateWindow(window_s=30.0, bucket_s=1.0, clock=clock)
+        for _ in range(10):
+            window.record()
+        clock.advance(5.0)
+        assert window.rate() == pytest.approx(10 / 5.0)
+
+    def test_rate_uses_window_span_once_elapsed(self):
+        clock = FakeClock()
+        window = RateWindow(window_s=10.0, bucket_s=1.0, clock=clock)
+        for _ in range(5):
+            window.record(20)
+            clock.advance(2.0)
+        clock.advance(20.0)  # everything now stale
+        assert window.rate() == 0.0
+
+    def test_rate_recovers_current_traffic_after_idle(self):
+        clock = FakeClock()
+        window = RateWindow(window_s=10.0, bucket_s=1.0, clock=clock)
+        window.record(1000)
+        clock.advance(100.0)  # long idle: old burst must not linger
+        window.record(50)
+        assert window.rate() == pytest.approx(50 / 10.0)
+
+    def test_counts_coalesce_within_a_bucket(self):
+        clock = FakeClock()
+        window = RateWindow(window_s=30.0, bucket_s=1.0, clock=clock)
+        for _ in range(100):
+            window.record()
+        assert window.total == 100
+        assert len(window._buckets) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            RateWindow(window_s=0)
+        with pytest.raises(ValueError, match="bucket_s"):
+            RateWindow(window_s=1.0, bucket_s=2.0)
+
+
+class TestWindowedTelemetryRates:
+    def test_snapshot_reports_both_lifetime_and_windowed_throughput(self):
+        clock = FakeClock()
+        telem = DeploymentTelemetry(clock=clock)
+        for _ in range(8):
+            telem.record_arrival()
+            telem.record_request(0.001)
+        clock.advance(4.0)
+        snap = telem.snapshot()
+        assert snap["throughput_rps"] == pytest.approx(8 / 4.0, rel=1e-3)
+        assert snap["throughput_rps_windowed"] == pytest.approx(8 / 4.0, rel=1e-3)
+        assert snap["arrival_rate_rps"] == pytest.approx(8 / 4.0, rel=1e-3)
+
+    def test_lifetime_rate_decays_but_windowed_rate_recovers(self):
+        # The misleading-throughput bug this release fixes: after a long
+        # idle stretch the lifetime quotient is ~0 forever, while the
+        # windowed rate reflects the current burst.
+        clock = FakeClock()
+        telem = DeploymentTelemetry(rate_window_s=10.0, clock=clock)
+        for _ in range(100):
+            telem.record_request(0.001)
+        clock.advance(1000.0)  # an idle quarter hour
+        for _ in range(50):
+            telem.record_arrival()
+            telem.record_request(0.001)
+        snap = telem.snapshot()
+        assert snap["throughput_rps"] < 1.0  # lifetime never recovers
+        assert snap["throughput_rps_windowed"] == pytest.approx(5.0, rel=1e-3)
+        assert snap["arrival_rate_rps"] == pytest.approx(5.0, rel=1e-3)
+
+    def test_stream_products_feed_the_windowed_rate(self):
+        clock = FakeClock()
+        telem = DeploymentTelemetry(rate_window_s=10.0, clock=clock)
+        telem.record_products(64)
+        snap = telem.snapshot()
+        assert snap["throughput_rps_windowed"] == pytest.approx(64.0)
+
+
+class TestThreadedTelemetry:
+    """Concurrent recorders and snapshotters: exact counters, no tears."""
+
+    def test_latency_window_concurrent_record_and_percentiles(self):
+        window = LatencyWindow(window=512)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def snapshotter() -> None:
+            try:
+                while not stop.is_set():
+                    pct = window.percentiles(50, 99, 99.9)
+                    assert set(pct) == {"p50", "p99", "p99_9"}
+                    window.summary()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=snapshotter) for _ in range(3)]
+        for t in readers:
+            t.start()
+        writers = []
+        for _ in range(4):
+            def write() -> None:
+                for i in range(2000):
+                    window.record(i / 1000.0)
+            writers.append(threading.Thread(target=write))
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert len(window) == 512  # bounded, fully filled
+
+    def test_deployment_counters_exact_under_concurrency(self):
+        telem = DeploymentTelemetry(max_batch=64)
+        threads_n, per_thread = 8, 500
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def snapshotter() -> None:
+            while not stop.is_set():
+                snap = telem.snapshot()
+                # requests are recorded inside one lock with products:
+                # a snapshot must never observe products < requests.
+                if snap["products"] < snap["requests"]:
+                    torn.append(snap)
+
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+
+        def record() -> None:
+            for _ in range(per_thread):
+                telem.record_arrival()
+                telem.record_request(0.001)
+                telem.record_batch(32, engine="fused")
+
+        workers = [threading.Thread(target=record) for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        reader.join()
+        assert torn == []
+        snap = telem.snapshot()
+        total = threads_n * per_thread
+        assert snap["requests"] == total
+        assert snap["products"] == total
+        assert snap["batches"] == total
+        assert snap["engine"]["batches"]["fused"] == total
+        assert telem._arrivals.total == total
+        assert telem._completions.total == total
