@@ -1,0 +1,172 @@
+"""Measured fused-executor tiers across a matrix-size x sparsity sweep.
+
+The executor tiers exist because the dense fold does O(rows * cols)
+work per lane regardless of how empty the schedule is, while the
+segmented and generated tiers do O(terms): the paper's thesis — cost
+tracks nonzero terms, not matrix area — applied to the serving path's
+own arithmetic.  This benchmark sweeps that trade-off, records the
+whole curve to ``BENCH_fused_sparse.json`` at the repo root, and pins
+the contract at both ends:
+
+* **sparse regime**: on a >= 256-wide matrix at >= 90% element
+  sparsity the selected sparse tier must clear **3x** the dense fold's
+  products/s, bit-exact against the bit-plane gate oracle and a golden
+  integer matmul;
+* **dense regime**: the auto-selected executor must never regress the
+  dense fold by more than 10% (it picks the fold itself, so this guards
+  the selector, not numpy);
+* **warm store**: a second :class:`~repro.serve.cache.CompileCache` on
+  the same directory performs **zero** plan/build/lower/fuse/codegen
+  stage executions — the generated source is a persisted artifact, not
+  a recompute (proved against :data:`repro.core.stages.STAGES`).
+
+Run::
+
+    pytest benchmarks/bench_fused_sparse.py
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.stages import STAGES
+from repro.hwsim.fused import FusedCircuit, select_variant
+from repro.serve import CompileCache
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BATCH = 64
+REQUIRED_SPARSE_SPEEDUP = 3.0
+MAX_DENSE_REGRESSION = 0.9  # auto must keep >= 90% of the fold's rate
+
+#: (label, size, element sparsity, weight magnitude).  Small weights at
+#: the sparse points keep the NAF term count per nonzero low — the
+#: regime the sparse tiers are built for; the dense point uses full
+#: s8-range weights so the fold's O(area) matmul is at its best.
+SWEEP = [
+    ("dense-64", 64, 0.5, 100),
+    ("sparse-256-p90", 256, 0.90, 8),
+    ("sparse-256-p95", 256, 0.95, 8),
+]
+ASSERTED_POINT = "sparse-256-p95"  # >= 256 wide, >= 90% sparse
+
+
+def _matrix(seed, size, sparsity, magnitude):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-magnitude, magnitude + 1, size=(size, size))
+    matrix[rng.random((size, size)) < sparsity] = 0
+    return matrix
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_sparse_sweep(tmp_path):
+    """Tier throughput across the sweep + the warm-store contract."""
+    rows = []
+    matrices = []
+    cache = CompileCache(directory=tmp_path)
+    for label, size, sparsity, magnitude in SWEEP:
+        matrix = _matrix(len(label), size, sparsity, magnitude)
+        matrices.append(matrix)
+        entry = cache.get(matrix)
+        fast, fused = entry.fast, entry.fast.fuse()
+        selected = select_variant(
+            fused.terms, fused.rows, fused.cols, fused.result_width
+        )
+        rng = np.random.default_rng(size)
+        vectors = rng.integers(-128, 128, size=(BATCH, size))
+        golden = vectors @ matrix
+        # Oracle first: the gate-level bit-plane engine is bit-exact
+        # with the golden matmul, and every tier must match both.
+        assert np.array_equal(
+            fast.multiply_batch(vectors, engine="bitplane"), golden
+        )
+        timings = {}
+        for variant in FusedCircuit.VARIANTS:
+            circuit = FusedCircuit(
+                fused,
+                variant=variant,
+                source=fast.codegen_source if variant == "generated" else None,
+            )
+            assert np.array_equal(circuit.multiply_batch(vectors), golden), (
+                label,
+                variant,
+            )
+            timings[variant] = _best_of(
+                lambda c=circuit: c.execute(vectors), repeats=20
+            )
+        rows.append(
+            {
+                "point": label,
+                "shape": f"{size}x{size}",
+                "element_sparsity": sparsity,
+                "weight_magnitude": magnitude,
+                "terms": int(fused.terms),
+                "term_density": round(fused.terms / (size * size), 4),
+                "selected_variant": selected,
+                "seconds": {k: round(v, 6) for k, v in timings.items()},
+                "products_per_second": {
+                    k: round(BATCH / v, 1) for k, v in timings.items()
+                },
+                "selected_speedup_vs_dense": round(
+                    timings["dense"] / timings[selected], 2
+                ),
+            }
+        )
+
+    # Warm store: a fresh cache re-serves every point from artifacts
+    # alone — zero pipeline stages, generated source included.
+    before = STAGES.snapshot()
+    warm = CompileCache(directory=tmp_path)
+    for matrix in matrices:
+        warm.get(matrix)
+    delta = STAGES.delta(before)
+    for stage in ("plan", "build", "lower", "fuse", "codegen"):
+        assert delta.get(stage, 0) == 0, (stage, delta)
+    assert warm.kernel_hits == len(SWEEP)
+    assert warm.fused_hits == len(SWEEP)
+    generated_points = [r for r in rows if r["selected_variant"] == "generated"]
+    assert warm.codegen_hits == len(generated_points) >= 1
+
+    by_point = {r["point"]: r for r in rows}
+    record = {
+        "batch": BATCH,
+        "tiers": {
+            "dense": "terms folded to an int64 matrix, one matmul per batch",
+            "segmented": "gather + scale + np.add.reduceat over term segments",
+            "generated": "codegen'd module, fixed-width reshape-sum groups",
+        },
+        "sweep": rows,
+        "asserted_point": ASSERTED_POINT,
+        "required_sparse_speedup": REQUIRED_SPARSE_SPEEDUP,
+        "max_dense_regression": MAX_DENSE_REGRESSION,
+        "warm_store": {
+            "stage_delta": {k: delta.get(k, 0) for k in
+                            ("plan", "build", "lower", "fuse", "codegen")},
+            "codegen_hits": warm.codegen_hits,
+        },
+    }
+    (REPO_ROOT / "BENCH_fused_sparse.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    # Sparse bar: the selected tier must make sparsity pay >= 3x.
+    sparse = by_point[ASSERTED_POINT]
+    assert sparse["element_sparsity"] >= 0.90
+    assert sparse["selected_variant"] != "dense"
+    assert sparse["selected_speedup_vs_dense"] >= REQUIRED_SPARSE_SPEEDUP, sparse
+    # Dense bar: auto must not give back the fold's throughput.
+    dense = by_point["dense-64"]
+    assert dense["selected_variant"] == "dense"
+    assert dense["selected_speedup_vs_dense"] >= MAX_DENSE_REGRESSION, dense

@@ -330,11 +330,18 @@ class ShardServer:
             ),
         )
         busy = time.perf_counter() - start
-        self._count("executes", engine=resolved)
+        # STATS/RESULT carry the variant-qualified executor label
+        # (``fused:<variant>``), derived from the same artifacts and
+        # density selector the client used — so the server-side view in
+        # ``repro.obs`` agrees with client telemetry by construction.
+        label = resolved
+        if resolved == "fused":
+            label = f"fused:{state.fast.fused_variant}"
+        self._count("executes", engine=label)
         spans = None
         if isinstance(trace, dict):
-            spans = [self._server_span(state, trace, resolved, batch, busy)]
-        return result_frame(result, resolved, busy, spans=spans)
+            spans = [self._server_span(state, trace, label, batch, busy)]
+        return result_frame(result, label, busy, spans=spans)
 
     def _server_span(
         self,

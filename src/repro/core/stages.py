@@ -20,7 +20,10 @@ Counted stages:
 * ``"lower"`` — :func:`repro.hwsim.fast.lower` (netlist to flat
   index/opcode arrays);
 * ``"fuse"`` — :func:`repro.hwsim.fused.fuse` (kernel topology to the
-  static CSD shift-add schedule the cycle-loop-free engine executes).
+  static CSD shift-add schedule the cycle-loop-free engine executes);
+* ``"codegen"`` — :func:`repro.hwsim.codegen.generate_source` (fused
+  schedule to specialized numpy executor source; cached as a
+  ``.codegen.py`` artifact so warm deploys skip it).
 
 The registry is intentionally open: any future stage (RTL emission,
 place-and-route modelling) can count itself without touching this

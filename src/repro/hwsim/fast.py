@@ -386,6 +386,7 @@ class FastCircuit:
         source: CompiledCircuit | LoweredKernel,
         plan=None,
         fused: FusedKernel | None = None,
+        codegen_source: str | None = None,
     ) -> None:
         if isinstance(source, LoweredKernel):
             self.kernel = source
@@ -419,9 +420,15 @@ class FastCircuit:
                 "fused kernel fingerprint does not match the lowered kernel"
             )
         self._fused_kernel = fused
-        self._fused_exec: FusedCircuit | None = (
-            FusedCircuit(fused) if fused is not None else None
-        )
+        #: Cached generated executor source (the ``.codegen.py``
+        #: artifact) — attached by the compile cache so sparse kernels
+        #: skip the ``codegen`` stage on warm deploys.  ``None`` means
+        #: generate on demand if the selector picks that variant.
+        self.codegen_source = codegen_source
+        # The executor is built lazily on first fused execution so that
+        # attaching artifacts never materializes executor state (e.g.
+        # the dense fold) the selector may decide against.
+        self._fused_exec: FusedCircuit | None = None
 
     @classmethod
     def from_compiled(cls, circuit: CompiledCircuit) -> "FastCircuit":
@@ -447,8 +454,27 @@ class FastCircuit:
 
     def _fused_circuit(self) -> FusedCircuit:
         if self._fused_exec is None:
-            self._fused_exec = FusedCircuit(self.fuse())
+            self._fused_exec = FusedCircuit(self.fuse(), source=self.codegen_source)
         return self._fused_exec
+
+    @property
+    def fused_variant(self) -> str:
+        """The executor variant fused execution uses (building it if needed).
+
+        One of :attr:`FusedCircuit.VARIANTS` — the label telemetry,
+        spans, and cluster STATS report as ``fused:<variant>`` so
+        operators can tell which code actually ran.
+        """
+        return self._fused_circuit().variant
+
+    @property
+    def resolved_fused_variant(self) -> str | None:
+        """The already-built executor's variant, or ``None`` (no forcing).
+
+        Telemetry scrapes use this: reporting must never trigger fuse
+        or codegen work on a deployment that has not executed fused.
+        """
+        return self._fused_exec.variant if self._fused_exec is not None else None
 
     @property
     def has_faults(self) -> bool:

@@ -59,10 +59,65 @@ from repro.core.stages import STAGES
 if TYPE_CHECKING:  # pragma: no cover - type-only import (fast imports fused)
     from repro.hwsim.fast import LoweredKernel
 
-__all__ = ["FusedKernel", "FusedCircuit", "fuse", "csd_terms", "validate_batch"]
+__all__ = [
+    "FusedKernel",
+    "FusedCircuit",
+    "fuse",
+    "csd_terms",
+    "validate_batch",
+    "segment_prefixes",
+    "term_density",
+    "select_variant",
+    "DENSITY_THRESHOLD",
+]
 
 # Op codes for the topological sweep, assigned per kernel slot.
 _OP_NONE, _OP_INPUT, _OP_ADD, _OP_SUB, _OP_NEG, _OP_DFF = range(6)
+
+#: Term-density boundary between the dense fold and the sparse tiers.
+#: Below this fraction of ``rows * cols`` the segmented/generated
+#: executors do strictly less arithmetic than the dense matmul; above
+#: it the BLAS-backed ``batch @ dense`` wins on memory locality.
+DENSITY_THRESHOLD = 0.25
+
+
+def segment_prefixes(term_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Segment boundaries of a sorted ``term_out`` array.
+
+    Returns ``(starts, segment_out)``: ``starts[k]`` is the index of the
+    first term of segment ``k`` (the shape ``np.add.reduceat`` wants)
+    and ``segment_out[k]`` is the output column that segment feeds.
+    Empty input yields two empty int64 arrays — outputs with no terms
+    simply never appear (they stay zero in the scatter target).
+    """
+    term_out = np.ascontiguousarray(term_out, dtype=np.int64)
+    if len(term_out) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    starts = np.flatnonzero(np.r_[True, term_out[1:] != term_out[:-1]])
+    return starts, term_out[starts]
+
+
+def term_density(terms: int, rows: int, cols: int) -> float:
+    """Fraction of the ``rows x cols`` area carrying CSD terms."""
+    area = rows * cols
+    return terms / area if area else 0.0
+
+
+def select_variant(terms: int, rows: int, cols: int, result_width: int) -> str:
+    """Pick the fused executor variant for a kernel's term statistics.
+
+    Pure policy on scalars so callers holding only artifact *metadata*
+    (term count persisted in the ``.npz`` header) can decide without
+    loading term arrays or materializing the dense fold.  ``>62``-bit
+    kernels always run segmented (exact Python integers); sparse
+    schedules (density below :data:`DENSITY_THRESHOLD`) take the
+    generated executor; dense ones keep the BLAS fold.
+    """
+    if result_width > 62:
+        return "segmented"
+    if term_density(terms, rows, cols) < DENSITY_THRESHOLD:
+        return "generated"
+    return "dense"
 
 
 def validate_batch(vectors: np.ndarray, rows: int, input_width: int) -> np.ndarray:
@@ -308,41 +363,89 @@ def fuse(kernel: "LoweredKernel") -> FusedKernel:
 class FusedCircuit:
     """Execute a :class:`FusedKernel`: ``y = Mx`` with no cycle loop.
 
-    At construction the CSD terms are folded once into the per-``(row,
-    out)`` integer coefficient matrix they sum to — the summation the
-    hardware's adder trees perform spatially.  For ``result_width <=
-    62`` execution is then a single int64 matrix product per batch
-    (every partial sum is bounded by the result width, so int64 never
-    overflows); wider kernels run the term schedule over exact Python
-    integers (object-dtype gather + segmented reduction), matching the
-    gate engines' decode types.
+    Three executor variants, all bit-exact with the gate engines:
+
+    ``dense``
+        The CSD terms are folded once into the per-``(row, out)``
+        integer coefficient matrix they sum to; execution is a single
+        int64 matrix product per batch.  O(rows * cols) per lane
+        regardless of sparsity — fastest when the schedule is dense.
+    ``segmented``
+        CSR-style: gather the term rows, scale by ``sign << shift``,
+        one ``np.add.reduceat`` per batch over the segment boundaries
+        from :func:`segment_prefixes`.  O(terms) per lane.  Kernels
+        wider than 62 bits always run this variant over exact Python
+        integers (object dtype), matching the gate engines' decode
+        types; narrow kernels run it in int64 — safe because the NAF
+        absolute-term sum is at most ``4/3`` of the coefficient sum, so
+        every partial sum is bounded by ``(4/3) * 2**61 < 2**63``.
+    ``generated``
+        The schedule compiled to specialized numpy source by
+        :mod:`repro.hwsim.codegen` — same O(terms) arithmetic with the
+        indexing arrays baked in, outputs grouped by term count so each
+        group reduces with a contiguous fixed-width reshape-sum, and
+        degenerate shapes (empty schedule, one term per output)
+        collapsed at generation time.
+
+    ``variant="auto"`` (the default) picks via :func:`select_variant`;
+    only the chosen variant's state is materialized, so selecting
+    against the dense fold never allocates it.  Pass ``source=`` to
+    reuse cached generated source (skipping the ``codegen`` stage).
     """
 
-    def __init__(self, kernel: FusedKernel) -> None:
+    #: Executor variants, in preference order for dense → sparse.
+    VARIANTS = ("dense", "segmented", "generated")
+
+    def __init__(
+        self,
+        kernel: FusedKernel,
+        variant: str = "auto",
+        source: str | None = None,
+    ) -> None:
         self.kernel = kernel
         self._wide = kernel.result_width > 62
-        n = kernel.terms
-        if self._wide:
-            # Exact object path: gather, scale by sign << shift, one
-            # segmented reduction per output.
-            if n:
-                firsts = np.flatnonzero(
-                    np.r_[True, kernel.term_out[1:] != kernel.term_out[:-1]]
-                )
-                self._starts = firsts
-                self._segment_out = kernel.term_out[firsts]
-            else:
-                self._starts = np.zeros(0, dtype=np.int64)
-                self._segment_out = np.zeros(0, dtype=np.int64)
-            self._coeff = np.array(
-                [int(g) << int(s) for g, s in zip(kernel.term_sign, kernel.term_shift)],
-                dtype=object,
+        if variant == "auto":
+            variant = select_variant(
+                kernel.terms, kernel.rows, kernel.cols, kernel.result_width
             )
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"unknown fused executor variant {variant!r}; "
+                f"expected one of {('auto',) + self.VARIANTS}"
+            )
+        if self._wide and variant != "segmented":
+            raise ValueError(
+                f"kernels wider than 62 bits require the segmented executor, "
+                f"not {variant!r}"
+            )
+        if variant == "generated":
+            from repro.hwsim import codegen  # deferred: codegen imports us
+
+            if source is None:
+                source = codegen.generate_source(kernel)
+            self._generated = codegen.load_execute(source, kernel.fingerprint)
+            self.source = source
+        elif variant == "segmented":
+            self._starts, self._segment_out = segment_prefixes(kernel.term_out)
+            if self._wide:
+                # Exact object path: coefficients as Python integers.
+                self._coeff = np.array(
+                    [
+                        int(g) << int(s)
+                        for g, s in zip(kernel.term_sign, kernel.term_shift)
+                    ],
+                    dtype=object,
+                )
+            else:
+                self._coeff = kernel.term_sign * np.left_shift(
+                    np.int64(1), kernel.term_shift
+                )
         else:
             dense = np.zeros((kernel.rows, kernel.cols), dtype=np.int64)
             scaled = kernel.term_sign * np.left_shift(np.int64(1), kernel.term_shift)
             np.add.at(dense, (kernel.term_row, kernel.term_out), scaled)
             self._dense = dense
+        self.variant = variant
 
     def multiply_batch(self, vectors: np.ndarray) -> np.ndarray:
         """Evaluate a ``(B, rows)`` batch; returns ``(B, cols)``."""
@@ -357,12 +460,17 @@ class FusedCircuit:
     def execute(self, batch: np.ndarray) -> np.ndarray:
         """Run a pre-validated int64 ``(B, rows)`` batch (the hot path)."""
         kernel = self.kernel
-        if not self._wide:
+        if self.variant == "dense":
             return batch @ self._dense
-        out = np.zeros((batch.shape[0], kernel.cols), dtype=object)
+        if self.variant == "generated":
+            return self._generated(batch)
+        dtype = object if self._wide else np.int64
+        out = np.zeros((batch.shape[0], kernel.cols), dtype=dtype)
         if batch.shape[0] == 0 or kernel.terms == 0:
             return out
-        gathered = batch[:, kernel.term_row].astype(object)
+        gathered = batch[:, kernel.term_row]
+        if self._wide:
+            gathered = gathered.astype(object)
         sums = np.add.reduceat(gathered * self._coeff, self._starts, axis=1)
         out[:, self._segment_out] = sums
         return out

@@ -151,7 +151,12 @@ class ServedESN(HardwareESN):
 def _resolved_multiply(
     sharded: ShardedMultiplier, engine: str, batch: np.ndarray, trace=None
 ) -> tuple[str, np.ndarray]:
-    """Resolve ``engine`` and execute, returning ``(effective, result)``.
+    """Resolve ``engine`` and execute, returning ``(label, result)``.
+
+    ``label`` is the variant-qualified reporting label
+    (:meth:`ShardedMultiplier.executor_label`): gate engines verbatim,
+    fused execution as ``fused:<variant>`` so telemetry distinguishes
+    the dense fold from the segmented and generated executors.
 
     Resolution and execution are not atomic: a fault injected between
     ``resolve_engine("auto") -> "fused"`` and the shard run makes the
@@ -165,9 +170,8 @@ def _resolved_multiply(
     """
     effective = sharded.resolve_engine(engine)
     try:
-        return effective, sharded.multiply_batch(
-            batch, engine=effective, trace=trace
-        )
+        out = sharded.multiply_batch(batch, engine=effective, trace=trace)
+        return sharded.executor_label(effective), out
     except ValueError:
         if engine != "auto" or effective != "fused":
             raise

@@ -79,7 +79,9 @@ from repro.core.plan import plan_matrix
 from repro.core.serialize import array_from_payload, array_to_payload
 from repro.core.tiling import plan_column_tiles
 from repro.hwsim.builder import CompiledCircuit, build_circuit
+from repro.hwsim.codegen import generate_source
 from repro.hwsim.fast import FastCircuit, LoweredKernel
+from repro.hwsim.fused import select_variant
 from repro.serve.cache import CompileCache, compile_key, persist_artifacts
 
 __all__ = [
@@ -155,16 +157,19 @@ class Shard:
 _WORKER_FAST: FastCircuit | None = None
 
 
-def _process_worker_init(kernel: LoweredKernel, fused) -> None:
+def _process_worker_init(kernel: LoweredKernel, fused, codegen_source=None) -> None:
     """Bind this worker to its shard's kernel (and fused schedule).
 
     ``fused`` is the shard's pre-fused :class:`FusedKernel` when the
     parent had one (compile-cache deployments always do), shipped once
     here so ``engine="fused"`` calls never re-fuse in the worker; a
     worker given ``None`` fuses lazily on first fused execution.
+    ``codegen_source`` likewise ships the parent's generated executor
+    source (a plain string) so sparse shards never re-run the
+    ``codegen`` stage in the worker.
     """
     global _WORKER_FAST
-    _WORKER_FAST = FastCircuit(kernel, fused=fused)
+    _WORKER_FAST = FastCircuit(kernel, fused=fused, codegen_source=codegen_source)
 
 
 def _process_worker_run(
@@ -348,12 +353,25 @@ class ShardedMultiplier:
                         scheme=scheme,
                         tree_style=tree_style,
                     )
+                fused = fast.fuse()
+                if fast.codegen_source is None and (
+                    select_variant(
+                        fused.terms, fused.rows, fused.cols, fused.result_width
+                    )
+                    == "generated"
+                ):
+                    # The fleet resolves *all* of a shard's artifacts
+                    # from the store, so a sparse shard's generated
+                    # source must land there too — otherwise every
+                    # server pays one codegen per deploy.
+                    fast.codegen_source = generate_source(fused)
                 persist_artifacts(
                     store_dir,
                     compile_key(piece, input_width, scheme, tree_style),
                     plan,
                     fast.kernel,
-                    fast.fuse(),
+                    fused,
+                    codegen_source=fast.codegen_source,
                 )
             self.shards.append(
                 Shard(index=k, start=start, stop=stop, circuit=circuit, fast=fast)
@@ -371,7 +389,7 @@ class ShardedMultiplier:
                 ProcessPoolExecutor(
                     max_workers=1,
                     initializer=_process_worker_init,
-                    initargs=(shard.kernel, shard.fast.fused),
+                    initargs=(shard.kernel, shard.fast.fused, shard.fast.codegen_source),
                 )
                 for shard in self.shards
             ]
@@ -516,17 +534,55 @@ class ShardedMultiplier:
             )
         return engine
 
+    def fused_variant(self) -> str:
+        """The fused executor variant this deployment runs.
+
+        One of :attr:`~repro.hwsim.fused.FusedCircuit.VARIANTS`, or
+        ``"mixed"`` when column shards resolve differently (shard term
+        densities straddle the selector threshold).  Forces each
+        shard's fused executor to build — call only when fused
+        execution is (about to be) live.
+        """
+        variants = {s.fast.fused_variant for s in self.shards}
+        return variants.pop() if len(variants) == 1 else "mixed"
+
+    def executor_label(self, engine: str) -> str:
+        """The variant-qualified reporting label for a resolved engine.
+
+        Gate engines pass through unchanged; ``"fused"`` gains its
+        executor variant (``fused:dense`` / ``fused:segmented`` /
+        ``fused:generated`` / ``fused:mixed``) so telemetry, spans, and
+        cluster STATS say which code actually ran.  The *execution*
+        engine strings (:attr:`FastCircuit.ENGINES`) are unchanged —
+        this is a reporting label, never an engine name.
+        """
+        if engine != "fused":
+            return engine
+        return f"fused:{self.fused_variant()}"
+
+    def resolve_executor(self, engine: str = "auto") -> str:
+        """:meth:`resolve_engine` plus variant qualification.
+
+        The label the serve layer records per hardware call; the
+        cluster server derives the same label from the same selector on
+        the same artifacts, so client- and server-side reporting agree.
+        """
+        return self.executor_label(self.resolve_engine(engine))
+
     def _dispatch_span(self, shard: Shard, engine: str, trace):
         """Open a ``shard_dispatch`` span, or ``None`` when untraced."""
         if self.tracer is None or trace is None:
             return None
+        label = (
+            f"fused:{shard.fast.fused_variant}" if engine == "fused" else engine
+        )
         return self.tracer.start_span(
             "shard_dispatch",
             parent=trace,
             shard=shard.index,
             columns=[shard.start, shard.stop],
             backend=self.backend,
-            engine=engine,
+            engine=label,
         )
 
     def _run_shard(
@@ -698,7 +754,7 @@ class ShardedMultiplier:
                         parent=trace,
                         backend="process",
                         shards=self.shard_count,
-                        engine=engine,
+                        engine=self.executor_label(engine),
                     ):
                         return self._run_process_backend(batch, engine)
                 return self._run_process_backend(batch, engine)
@@ -782,6 +838,12 @@ class ShardedMultiplier:
                     "busy_s": round(s.busy_s, 6),
                     "utilization": round(s.busy_s / elapsed, 6),
                 }
+                # Which fused executor this shard would run — reported
+                # only once built (never forces a build from a
+                # telemetry scrape).
+                variant = s.fast.resolved_fused_variant
+                if variant is not None:
+                    entry["fused_variant"] = variant
                 if self.backend == "remote" and self._remotes:
                     entry.update(self._remotes[s.index].telemetry())
                 per_shard.append(entry)

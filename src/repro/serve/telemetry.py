@@ -192,7 +192,10 @@ class DeploymentTelemetry:
         # Hardware batches per *effective* engine: an "auto" deployment
         # serves fused traffic until a fault campaign flips it to the
         # gate-level engine, and an operator should be able to see both
-        # the current choice and the history on the dashboard.
+        # the current choice and the history on the dashboard.  Fused
+        # batches arrive variant-qualified ("fused:dense" /
+        # "fused:segmented" / "fused:generated" / "fused:mixed") so the
+        # dashboard also distinguishes which fused executor ran.
         self.engine_batches: dict[str, int] = {}
         self.effective_engine: str | None = None
         # Zero-downtime matrix swaps this deployment has been through —
@@ -227,6 +230,10 @@ class DeploymentTelemetry:
 
         ``engine`` is the *effective* engine the batch executed on (the
         resolved value of an ``"auto"`` deployment), recorded per batch.
+        Fused execution reports the variant-qualified label
+        (``fused:<variant>`` from
+        :meth:`~repro.serve.shards.ShardedMultiplier.executor_label`);
+        this class treats all labels as opaque strings.
         """
         with self._lock:
             self.batches += 1

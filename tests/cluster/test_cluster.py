@@ -178,7 +178,7 @@ class TestFaultsOverTheNetwork:
                 service.multiply(handle, vectors), vectors @ matrix
             )
             snap = service.telemetry(handle)
-            assert snap["engine"]["effective"] == "fused"
+            assert snap["engine"]["effective"] == "fused:dense"
 
     def test_fault_campaign_runs_unchanged_over_the_fleet(self, fleet):
         from repro.core.plan import plan_matrix

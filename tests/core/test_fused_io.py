@@ -20,6 +20,7 @@ from repro.core.serialize import (
     fused_from_npz,
     fused_to_npz,
     kernel_to_npz,
+    npz_header,
 )
 from repro.hwsim.builder import build_circuit
 from repro.hwsim.fast import FastCircuit, lower
@@ -86,6 +87,56 @@ class TestRoundTrip:
         assert np.array_equal(
             fast.multiply_batch(vectors, engine="fused"), vectors @ matrix
         )
+
+
+class TestTermMetadata:
+    """Term statistics ride in the .npz header so the executor selector
+    can decide from metadata alone — without loading term arrays or
+    materializing the dense fold."""
+
+    def test_fused_header_carries_term_count_and_density(self, tmp_path):
+        _, _, fused, _ = _fused(seed=7)
+        path = tmp_path / "m.fused.npz"
+        fused_to_npz(fused, path)
+        header = npz_header(path)
+        assert header["term_count"] == fused.terms
+        assert header["term_density"] == pytest.approx(
+            fused.terms / (fused.rows * fused.cols)
+        )
+
+    def test_kernel_header_accepts_extra_metadata(self, tmp_path):
+        _, circuit, fused, _ = _fused(seed=8)
+        path = tmp_path / "k.kernel.npz"
+        kernel_to_npz(
+            lower(circuit),
+            path,
+            metadata={"term_count": fused.terms, "term_density": 0.25},
+        )
+        header = npz_header(path)
+        assert header["term_count"] == fused.terms
+        assert header["term_density"] == 0.25
+
+    def test_pre_metadata_artifacts_still_load(self, tmp_path):
+        """Graceful backfill: stores written before the metadata existed
+        have no term_count key, and readers must not care."""
+        _, _, fused, vectors = _fused(seed=9)
+        path = tmp_path / "old.fused.npz"
+        fused_to_npz(fused, path)
+        with np.load(path, allow_pickle=False) as data:
+            entries = {k: data[k] for k in data.files}
+        header = json.loads(str(entries.pop("__header__")[()]))
+        header.pop("term_count")
+        header.pop("term_density")
+        np.savez_compressed(path, __header__=json.dumps(header), **entries)
+        loaded = fused_from_npz(path)
+        assert loaded.equivalent(fused)
+        assert "term_count" not in npz_header(path)
+
+    def test_npz_header_rejects_headerless_archives(self, tmp_path):
+        path = tmp_path / "raw.npz"
+        np.savez_compressed(path, data=np.arange(3))
+        with pytest.raises(ValueError, match="header"):
+            npz_header(path)
 
 
 class TestArtifactValidation:

@@ -43,8 +43,8 @@ class TestAutoSelection:
             assert np.array_equal(service.multiply(handle, vectors), vectors @ matrix)
             snap = service.telemetry(handle)
             assert snap["engine"]["configured"] == "auto"
-            assert snap["engine"]["effective"] == "fused"
-            assert snap["engine"]["batches"] == {"fused": 1}
+            assert snap["engine"]["effective"] == "fused:dense"
+            assert snap["engine"]["batches"] == {"fused:dense": 1}
 
     def test_micro_batched_path_records_fused(self):
         matrix = _matrix(2)
@@ -53,7 +53,9 @@ class TestAutoSelection:
             vectors = np.random.default_rng(3).integers(-128, 128, size=(6, 16))
             result = asyncio.run(service.submit_many(handle, vectors))
             assert np.array_equal(result, vectors @ matrix)
-            assert service.telemetry(handle)["engine"]["effective"] == "fused"
+            assert (
+                service.telemetry(handle)["engine"]["effective"] == "fused:dense"
+            )
 
     def test_explicit_engine_pin_overrides_auto(self):
         matrix = _matrix(4)
@@ -88,7 +90,8 @@ class TestAutoSelection:
             inputs = rng.integers(-100, 101, size=(20, 1))
             states = service.run_stream(handle, inputs)
             assert states.shape == (20, 14)
-            assert service.telemetry(handle)["engine"]["effective"] == "fused"
+            effective = service.telemetry(handle)["engine"]["effective"]
+            assert effective.startswith("fused:")
 
 
 class TestFaultFallback:
@@ -100,7 +103,9 @@ class TestFaultFallback:
             vectors = np.random.default_rng(9).integers(-128, 128, size=(5, 16))
             clean = service.multiply(handle, vectors)
             assert np.array_equal(clean, vectors @ matrix)
-            assert service.telemetry(handle)["engine"]["effective"] == "fused"
+            assert (
+                service.telemetry(handle)["engine"]["effective"] == "fused:dense"
+            )
 
             shard = handle.sharded.shards[0]
             injection = inject_stuck_output(
@@ -125,7 +130,9 @@ class TestFaultFallback:
             # Faults gone: auto flips back to fused, results recover.
             assert handle.sharded.resolve_engine("auto") == "fused"
             assert np.array_equal(service.multiply(handle, vectors), clean)
-            assert service.telemetry(handle)["engine"]["effective"] == "fused"
+            assert (
+                service.telemetry(handle)["engine"]["effective"] == "fused:dense"
+            )
             assert service.telemetry(handle)["engine"]["batches"]["bitplane"] == 1
 
     def test_race_between_resolution_and_execution_falls_back(self, monkeypatch):
@@ -183,7 +190,7 @@ class TestWarmStartContract:
         with MatMulService(cache=cache) as service:
             handle = service.deploy(matrix, shards=2)
             delta = STAGES.delta(before)
-            for stage in ("plan", "build", "lower", "fuse"):
+            for stage in ("plan", "build", "lower", "fuse", "codegen"):
                 assert delta.get(stage, 0) == 0, (stage, delta)
             # Both shard lookups were kernel hits with persisted schedules.
             assert cache.kernel_hits == 2
@@ -191,7 +198,9 @@ class TestWarmStartContract:
             assert cache.stats()["fused_hits"] == 2
             vectors = np.random.default_rng(13).integers(-128, 128, size=(4, 16))
             assert np.array_equal(service.multiply(handle, vectors), vectors @ matrix)
-            assert service.telemetry(handle)["engine"]["effective"] == "fused"
+            assert (
+                service.telemetry(handle)["engine"]["effective"] == "fused:dense"
+            )
 
     def test_pre_fused_store_backfills_the_schedule_artifact(self, tmp_path):
         """Stores written before the fused artifact existed re-fuse from
