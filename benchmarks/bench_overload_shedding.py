@@ -1,0 +1,338 @@
+"""Overload drill: open-loop Poisson floods against an admitted fleet.
+
+A 48x48 matrix is served by three loopback shard hosts, every link
+routed through a :class:`~repro.cluster.chaos.ChaosProxy` that delays
+each chunk — the wire has real latency, so capacity is finite and
+measurable.  The drill then walks the overload arc:
+
+1. **capacity** — closed-loop saturation measures what the service can
+   actually sustain through the degraded links;
+2. **1x** — an open-loop Poisson arrival process offers exactly that
+   rate: almost everything is admitted and completes;
+3. **3x** — arrivals triple, a greedy tenant hogs a fifth of them, and
+   host 0 is killed mid-flood.  The admission controller sheds the
+   excess (queue-full for the overflow, quota for the greedy tenant,
+   expired for requests whose deadline died in the queue) while the
+   killed shard degrades to local fallback.
+
+Contracts asserted (an open-loop driver never slows down to match the
+service, so these hold under genuine overload):
+
+* **admitted work is bit-exact** — every completed row equals
+  ``vector @ matrix`` exactly, through corruption-free chaos links,
+  the kill, and the fallback;
+* **goodput holds** — completed-per-second during the 3x flood stays
+  within 80% of measured capacity: shedding protects the admitted;
+* **shed work fails fast** — quota/queue refusals return in
+  milliseconds, expirations within the deadline budget, and nothing
+  ever hangs;
+* **the books balance exactly** — offered == completed + queue_full +
+  quota + expired, client-side per phase and in service telemetry, and
+  the flight recorder holds exactly one ``request_shed`` event per
+  refusal.
+
+Results are written to ``BENCH_overload_shedding.json`` at the repo
+root.
+
+Run::
+
+    pytest benchmarks/bench_overload_shedding.py
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.cluster import BackoffPolicy, ClusterController, wrap_fleet
+from repro.obs.recorder import FlightRecorder
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineExceeded,
+    QueueFull,
+    QuotaExceeded,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DIM = 48
+SPARSITY = 0.5
+SERVERS = 3
+WAVE = 32                   # distinct vectors, reused round-robin
+LINK_DELAY_S = 0.004        # chaos delay per chunk, each direction
+REQUEST_TIMEOUT_S = 0.25
+MAX_BATCH = 8
+MAX_DELAY_S = 0.004
+DEADLINE_S = 1.5
+CAP_WORKERS = 32            # closed-loop saturation width
+CAP_WINDOW_S = 1.2
+CAP_CLAMP_RPS = 600.0       # keep the open-loop driver schedulable
+TICK_S = 0.01               # Poisson arrivals are drawn per tick
+GREEDY_EVERY = 5            # every 5th arrival is the greedy tenant
+KILL_FRACTION = 0.3         # kill host 0 this far into the 3x flood
+GOODPUT_FLOOR = 0.8
+SHED_FAST_S = 0.25          # quota/queue refusals must return by this
+
+
+def _matrix():
+    rng = np.random.default_rng(41)
+    matrix = rng.integers(-128, 128, size=(DIM, DIM))
+    matrix[rng.random((DIM, DIM)) < SPARSITY] = 0
+    return matrix
+
+
+def _percentile(values, point):
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), point))
+
+
+async def _measure_capacity(service, handle, vectors):
+    """Closed-loop saturation: CAP_WORKERS back-to-back submitters."""
+    stop_at = time.perf_counter() + CAP_WINDOW_S
+    completed = 0
+
+    async def worker(seed):
+        nonlocal completed
+        i = seed
+        while time.perf_counter() < stop_at:
+            await service.submit(handle, vectors[i % WAVE])
+            completed += 1
+            i += 1
+
+    start = time.perf_counter()
+    await asyncio.gather(*(worker(k) for k in range(CAP_WORKERS)))
+    return completed / (time.perf_counter() - start)
+
+
+async def _poisson_flood(
+    service, handle, vectors, golden, rate_rps, total,
+    rng, kill_at=None, controller=None,
+):
+    """Open-loop Poisson arrivals at ``rate_rps``: the driver never
+    waits for the service, so overload is real.  Returns the phase's
+    outcome tally; every completed row is checked bit-exact inline."""
+    tally = {
+        "offered": 0, "completed": 0, "queue_full": 0, "quota": 0,
+        "expired": 0, "errors": 0, "mismatches": 0,
+        "ok_latency": [], "shed_latency": [], "expired_latency": [],
+    }
+    loop = asyncio.get_running_loop()
+    kill_future = None
+
+    async def one(idx):
+        tenant = "greedy" if idx % GREEDY_EVERY == 0 else "default"
+        t0 = time.perf_counter()
+        try:
+            row = await service.submit(
+                handle, vectors[idx % WAVE], tenant=tenant,
+                deadline_s=DEADLINE_S,
+            )
+        except QuotaExceeded:
+            tally["quota"] += 1
+            tally["shed_latency"].append(time.perf_counter() - t0)
+        except QueueFull:
+            tally["queue_full"] += 1
+            tally["shed_latency"].append(time.perf_counter() - t0)
+        except DeadlineExceeded:
+            tally["expired"] += 1
+            tally["expired_latency"].append(time.perf_counter() - t0)
+        except Exception:
+            tally["errors"] += 1
+        else:
+            tally["completed"] += 1
+            tally["ok_latency"].append(time.perf_counter() - t0)
+            if not np.array_equal(row, golden[idx % WAVE]):
+                tally["mismatches"] += 1
+
+    start = time.perf_counter()
+    tasks = []
+    launched = 0
+    while launched < total:
+        burst = min(int(rng.poisson(rate_rps * TICK_S)), total - launched)
+        for _ in range(burst):
+            if (
+                kill_at is not None
+                and kill_future is None
+                and launched >= kill_at
+            ):
+                kill_future = loop.run_in_executor(
+                    None, controller.kill_server, 0
+                )
+            tasks.append(asyncio.ensure_future(one(launched)))
+            launched += 1
+        await asyncio.sleep(TICK_S)
+    tally["offered"] = launched
+    tally["arrival_span_s"] = time.perf_counter() - start
+    await asyncio.gather(*tasks)
+    tally["busy_span_s"] = time.perf_counter() - start
+    if kill_future is not None:
+        await kill_future
+    return tally
+
+
+def _phase_record(tally, rate_rps):
+    shed = tally["queue_full"] + tally["quota"] + tally["expired"]
+    return {
+        "offered_rate_rps": round(rate_rps, 1),
+        "offered": tally["offered"],
+        "completed": tally["completed"],
+        "queue_full": tally["queue_full"],
+        "quota": tally["quota"],
+        "expired": tally["expired"],
+        "shed_total": shed,
+        "goodput_rps": round(tally["completed"] / tally["busy_span_s"], 1),
+        "busy_span_s": round(tally["busy_span_s"], 3),
+        "ok_p50_ms": round(_percentile(tally["ok_latency"], 50) * 1e3, 2),
+        "ok_p99_ms": round(_percentile(tally["ok_latency"], 99) * 1e3, 2),
+        "shed_p99_ms": round(_percentile(tally["shed_latency"], 99) * 1e3, 2),
+        "expired_p99_ms": round(
+            _percentile(tally["expired_latency"], 99) * 1e3, 2
+        ),
+    }
+
+
+def test_overload_shedding(tmp_path):
+    matrix = _matrix()
+    vectors = np.random.default_rng(43).integers(-128, 128, size=(WAVE, DIM))
+    golden = vectors @ matrix
+    rng = np.random.default_rng(47)
+    # Big enough that no shed event is ever evicted: the exact-count
+    # reconciliation below depends on the ring never wrapping.
+    recorder = FlightRecorder(capacity=32768)
+    results = {"config": {
+        "dim": DIM, "servers": SERVERS, "link_delay_s": LINK_DELAY_S,
+        "max_batch": MAX_BATCH, "deadline_s": DEADLINE_S,
+        "request_timeout_s": REQUEST_TIMEOUT_S,
+    }}
+
+    with ClusterController(
+        tmp_path / "store", request_timeout_s=REQUEST_TIMEOUT_S
+    ) as controller:
+        controller.start_local_fleet(SERVERS)
+        proxies, proxied = wrap_fleet(
+            controller.endpoints, delay_s=LINK_DELAY_S, seed=53
+        )
+        try:
+            backoff = BackoffPolicy(
+                initial_s=0.05, multiplier=2.0, max_s=0.5, jitter=0.25
+            )
+            with controller.remote_service(
+                max_batch=MAX_BATCH,
+                max_delay_s=MAX_DELAY_S,
+                probe_backoff=backoff,
+                recorder=recorder,
+            ) as service:
+                handle = service.deploy(
+                    matrix, shards=SERVERS, endpoints=proxied
+                )
+
+                async def drive():
+                    capacity = await _measure_capacity(
+                        service, handle, vectors
+                    )
+                    cap_used = min(capacity, CAP_CLAMP_RPS)
+                    # Size admission to the measured fleet: the queue is
+                    # worth ~0.6s of work, well under the 1.5s deadline,
+                    # and the greedy tenant gets ~6% of capacity.
+                    depth = max(16, min(96, int(cap_used * 0.6)))
+                    admission = AdmissionController(max_queue_depth=depth)
+                    admission.set_quota(
+                        "greedy", rate_rps=max(4.0, cap_used * 0.06)
+                    )
+                    service.admission = admission
+                    n1 = max(60, min(1200, int(cap_used * 1.5)))
+                    flood1 = await _poisson_flood(
+                        service, handle, vectors, golden, cap_used, n1, rng
+                    )
+                    # The 3x flood runs long enough (~5s of arrivals)
+                    # that the mid-flood kill stall amortizes: goodput
+                    # is a steady-state claim, not a lucky window.
+                    rate3 = 3.0 * cap_used
+                    n3 = max(240, min(9000, int(rate3 * 5.0)))
+                    flood3 = await _poisson_flood(
+                        service, handle, vectors, golden, rate3, n3, rng,
+                        kill_at=int(n3 * KILL_FRACTION), controller=controller,
+                    )
+                    return capacity, cap_used, depth, flood1, flood3
+
+                capacity, cap_used, depth, flood1, flood3 = asyncio.run(
+                    drive()
+                )
+
+                results["capacity_rps"] = round(capacity, 1)
+                results["capacity_used_rps"] = round(cap_used, 1)
+                results["queue_depth"] = depth
+                results["flood_1x"] = _phase_record(flood1, cap_used)
+                results["flood_3x"] = _phase_record(flood3, 3.0 * cap_used)
+
+                # -- contract: admitted work is bit-exact, always ------
+                for tally in (flood1, flood3):
+                    assert tally["mismatches"] == 0
+                    assert tally["errors"] == 0
+
+                # -- contract: the books balance exactly ---------------
+                for tally in (flood1, flood3):
+                    assert tally["offered"] == (
+                        tally["completed"] + tally["queue_full"]
+                        + tally["quota"] + tally["expired"]
+                    )
+                snap = handle.telemetry.snapshot()
+                adm = snap["admission"]
+                assert snap["arrivals"] == (
+                    snap["requests"] + adm["sheds"]
+                    + adm["quota_rejections"] + adm["expired"]
+                )
+                shed_events = recorder.events("request_shed")
+                assert len(shed_events) == (
+                    adm["sheds"] + adm["quota_rejections"] + adm["expired"]
+                )
+                assert service.admission.outstanding == 0
+
+                # -- contract: overload actually shed, quotas bit ------
+                shed3 = (
+                    flood3["queue_full"] + flood3["quota"] + flood3["expired"]
+                )
+                assert shed3 > 0
+                assert flood3["quota"] > 0  # greedy tenant was clipped
+
+                # -- contract: shed work fails fast, nothing hangs -----
+                for tally in (flood1, flood3):
+                    assert all(
+                        lat < SHED_FAST_S for lat in tally["shed_latency"]
+                    )
+                    assert all(
+                        lat < DEADLINE_S + 1.0
+                        for lat in tally["expired_latency"]
+                    )
+                    assert (
+                        _percentile(tally["ok_latency"], 99)
+                        < DEADLINE_S + 1.0
+                    )
+
+                # -- contract: goodput holds through the 3x kill -------
+                goodput3 = flood3["completed"] / flood3["busy_span_s"]
+                assert goodput3 >= GOODPUT_FLOOR * cap_used
+
+                # -- the kill really degraded host 0 to fallback -------
+                shard0 = handle.sharded._remotes[0]
+                assert shard0.local_fallbacks > 0 or not shard0.healthy
+
+                results["shed_events_recorded"] = len(shed_events)
+                results["telemetry"] = {
+                    "arrivals": snap["arrivals"],
+                    "requests": snap["requests"],
+                    "sheds": adm["sheds"],
+                    "quota_rejections": adm["quota_rejections"],
+                    "expired": adm["expired"],
+                    "per_tenant": adm["per_tenant"],
+                }
+                results["chaos"] = [p.stats() for p in proxies]
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    out = REPO_ROOT / "BENCH_overload_shedding.json"
+    out.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(json.dumps(results["flood_3x"], indent=2))

@@ -30,7 +30,11 @@ a network transport:
   loopback fleets for tests and benchmarks, ``deploy_fleet`` /
   ``remote_service`` wiring into :class:`~repro.serve.MatMulService`
   so micro-batching, telemetry, and ``fault_campaign(service=...)``
-  work unchanged over the network.
+  work unchanged over the network;
+* :mod:`repro.cluster.chaos` — :class:`ChaosProxy` / :func:`wrap_fleet`:
+  byte-level fault-injection proxies (delay, drop, corrupt, blackhole,
+  slow-drip, link cut) for chaos-testing deadline propagation, circuit
+  breakers, and graceful degradation against a loopback fleet.
 
 Quick taste (one process; real fleets run
 ``python -m repro.cluster.server --store ...`` per host)::
@@ -47,24 +51,33 @@ See ``docs/cluster.md`` for the protocol reference, a deploy
 walkthrough, and the failure semantics.
 """
 
+from repro.cluster.chaos import ChaosProxy, wrap_fleet
 from repro.cluster.client import ClusterClient, RemoteShard, RemoteShardError
 from repro.cluster.controller import ClusterController, LocalServerHandle
 from repro.cluster.health import BackoffPolicy, HealthProber, ProbeState
 from repro.cluster.protocol import (
+    ERR_AUTH,
+    ERR_EXPIRED,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
     RemoteFault,
+    auth_response,
 )
 from repro.cluster.server import ShardServer
 
 __all__ = [
     "BackoffPolicy",
+    "ChaosProxy",
     "ClusterClient",
     "ClusterController",
+    "ERR_AUTH",
+    "ERR_EXPIRED",
     "FrameType",
+    "auth_response",
+    "wrap_fleet",
     "HealthProber",
     "LocalServerHandle",
     "MAX_FRAME_BYTES",

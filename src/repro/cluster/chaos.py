@@ -1,0 +1,319 @@
+"""Fault-injection TCP proxies for chaos-testing the shard fleet.
+
+A :class:`ChaosProxy` sits between a :class:`~repro.cluster.client.RemoteShard`
+and its :class:`~repro.cluster.server.ShardServer`, forwarding raw bytes
+while injecting the failure modes real networks produce:
+
+* **delay** — every forwarded chunk sleeps first (RTT inflation, the
+  input that pushes deadlines past their budget);
+* **drop** — a chunk vanishes mid-stream, desynchronizing the length-
+  prefixed framing (the peer sees a protocol error or a stalled read);
+* **corrupt** — one bit of a chunk flips (exercises the decoder's
+  bounds checks and the client's stable-error handling);
+* **blackhole** — bytes are swallowed silently in both directions (the
+  connection looks alive but never answers; only socket timeouts save
+  the caller);
+* **drip** — chunks are re-sliced into tiny pieces with a pause between
+  each (slow-loris reads that hold buffers half-full);
+* **cut** — the listener and every live connection are aborted at once
+  (a link failing, as opposed to a host dying — pair with
+  :meth:`ClusterController.kill_server` for the host version).
+
+All knobs are plain attributes re-read per chunk, so a test can mutate
+``proxy.delay_s`` / ``proxy.blackhole`` on a live proxy and the very
+next frame feels it.  Faults are sampled from a seeded ``random.Random``
+so chaos runs are reproducible.
+
+The proxy follows the :class:`~repro.cluster.controller.LocalServerHandle`
+hosting pattern: one background thread, one private asyncio loop, and
+idempotent teardown.  :func:`wrap_fleet` builds one proxy per fleet
+endpoint and returns the proxied endpoint list to hand to a deployment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from typing import Any
+
+__all__ = ["ChaosProxy", "wrap_fleet"]
+
+_CHUNK = 65536
+
+
+class ChaosProxy:
+    """A byte-level TCP proxy that injects faults between two sockets.
+
+    Args:
+        upstream: ``(host, port)`` of the real server behind the proxy.
+        host / port: where the proxy listens (port 0 picks a free one).
+        delay_s: sleep this long before forwarding each chunk.
+        drop_rate: probability a chunk is silently discarded.
+        corrupt_rate: probability one bit of a chunk is flipped.
+        blackhole: swallow every chunk (both directions) while ``True``.
+        drip_bytes: when set, forward in slices of at most this many
+            bytes, sleeping ``drip_delay_s`` between slices.
+        drip_delay_s: pause between drip slices.
+        seed: seeds the fault-sampling RNG for reproducible chaos.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        delay_s: float = 0.0,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        blackhole: bool = False,
+        drip_bytes: int | None = None,
+        drip_delay_s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.upstream = (str(upstream[0]), int(upstream[1]))
+        self.delay_s = float(delay_s)
+        self.drop_rate = float(drop_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.blackhole = bool(blackhole)
+        self.drip_bytes = drip_bytes
+        self.drip_delay_s = float(drip_delay_s)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {
+            "connections": 0,
+            "upstream_failures": 0,
+            "chunks_forwarded": 0,
+            "bytes_forwarded": 0,
+            "chunks_dropped": 0,
+            "chunks_corrupted": 0,
+            "chunks_blackholed": 0,
+        }
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._endpoint: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-chaos-proxy-{self.upstream[1]}",
+            daemon=True,
+        )
+        self._requested = (str(host), int(port))
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"chaos proxy failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("chaos proxy did not start within 10s")
+
+    # -- hosting --------------------------------------------------------------
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle, self._requested[0], self._requested[1]
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the spawner
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._server = server
+        sockname = server.sockets[0].getsockname()
+        self._endpoint = (sockname[0], sockname[1])
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.set_exception_handler(lambda _loop, _ctx: None)
+            loop.run_until_complete(self._teardown())
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            if pending:
+                loop.run_until_complete(asyncio.wait(pending, timeout=2.0))
+            for task in asyncio.all_tasks(loop):
+                if not task.done():
+                    task.cancel()
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _teardown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """Where clients should connect instead of the upstream."""
+        if self._endpoint is None:
+            raise RuntimeError("proxy is not listening")
+        return self._endpoint
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            doc: dict[str, Any] = dict(self._counters)
+        doc["upstream"] = f"{self.upstream[0]}:{self.upstream[1]}"
+        return doc
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += amount
+
+    # -- fault lifecycle ------------------------------------------------------
+
+    def cut(self) -> None:
+        """Sever the link: abort live connections, refuse new ones.
+
+        Unlike :meth:`stop` the proxy thread stays alive, so counters
+        remain readable after the drill; the link itself is gone for
+        good (restart the upstream server behind a *new* proxy, or use
+        ``blackhole`` for a recoverable stall).
+        """
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+        done = threading.Event()
+
+        def _do_cut() -> None:
+            asyncio.ensure_future(self._teardown()).add_done_callback(
+                lambda _f: done.set()
+            )
+
+        loop.call_soon_threadsafe(_do_cut)
+        done.wait(timeout=5.0)
+
+    def stop(self) -> None:
+        """Tear down the proxy and join the host thread (idempotent)."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- forwarding -----------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._count("connections")
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+        except OSError:
+            self._count("upstream_failures")
+            writer.transport.abort()
+            return
+        self._writers.add(writer)
+        self._writers.add(up_writer)
+        try:
+            # The framed protocol never half-closes: the first direction
+            # to see EOF (or an error) means the conversation is over,
+            # so the other pump is cancelled rather than left wedged on
+            # a read that will never complete.
+            pumps = {
+                asyncio.ensure_future(self._pump(reader, up_writer)),
+                asyncio.ensure_future(self._pump(up_reader, writer)),
+            }
+            _done, rest = await asyncio.wait(
+                pumps, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in rest:
+                task.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            self._writers.discard(writer)
+            self._writers.discard(up_writer)
+            for w in (writer, up_writer):
+                transport = w.transport
+                if transport is not None:
+                    transport.abort()
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            chunk = await reader.read(_CHUNK)
+            if not chunk:
+                break
+            if self.blackhole:
+                # Swallow silently: the peer's read simply never
+                # completes, which is what distinguishes a blackhole
+                # from a clean disconnect.
+                self._count("chunks_blackholed")
+                continue
+            if self.delay_s > 0.0:
+                await asyncio.sleep(self.delay_s)
+            if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+                self._count("chunks_dropped")
+                continue
+            if (
+                self.corrupt_rate > 0.0
+                and self._rng.random() < self.corrupt_rate
+            ):
+                buf = bytearray(chunk)
+                pos = self._rng.randrange(len(buf))
+                buf[pos] ^= 1 << self._rng.randrange(8)
+                chunk = bytes(buf)
+                self._count("chunks_corrupted")
+            drip = self.drip_bytes
+            if drip is not None and drip > 0:
+                for start in range(0, len(chunk), drip):
+                    writer.write(chunk[start : start + drip])
+                    await writer.drain()
+                    if self.drip_delay_s > 0.0:
+                        await asyncio.sleep(self.drip_delay_s)
+            else:
+                writer.write(chunk)
+                await writer.drain()
+            self._count("chunks_forwarded")
+            self._count("bytes_forwarded", len(chunk))
+        if writer.can_write_eof():
+            try:
+                writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+
+
+def wrap_fleet(
+    endpoints: list[tuple[str, int]], **chaos_kwargs: Any
+) -> tuple[list[ChaosProxy], list[tuple[str, int]]]:
+    """One :class:`ChaosProxy` per endpoint; returns (proxies, proxied).
+
+    Hand the proxied endpoint list to a deployment (``endpoints=``) and
+    keep the proxy list to mutate faults mid-run::
+
+        proxies, wrapped = wrap_fleet(controller.endpoints, seed=7)
+        handle = service.deploy(matrix, endpoints=wrapped, ...)
+        proxies[0].delay_s = 0.05       # slow one link
+        proxies[1].cut()                # sever another
+
+    Every keyword is forwarded to each proxy's constructor.
+    """
+    proxies = [ChaosProxy(endpoint, **chaos_kwargs) for endpoint in endpoints]
+    return proxies, [proxy.endpoint for proxy in proxies]

@@ -42,11 +42,15 @@ import numpy as np
 from repro.cluster.health import BackoffPolicy, ProbeState
 from repro.cluster.protocol import (
     EMPTY_OVERRIDES,
+    ERR_AUTH,
+    ERR_EXPIRED,
+    ERR_PROTOCOL,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
     RemoteFault,
+    auth_response,
     batch_frame,
     encode_frame,
     encode_overrides,
@@ -54,6 +58,7 @@ from repro.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.serve.admission import DeadlineExceeded
 from repro.serve.telemetry import LatencyWindow
 
 __all__ = ["RemoteShardError", "RemoteShard", "ClusterClient"]
@@ -83,7 +88,13 @@ def _overrides_token(overrides: tuple[list, dict]) -> tuple:
 class _Connection:
     """One socket speaking the cluster protocol, request/response."""
 
-    def __init__(self, host: str, port: int, timeout_s: float) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float,
+        auth_secret: str | None = None,
+    ) -> None:
         self.sock = socket.create_connection((host, port), timeout=timeout_s)
         self.sock.settimeout(timeout_s)
         try:
@@ -95,6 +106,33 @@ class _Connection:
                 )
             if ftype is not FrameType.HELLO or meta.get("version") not in SUPPORTED_VERSIONS:
                 raise ProtocolError(f"unexpected handshake reply {ftype.name}")
+            challenge = meta.get("challenge")
+            if challenge is not None:
+                # The server demands the shared-secret handshake.  A
+                # client without the secret fails *here*, loudly, with
+                # the same stable token the server would use — not with
+                # a confusing mid-request refusal later.
+                if auth_secret is None:
+                    raise RemoteFault(
+                        ERR_AUTH,
+                        f"{host}:{port} requires a shared secret "
+                        "(pass auth_secret=)",
+                    )
+                send_frame(
+                    self.sock,
+                    FrameType.AUTH,
+                    {"mac": auth_response(auth_secret, str(challenge))},
+                )
+                ftype, meta, _ = recv_frame(self.sock)
+                if ftype is FrameType.ERROR:
+                    raise RemoteFault(
+                        str(meta.get("error", "error")),
+                        str(meta.get("message", "")),
+                    )
+                if ftype is not FrameType.OK:
+                    raise ProtocolError(
+                        f"unexpected auth reply {ftype.name}"
+                    )
         except BaseException:
             self.sock.close()
             raise
@@ -141,11 +179,28 @@ class RemoteShard:
         probe_backoff: BackoffPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
         recorder: Any | None = None,
+        auth_secret: str | None = None,
+        trip_threshold: int = 1,
     ) -> None:
+        if trip_threshold < 1:
+            raise ValueError(
+                f"trip_threshold must be >= 1, got {trip_threshold}"
+            )
         self.host = host
         self.port = int(port)
         self.key_meta = dict(key_meta)
         self.timeout_s = float(timeout_s)
+        self.auth_secret = auth_secret
+        # Circuit breaker: the link must fail ``trip_threshold``
+        # *consecutive* requests (each already retried once on a fresh
+        # connection) before it is marked unhealthy — i.e. before the
+        # breaker opens and traffic stops touching the network.  The
+        # default of 1 is the historical behavior: one exhausted request
+        # trips immediately.  Higher values tolerate isolated blips
+        # (each failed request still falls back locally) without
+        # abandoning the link.
+        self.trip_threshold = int(trip_threshold)
+        self._failure_streak = 0
         self.healthy = True
         # Optional FlightRecorder: health transitions on this link are
         # exactly the events an operator reads after an incident.
@@ -167,11 +222,31 @@ class RemoteShard:
     def endpoint(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def breaker_state(self) -> str:
+        """This link's circuit-breaker state, in the classic vocabulary.
+
+        ``"closed"`` — healthy, traffic flows remotely.  ``"open"`` —
+        tripped; every batch fails fast to local fallback without
+        touching the network.  ``"half_open"`` — the backoff deadline
+        has passed, so the next batch is spent as a single revival
+        probe (success re-closes the breaker, failure re-opens it with
+        a longer backoff).  The states are a reading of the existing
+        ``healthy`` flag + :class:`~repro.cluster.health.ProbeState`
+        machinery, not a separate state machine that could disagree
+        with it.
+        """
+        if self.healthy:
+            return "closed"
+        return "half_open" if self.probe_state.due() else "open"
+
     # -- connection management ----------------------------------------------
 
     def _ensure(self) -> _Connection:
         if self._conn is None:
-            conn = _Connection(self.host, self.port, self.timeout_s)
+            conn = _Connection(
+                self.host, self.port, self.timeout_s, auth_secret=self.auth_secret
+            )
             try:
                 _, meta, _ = conn.request(
                     encode_frame(FrameType.LOAD, self.key_meta)
@@ -215,6 +290,7 @@ class RemoteShard:
         schedule so the very next call probes the host immediately."""
         with self._lock:
             self.healthy = True
+            self._failure_streak = 0
             self.probe_state.reset()
 
     def probe_due(self) -> bool:
@@ -250,6 +326,7 @@ class RemoteShard:
                 self._record("probe_failed", error=str(exc))
                 return False
             self.healthy = True
+            self._failure_streak = 0
             self.probe_state.note_success(revived=True)
             self._record("shard_revived", via="probe")
             return True
@@ -295,6 +372,7 @@ class RemoteShard:
                 # service cannot resume until the store is refilled,
                 # but the batch must not fail: fall back locally.
                 self._drop()
+                self._failure_streak += 1
                 self._mark_unhealthy(f"LOAD refused: {exc}")
                 raise RemoteShardError(
                     f"{self.endpoint} refused LOAD ({exc}); serving locally"
@@ -305,20 +383,42 @@ class RemoteShard:
                 continue
             try:
                 result = fn(conn)
-            except RemoteFault:
+            except RemoteFault as exc:
+                if exc.token == ERR_PROTOCOL:
+                    # The server judged our frame malformed — but this
+                    # client only sends well-formed frames, so the bytes
+                    # were damaged in flight.  Wire corruption is a link
+                    # problem: retry on a fresh connection (and fall
+                    # back locally if that fails too), never surface a
+                    # corrupted execution as an application error.
+                    last_exc = exc
+                    self._drop()
+                    continue
                 # The link is fine — the server answered, refusing
-                # *this request* (bad engine, malformed frame).  An
+                # *this request* (bad engine, unknown kernel).  An
                 # application error the caller must see.
+                self._failure_streak = 0
                 raise
             except _TRANSPORT_ERRORS as exc:
                 last_exc = exc
                 self._drop()
                 continue
+            self._failure_streak = 0
             if not was_healthy:
                 self.healthy = True
                 self.probe_state.note_success(revived=True)
                 self._record("shard_revived", via="traffic")
             return result
+        self._failure_streak += 1
+        if was_healthy and self._failure_streak < self.trip_threshold:
+            # Below the breaker's trip threshold: this batch falls back
+            # locally, but the link stays "closed" — the next request
+            # gets fresh attempts instead of waiting out a backoff.
+            raise RemoteShardError(
+                f"{self.endpoint} failed twice ({last_exc}); serving "
+                f"locally (breaker closed, streak "
+                f"{self._failure_streak}/{self.trip_threshold})"
+            ) from last_exc
         self._mark_unhealthy(str(last_exc))
         failure = "failed twice" if attempts == 2 else "failed its revival probe"
         raise RemoteShardError(
@@ -331,6 +431,7 @@ class RemoteShard:
         engine: str,
         overrides: tuple[list, dict] | None = None,
         trace: dict[str, Any] | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[np.ndarray, str, float, list[dict[str, Any]]]:
         """One batch through the remote shard;
         ``(columns, engine, busy_s, spans)``.
@@ -341,6 +442,14 @@ class RemoteShard:
         carried back (empty against an untraced request or a v2
         server).  Propagation rides the same frame as the batch, so
         every retry re-sends the context with the batch it belongs to.
+
+        ``deadline_s`` is the batch's remaining deadline budget,
+        stamped onto the EXECUTE meta so the server can skip work the
+        clients have already abandoned.  A server ``"expired"`` refusal
+        surfaces as :class:`~repro.serve.admission.DeadlineExceeded` —
+        *not* :class:`RemoteShardError` — because falling back locally
+        would just perform the abandoned work more slowly; the link
+        itself stays healthy.
 
         Synchronizes ``overrides`` (the shard's current live-fault
         schedule) before the batch when it changed, retries exactly once
@@ -378,7 +487,9 @@ class RemoteShard:
                     active=wanted != _overrides_token(EMPTY_OVERRIDES),
                 )
             start = time.perf_counter()
-            _, meta, blob = conn.request(batch_frame(batch, engine, trace=trace))
+            _, meta, blob = conn.request(
+                batch_frame(batch, engine, trace=trace, deadline_s=deadline_s)
+            )
             self.rtt.record(time.perf_counter() - start)
             self.remote_calls += 1
             spans = meta.get("spans")
@@ -390,7 +501,12 @@ class RemoteShard:
             )
 
         with self._lock:
-            return self._run_request(run)
+            try:
+                return self._run_request(run)
+            except RemoteFault as exc:
+                if exc.token == ERR_EXPIRED:
+                    raise DeadlineExceeded(str(exc)) from exc
+                raise
 
     def stats(self) -> dict[str, Any]:
         """The server's STATS reply.
@@ -419,6 +535,11 @@ class RemoteShard:
             "local_fallbacks": self.local_fallbacks,
             "rtt_s": self.rtt.summary(),
             "probe": self.probe_state.telemetry(),
+            "breaker": {
+                "state": self.breaker_state,
+                "trip_threshold": self.trip_threshold,
+                "failure_streak": self._failure_streak,
+            },
         }
 
 
@@ -447,6 +568,8 @@ class ClusterClient:
         probe_backoff: BackoffPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
         recorder: Any | None = None,
+        auth_secret: str | None = None,
+        trip_threshold: int = 1,
     ) -> None:
         if not endpoints:
             raise ValueError("a cluster client needs at least one endpoint")
@@ -457,6 +580,8 @@ class ClusterClient:
         # Handed to every shard handle so link health transitions land
         # in one flight-recorder ring for the whole fleet.
         self.recorder = recorder
+        self.auth_secret = auth_secret
+        self.trip_threshold = int(trip_threshold)
 
     def shard_handle(self, index: int, key_meta: dict[str, Any]) -> RemoteShard:
         """The :class:`RemoteShard` for shard ``index``."""
@@ -469,6 +594,8 @@ class ClusterClient:
             probe_backoff=self.probe_backoff,
             clock=self.clock,
             recorder=self.recorder,
+            auth_secret=self.auth_secret,
+            trip_threshold=self.trip_threshold,
         )
 
     def fleet_stats(self) -> list[dict[str, Any]]:
@@ -480,7 +607,9 @@ class ClusterClient:
         reports: list[dict[str, Any]] = []
         for host, port in self.endpoints:
             try:
-                conn = _Connection(host, port, self.timeout_s)
+                conn = _Connection(
+                    host, port, self.timeout_s, auth_secret=self.auth_secret
+                )
                 try:
                     _, meta, _ = conn.request(encode_frame(FrameType.STATS, {}))
                     reports.append(

@@ -52,8 +52,11 @@ class LocalServerHandle:
         host: str = "127.0.0.1",
         name: str | None = None,
         port: int = 0,
+        auth_secret: str | None = None,
     ) -> None:
-        self.server = ShardServer(store, host=host, port=port, name=name)
+        self.server = ShardServer(
+            store, host=host, port=port, name=name, auth_secret=auth_secret
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
@@ -139,6 +142,11 @@ class ClusterController:
             with :meth:`start_local_fleet` for in-process hosts.
         request_timeout_s: per-request socket timeout handed to every
             deployment's shard links.
+        auth_secret: optional shared secret.  Locally-started servers
+            then demand the HMAC challenge/response handshake
+            (:func:`repro.cluster.protocol.auth_response`), and every
+            client this controller builds — deployments, stats scrapes
+            — answers with the same secret.
     """
 
     def __init__(
@@ -146,10 +154,12 @@ class ClusterController:
         store: str | pathlib.Path,
         endpoints: list[tuple[str, int]] | None = None,
         request_timeout_s: float = 5.0,
+        auth_secret: str | None = None,
     ) -> None:
         self.store = pathlib.Path(store)
         self.endpoints: list[tuple[str, int]] = list(endpoints or [])
         self.request_timeout_s = float(request_timeout_s)
+        self.auth_secret = auth_secret
         self._local: list[LocalServerHandle] = []
 
     # -- fleet lifecycle ------------------------------------------------------
@@ -162,7 +172,10 @@ class ClusterController:
             raise ValueError(f"count must be >= 1, got {count}")
         for k in range(count):
             handle = LocalServerHandle(
-                self.store, host=host, name=f"local-{len(self._local)}"
+                self.store,
+                host=host,
+                name=f"local-{len(self._local)}",
+                auth_secret=self.auth_secret,
             )
             self._local.append(handle)
             self.endpoints.append(handle.endpoint)
@@ -191,7 +204,11 @@ class ClusterController:
             raise RuntimeError(f"server {index} is still running; kill it first")
         host, port = old.endpoint
         handle = LocalServerHandle(
-            self.store, host=host, name=f"local-{index}-r", port=port
+            self.store,
+            host=host,
+            name=f"local-{index}-r",
+            port=port,
+            auth_secret=self.auth_secret,
         )
         self._local[index] = handle
         return handle
@@ -226,6 +243,7 @@ class ClusterController:
         """
         if cache is None:
             cache = CompileCache(directory=self.store)
+        service_kwargs.setdefault("auth_secret", self.auth_secret)
         return MatMulService(
             cache=cache,
             backend="remote",
@@ -271,6 +289,8 @@ class ClusterController:
     def fleet_stats(self) -> list[dict[str, Any]]:
         """STATS from every endpoint (error entries for dead hosts)."""
         client = ClusterClient(
-            self.endpoints, timeout_s=self.request_timeout_s
+            self.endpoints,
+            timeout_s=self.request_timeout_s,
+            auth_secret=self.auth_secret,
         )
         return client.fleet_stats()

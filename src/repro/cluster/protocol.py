@@ -22,7 +22,17 @@ Frame types
              server echoes its own version (plus a server name).  Each
              end accepts any peer version in
              :data:`SUPPORTED_VERSIONS` and refuses everything else
-             with ``ERROR`` + close — no silent reinterpretation.
+             with ``ERROR`` + close — no silent reinterpretation.  A
+             server started with a shared secret additionally includes
+             a ``"challenge"`` hex nonce in its HELLO reply and expects
+             an ``AUTH`` frame next.
+``AUTH``     the client's answer to an auth challenge:
+             ``{"mac": HMAC-SHA256(secret, challenge_bytes)}`` as hex.
+             Verified with a constant-time compare; a mismatch (or a
+             missing/ill-formed AUTH) is refused with the stable
+             :data:`ERR_AUTH` token and the connection closed.  Never
+             sent to — and never requested by — a server running
+             without a secret, so the default wire bytes are unchanged.
 ``LOAD``     bind the connection to one shard: a full compile key
              (matrix digest + compile options), the shard's column
              range, and the expected plan fingerprint.  The server
@@ -31,8 +41,13 @@ Frame types
              kernels and matrices never cross the wire.
 ``EXECUTE``  one batch (meta: engine + array payload header, plus an
              optional ``"trace"`` context — ``{"trace_id", "span_id"}``
-             — when the client is tracing; blob: the batch bytes).
-             Answered by ``RESULT``.
+             — when the client is tracing, and an optional
+             ``"deadline_s"`` remaining-budget float when the client
+             propagates request deadlines; blob: the batch bytes).
+             Answered by ``RESULT`` — or, when the budget has already
+             expired by the time the server would execute, by ``ERROR``
+             with the stable :data:`ERR_EXPIRED` token (the work was
+             abandoned client-side; skipping it is the correct answer).
 ``RESULT``   the shard's column slice (same array payload form) plus
              the resolved engine and server-side busy seconds; when the
              EXECUTE carried trace context, also a ``"spans"`` list of
@@ -58,9 +73,12 @@ trust model as the shared artifact directory; see ``docs/cluster.md``.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
 import json
 import socket
 import struct
+import zlib
 from enum import IntEnum
 from typing import Any
 
@@ -73,9 +91,13 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "EMPTY_OVERRIDES",
+    "ERR_AUTH",
+    "ERR_EXPIRED",
+    "ERR_PROTOCOL",
     "FrameType",
     "ProtocolError",
     "RemoteFault",
+    "auth_response",
     "encode_frame",
     "decode_payload",
     "send_frame",
@@ -123,6 +145,38 @@ class FrameType(IntEnum):
     RESULT = 6
     FAULT = 7
     STATS = 8
+    AUTH = 9
+
+
+#: Stable ERROR token for a failed (or missing) AUTH response to a
+#: server-issued HELLO challenge.
+ERR_AUTH = "auth"
+
+#: Stable ERROR token for an EXECUTE whose propagated deadline budget
+#: was already exhausted when the server would have run it.
+ERR_EXPIRED = "expired"
+
+#: Stable ERROR token for a frame the receiver could not parse (torn
+#: framing, non-JSON meta, a blob failing its CRC32).  A client that
+#: only ever sends well-formed frames treats this answer as *transport*
+#: damage — the bytes were corrupted in flight — and retries on a fresh
+#: connection rather than surfacing an application error.
+ERR_PROTOCOL = "protocol"
+
+
+def auth_response(secret: str, challenge: str) -> str:
+    """The MAC a client sends for a server's HELLO ``challenge``.
+
+    HMAC-SHA256 over the challenge nonce bytes keyed by the shared
+    secret, hex-encoded.  Raises :class:`ProtocolError` for a challenge
+    that is not valid hex — a malformed challenge is a protocol
+    violation, not an authentication failure.
+    """
+    try:
+        nonce = bytes.fromhex(str(challenge))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed auth challenge: {exc}") from exc
+    return hmac.new(secret.encode("utf-8"), nonce, hashlib.sha256).hexdigest()
 
 
 class ProtocolError(RuntimeError):
@@ -271,6 +325,7 @@ def batch_frame(
     batch: np.ndarray,
     engine: str,
     trace: dict[str, Any] | None = None,
+    deadline_s: float | None = None,
 ) -> bytes:
     """An EXECUTE frame carrying one batch for ``engine``.
 
@@ -278,11 +333,22 @@ def batch_frame(
     (``{"trace_id", "span_id"}``) identifying the client-side span this
     dispatch belongs to.  Omitted entirely when the client isn't
     tracing, so the untraced wire bytes are identical to v2's.
+
+    ``deadline_s`` is the batch's *remaining* deadline budget in
+    seconds, measured at frame-build time.  A relative budget rather
+    than an absolute instant because client and server clocks are not
+    synchronized; the server restarts the countdown from frame receipt,
+    which only ever errs in the generous direction (network transit
+    time is forgiven).  Omitted when no request in the batch carries a
+    deadline.
     """
     meta, blob = array_to_payload(batch)
     meta["engine"] = engine
+    meta["crc32"] = zlib.crc32(blob)
     if trace is not None:
         meta["trace"] = trace
+    if deadline_s is not None:
+        meta["deadline_s"] = round(float(deadline_s), 6)
     return encode_frame(FrameType.EXECUTE, meta, blob)
 
 
@@ -302,6 +368,7 @@ def result_frame(
     meta, blob = array_to_payload(result)
     meta["engine"] = engine
     meta["busy_s"] = round(float(busy_s), 9)
+    meta["crc32"] = zlib.crc32(blob)
     if spans:
         meta["spans"] = spans
     return encode_frame(FrameType.RESULT, meta, blob)
@@ -309,7 +376,20 @@ def result_frame(
 
 def frame_array(meta: dict[str, Any], blob: bytes) -> np.ndarray:
     """Decode an EXECUTE/RESULT frame's array, mapping codec errors to
-    :class:`ProtocolError` so transport code has one failure type."""
+    :class:`ProtocolError` so transport code has one failure type.
+
+    When the sender stamped a ``crc32`` (every v3 peer does), the blob
+    is verified first: a payload bit flipped in transit must surface as
+    a :class:`ProtocolError` — and therefore a retry or local fallback
+    — never as a silently wrong product.  Frames from older peers
+    carry no checksum and skip the verification.
+    """
+    expected = meta.get("crc32")
+    if expected is not None and zlib.crc32(blob) != expected:
+        raise ProtocolError(
+            f"array blob failed its CRC32 check ({len(blob)} bytes); "
+            "payload corrupted in transit"
+        )
     try:
         return array_from_payload(meta, blob)
     except ValueError as exc:

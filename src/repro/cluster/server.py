@@ -36,9 +36,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import functools
+import hmac
 import json
 import pathlib
+import secrets
 import threading
 import time
 from typing import Any
@@ -47,10 +48,14 @@ from repro.serve.cache import CompileCache, CompileKey
 from repro.serve.shards import SERVE_ENGINES
 from repro.cluster.protocol import (
     EMPTY_OVERRIDES,
+    ERR_AUTH,
+    ERR_EXPIRED,
+    ERR_PROTOCOL,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     FrameType,
     ProtocolError,
+    auth_response,
     decode_overrides,
     encode_frame,
     frame_array,
@@ -89,6 +94,13 @@ class ShardServer:
         host / port: bind address; port 0 binds an ephemeral port
             (read :attr:`port` after :meth:`start`).
         name: server identity echoed in the HELLO reply and stats.
+        auth_secret: optional shared secret.  When set, every HELLO
+            reply carries a fresh challenge nonce and the connection
+            must answer with a correct AUTH frame (HMAC-SHA256,
+            constant-time compare) before any other frame is accepted;
+            a wrong or missing answer is refused with the stable
+            ``"auth"`` token and the connection closed.  ``None`` (the
+            default) keeps the handshake exactly as before.
     """
 
     def __init__(
@@ -97,6 +109,7 @@ class ShardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         name: str | None = None,
+        auth_secret: str | None = None,
     ) -> None:
         if isinstance(store, CompileCache):
             self.cache = store
@@ -110,6 +123,7 @@ class ShardServer:
         self.host = host
         self.port = int(port)
         self.name = name if name is not None else f"shard-{id(self) & 0xFFFF:04x}"
+        self.auth_secret = auth_secret
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._stats_lock = threading.Lock()
@@ -119,6 +133,8 @@ class ShardServer:
         self.executes = 0
         self.faults_set = 0
         self.errors = 0
+        self.auth_failures = 0
+        self.expired_skips = 0
         self.engine_batches: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
@@ -162,6 +178,9 @@ class ShardServer:
                 "executes": self.executes,
                 "faults_set": self.faults_set,
                 "errors": self.errors,
+                "auth_failures": self.auth_failures,
+                "expired_skips": self.expired_skips,
+                "auth_required": self.auth_secret is not None,
                 "engine_batches": dict(self.engine_batches),
                 "store": self.cache.stats(),
             }
@@ -193,14 +212,14 @@ class ShardServer:
                     # frame): answer with the stable token and drop the
                     # connection — framing is unrecoverable mid-stream.
                     self._count("errors")
-                    writer.write(_error("protocol", str(exc)))
+                    writer.write(_error(ERR_PROTOCOL, str(exc)))
                     await writer.drain()
                     return
                 try:
                     reply = await self._dispatch(state, ftype, meta, blob)
                 except ProtocolError as exc:
                     self._count("errors")
-                    reply = _error("protocol", str(exc))
+                    reply = _error(ERR_PROTOCOL, str(exc))
                 except Exception as exc:  # noqa: BLE001 - fail the request,
                     # not the server: the client maps this to a retry or
                     # a local fallback.
@@ -237,12 +256,44 @@ class ShardServer:
             )
             await writer.drain()
             return False
-        writer.write(
-            encode_frame(
-                FrameType.HELLO,
-                {"version": PROTOCOL_VERSION, "server": self.name},
-            )
-        )
+        hello: dict[str, Any] = {"version": PROTOCOL_VERSION, "server": self.name}
+        challenge = None
+        if self.auth_secret is not None:
+            challenge = secrets.token_hex(32)
+            hello["challenge"] = challenge
+        writer.write(encode_frame(FrameType.HELLO, hello))
+        await writer.drain()
+        if challenge is None:
+            return True
+        return await self._verify_auth(reader, writer, challenge)
+
+    async def _verify_auth(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        challenge: str,
+    ) -> bool:
+        """Demand one correct AUTH frame before anything else is served.
+
+        Every refusal path — wrong MAC, wrong frame type, malformed
+        meta — answers with the same stable ``"auth"`` token and closes,
+        so a probing client learns nothing beyond "authentication
+        failed".  The MAC compare is constant-time
+        (:func:`hmac.compare_digest`).
+        """
+        try:
+            ftype, meta, _ = await read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, ProtocolError):
+            return False
+        expected = auth_response(self.auth_secret, challenge)
+        mac = meta.get("mac") if ftype is FrameType.AUTH else None
+        if not isinstance(mac, str) or not hmac.compare_digest(expected, mac):
+            self._count("errors")
+            self._count("auth_failures")
+            writer.write(_error(ERR_AUTH, "authentication failed"))
+            await writer.drain()
+            return False
+        writer.write(encode_frame(FrameType.OK, {"authenticated": True}))
         await writer.drain()
         return True
 
@@ -315,20 +366,39 @@ class ShardServer:
         engine = str(meta.get("engine", "auto"))
         if engine not in SERVE_ENGINES:
             raise ProtocolError(f"unknown engine {engine!r}")
+        budget = meta.get("deadline_s")
+        if budget is not None:
+            try:
+                budget = float(budget)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"malformed deadline_s: {budget!r}") from exc
+        received = time.monotonic()
         batch = frame_array(meta, blob)
         resolved = state.resolve_engine(engine)
         trace = meta.get("trace")
         loop = asyncio.get_running_loop()
+
+        def _run():
+            # The budget is re-checked on the worker thread, not just at
+            # frame receipt: under load the executor queue itself is
+            # where the budget dies, and skipping there is exactly the
+            # work-shedding the client asked for.
+            if budget is not None and time.monotonic() - received >= budget:
+                raise _BudgetExpired()
+            return state.fast.multiply_batch(
+                batch, engine=resolved, overrides=state.overrides
+            )
+
         start = time.perf_counter()
-        result = await loop.run_in_executor(
-            None,
-            functools.partial(
-                state.fast.multiply_batch,
-                batch,
-                engine=resolved,
-                overrides=state.overrides,
-            ),
-        )
+        try:
+            result = await loop.run_in_executor(None, _run)
+        except _BudgetExpired:
+            self._count("expired_skips")
+            return _error(
+                ERR_EXPIRED,
+                f"deadline budget of {budget:.6f}s exhausted before "
+                "execution; batch skipped",
+            )
         busy = time.perf_counter() - start
         # STATS/RESULT carry the variant-qualified executor label
         # (``fused:<variant>``), derived from the same artifacts and
@@ -393,6 +463,10 @@ class ShardServer:
         return encode_frame(FrameType.OK, {"active": overrides_active(state.overrides)})
 
 
+class _BudgetExpired(Exception):
+    """Internal marker: an EXECUTE's deadline budget died pre-execution."""
+
+
 def _error(token: str, message: str) -> bytes:
     return encode_frame(FrameType.ERROR, {"error": token, "message": message})
 
@@ -423,11 +497,21 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP port (default 0: pick a free port and print it)",
     )
     parser.add_argument("--name", default=None, help="server identity for stats")
+    parser.add_argument(
+        "--auth-secret",
+        default=None,
+        help="shared secret for the HELLO challenge/response handshake "
+        "(off by default; clients must pass the same auth_secret=)",
+    )
     args = parser.parse_args(argv)
 
     async def _run() -> None:
         server = ShardServer(
-            args.store, host=args.host, port=args.port, name=args.name
+            args.store,
+            host=args.host,
+            port=args.port,
+            name=args.name,
+            auth_secret=args.auth_secret,
         )
         await server.start()
         print(

@@ -48,6 +48,9 @@ class FleetMetrics:
         timeout_s: per-server scrape timeout (scrapes use throwaway
             connections, so a dead host costs one timeout and an error
             entry, never a wedged collection).
+        auth_secret: shared secret for fleets whose servers demand the
+            HMAC handshake; defaults to the service's secret when it
+            has one.
     """
 
     def __init__(
@@ -55,6 +58,7 @@ class FleetMetrics:
         service: "MatMulService | None" = None,
         endpoints: list[tuple[str, int]] | None = None,
         timeout_s: float = 2.0,
+        auth_secret: str | None = None,
     ) -> None:
         if service is None and not endpoints:
             raise ValueError(
@@ -63,8 +67,11 @@ class FleetMetrics:
         self.service = service
         if endpoints is None and service is not None and service.endpoints:
             endpoints = list(service.endpoints)
+        if auth_secret is None and service is not None:
+            auth_secret = getattr(service, "auth_secret", None)
         self.endpoints = [(str(h), int(p)) for h, p in endpoints] if endpoints else []
         self.timeout_s = float(timeout_s)
+        self.auth_secret = auth_secret
 
     def scrape_servers(self) -> list[dict[str, Any]]:
         """Per-server STATS (``{"endpoint": ..., "error": ...}`` for dead
@@ -75,7 +82,11 @@ class FleetMetrics:
         # without the cluster subsystem in its import graph.
         from repro.cluster.client import ClusterClient
 
-        client = ClusterClient(self.endpoints, timeout_s=self.timeout_s)
+        client = ClusterClient(
+            self.endpoints,
+            timeout_s=self.timeout_s,
+            auth_secret=self.auth_secret,
+        )
         return client.fleet_stats()
 
     def collect(self) -> dict[str, Any]:
@@ -97,12 +108,17 @@ class FleetMetrics:
         deployments = (service or {}).get("deployments", {})
         engine_batches: dict[str, int] = {}
         requests = products = batches = 0
+        sheds = quota_rejections = expired = 0
         arrival = served = 0.0
         shard_links = healthy_links = fallbacks = 0
         for snap in deployments.values():
             requests += snap.get("requests", 0)
             products += snap.get("products", 0)
             batches += snap.get("batches", 0)
+            admission = snap.get("admission", {})
+            sheds += admission.get("sheds", 0)
+            quota_rejections += admission.get("quota_rejections", 0)
+            expired += admission.get("expired", 0)
             arrival += snap.get("arrival_rate_rps", 0.0)
             served += snap.get("throughput_rps_windowed", 0.0)
             for engine, count in snap.get("engine", {}).get("batches", {}).items():
@@ -131,6 +147,11 @@ class FleetMetrics:
             "arrival_rate_rps": round(arrival, 3),
             "throughput_rps_windowed": round(served, 3),
             "engine_batches": engine_batches,
+            "shed": {
+                "queue_full": sheds,
+                "quota": quota_rejections,
+                "expired": expired,
+            },
             "remote_links": {
                 "total": shard_links,
                 "healthy": healthy_links,
@@ -248,6 +269,25 @@ def to_prometheus(doc: dict[str, Any]) -> str:
                     "End-to-end request latency quantiles.",
                     latency[key], quantile=quantile, **labels,
                 )
+        admission = snap.get("admission", {})
+        if admission:
+            for reason, count in (
+                ("queue_full", admission.get("sheds", 0)),
+                ("quota", admission.get("quota_rejections", 0)),
+                ("expired", admission.get("expired", 0)),
+            ):
+                exp.add(
+                    "repro_requests_shed_total", "counter",
+                    "Requests shed by admission control or deadline expiry.",
+                    count, reason=reason, **labels,
+                )
+            for tenant, per_reason in admission.get("per_tenant", {}).items():
+                for reason, count in per_reason.items():
+                    exp.add(
+                        "repro_tenant_requests_shed_total", "counter",
+                        "Per-tenant shed breakdown by reason.",
+                        count, tenant=tenant, reason=reason, **labels,
+                    )
         for engine, count in snap.get("engine", {}).get("batches", {}).items():
             exp.add(
                 "repro_engine_batches_total", "counter",
@@ -328,6 +368,16 @@ def to_prometheus(doc: dict[str, Any]) -> str:
             "repro_server_errors_total", "counter",
             "Request errors answered by the server.", stats.get("errors", 0), **labels,
         )
+        exp.add(
+            "repro_server_expired_skips_total", "counter",
+            "Batches skipped because their deadline budget expired in queue.",
+            stats.get("expired_skips", 0), **labels,
+        )
+        exp.add(
+            "repro_server_auth_failures_total", "counter",
+            "Connections rejected by the HELLO auth handshake.",
+            stats.get("auth_failures", 0), **labels,
+        )
         for engine, count in stats.get("engine_batches", {}).items():
             exp.add(
                 "repro_server_engine_batches_total", "counter",
@@ -350,4 +400,10 @@ def to_prometheus(doc: dict[str, Any]) -> str:
             "Fleet servers that answered the scrape.",
             fleet.get("servers", {}).get("reachable", 0),
         )
+        for reason, count in fleet.get("shed", {}).items():
+            exp.add(
+                "repro_fleet_requests_shed_total", "counter",
+                "Requests shed across all deployments, by reason.",
+                count, reason=reason,
+            )
     return exp.render()

@@ -12,7 +12,11 @@ emit into as they act —
   it), ``shard_revived`` (manual or automatic), ``local_fallback``
   (a batch served in-process because its link was down), and
   ``probe_failed`` revival attempts;
-* fault campaigns' override pushes (``fault_sync``), and
+* fault campaigns' override pushes (``fault_sync``),
+* overload protection: ``request_shed`` (a request rejected by
+  admission control or expired past its deadline, with tenant and
+  reason) and ``drain_abandoned`` (a swap's drain timed out and the
+  old executor was force-closed with work still in flight), and
 * ``slow_request`` exemplars — requests whose end-to-end latency
   crossed the service's threshold, each carrying its ``trace_id`` so
   the span tree of precisely that slow request can be pulled from the

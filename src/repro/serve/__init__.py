@@ -25,7 +25,11 @@ each module is the runtime realization of a section of the paper:
   executions under a max-latency deadline.
 * :mod:`repro.serve.telemetry` — the observable quantities: throughput,
   p50/p99 latency, lane occupancy, shard utilization (plus per-shard
-  RTT/health for remote fleets).
+  RTT/health for remote fleets), and shed/expired/quota counters.
+* :mod:`repro.serve.admission` — overload protection in front of the
+  batcher: per-tenant token buckets plus a bounded service-wide queue,
+  so excess load is rejected immediately (:class:`QuotaExceeded`,
+  :class:`QueueFull`) instead of growing an unbounded backlog.
 * :mod:`repro.serve.prewarm` — the offline compile farm:
   ``python -m repro.serve.prewarm manifest.json`` fills an artifact
   store through all four pipeline stages ahead of rollout, so fleet
@@ -51,6 +55,14 @@ Quick taste::
     product = asyncio.run(main())   # == vector @ matrix, via the gates
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    DeadlineExceeded,
+    QueueFull,
+    QuotaExceeded,
+    TokenBucket,
+)
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import (
     CompileCache,
@@ -69,6 +81,12 @@ from repro.serve.shards import (
 from repro.serve.telemetry import DeploymentTelemetry, LatencyWindow
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "DeadlineExceeded",
+    "QueueFull",
+    "QuotaExceeded",
+    "TokenBucket",
     "BatcherStats",
     "MicroBatcher",
     "CompileCache",

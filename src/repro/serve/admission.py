@@ -1,0 +1,257 @@
+"""Admission control: shed excess load *before* it queues.
+
+The serving stack's throughput is fixed by the compiled hardware — a
+spatial multiplier runs exactly as fast as its shards run, no faster —
+so when offered load exceeds capacity the only question is *where the
+excess goes*.  Without admission control it goes into the micro-batcher
+queue, which grows without bound and drags every request's latency up
+together until all of them are late (the classic overloaded-server
+collapse).  With it, excess load is rejected **immediately, at submit
+time, with a stable error**, and the admitted remainder keeps its
+latency contract.
+
+Two independent limits, checked in order:
+
+* a **bounded service-wide queue** — at most ``max_queue_depth``
+  admitted requests may be outstanding (queued or executing) at once.
+  Past that, :class:`QueueFull`.  This is the knob that bounds the
+  worst-case queue wait: ``depth / capacity`` seconds.
+* **per-tenant token buckets** — each tenant refills at its quota rate
+  up to a burst ceiling; a request that finds the bucket empty raises
+  :class:`QuotaExceeded`.  One noisy tenant is bounded *before* it can
+  fill the shared queue.
+
+A third failure mode rides the same vocabulary: :class:`DeadlineExceeded`
+is raised (by the micro-batcher at flush time, or mapped from a shard
+server's ``expired`` refusal) for requests that were admitted but whose
+deadline budget ran out before execution — work the client has already
+abandoned and the service therefore refuses to perform.
+
+Everything is clock-injectable and lock-protected; nothing here sleeps
+or allocates per request beyond a dict lookup and a float update, so
+the admission check is cheap enough to sit on the submit hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "AdmissionError",
+    "QuotaExceeded",
+    "QueueFull",
+    "DeadlineExceeded",
+    "TokenBucket",
+    "AdmissionController",
+]
+
+
+class AdmissionError(RuntimeError):
+    """A request was refused at admission time (never queued).
+
+    ``tenant`` and ``reason`` are machine-readable so callers (and the
+    overload benchmark's reconciliation) can classify rejections
+    without parsing messages.
+    """
+
+    reason = "admission"
+
+    def __init__(self, message: str, tenant: str = "default") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class QuotaExceeded(AdmissionError):
+    """The tenant's token bucket is empty: over its quota rate."""
+
+    reason = "quota"
+
+
+class QueueFull(AdmissionError):
+    """The service-wide bounded queue is at capacity."""
+
+    reason = "queue_full"
+
+
+class DeadlineExceeded(RuntimeError):
+    """An admitted request's deadline budget ran out before execution.
+
+    Raised by the micro-batcher when it drops an already-expired
+    request at flush time, and by the remote shard client when a
+    server refuses a batch whose propagated budget was exhausted
+    (stable error token ``"expired"``).
+    """
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate_rps`` tokens/s up to ``burst``.
+
+    Lazily refilled on each acquire from an injectable monotonic clock
+    — no background thread, no sleeps.  Thread-safe via the owning
+    controller's lock (this class itself is lock-free by design so the
+    controller can check several limits under one lock acquisition).
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+        self.rate_rps = float(rate_rps)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate_rps)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (untaken) otherwise."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate_rps)
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refilled as of now)."""
+        now = self._clock()
+        return min(self.burst, self._tokens + (now - self._last) * self.rate_rps)
+
+
+class AdmissionController:
+    """Bounded queue + per-tenant quotas for a :class:`MatMulService`.
+
+    Args:
+        max_queue_depth: admitted requests allowed outstanding at once
+            (queued in the micro-batcher or executing).  The worst-case
+            queue wait an admitted request can see is roughly
+            ``max_queue_depth / capacity_rps`` — size it from the
+            latency SLO.
+        tenant_rate_rps: default per-tenant quota rate; ``None`` (the
+            default) disables quotas so the controller is purely a
+            bounded queue.
+        tenant_burst: default per-tenant burst ceiling (defaults to one
+            second's worth of quota, minimum 1).
+        clock: monotonic-seconds callable (tests inject a fake).
+
+    Check order: the queue bound first — a full queue sheds *everyone*
+    equally, and shields the token buckets so a rejected burst does not
+    also drain the tenant's future quota — then the tenant's bucket.
+    ``admit`` either raises or books one outstanding slot that
+    ``release`` must return (the service wraps submit in try/finally).
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 256,
+        tenant_rate_rps: float | None = None,
+        tenant_burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.max_queue_depth = int(max_queue_depth)
+        self.tenant_rate_rps = tenant_rate_rps
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._buckets: dict[str, TokenBucket | None] = {}
+        self._quotas: dict[str, tuple[float, float | None]] = {}
+        self.admitted = 0
+        self.quota_rejections = 0
+        self.queue_rejections = 0
+
+    def set_quota(
+        self, tenant: str, rate_rps: float | None, burst: float | None = None
+    ) -> None:
+        """Pin ``tenant``'s quota (``rate_rps=None`` exempts it)."""
+        with self._lock:
+            if rate_rps is None:
+                self._quotas[tenant] = (0.0, None)
+                self._buckets[tenant] = None
+            else:
+                self._quotas[tenant] = (float(rate_rps), burst)
+                self._buckets[tenant] = TokenBucket(
+                    rate_rps, burst, clock=self._clock
+                )
+
+    def _bucket(self, tenant: str) -> TokenBucket | None:
+        if tenant not in self._buckets:
+            if tenant in self._quotas:
+                rate, burst = self._quotas[tenant]
+                self._buckets[tenant] = (
+                    TokenBucket(rate, burst, clock=self._clock) if rate else None
+                )
+            elif self.tenant_rate_rps is None:
+                self._buckets[tenant] = None
+            else:
+                self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate_rps, self.tenant_burst, clock=self._clock
+                )
+        return self._buckets[tenant]
+
+    def admit(self, tenant: str = "default") -> None:
+        """Admit one request for ``tenant`` or raise; booking one slot."""
+        with self._lock:
+            if self._outstanding >= self.max_queue_depth:
+                self.queue_rejections += 1
+                raise QueueFull(
+                    f"service queue is full ({self._outstanding}/"
+                    f"{self.max_queue_depth} outstanding)",
+                    tenant=tenant,
+                )
+            bucket = self._bucket(tenant)
+            if bucket is not None and not bucket.try_acquire():
+                self.quota_rejections += 1
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} is over its quota of "
+                    f"{bucket.rate_rps:g} req/s (burst {bucket.burst:g})",
+                    tenant=tenant,
+                )
+            self._outstanding += 1
+            self.admitted += 1
+
+    def release(self, tenant: str = "default") -> None:
+        """Return the slot ``admit`` booked (request finished or failed)."""
+        with self._lock:
+            if self._outstanding > 0:
+                self._outstanding -= 1
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state for telemetry documents."""
+        with self._lock:
+            return {
+                "max_queue_depth": self.max_queue_depth,
+                "outstanding": self._outstanding,
+                "admitted": self.admitted,
+                "quota_rejections": self.quota_rejections,
+                "queue_rejections": self.queue_rejections,
+                "tenant_rate_rps": self.tenant_rate_rps,
+                "tenants": {
+                    tenant: (
+                        None
+                        if bucket is None
+                        else {
+                            "rate_rps": bucket.rate_rps,
+                            "burst": bucket.burst,
+                            "tokens": round(bucket.tokens, 3),
+                        }
+                    )
+                    for tenant, bucket in self._buckets.items()
+                },
+            }

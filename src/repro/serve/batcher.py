@@ -27,6 +27,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.serve.admission import DeadlineExceeded
+
 __all__ = ["BatcherStats", "MicroBatcher"]
 
 
@@ -40,6 +42,9 @@ class BatcherStats:
     full_flushes: int = 0
     deadline_flushes: int = 0
     forced_flushes: int = 0
+    # Requests dropped at flush time because their deadline had already
+    # passed — work the client abandoned while it sat in the queue.
+    expired: int = 0
 
     def mean_occupancy(self, max_batch: int) -> float:
         """Mean fraction of available lanes filled per dispatched batch."""
@@ -82,12 +87,15 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.stats = BatcherStats()
-        # Pending entries: (vector, future, trace_info) where
+        # Pending entries: (vector, future, trace_info, deadline) where
         # trace_info is None or (parent SpanContext, enqueue
         # perf_counter) for the queue_wait span; the wall-clock start
         # is reconstructed once per flush rather than sampled per
-        # submit.
-        self._pending: list[tuple[np.ndarray, asyncio.Future, tuple | None]] = []
+        # submit.  ``deadline`` is an absolute ``time.monotonic()``
+        # instant (or None); expired entries are dropped at flush.
+        self._pending: list[
+            tuple[np.ndarray, asyncio.Future, tuple | None, float | None]
+        ] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
         # The loop (and its thread) this batcher coalesces on, captured
@@ -97,7 +105,9 @@ class MicroBatcher:
 
     # -- public API ----------------------------------------------------------
 
-    async def submit(self, vector: np.ndarray, span=None) -> np.ndarray:
+    async def submit(
+        self, vector: np.ndarray, span=None, deadline: float | None = None
+    ) -> np.ndarray:
         """Queue one vector; resolves to its product row when its batch runs.
 
         With a ``validate`` callable installed, a malformed vector raises
@@ -110,6 +120,13 @@ class MicroBatcher:
         carrier — the ``coalesce`` span.  Context is passed explicitly
         because the batch executes on a loop-pool thread where ambient
         context would not propagate.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  A
+        request still queued when its deadline passes is dropped at the
+        next flush with :class:`DeadlineExceeded` instead of being
+        executed; the surviving batch's remaining budget is forwarded to
+        ``execute`` as a ``deadline_s=`` keyword so downstream shard
+        servers can skip abandoned work too.
         """
         arr = np.asarray(vector)
         if self._validate is not None:
@@ -121,7 +138,7 @@ class MicroBatcher:
         trace_info = None
         if self._tracer is not None and span is not None:
             trace_info = (span, time.perf_counter())
-        self._pending.append((arr, future, trace_info))
+        self._pending.append((arr, future, trace_info, deadline))
         self.stats.requests += 1
         if len(self._pending) >= self.max_batch:
             self._flush("full")
@@ -183,7 +200,7 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
-        for _, future, _ in pending:
+        for _, future, _, _ in pending:
             if not future.done():
                 future.set_exception(exc)
 
@@ -201,6 +218,38 @@ class MicroBatcher:
             return
         batch = self._pending
         self._pending = []
+        # Drop already-expired requests before the batch is stacked:
+        # their clients have abandoned them, so executing them only
+        # steals lanes from live traffic.  Expired entries fail here —
+        # immediately, on the loop thread — and never count as
+        # dispatched lanes.
+        budget: float | None = None
+        if any(entry[3] is not None for entry in batch):
+            now = time.monotonic()
+            live = []
+            for entry in batch:
+                deadline = entry[3]
+                if deadline is not None and now >= deadline:
+                    self.stats.expired += 1
+                    future = entry[1]
+                    if not future.done():
+                        future.set_exception(
+                            DeadlineExceeded(
+                                "request deadline expired before its batch "
+                                "was dispatched"
+                            )
+                        )
+                else:
+                    live.append(entry)
+            batch = live
+            if not batch:
+                return
+            # The *loosest* surviving deadline becomes the batch's wire
+            # budget: a downstream skip is only safe once every request
+            # in the batch has expired.
+            deadlines = [e[3] for e in batch if e[3] is not None]
+            if deadlines:
+                budget = max(deadlines) - now
         self.stats.batches += 1
         self.stats.lanes_dispatched += len(batch)
         if reason == "full":
@@ -209,13 +258,13 @@ class MicroBatcher:
             self.stats.deadline_flushes += 1
         else:
             self.stats.forced_flushes += 1
-        task = asyncio.get_running_loop().create_task(self._run(batch, reason))
+        task = asyncio.get_running_loop().create_task(
+            self._run(batch, reason, budget)
+        )
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    def _start_batch_spans(
-        self, batch: list[tuple[np.ndarray, asyncio.Future, tuple | None]], reason: str
-    ):
+    def _start_batch_spans(self, batch: list[tuple], reason: str):
         """Record each traced request's queue_wait; open the coalesce span.
 
         A coalesced batch can carry requests from *different* traces,
@@ -226,7 +275,7 @@ class MicroBatcher:
         the batch is traced.
         """
         now_pc = time.perf_counter()
-        traced = [info for _, _, info in batch if info is not None]
+        traced = [entry[2] for entry in batch if entry[2] is not None]
         if not traced:
             return None
         # Built inline and recorded under one lock: this runs on the
@@ -269,8 +318,9 @@ class MicroBatcher:
 
     async def _run(
         self,
-        batch: list[tuple[np.ndarray, asyncio.Future, tuple | None]],
+        batch: list[tuple[np.ndarray, asyncio.Future, tuple | None, float | None]],
         reason: str,
+        budget: float | None = None,
     ) -> None:
         loop = asyncio.get_running_loop()
         coalesce = (
@@ -281,24 +331,29 @@ class MicroBatcher:
         try:
             # Inside the try so even a shape mismatch at stack time fails
             # every waiting future instead of leaving them pending forever.
-            vectors = np.stack([vec for vec, _, _ in batch])
+            vectors = np.stack([entry[0] for entry in batch])
+            kwargs: dict = {}
             if coalesce is not None:
-                run = functools.partial(
-                    self._execute, vectors, trace=coalesce.context
-                )
-            else:
-                run = functools.partial(self._execute, vectors)
+                kwargs["trace"] = coalesce.context
+            if budget is not None:
+                # Only passed when a deadline exists so deadline-free
+                # deployments keep calling plain ``execute(vectors)``
+                # (and ``execute(vectors, trace=...)``) callables.
+                kwargs["deadline_s"] = budget
+            run = functools.partial(self._execute, vectors, **kwargs)
             results = await loop.run_in_executor(None, run)
         except Exception as exc:  # propagate to every caller in the batch
             if coalesce is not None:
                 coalesce.annotate(error=f"{type(exc).__name__}: {exc}")
-            for _, future, _ in batch:
+            for entry in batch:
+                future = entry[1]
                 if not future.done():
                     future.set_exception(exc)
             return
         finally:
             if coalesce is not None:
                 coalesce.finish()
-        for (_, future, _), row in zip(batch, results):
+        for entry, row in zip(batch, results):
+            future = entry[1]
             if not future.done():
                 future.set_result(row)

@@ -40,6 +40,12 @@ from repro.core.serialize import matrix_digest
 from repro.obs.tracing import Span, SpanContext, Tracer
 from repro.reservoir.hw_esn import HardwareESN
 from repro.reservoir.quantize import IntegerESN
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineExceeded,
+    QueueFull,
+    QuotaExceeded,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import CompileCache
 from repro.serve.shards import SERVE_ENGINES, ShardedMultiplier
@@ -149,7 +155,11 @@ class ServedESN(HardwareESN):
 
 
 def _resolved_multiply(
-    sharded: ShardedMultiplier, engine: str, batch: np.ndarray, trace=None
+    sharded: ShardedMultiplier,
+    engine: str,
+    batch: np.ndarray,
+    trace=None,
+    deadline_s: float | None = None,
 ) -> tuple[str, np.ndarray]:
     """Resolve ``engine`` and execute, returning ``(label, result)``.
 
@@ -170,13 +180,15 @@ def _resolved_multiply(
     """
     effective = sharded.resolve_engine(engine)
     try:
-        out = sharded.multiply_batch(batch, engine=effective, trace=trace)
+        out = sharded.multiply_batch(
+            batch, engine=effective, trace=trace, deadline_s=deadline_s
+        )
         return sharded.executor_label(effective), out
     except ValueError:
         if engine != "auto" or effective != "fused":
             raise
         return "bitplane", sharded.multiply_batch(
-            batch, engine="bitplane", trace=trace
+            batch, engine="bitplane", trace=trace, deadline_s=deadline_s
         )
 
 
@@ -206,6 +218,9 @@ class MatMulService:
         tracer=None,
         recorder=None,
         slow_request_s: float | None = None,
+        admission: AdmissionController | None = None,
+        auth_secret: str | None = None,
+        trip_threshold: int = 1,
     ) -> None:
         """``backend``/``endpoints``/``store``/``request_timeout_s`` are
         service-wide deployment defaults: a service constructed with
@@ -228,6 +243,17 @@ class MatMulService:
         the trace id of each request whose end-to-end latency crossed
         the threshold.  Both default to ``None``: the uninstrumented
         hot path pays only ``None`` checks.
+
+        ``admission`` is an optional
+        :class:`~repro.serve.admission.AdmissionController` shared by
+        every deployment: ``submit`` sheds excess load with
+        :class:`QuotaExceeded`/:class:`QueueFull` *before* queueing
+        instead of letting the micro-batcher queue grow without bound.
+        ``None`` (the default) admits everything, as before.
+        ``auth_secret`` and ``trip_threshold`` are remote-backend
+        deployment defaults (shared-secret HELLO handshake; per-link
+        circuit-breaker trip count — see
+        :class:`~repro.cluster.client.RemoteShard`).
         """
         if engine not in SERVE_ENGINES:
             raise ValueError(
@@ -249,6 +275,9 @@ class MatMulService:
         self.tracer = tracer
         self.recorder = recorder
         self.slow_request_s = slow_request_s
+        self.admission = admission
+        self.auth_secret = auth_secret
+        self.trip_threshold = trip_threshold
         self._deployments: dict[str, Deployment] = {}
 
     def _record_event(self, kind: str, **fields) -> None:
@@ -327,6 +356,8 @@ class MatMulService:
             probe_clock=self.probe_clock,
             tracer=self.tracer,
             recorder=self.recorder,
+            auth_secret=self.auth_secret,
+            trip_threshold=self.trip_threshold,
         )
         sharded = ShardedMultiplier(arr, **shard_config)
         batch_limit = max_batch if max_batch is not None else self.max_batch
@@ -339,9 +370,12 @@ class MatMulService:
         # batcher rebuild and no routing table beyond this attribute.
         # ``trace`` arrives from a tracing batcher (the coalesce span's
         # context) and threads through to the shard executor.
-        def _execute(batch: np.ndarray, trace=None) -> np.ndarray:
+        def _execute(
+            batch: np.ndarray, trace=None, deadline_s: float | None = None
+        ) -> np.ndarray:
             effective, out = _resolved_multiply(
-                deployment.sharded, engine, batch, trace=trace
+                deployment.sharded, engine, batch, trace=trace,
+                deadline_s=deadline_s,
             )
             telemetry.record_batch(batch.shape[0], engine=effective)
             return out
@@ -494,8 +528,16 @@ class MatMulService:
 
         Returns the same (mutated) handle.  Raises ``TimeoutError``
         when the old executor still has batches in flight after
-        ``drain_timeout_s`` (the flip is already done and stays done;
-        the old executor is left for ``close()`` to reap).
+        ``drain_timeout_s`` (the flip is already done and stays done).
+        A drain timeout means something is *wedged* — a worker stuck in
+        a dead socket read, an executor that will never come back — so
+        the old executor is force-closed (``close(wait=False)``: pools
+        shut down without joining, remote sockets closed first, which
+        is what unblocks a wedged read) and the abandonment is recorded
+        as a ``drain_abandoned`` flight-recorder event.  The wedged
+        batch's futures fail with the resulting transport error instead
+        of hanging forever, and the service no longer leaks an
+        unreachable executor.
         """
         name = handle if isinstance(handle, str) else handle.name
         try:
@@ -534,16 +576,45 @@ class MatMulService:
                 new_digest=deployment.matrix_digest,
             )
             if not old_sharded.drain(timeout_s=drain_timeout_s):
+                abandoned = old_sharded.inflight
+                self._record_event(
+                    "drain_abandoned",
+                    deployment=name,
+                    inflight=abandoned,
+                    timeout_s=drain_timeout_s,
+                )
+                # Force-close rather than leak: the executor is already
+                # unroutable (the flip happened), and a batch that has
+                # not finished within the drain window is wedged, not
+                # slow.  wait=False closes sockets first so a worker
+                # stuck in a dead read is unblocked and the abandoned
+                # futures fail instead of hanging.
+                old_sharded.close(wait=False)
                 raise TimeoutError(
                     f"deployment {name!r} swapped, but the previous executor "
-                    f"still had batches in flight after {drain_timeout_s}s"
+                    f"still had {abandoned} batch(es) in flight after "
+                    f"{drain_timeout_s}s; it was force-closed and the work "
+                    "abandoned"
                 )
             old_sharded.close()
         return deployment
 
     # -- request paths -------------------------------------------------------
 
-    async def submit(self, handle: Deployment, vector: np.ndarray) -> np.ndarray:
+    def _shed(self, handle: Deployment, tenant: str, reason: str) -> None:
+        """Book one refused request: telemetry counter + recorder event."""
+        handle.telemetry.record_shed(reason, tenant)
+        self._record_event(
+            "request_shed", deployment=handle.name, tenant=tenant, reason=reason
+        )
+
+    async def submit(
+        self,
+        handle: Deployment,
+        vector: np.ndarray,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+    ) -> np.ndarray:
         """One vector in, its product row out, micro-batched underneath.
 
         With a tracer configured this opens the request's root span and
@@ -553,8 +624,48 @@ class MatMulService:
         over the threshold leaves a ``slow_request`` exemplar carrying
         its trace id, so the slow request's exact tree can be pulled
         from the tracer afterwards.
+
+        With an :class:`AdmissionController` configured on the service,
+        the request is admitted *first*: over-quota tenants get
+        :class:`QuotaExceeded`, a full service queue gets
+        :class:`QueueFull` — both immediately, before any queueing, so
+        shed load costs the service nothing but the check.  ``tenant``
+        names the quota bucket (and the shed-accounting breakdown).
+
+        ``deadline_s`` is this request's latency budget.  A request
+        still queued when it expires fails with
+        :class:`DeadlineExceeded` at the next flush instead of
+        executing, and the remaining budget propagates to remote shard
+        servers so they skip abandoned work too.  Every shed/expired
+        outcome lands in telemetry (``sheds`` / ``quota_rejections`` /
+        ``expired``, with per-tenant breakdown) and as a
+        ``request_shed`` flight-recorder event.
         """
         handle.telemetry.record_arrival()
+        if self.admission is not None:
+            try:
+                self.admission.admit(tenant)
+            except QuotaExceeded:
+                self._shed(handle, tenant, "quota")
+                raise
+            except QueueFull:
+                self._shed(handle, tenant, "queue_full")
+                raise
+        try:
+            return await self._submit_admitted(
+                handle, vector, tenant, deadline_s
+            )
+        finally:
+            if self.admission is not None:
+                self.admission.release(tenant)
+
+    async def _submit_admitted(
+        self,
+        handle: Deployment,
+        vector: np.ndarray,
+        tenant: str,
+        deadline_s: float | None,
+    ) -> np.ndarray:
         # The root span is recorded post-hoc from the interval submit
         # measures for telemetry anyway: only its *context* (the ids
         # children parent onto) must exist up front.  This keeps the
@@ -566,13 +677,23 @@ class MatMulService:
         else:
             ctx = SpanContext(Tracer.new_trace_id(), Tracer.new_span_id())
             start_wall = time.time()
+        deadline = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
         start = time.perf_counter()
         try:
             if ctx is None:
-                result = await handle.batcher.submit(vector)
+                result = await handle.batcher.submit(vector, deadline=deadline)
             else:
-                result = await handle.batcher.submit(vector, span=ctx)
+                result = await handle.batcher.submit(
+                    vector, span=ctx, deadline=deadline
+                )
         except Exception as exc:
+            if isinstance(exc, DeadlineExceeded):
+                # Dropped at flush time (or refused by a shard server
+                # whose propagated budget had died): an admitted request
+                # the service declined to execute.
+                self._shed(handle, tenant, "expired")
             if ctx is not None:
                 self.tracer.record(Span(
                     ctx.trace_id, ctx.span_id, None, "request", start_wall,
@@ -604,12 +725,19 @@ class MatMulService:
         return result
 
     async def submit_many(
-        self, handle: Deployment, vectors: np.ndarray
+        self,
+        handle: Deployment,
+        vectors: np.ndarray,
+        tenant: str = "default",
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """Submit a set of independent requests concurrently; ordered rows."""
         batch = np.atleast_2d(np.asarray(vectors))
         rows = await asyncio.gather(
-            *(self.submit(handle, vec) for vec in batch)
+            *(
+                self.submit(handle, vec, tenant=tenant, deadline_s=deadline_s)
+                for vec in batch
+            )
         )
         return np.stack(rows)
 
@@ -670,6 +798,7 @@ class MatMulService:
                     "full_flushes": handle.batcher.stats.full_flushes,
                     "deadline_flushes": handle.batcher.stats.deadline_flushes,
                     "forced_flushes": handle.batcher.stats.forced_flushes,
+                    "expired": handle.batcher.stats.expired,
                     "mean_occupancy": round(
                         handle.batcher.stats.mean_occupancy(
                             handle.batcher.max_batch
@@ -686,6 +815,10 @@ class MatMulService:
                 for name, dep in self._deployments.items()
             },
         }
+        if self.admission is not None:
+            # The service-wide admission view (queue depth, per-tenant
+            # buckets) next to the per-deployment shed counters.
+            doc["admission"] = self.admission.snapshot()
         # Collector health (not span/event payloads — those are pulled
         # from the instruments directly): enough for a dashboard to see
         # that tracing is live and whether the rings are evicting.

@@ -258,6 +258,13 @@ class ShardedMultiplier:
         recorder: optional :class:`repro.obs.recorder.FlightRecorder`
             receiving shard-link health events (``shard_unhealthy``,
             ``shard_revived``, ``probe_failed``, ``local_fallback``).
+        auth_secret: remote backend only — shared secret for fleets
+            whose servers demand the HELLO challenge/response handshake
+            (``--auth-secret``); ``None`` against open fleets.
+        trip_threshold: remote backend only — consecutive failed
+            requests before a shard link's circuit breaker opens (see
+            :class:`repro.cluster.client.RemoteShard`); the default of
+            1 trips on the first exhausted request.
     """
 
     def __init__(
@@ -278,6 +285,8 @@ class ShardedMultiplier:
         probe_clock=time.monotonic,
         tracer=None,
         recorder=None,
+        auth_secret: str | None = None,
+        trip_threshold: int = 1,
     ) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim != 2 or arr.size == 0:
@@ -406,6 +415,8 @@ class ShardedMultiplier:
                     probe_backoff=probe_backoff,
                     clock=probe_clock,
                     recorder=recorder,
+                    auth_secret=auth_secret,
+                    trip_threshold=trip_threshold,
                 )
                 for k, shard in enumerate(self.shards):
                     self._remotes.append(
@@ -586,7 +597,12 @@ class ShardedMultiplier:
         )
 
     def _run_shard(
-        self, shard: Shard, batch: np.ndarray, engine: str, trace=None
+        self,
+        shard: Shard,
+        batch: np.ndarray,
+        engine: str,
+        trace=None,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         start = time.perf_counter()
         dispatch = self._dispatch_span(shard, engine, trace)
@@ -599,7 +615,12 @@ class ShardedMultiplier:
         return out
 
     def _run_remote_shard(
-        self, shard: Shard, batch: np.ndarray, engine: str, trace=None
+        self,
+        shard: Shard,
+        batch: np.ndarray,
+        engine: str,
+        trace=None,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """One shard's batch over its endpoint, falling back locally.
 
@@ -637,12 +658,15 @@ class ShardedMultiplier:
                             engine,
                             overrides,
                             trace=wire.context.to_meta(),
+                            deadline_s=deadline_s,
                         )
                         wire.annotate(server_spans=len(spans))
                     if spans:
                         self.tracer.adopt(spans)
                 else:
-                    out, _, _, _ = remote.execute(batch, engine, overrides)
+                    out, _, _, _ = remote.execute(
+                        batch, engine, overrides, deadline_s=deadline_s
+                    )
             except RemoteShardError as exc:
                 remote.local_fallbacks += 1
                 if self.recorder is not None:
@@ -718,7 +742,11 @@ class ShardedMultiplier:
         return merged
 
     def multiply_batch(
-        self, vectors: np.ndarray, engine: str = "auto", trace=None
+        self,
+        vectors: np.ndarray,
+        engine: str = "auto",
+        trace=None,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """``(B, rows) -> (B, cols)``, every shard advancing concurrently.
 
@@ -733,6 +761,14 @@ class ShardedMultiplier:
         and, for remote shards, ``wire``/``server_execute`` children —
         under it.  Context crosses the executor's thread pool explicitly
         as this argument, never through ambient thread-local state.
+
+        ``deadline_s`` is the batch's remaining deadline budget (set by
+        the micro-batcher from its requests' propagated deadlines).  It
+        rides the remote backend's EXECUTE meta so servers can skip
+        abandoned work — a server ``"expired"`` refusal propagates as
+        :class:`~repro.serve.admission.DeadlineExceeded` to every
+        request in the batch.  Local backends execute regardless: the
+        work is already here and bounded.
         """
         batch = self._validate(vectors)
         engine = self.resolve_engine(engine)
@@ -760,10 +796,12 @@ class ShardedMultiplier:
                 return self._run_process_backend(batch, engine)
             run = self._run_remote_shard if self.backend == "remote" else self._run_shard
             if self._pool is None:
-                pieces = [run(s, batch, engine, trace) for s in self.shards]
+                pieces = [
+                    run(s, batch, engine, trace, deadline_s) for s in self.shards
+                ]
             else:
                 futures = [
-                    self._pool.submit(run, s, batch, engine, trace)
+                    self._pool.submit(run, s, batch, engine, trace, deadline_s)
                     for s in self.shards
                 ]
                 pieces = [f.result() for f in futures]
@@ -854,12 +892,26 @@ class ShardedMultiplier:
             "per_shard": per_shard,
         }
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
+        """Release executors and sockets.
+
+        ``wait=False`` is the force-close path for a wedged executor
+        (a drain that timed out): pools are shut down without joining
+        their workers (queued work cancelled), and remote sockets are
+        closed first — which is what actually unblocks a worker wedged
+        in a socket read.  The abandoned batch's futures then fail with
+        the transport error instead of hanging forever.
+        """
+        if not wait:
+            # Closing sockets before the pool shutdown interrupts
+            # blocked recv()s so wedged workers can exit.
+            for remote in self._remotes:
+                remote.close()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
             self._pool = None
         for pool in self._shard_pools:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=wait, cancel_futures=not wait)
         self._shard_pools = []
         for remote in self._remotes:
             remote.close()

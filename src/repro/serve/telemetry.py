@@ -201,6 +201,18 @@ class DeploymentTelemetry:
         # Zero-downtime matrix swaps this deployment has been through —
         # a dashboard's tell that latency blips line up with rollouts.
         self.swaps = 0
+        # Overload accounting: requests refused rather than served.
+        # ``sheds`` is the bounded-queue rejections (QueueFull),
+        # ``quota_rejections`` the per-tenant token-bucket refusals,
+        # ``expired`` the admitted requests whose deadline ran out
+        # before execution (dropped at flush or refused by a shard
+        # server).  Together with ``requests`` these reconcile against
+        # offered load exactly: arrivals == requests + sheds +
+        # quota_rejections + expired (+ still in flight).
+        self.sheds = 0
+        self.quota_rejections = 0
+        self.expired = 0
+        self._shed_by_tenant: dict[str, dict[str, int]] = {}
 
     def record_arrival(self, count: int = 1) -> None:
         """Requests *offered* (called at submit time, before queueing).
@@ -249,6 +261,33 @@ class DeploymentTelemetry:
         with self._lock:
             self.swaps += 1
 
+    _SHED_REASONS = ("queue_full", "quota", "expired")
+
+    def record_shed(self, reason: str, tenant: str = "default") -> None:
+        """One request refused: ``"queue_full"``, ``"quota"``, or
+        ``"expired"``.
+
+        Counted per tenant so a dashboard can tell "the fleet is
+        saturated" (sheds spread across tenants) from "one tenant is
+        over quota" at a glance.
+        """
+        if reason not in self._SHED_REASONS:
+            raise ValueError(
+                f"unknown shed reason {reason!r}; expected one of "
+                f"{self._SHED_REASONS}"
+            )
+        with self._lock:
+            if reason == "queue_full":
+                self.sheds += 1
+            elif reason == "quota":
+                self.quota_rejections += 1
+            else:
+                self.expired += 1
+            per = self._shed_by_tenant.setdefault(
+                tenant, {r: 0 for r in self._SHED_REASONS}
+            )
+            per[reason] += 1
+
     @property
     def uptime_s(self) -> float:
         return self._clock() - self._started
@@ -276,6 +315,19 @@ class DeploymentTelemetry:
                 "products": self.products,
                 "batches": self.batches,
                 "swaps": self.swaps,
+                # Lifetime offered load; with the admission block below
+                # this reconciles exactly: arrivals == requests + sheds
+                # + quota_rejections + expired (+ in flight).
+                "arrivals": self._arrivals.total,
+                "admission": {
+                    "sheds": self.sheds,
+                    "quota_rejections": self.quota_rejections,
+                    "expired": self.expired,
+                    "per_tenant": {
+                        tenant: dict(per)
+                        for tenant, per in self._shed_by_tenant.items()
+                    },
+                },
                 # Lifetime average — kept for continuity, but it decays
                 # toward zero over any idle stretch and never recovers.
                 "throughput_rps": round(self.products / elapsed, 3),

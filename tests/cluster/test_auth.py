@@ -1,0 +1,161 @@
+"""Shared-secret HELLO auth: challenge/response, stable refusals.
+
+The trust-model satellite: a fleet started with ``auth_secret=`` issues
+a fresh HMAC-SHA256 challenge per connection and refuses everything
+that cannot answer it — with one stable ``"auth"`` token for every
+failure shape (wrong MAC, wrong frame type, missing AUTH), so a probe
+learns nothing.  Authenticated fleets then serve traffic, stats, and
+deployments exactly as open ones do; servers without a secret never
+challenge, keeping the default wire bytes unchanged.
+"""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterController, FrameType, auth_response
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteFault,
+    recv_frame,
+    send_frame,
+)
+
+SECRET = "correct horse battery staple"
+
+
+def _matrix(seed=0, shape=(10, 8)):
+    return np.random.default_rng(seed).integers(-50, 51, size=shape)
+
+
+@pytest.fixture()
+def auth_fleet(tmp_path):
+    with ClusterController(
+        tmp_path / "store", auth_secret=SECRET
+    ) as controller:
+        controller.start_local_fleet(2)
+        yield controller
+
+
+def _handshake_to_challenge(endpoint):
+    sock = socket.create_connection(endpoint, timeout=5.0)
+    sock.settimeout(5.0)
+    send_frame(sock, FrameType.HELLO, {"version": PROTOCOL_VERSION})
+    ftype, meta, _ = recv_frame(sock)
+    assert ftype is FrameType.HELLO
+    return sock, meta["challenge"]
+
+
+class TestAuthHandshake:
+    def test_authenticated_fleet_serves_bit_exact(self, auth_fleet):
+        matrix = _matrix()
+        vectors = np.random.default_rng(1).integers(-80, 81, size=(6, 10))
+        with auth_fleet.remote_service() as service:
+            handle = auth_fleet.deploy_fleet(service, matrix)
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ matrix
+            )
+            rows = asyncio.run(service.submit_many(handle, vectors))
+            assert np.array_equal(rows, vectors @ matrix)
+            # Every remote link authenticated (no local fallbacks).
+            assert all(r.healthy for r in handle.sharded._remotes)
+            assert all(
+                r.local_fallbacks == 0 for r in handle.sharded._remotes
+            )
+
+    def test_correct_mac_accepted_raw(self, auth_fleet):
+        sock, challenge = _handshake_to_challenge(auth_fleet.endpoints[0])
+        try:
+            send_frame(
+                sock, FrameType.AUTH,
+                {"mac": auth_response(SECRET, challenge)},
+            )
+            ftype, meta, _ = recv_frame(sock)
+            assert ftype is FrameType.OK
+            assert meta["authenticated"] is True
+            # The authenticated connection serves normally.
+            send_frame(sock, FrameType.STATS, {})
+            ftype, meta, _ = recv_frame(sock)
+            assert ftype is FrameType.OK
+            assert meta["stats"]["auth_required"] is True
+        finally:
+            sock.close()
+
+    def test_wrong_mac_gets_the_stable_token(self, auth_fleet):
+        sock, challenge = _handshake_to_challenge(auth_fleet.endpoints[0])
+        try:
+            send_frame(
+                sock, FrameType.AUTH,
+                {"mac": auth_response("wrong secret", challenge)},
+            )
+            ftype, meta, _ = recv_frame(sock)
+            assert ftype is FrameType.ERROR
+            assert meta["error"] == "auth"
+        finally:
+            sock.close()
+
+    def test_skipping_auth_gets_the_same_token(self, auth_fleet):
+        sock, _challenge = _handshake_to_challenge(auth_fleet.endpoints[0])
+        try:
+            send_frame(sock, FrameType.STATS, {})  # no AUTH first
+            ftype, meta, _ = recv_frame(sock)
+            assert ftype is FrameType.ERROR
+            assert meta["error"] == "auth"
+        finally:
+            sock.close()
+
+    def test_malformed_mac_gets_the_same_token(self, auth_fleet):
+        sock, _challenge = _handshake_to_challenge(auth_fleet.endpoints[0])
+        try:
+            send_frame(sock, FrameType.AUTH, {"mac": 12345})
+            ftype, meta, _ = recv_frame(sock)
+            assert ftype is FrameType.ERROR
+            assert meta["error"] == "auth"
+        finally:
+            sock.close()
+
+    def test_challenges_are_unique_per_connection(self, auth_fleet):
+        sock_a, challenge_a = _handshake_to_challenge(auth_fleet.endpoints[0])
+        sock_b, challenge_b = _handshake_to_challenge(auth_fleet.endpoints[0])
+        sock_a.close()
+        sock_b.close()
+        assert challenge_a != challenge_b  # no replayable MACs
+
+    def test_auth_failures_are_counted(self, auth_fleet):
+        sock, challenge = _handshake_to_challenge(auth_fleet.endpoints[0])
+        send_frame(sock, FrameType.AUTH, {"mac": "00" * 32})
+        recv_frame(sock)
+        sock.close()
+        stats = auth_fleet.fleet_stats()
+        assert stats[0]["auth_failures"] == 1
+        assert stats[0]["auth_required"] is True
+
+    def test_secretless_client_fails_fast_with_guidance(self, auth_fleet):
+        from repro.cluster.client import _Connection
+
+        host, port = auth_fleet.endpoints[0]
+        with pytest.raises(RemoteFault, match="requires a shared secret"):
+            _Connection(host, port, timeout_s=5.0)
+
+    def test_open_server_never_challenges(self, tmp_path):
+        with ClusterController(tmp_path / "store") as controller:
+            controller.start_local_fleet(1)
+            sock = socket.create_connection(controller.endpoints[0], 5.0)
+            sock.settimeout(5.0)
+            try:
+                send_frame(sock, FrameType.HELLO, {"version": PROTOCOL_VERSION})
+                _, meta, _ = recv_frame(sock)
+                assert "challenge" not in meta
+                send_frame(sock, FrameType.STATS, {})
+                ftype, meta, _ = recv_frame(sock)
+                assert ftype is FrameType.OK
+                assert meta["stats"]["auth_required"] is False
+            finally:
+                sock.close()
+
+    def test_malformed_challenge_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="malformed auth challenge"):
+            auth_response(SECRET, "not-hex!")

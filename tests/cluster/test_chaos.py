@@ -1,0 +1,239 @@
+"""Chaos proxy: injected network faults degrade gracefully, bit-exactly.
+
+Each test wraps a loopback fleet in :class:`ChaosProxy` instances and
+drives real traffic through the injected fault.  The claims:
+
+* a clean proxy is invisible — results match the monolith exactly and
+  the bytes demonstrably flowed through the proxy;
+* corrupt / blackhole / cut links never corrupt *results* — the client
+  detects the fault (decode error, timeout, refused connection) and
+  serves the shard locally, still bit-exact;
+* faults are runtime-mutable: the same proxy passes traffic, breaks,
+  and (for recoverable faults) passes traffic again.
+"""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import ChaosProxy, ClusterController, wrap_fleet
+from repro.cluster.chaos import _CHUNK
+
+
+def _matrix(seed=0, shape=(12, 10), sparsity=0.5):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-60, 61, size=shape)
+    matrix[rng.random(shape) < sparsity] = 0
+    return matrix
+
+
+def _vectors(seed, batch, rows):
+    return np.random.default_rng(seed).integers(-100, 101, size=(batch, rows))
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    with ClusterController(
+        tmp_path / "store", request_timeout_s=1.0
+    ) as controller:
+        controller.start_local_fleet(2)
+        yield controller
+
+
+def _deploy_through(proxied, fleet, matrix, request_timeout_s=None):
+    timeout = (
+        fleet.request_timeout_s if request_timeout_s is None else request_timeout_s
+    )
+    service = fleet.remote_service()
+    handle = service.deploy(
+        matrix,
+        shards=len(proxied),
+        backend="remote",
+        endpoints=proxied,
+        store=str(fleet.store),
+        request_timeout_s=timeout,
+    )
+    return service, handle
+
+
+class TestPassthrough:
+    def test_clean_proxy_is_bit_exact_and_carries_the_bytes(self, fleet):
+        matrix = _matrix()
+        vectors = _vectors(1, 7, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints)
+        try:
+            service, handle = _deploy_through(proxied, fleet, matrix)
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                rows = asyncio.run(service.submit_many(handle, vectors))
+                assert np.array_equal(rows, vectors @ matrix)
+            for proxy in proxies:
+                stats = proxy.stats()
+                assert stats["connections"] >= 1
+                assert stats["bytes_forwarded"] > 0
+                assert stats["chunks_corrupted"] == 0
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    def test_delay_inflates_rtt_but_stays_exact(self, fleet):
+        matrix = _matrix(2)
+        vectors = _vectors(2, 4, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints, delay_s=0.01)
+        try:
+            service, handle = _deploy_through(proxied, fleet, matrix)
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                remote = handle.sharded._remotes[0]
+                assert remote.healthy
+                assert remote.rtt.percentiles(50.0)["p50"] >= 0.01
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    def test_slow_drip_reassembles_frames(self, fleet):
+        matrix = _matrix(3)
+        vectors = _vectors(3, 3, 12)
+        proxies, proxied = wrap_fleet(
+            fleet.endpoints, drip_bytes=64, drip_delay_s=0.0005
+        )
+        try:
+            service, handle = _deploy_through(proxied, fleet, matrix)
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert all(r.healthy for r in handle.sharded._remotes)
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+
+class TestFaults:
+    def test_corrupt_frames_fall_back_bit_exact(self, fleet):
+        matrix = _matrix(4)
+        vectors = _vectors(4, 5, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints, seed=11)
+        try:
+            service, handle = _deploy_through(proxied, fleet, matrix)
+            with service:
+                # Healthy first, to prove the corruption is what breaks it.
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                for proxy in proxies:
+                    proxy.corrupt_rate = 1.0
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert any(
+                    r.local_fallbacks > 0 for r in handle.sharded._remotes
+                )
+                assert any(
+                    p.stats()["chunks_corrupted"] > 0 for p in proxies
+                )
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    def test_blackhole_times_out_to_local_fallback(self, fleet):
+        matrix = _matrix(5)
+        vectors = _vectors(5, 3, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints)
+        try:
+            service, handle = _deploy_through(
+                proxied, fleet, matrix, request_timeout_s=0.3
+            )
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                proxies[0].blackhole = True
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert not handle.sharded._remotes[0].healthy
+                assert handle.sharded._remotes[1].healthy
+                assert proxies[0].stats()["chunks_blackholed"] > 0
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    def test_cut_link_refuses_and_falls_back(self, fleet):
+        matrix = _matrix(6)
+        vectors = _vectors(6, 3, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints)
+        try:
+            service, handle = _deploy_through(proxied, fleet, matrix)
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                proxies[0].cut()
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert not handle.sharded._remotes[0].healthy
+                assert proxies[0].alive  # counters survive the cut
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+    def test_drop_rate_loses_chunks(self, fleet):
+        matrix = _matrix(7)
+        vectors = _vectors(7, 3, 12)
+        proxies, proxied = wrap_fleet(fleet.endpoints, drop_rate=1.0, seed=3)
+        try:
+            service, handle = _deploy_through(
+                proxied, fleet, matrix, request_timeout_s=0.3
+            )
+            with service:
+                assert np.array_equal(
+                    service.multiply(handle, vectors), vectors @ matrix
+                )
+                assert any(
+                    p.stats()["chunks_dropped"] > 0 for p in proxies
+                )
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+
+
+class TestProxyLifecycle:
+    def test_upstream_refused_aborts_the_client(self, tmp_path):
+        # Reserve an unbound port: the proxy accepts, upstream refuses.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with ChaosProxy(("127.0.0.1", dead_port)) as proxy:
+            client = socket.create_connection(proxy.endpoint, timeout=2.0)
+            client.settimeout(2.0)
+            try:
+                # The proxy aborts once the upstream connect fails: the
+                # client sees EOF/reset, never a hang.
+                client.sendall(b"hello?")
+                with pytest.raises((ConnectionError, OSError)) as info:
+                    while client.recv(_CHUNK):
+                        pass
+                    raise ConnectionResetError("clean EOF")  # also fine
+                assert info.type is not socket.timeout
+            finally:
+                client.close()
+            assert proxy.stats()["upstream_failures"] == 1
+
+    def test_stop_is_idempotent(self, tmp_path):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        proxy = ChaosProxy(("127.0.0.1", port))
+        proxy.stop()
+        proxy.stop()
+        assert not proxy.alive

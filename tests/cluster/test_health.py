@@ -337,3 +337,127 @@ class TestControllerRestart:
             assert controller.endpoints[0] == endpoint
             stats = controller.fleet_stats()
             assert stats[0].get("name") == "local-0-r"
+
+
+class TestCircuitBreaker:
+    """trip_threshold > 1: isolated blips tolerated, sustained failure trips.
+
+    Every request still gets its two attempts and its local fallback —
+    the breaker only decides when the link stops being *tried* at all.
+    """
+
+    def _dead_sharded(self, tmp_path, clock, trip_threshold):
+        store = tmp_path / "store"
+        store.mkdir(exist_ok=True)
+        port = _reserve_port()
+        matrix = np.random.default_rng(0).integers(-50, 51, size=(8, 6))
+        sharded = ShardedMultiplier(
+            matrix,
+            shards=1,
+            cache=CompileCache(directory=store),
+            backend="remote",
+            endpoints=[("127.0.0.1", port)],
+            probe_backoff=BackoffPolicy(
+                initial_s=5.0, multiplier=2.0, max_s=40.0, jitter=0.0
+            ),
+            probe_clock=clock,
+            trip_threshold=trip_threshold,
+        )
+        return sharded, matrix, store, port
+
+    def test_breaker_tolerates_blips_then_trips(self, tmp_path):
+        clock = FakeClock()
+        sharded, matrix, store, port = self._dead_sharded(tmp_path, clock, 3)
+        try:
+            remote = sharded._remotes[0]
+            vectors = np.zeros((2, 8), dtype=np.int64)
+            # Failures 1 and 2: served locally, breaker still closed —
+            # the link keeps being tried.
+            for expected_streak in (1, 2):
+                assert np.array_equal(
+                    sharded.multiply_batch(vectors), vectors @ matrix
+                )
+                assert remote.healthy is True
+                assert remote.breaker_state == "closed"
+                assert remote.telemetry()["breaker"] == {
+                    "state": "closed",
+                    "trip_threshold": 3,
+                    "failure_streak": expected_streak,
+                }
+            # Failure 3 trips the breaker: unhealthy, backoff scheduled.
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.healthy is False
+            assert remote.breaker_state == "open"
+            # Inside the window nothing touches the network; past it the
+            # breaker is half-open (the next request doubles as a probe).
+            clock.advance(5.1)
+            assert remote.breaker_state == "half_open"
+        finally:
+            sharded.close()
+
+    def test_success_resets_the_streak(self, tmp_path):
+        clock = FakeClock()
+        sharded, matrix, store, port = self._dead_sharded(tmp_path, clock, 2)
+        server = None
+        try:
+            remote = sharded._remotes[0]
+            vectors = np.zeros((2, 8), dtype=np.int64)
+            sharded.multiply_batch(vectors)  # blip 1 (streak 1 of 2)
+            assert remote.breaker_state == "closed"
+            server = LocalServerHandle(store, port=port, name="back")
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.telemetry()["breaker"]["failure_streak"] == 0
+            server.stop()
+            server = None
+            # The streak starts over: one fresh failure does not trip.
+            sharded.multiply_batch(vectors)
+            assert remote.breaker_state == "closed"
+        finally:
+            if server is not None:
+                server.stop()
+            sharded.close()
+
+    def test_half_open_probe_success_closes_the_breaker(self, tmp_path):
+        clock = FakeClock()
+        sharded, matrix, store, port = self._dead_sharded(tmp_path, clock, 2)
+        server = None
+        try:
+            remote = sharded._remotes[0]
+            vectors = np.zeros((2, 8), dtype=np.int64)
+            sharded.multiply_batch(vectors)
+            sharded.multiply_batch(vectors)
+            assert remote.breaker_state == "open"
+            server = LocalServerHandle(store, port=port, name="revived")
+            clock.advance(5.1)
+            assert remote.breaker_state == "half_open"
+            # The next request is the probe; success re-closes.
+            assert np.array_equal(
+                sharded.multiply_batch(vectors), vectors @ matrix
+            )
+            assert remote.healthy is True
+            assert remote.breaker_state == "closed"
+            assert remote.telemetry()["breaker"]["failure_streak"] == 0
+        finally:
+            if server is not None:
+                server.stop()
+            sharded.close()
+
+    def test_threshold_one_is_the_historical_behavior(self, tmp_path):
+        clock = FakeClock()
+        sharded, matrix, store, port = self._dead_sharded(tmp_path, clock, 1)
+        try:
+            remote = sharded._remotes[0]
+            vectors = np.zeros((1, 8), dtype=np.int64)
+            sharded.multiply_batch(vectors)
+            assert remote.healthy is False  # one exhausted request trips
+        finally:
+            sharded.close()
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        clock = FakeClock()
+        with pytest.raises(ValueError, match="trip_threshold"):
+            self._dead_sharded(tmp_path, clock, 0)

@@ -1,0 +1,301 @@
+"""Admission control and deadline propagation, end to end.
+
+The overload contract: excess load is rejected *immediately* with a
+stable error (``QuotaExceeded`` / ``QueueFull``), expired requests are
+dropped at flush time instead of executing (``DeadlineExceeded``), and
+every shed outcome is accounted exactly — telemetry counters with a
+per-tenant breakdown, ``request_shed`` flight-recorder events, and the
+service-wide admission snapshot.  Time-dependent logic (token buckets)
+runs under a hand-cranked fake clock: no test here sleeps on quota.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+from repro.serve import (
+    AdmissionController,
+    DeadlineExceeded,
+    MatMulService,
+    QueueFull,
+    QuotaExceeded,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _matrix(seed=0, shape=(10, 8)):
+    return np.random.default_rng(seed).integers(-50, 51, size=shape)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_default_burst_is_one_seconds_quota(self):
+        assert TokenBucket(5.0).burst == 5.0
+        assert TokenBucket(0.25).burst == 1.0  # minimum one request
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_rps": 0.0},
+        {"rate_rps": -1.0},
+        {"rate_rps": 1.0, "burst": 0.5},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmissionController:
+    def test_bounded_queue_sheds_past_capacity(self):
+        admission = AdmissionController(max_queue_depth=2)
+        admission.admit("a")
+        admission.admit("b")
+        with pytest.raises(QueueFull) as info:
+            admission.admit("c")
+        assert info.value.reason == "queue_full"
+        assert info.value.tenant == "c"
+        admission.release("a")
+        admission.admit("c")  # a released slot is admittable again
+        assert admission.outstanding == 2
+        assert admission.queue_rejections == 1
+
+    def test_queue_bound_checked_before_quota(self):
+        # A full queue must not also drain the tenant's bucket: the
+        # rejected burst would otherwise pay twice.
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue_depth=1, tenant_rate_rps=5.0, clock=clock
+        )
+        admission.admit("t")
+        before = admission.snapshot()["tenants"]["t"]["tokens"]
+        with pytest.raises(QueueFull):
+            admission.admit("t")
+        assert admission.snapshot()["tenants"]["t"]["tokens"] == before
+        assert admission.quota_rejections == 0
+
+    def test_per_tenant_quota_isolates_noisy_neighbor(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue_depth=100, tenant_rate_rps=1.0, tenant_burst=2.0,
+            clock=clock,
+        )
+        admission.admit("noisy")
+        admission.admit("noisy")
+        with pytest.raises(QuotaExceeded) as info:
+            admission.admit("noisy")
+        assert info.value.reason == "quota"
+        assert info.value.tenant == "noisy"
+        # The quiet tenant's bucket is untouched.
+        admission.admit("quiet")
+        clock.advance(1.0)
+        admission.admit("noisy")  # refilled at 1/s
+        assert admission.quota_rejections == 1
+
+    def test_set_quota_overrides_and_exempts(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue_depth=100, tenant_rate_rps=1.0, clock=clock
+        )
+        admission.set_quota("vip", None)        # exempt
+        admission.set_quota("tight", 1.0, 1.0)  # one request per second
+        for _ in range(50):
+            admission.admit("vip")
+        admission.admit("tight")
+        with pytest.raises(QuotaExceeded):
+            admission.admit("tight")
+        snap = admission.snapshot()
+        assert snap["tenants"]["vip"] is None
+        assert snap["tenants"]["tight"]["rate_rps"] == 1.0
+        assert snap["admitted"] == 51
+        assert snap["outstanding"] == 51
+
+    def test_no_default_quota_means_queue_only(self):
+        admission = AdmissionController(max_queue_depth=3)
+        for _ in range(3):
+            admission.admit("anyone")
+        with pytest.raises(QueueFull):
+            admission.admit("anyone")
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+
+
+class TestServiceAdmission:
+    """Through the MatMulService facade: shed errors, exact accounting."""
+
+    def test_quota_shed_is_counted_and_recorded(self, tmp_path):
+        clock = FakeClock()
+        recorder = FlightRecorder()
+        admission = AdmissionController(
+            max_queue_depth=64, tenant_rate_rps=1.0, tenant_burst=1.0,
+            clock=clock,
+        )
+        matrix = _matrix()
+        with MatMulService(
+            admission=admission, recorder=recorder, max_delay_s=0.001
+        ) as service:
+            handle = service.deploy(matrix, use_cache=False)
+
+            async def drive():
+                good = await service.submit(
+                    handle, np.arange(10), tenant="acme"
+                )
+                with pytest.raises(QuotaExceeded):
+                    await service.submit(handle, np.arange(10), tenant="acme")
+                return good
+
+            good = asyncio.run(drive())
+            assert np.array_equal(good, np.arange(10) @ matrix)
+            snap = handle.telemetry.snapshot()
+            assert snap["requests"] == 1
+            assert snap["arrivals"] == 2
+            assert snap["admission"]["quota_rejections"] == 1
+            assert snap["admission"]["sheds"] == 0
+            assert snap["admission"]["per_tenant"]["acme"]["quota"] == 1
+            sheds = [e for e in recorder.events() if e["kind"] == "request_shed"]
+            assert len(sheds) == 1
+            assert sheds[0]["tenant"] == "acme"
+            assert sheds[0]["reason"] == "quota"
+            doc = service.telemetry()
+            assert doc["admission"]["quota_rejections"] == 1
+            assert doc["admission"]["outstanding"] == 0  # slot released
+
+    def test_queue_full_shed(self):
+        recorder = FlightRecorder()
+        admission = AdmissionController(max_queue_depth=1)
+        matrix = _matrix(1)
+        with MatMulService(
+            admission=admission, recorder=recorder, max_delay_s=0.001
+        ) as service:
+            handle = service.deploy(matrix, use_cache=False)
+            admission.admit("wedged")  # occupy the only slot
+            with pytest.raises(QueueFull):
+                asyncio.run(service.submit(handle, np.arange(10)))
+            admission.release("wedged")
+            snap = handle.telemetry.snapshot()
+            assert snap["admission"]["sheds"] == 1
+            assert snap["admission"]["per_tenant"]["default"]["queue_full"] == 1
+            # The slot freed up: traffic flows again.
+            row = asyncio.run(service.submit(handle, np.arange(10)))
+            assert np.array_equal(row, np.arange(10) @ matrix)
+
+    def test_expired_deadline_fails_at_flush_not_executes(self):
+        recorder = FlightRecorder()
+        matrix = _matrix(2)
+        with MatMulService(recorder=recorder, max_delay_s=0.005) as service:
+            handle = service.deploy(matrix, use_cache=False)
+            # deadline_s=0: already expired when the flush samples the
+            # clock, deterministically.
+            with pytest.raises(DeadlineExceeded):
+                asyncio.run(
+                    service.submit(handle, np.arange(10), deadline_s=0.0)
+                )
+            snap = handle.telemetry.snapshot()
+            assert snap["admission"]["expired"] == 1
+            assert snap["admission"]["per_tenant"]["default"]["expired"] == 1
+            assert handle.batcher.stats.expired == 1
+            assert handle.batcher.stats.batches == 0  # never dispatched
+            assert snap["requests"] == 0
+            kinds = [e["kind"] for e in recorder.events()]
+            assert "request_shed" in kinds
+            # A generous deadline executes normally.
+            row = asyncio.run(
+                service.submit(handle, np.arange(10), deadline_s=30.0)
+            )
+            assert np.array_equal(row, np.arange(10) @ matrix)
+
+    def test_mixed_batch_expired_dropped_live_served(self):
+        """One flush holding both expired and live requests serves the
+        live ones bit-exactly and fails only the expired ones."""
+        matrix = _matrix(3)
+        with MatMulService(max_delay_s=0.02, max_batch=8) as service:
+            handle = service.deploy(matrix, use_cache=False)
+            vectors = np.arange(30, dtype=np.int64).reshape(3, 10) % 7 - 3
+
+            async def drive():
+                live = [
+                    asyncio.ensure_future(
+                        service.submit(handle, vec, deadline_s=30.0)
+                    )
+                    for vec in vectors
+                ]
+                dead = asyncio.ensure_future(
+                    service.submit(handle, vectors[0], deadline_s=0.0)
+                )
+                return await asyncio.gather(
+                    *live, dead, return_exceptions=True
+                )
+
+            *rows, expired = asyncio.run(drive())
+            assert isinstance(expired, DeadlineExceeded)
+            assert np.array_equal(np.stack(rows), vectors @ matrix)
+            assert handle.batcher.stats.expired == 1
+
+    def test_reconciliation_arrivals_equal_outcomes(self):
+        """offered == served + quota + queue_full + expired, exactly."""
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue_depth=64, tenant_rate_rps=2.0, tenant_burst=2.0,
+            clock=clock,
+        )
+        matrix = _matrix(4)
+        with MatMulService(admission=admission, max_delay_s=0.001) as service:
+            handle = service.deploy(matrix, use_cache=False)
+
+            async def drive():
+                outcomes = {"ok": 0, "quota": 0, "expired": 0}
+                for k in range(8):
+                    deadline = 0.0 if k % 4 == 3 else 30.0
+                    try:
+                        await service.submit(
+                            handle, np.arange(10), tenant="t",
+                            deadline_s=deadline,
+                        )
+                        outcomes["ok"] += 1
+                    except QuotaExceeded:
+                        outcomes["quota"] += 1
+                    except DeadlineExceeded:
+                        outcomes["expired"] += 1
+                return outcomes
+
+            outcomes = asyncio.run(drive())
+            snap = handle.telemetry.snapshot()
+            admitted = snap["admission"]
+            assert snap["arrivals"] == 8
+            assert outcomes["ok"] == snap["requests"]
+            assert outcomes["quota"] == admitted["quota_rejections"]
+            assert outcomes["expired"] == admitted["expired"]
+            assert (
+                snap["requests"]
+                + admitted["sheds"]
+                + admitted["quota_rejections"]
+                + admitted["expired"]
+                == snap["arrivals"]
+            )

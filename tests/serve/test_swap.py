@@ -194,3 +194,53 @@ class TestSwapUnderTraffic:
                 assert np.array_equal(
                     service.multiply(handle, vectors), vectors @ old
                 )
+
+
+class TestDrainTimeout:
+    """A wedged old executor is force-closed and accounted, never leaked.
+
+    The drain-timeout path used to raise with the old executor still
+    open — a worker stuck in a dead socket read kept its pool (and its
+    futures) alive forever.  Now the flip stays done, the executor is
+    force-closed (``close(wait=False)``), and the abandonment is
+    recorded as a ``drain_abandoned`` flight-recorder event.
+    """
+
+    def test_wedged_drain_force_closes_and_records(self):
+        from repro.obs.recorder import FlightRecorder
+
+        old, new = _matrix(30), _matrix(31)
+        vectors = _vectors(32, 3, 12)
+        recorder = FlightRecorder()
+        with MatMulService(recorder=recorder) as service:
+            handle = service.deploy(old, shards=2)
+            wedged = handle.sharded
+            # Simulate a wedged batch: an in-flight booking that will
+            # never return (the real shape: a worker blocked in a read
+            # against a dead peer).
+            with wedged._inflight_cv:
+                wedged._inflight += 1
+            with pytest.raises(TimeoutError, match="force-closed"):
+                service.swap(handle, new, drain_timeout_s=0.05)
+            # The flip happened and STAYS done; the old executor is
+            # closed, not leaked.
+            assert handle.sharded is not wedged
+            assert wedged._pool is None
+            assert wedged._remotes == []
+            events = recorder.events("drain_abandoned")
+            assert len(events) == 1
+            assert events[0]["inflight"] == 1
+            assert events[0]["deployment"] == handle.name
+            # The new executor serves immediately.
+            assert np.array_equal(
+                service.multiply(handle, vectors), vectors @ new
+            )
+            assert service.telemetry(handle)["swaps"] == 1
+
+    def test_clean_drain_still_closes_gracefully(self):
+        old, new = _matrix(33), _matrix(34)
+        with MatMulService() as service:
+            handle = service.deploy(old, shards=2)
+            first = handle.sharded
+            service.swap(handle, new, drain_timeout_s=5.0)
+            assert first._pool is None  # graceful path unchanged
