@@ -1,0 +1,265 @@
+"""SLO alerting benchmark: observed serving stays fast, burn rules fire.
+
+One loopback 3-server fleet over a prewarmed store, with one endpoint
+routed through a :class:`~repro.cluster.chaos.ChaosProxy` (zero faults
+until the chaos phase).  Two contracts:
+
+* **Observation is near-free.**  The same offered load is served by an
+  *observed* service (stage profiler on client and every server, plus a
+  background :class:`~repro.obs.history.MetricsHistory` sampler
+  scraping the whole fleet) and an *unobserved* one, interleaved
+  best-of-N; the observed deployment must keep at least
+  ``THROUGHPUT_FLOOR`` (90%) of the unobserved throughput.
+* **The burn rule fires, attributes, and clears.**  Driving the SLO
+  engine on a fake clock (sampling every ``STEP_S``), a healthy phase
+  raises no alert; injecting a chunk delay on the proxied link makes
+  the latency SLO's fast+slow burn windows trip **by the second
+  post-fault sample**, with the ``slo_burn`` event blaming the ``wire``
+  stage (the profiler histograms move most there, and specificity
+  breaks the tie against the containing stages); removing the fault
+  clears the alert (``slo_ok``) once the bad samples age out of the
+  fast window.
+
+Results land in ``BENCH_slo_alerting.json`` at the repo root.
+
+Run::
+
+    pytest benchmarks/bench_slo_alerting.py
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterController
+from repro.cluster.chaos import ChaosProxy
+from repro.obs import (
+    BurnRatePolicy,
+    FleetMetrics,
+    FlightRecorder,
+    LatencySLO,
+    MetricsHistory,
+    SLOEngine,
+    StageProfiler,
+)
+from repro.serve.prewarm import prewarm
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DIM = 128
+SPARSITY = 0.5
+SERVERS = 3
+WAVE = 32
+WARMUP_WAVES = 2
+MEASURE_ROUNDS = 8
+THROUGHPUT_FLOOR = 0.90
+
+# The burn rule, shrunk to subsecond windows on a fake clock: sampling
+# every 250 ms, the fast window holds 5 samples and the slow window 9.
+# With a 0.9 target (budget 0.1), one bad sample in the fast window is
+# burn 2.0 (== threshold, quiet) and two are burn 4.0 — so the alert
+# fires exactly on the second post-fault sample, never the first.
+STEP_S = 0.25
+POLICY = dict(fast_window_s=1.0, slow_window_s=2.0, threshold=2.0)
+SLO_TARGET = 0.9
+P99_THRESHOLD_S = 0.06
+TELEMETRY_WINDOW = 128
+FAULT_DELAY_S = 0.25
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _matrix():
+    rng = np.random.default_rng(41)
+    matrix = rng.integers(-128, 128, size=(DIM, DIM))
+    matrix[rng.random((DIM, DIM)) < SPARSITY] = 0
+    return matrix
+
+
+def _wave(service, handle, vectors, golden):
+    async def drive():
+        start = time.perf_counter()
+        rows = await service.submit_many(handle, vectors)
+        return rows, time.perf_counter() - start
+
+    rows, elapsed = asyncio.run(drive())
+    assert np.array_equal(rows, golden)
+    return elapsed
+
+
+def test_slo_alerting(tmp_path):
+    matrix = _matrix()
+    vectors = np.random.default_rng(43).integers(-128, 128, size=(WAVE, DIM))
+    golden = vectors @ matrix
+    store = tmp_path / "store"
+    prewarm(
+        {
+            "defaults": {"input_width": 8, "scheme": "csd"},
+            "workloads": [
+                {"name": "fleet", "matrix": matrix.tolist(), "shards": SERVERS}
+            ],
+        },
+        store=store,
+    )
+
+    profiler = StageProfiler()
+    recorder = FlightRecorder()
+    with ClusterController(store, profile_servers=True) as controller:
+        controller.start_local_fleet(SERVERS)
+        # One link goes through the chaos proxy (fault-free for now);
+        # BOTH services route through it, so the throughput comparison
+        # is apples to apples.
+        proxy = ChaosProxy(upstream=controller.endpoints[0])
+        controller.endpoints[0] = proxy.endpoint
+        with proxy, controller.remote_service() as plain_service, (
+            controller.remote_service(
+                profiler=profiler, telemetry_window=TELEMETRY_WINDOW
+            )
+        ) as observed_service:
+            plain_handle = controller.deploy_fleet(plain_service, matrix)
+            observed_handle = controller.deploy_fleet(observed_service, matrix)
+
+            # -- phase 1: observed throughput floor ----------------------
+            live_history = MetricsHistory(
+                FleetMetrics(service=observed_service)
+            )
+            live_history.start(interval_s=0.1)
+            try:
+                for _ in range(WARMUP_WAVES):
+                    _wave(plain_service, plain_handle, vectors, golden)
+                    _wave(observed_service, observed_handle, vectors, golden)
+                plain_s = observed_s = float("inf")
+                pair = (
+                    (plain_service, plain_handle),
+                    (observed_service, observed_handle),
+                )
+                for round_i in range(MEASURE_ROUNDS):
+                    first, second = (
+                        pair if round_i % 2 == 0 else (pair[1], pair[0])
+                    )
+                    for service, handle in (first, second):
+                        elapsed = _wave(service, handle, vectors, golden)
+                        if service is plain_service:
+                            plain_s = min(plain_s, elapsed)
+                        else:
+                            observed_s = min(observed_s, elapsed)
+            finally:
+                live_history.close()
+            throughput_ratio = plain_s / observed_s
+            assert throughput_ratio >= THROUGHPUT_FLOOR, (
+                f"observed serving keeps only {throughput_ratio:.1%} of "
+                f"unobserved throughput (floor {THROUGHPUT_FLOOR:.0%}): "
+                f"observed {observed_s:.6f}s vs plain {plain_s:.6f}s"
+            )
+            assert len(live_history) >= 2
+            assert live_history.sample_errors == 0
+
+            # -- phase 2: burn-rate alerting on a fake clock -------------
+            clock = FakeClock()
+            history = MetricsHistory(
+                FleetMetrics(service=observed_service), clock=clock
+            )
+            engine = SLOEngine(
+                history,
+                [
+                    LatencySLO(
+                        "p99-under-60ms",
+                        threshold_s=P99_THRESHOLD_S,
+                        target=SLO_TARGET,
+                    )
+                ],
+                policy=BurnRatePolicy(**POLICY),
+                recorder=recorder,
+            )
+            history.add_listener(engine.listener())
+
+            def tick():
+                _wave(observed_service, observed_handle, vectors, golden)
+                history.sample()
+                (status,) = engine.statuses
+                clock.advance(STEP_S)
+                return status
+
+            healthy = [tick() for _ in range(9)]
+            assert not any(s["firing"] for s in healthy), (
+                "burn alert fired during the healthy phase: "
+                f"{[s for s in healthy if s['firing']]}"
+            )
+            assert recorder.events(kind="slo_burn") == []
+
+            proxy.delay_s = FAULT_DELAY_S
+            first_bad = tick()
+            second_bad = tick()
+            proxy.delay_s = 0.0
+            assert second_bad["firing"], (
+                "latency burn alert must fire by the second post-fault "
+                f"sample; statuses were {first_bad} / {second_bad}"
+            )
+            fired_at = 1 if first_bad["firing"] else 2
+            (burn,) = recorder.events(kind="slo_burn")
+            assert burn["slo"] == "p99-under-60ms"
+            assert burn["stage"] == "wire", (
+                "the chaos-delayed link must be attributed to the wire "
+                f"stage, got {burn['stage']!r}"
+            )
+
+            cleared_after = None
+            for k in range(40):
+                status = tick()
+                if not status["firing"]:
+                    cleared_after = k + 1
+                    break
+            assert cleared_after is not None, (
+                "burn alert never cleared after the fault was removed"
+            )
+            (ok,) = recorder.events(kind="slo_ok")
+            assert ok["slo"] == "p99-under-60ms"
+            # Once the slow window has also flushed the fault, the
+            # budget reads healthy again.
+            for _ in range(9):
+                final = tick()
+            assert not final["firing"]
+            assert final["error_budget_remaining"] > 0.0
+
+    record = {
+        "matrix": f"{DIM}x{DIM} csd, ~{SPARSITY:.0%} element sparsity, s8 inputs",
+        "servers": SERVERS,
+        "offered_batch": WAVE,
+        "throughput": {
+            "unobserved_s": round(plain_s, 6),
+            "observed_s": round(observed_s, 6),
+            "observed_fraction": round(throughput_ratio, 4),
+            "floor": THROUGHPUT_FLOOR,
+            "observed_rps": round(WAVE / observed_s, 1),
+        },
+        "alerting": {
+            "policy": POLICY,
+            "slo_target": SLO_TARGET,
+            "p99_threshold_s": P99_THRESHOLD_S,
+            "sampling_step_s": STEP_S,
+            "fault_chunk_delay_s": FAULT_DELAY_S,
+            "fired_after_samples": fired_at,
+            "offending_stage": burn["stage"],
+            "burn_fast_at_fire": burn["burn_fast"],
+            "burn_slow_at_fire": burn["burn_slow"],
+            "cleared_after_samples": cleared_after,
+            "false_alarms_healthy_phase": 0,
+        },
+        "profiler_samples": profiler.stats()["samples"],
+        "bit_exact": True,
+    }
+    out_path = REPO_ROOT / "BENCH_slo_alerting.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

@@ -35,6 +35,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 import numpy as np
@@ -603,22 +604,31 @@ class ClusterClient:
 
         Uses throwaway probe connections (no LOAD), so it is safe to
         call while deployments stream batches on their own sockets.
+        Endpoints are scraped concurrently (one thread each), so a
+        wedged host costs one ``timeout_s`` for the whole fleet instead
+        of one per unresponsive endpoint; report order still matches
+        :attr:`endpoints`.
         """
-        reports: list[dict[str, Any]] = []
-        for host, port in self.endpoints:
+
+        def _scrape(host: str, port: int) -> dict[str, Any]:
             try:
                 conn = _Connection(
                     host, port, self.timeout_s, auth_secret=self.auth_secret
                 )
                 try:
                     _, meta, _ = conn.request(encode_frame(FrameType.STATS, {}))
-                    reports.append(
-                        {"endpoint": f"{host}:{port}", **meta.get("stats", {})}
-                    )
+                    return {"endpoint": f"{host}:{port}", **meta.get("stats", {})}
                 finally:
                     conn.close()
             except (OSError, ConnectionError, ProtocolError, RemoteFault) as exc:
-                reports.append(
-                    {"endpoint": f"{host}:{port}", "error": str(exc)}
-                )
-        return reports
+                return {"endpoint": f"{host}:{port}", "error": str(exc)}
+
+        if len(self.endpoints) <= 1:
+            return [_scrape(host, port) for host, port in self.endpoints]
+        with ThreadPoolExecutor(
+            max_workers=len(self.endpoints), thread_name_prefix="repro-stats"
+        ) as pool:
+            futures = [
+                pool.submit(_scrape, host, port) for host, port in self.endpoints
+            ]
+            return [f.result() for f in futures]

@@ -53,9 +53,15 @@ class LocalServerHandle:
         name: str | None = None,
         port: int = 0,
         auth_secret: str | None = None,
+        profiler=None,
     ) -> None:
         self.server = ShardServer(
-            store, host=host, port=port, name=name, auth_secret=auth_secret
+            store,
+            host=host,
+            port=port,
+            name=name,
+            auth_secret=auth_secret,
+            profiler=profiler,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
@@ -147,6 +153,11 @@ class ClusterController:
             (:func:`repro.cluster.protocol.auth_response`), and every
             client this controller builds — deployments, stats scrapes
             — answers with the same secret.
+        profile_servers: when true, every locally-started server gets
+            its own :class:`repro.obs.profile.StageProfiler`, so STATS
+            replies carry ``server_execute`` duration histograms for
+            fleet-wide merging (the in-process analogue of ``python -m
+            repro.cluster.server --profile``).
     """
 
     def __init__(
@@ -155,12 +166,21 @@ class ClusterController:
         endpoints: list[tuple[str, int]] | None = None,
         request_timeout_s: float = 5.0,
         auth_secret: str | None = None,
+        profile_servers: bool = False,
     ) -> None:
         self.store = pathlib.Path(store)
         self.endpoints: list[tuple[str, int]] = list(endpoints or [])
         self.request_timeout_s = float(request_timeout_s)
         self.auth_secret = auth_secret
+        self.profile_servers = bool(profile_servers)
         self._local: list[LocalServerHandle] = []
+
+    def _server_profiler(self):
+        if not self.profile_servers:
+            return None
+        from repro.obs.profile import StageProfiler
+
+        return StageProfiler()
 
     # -- fleet lifecycle ------------------------------------------------------
 
@@ -176,6 +196,7 @@ class ClusterController:
                 host=host,
                 name=f"local-{len(self._local)}",
                 auth_secret=self.auth_secret,
+                profiler=self._server_profiler(),
             )
             self._local.append(handle)
             self.endpoints.append(handle.endpoint)
@@ -209,6 +230,7 @@ class ClusterController:
             name=f"local-{index}-r",
             port=port,
             auth_secret=self.auth_secret,
+            profiler=self._server_profiler(),
         )
         self._local[index] = handle
         return handle

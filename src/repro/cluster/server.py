@@ -101,6 +101,13 @@ class ShardServer:
             a wrong or missing answer is refused with the stable
             ``"auth"`` token and the connection closed.  ``None`` (the
             default) keeps the handshake exactly as before.
+        profiler: optional :class:`repro.obs.profile.StageProfiler`.
+            When set, every EXECUTE's busy time lands in the
+            ``server_execute`` stage histogram keyed by the
+            variant-qualified executor label, and STATS replies carry
+            the profiler snapshot under ``"profile"`` so
+            :class:`repro.obs.metrics.FleetMetrics` can merge it
+            fleet-wide.  ``None`` (the default) records nothing.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class ShardServer:
         port: int = 0,
         name: str | None = None,
         auth_secret: str | None = None,
+        profiler=None,
     ) -> None:
         if isinstance(store, CompileCache):
             self.cache = store
@@ -124,6 +132,7 @@ class ShardServer:
         self.port = int(port)
         self.name = name if name is not None else f"shard-{id(self) & 0xFFFF:04x}"
         self.auth_secret = auth_secret
+        self.profiler = profiler
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._stats_lock = threading.Lock()
@@ -170,7 +179,7 @@ class ShardServer:
 
     def stats(self) -> dict[str, Any]:
         with self._stats_lock:
-            return {
+            doc = {
                 "name": self.name,
                 "uptime_s": round(time.monotonic() - self._started, 6),
                 "connections": self.connections,
@@ -184,6 +193,9 @@ class ShardServer:
                 "engine_batches": dict(self.engine_batches),
                 "store": self.cache.stats(),
             }
+        if self.profiler is not None:
+            doc["profile"] = self.profiler.snapshot()
+        return doc
 
     def _count(self, field: str, engine: str | None = None) -> None:
         with self._stats_lock:
@@ -408,6 +420,8 @@ class ShardServer:
         if resolved == "fused":
             label = f"fused:{state.fast.fused_variant}"
         self._count("executes", engine=label)
+        if self.profiler is not None:
+            self.profiler.record("server_execute", busy, variant=label)
         spans = None
         if isinstance(trace, dict):
             spans = [self._server_span(state, trace, label, batch, busy)]
@@ -503,15 +517,27 @@ def main(argv: list[str] | None = None) -> int:
         help="shared secret for the HELLO challenge/response handshake "
         "(off by default; clients must pass the same auth_secret=)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record server_execute duration histograms and expose them "
+        "in STATS replies (merged fleet-wide by repro.obs)",
+    )
     args = parser.parse_args(argv)
 
     async def _run() -> None:
+        profiler = None
+        if args.profile:
+            from repro.obs.profile import StageProfiler
+
+            profiler = StageProfiler()
         server = ShardServer(
             args.store,
             host=args.host,
             port=args.port,
             name=args.name,
             auth_secret=args.auth_secret,
+            profiler=profiler,
         )
         await server.start()
         print(

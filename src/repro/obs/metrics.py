@@ -90,7 +90,14 @@ class FleetMetrics:
         return client.fleet_stats()
 
     def collect(self) -> dict[str, Any]:
-        """One merged metrics document (JSON-serializable)."""
+        """One merged metrics document (JSON-serializable).
+
+        When the service carries a stage profiler and/or scraped
+        servers report one in STATS, their snapshots are merged by
+        addition into a fleet-wide ``"profile"`` section (client-side
+        stages plus every host's ``server_execute`` in one histogram
+        set — see :class:`repro.obs.profile.StageProfiler`).
+        """
         doc: dict[str, Any] = {"collected_at": round(time.time(), 6)}
         if self.service is not None:
             doc["service"] = self.service.telemetry()
@@ -98,6 +105,19 @@ class FleetMetrics:
         if self.endpoints:
             doc["servers"] = servers
         doc["fleet"] = self._rollup(doc.get("service"), servers)
+        snapshots = []
+        profiler = getattr(self.service, "profiler", None)
+        if profiler is not None:
+            snapshots.append(profiler.snapshot())
+        snapshots.extend(
+            stats["profile"] for stats in servers if "profile" in stats
+        )
+        if snapshots:
+            from repro.obs.profile import StageProfiler
+
+            merged = StageProfiler.merge(snapshots)
+            if merged is not None:
+                doc["profile"] = merged
         return doc
 
     @staticmethod
@@ -107,14 +127,15 @@ class FleetMetrics:
         """Fleet-level aggregates across deployments and servers."""
         deployments = (service or {}).get("deployments", {})
         engine_batches: dict[str, int] = {}
-        requests = products = batches = 0
+        requests = products = batches = arrivals = 0
         sheds = quota_rejections = expired = 0
         arrival = served = 0.0
-        shard_links = healthy_links = fallbacks = 0
+        shard_links = healthy_links = fallbacks = revivals = 0
         for snap in deployments.values():
             requests += snap.get("requests", 0)
             products += snap.get("products", 0)
             batches += snap.get("batches", 0)
+            arrivals += snap.get("arrivals", 0)
             admission = snap.get("admission", {})
             sheds += admission.get("sheds", 0)
             quota_rejections += admission.get("quota_rejections", 0)
@@ -128,8 +149,10 @@ class FleetMetrics:
                     shard_links += 1
                     healthy_links += bool(shard["healthy"])
                     fallbacks += shard.get("local_fallbacks", 0)
+                    revivals += shard.get("probe", {}).get("auto_revivals", 0)
         server_engine: dict[str, int] = {}
         executes = loads = 0
+        errors = expired_skips = auth_failures = 0
         reachable = 0
         for stats in servers:
             if "error" in stats:
@@ -137,6 +160,9 @@ class FleetMetrics:
             reachable += 1
             executes += stats.get("executes", 0)
             loads += stats.get("loads", 0)
+            errors += stats.get("errors", 0)
+            expired_skips += stats.get("expired_skips", 0)
+            auth_failures += stats.get("auth_failures", 0)
             for engine, count in stats.get("engine_batches", {}).items():
                 server_engine[engine] = server_engine.get(engine, 0) + count
         return {
@@ -144,6 +170,10 @@ class FleetMetrics:
             "requests": requests,
             "products": products,
             "batches": batches,
+            # Lifetime offered load: the denominator availability SLOs
+            # delta against (arrivals == requests + sheds + quota +
+            # expired for a quiesced deployment).
+            "arrivals": arrivals,
             "arrival_rate_rps": round(arrival, 3),
             "throughput_rps_windowed": round(served, 3),
             "engine_batches": engine_batches,
@@ -156,12 +186,18 @@ class FleetMetrics:
                 "total": shard_links,
                 "healthy": healthy_links,
                 "local_fallbacks": fallbacks,
+                # Automatic link revivals (probe- or traffic-driven):
+                # a counter family MetricsHistory turns into a rate.
+                "revivals": revivals,
             },
             "servers": {
                 "configured": len(servers),
                 "reachable": reachable,
                 "executes": executes,
                 "loads": loads,
+                "errors": errors,
+                "expired_skips": expired_skips,
+                "auth_failures": auth_failures,
                 "engine_batches": server_engine,
             },
         }
@@ -199,6 +235,45 @@ class _Exposition:
         rounded = round(float(value), 9)
         rendered = repr(int(rounded)) if rounded == int(rounded) else repr(rounded)
         self._metrics[name][2].append(f"{name}{label_text} {rendered}")
+
+    def add_histogram(
+        self,
+        name: str,
+        help_text: str,
+        edges: list[float],
+        counts: list[int],
+        total_sum: float,
+        total_count: int,
+        **labels: Any,
+    ) -> None:
+        """One Prometheus histogram: cumulative ``le`` buckets (ending in
+        ``+Inf``) plus ``_sum`` / ``_count``, all samples registered
+        under the base ``name`` so one TYPE/HELP header covers them —
+        the shape ``histogram_quantile()`` requires."""
+        if name not in self._metrics:
+            self._metrics[name] = ("histogram", help_text, [])
+        samples = self._metrics[name][2]
+
+        def label_text(extra: dict[str, Any]) -> str:
+            merged = {**labels, **extra}
+            body = ",".join(
+                f'{key}="{_escape(val)}"' for key, val in sorted(merged.items())
+            )
+            return "{" + body + "}" if body else ""
+
+        cumulative = 0
+        for edge, count in zip(edges, counts):
+            cumulative += int(count)
+            samples.append(
+                f"{name}_bucket{label_text({'le': repr(float(edge))})} {cumulative}"
+            )
+        samples.append(
+            f"{name}_bucket{label_text({'le': '+Inf'})} {int(total_count)}"
+        )
+        rounded = round(float(total_sum), 9)
+        rendered = repr(int(rounded)) if rounded == int(rounded) else repr(rounded)
+        samples.append(f"{name}_sum{label_text({})} {rendered}")
+        samples.append(f"{name}_count{label_text({})} {int(total_count)}")
 
     def render(self) -> str:
         lines: list[str] = []
@@ -406,4 +481,36 @@ def to_prometheus(doc: dict[str, Any]) -> str:
                 "Requests shed across all deployments, by reason.",
                 count, reason=reason,
             )
+    profile = doc.get("profile", {})
+    for entry in profile.get("stages", []):
+        exp.add_histogram(
+            "repro_stage_duration_seconds",
+            "Per-stage serving durations (fleet-merged histograms).",
+            profile.get("edges", []),
+            entry.get("counts", []),
+            entry.get("sum", 0.0),
+            entry.get("count", 0),
+            stage=entry.get("stage", ""),
+            variant=entry.get("variant", ""),
+        )
+    for status in doc.get("slo", []):
+        slo_label = {"slo": status.get("slo", "")}
+        exp.add(
+            "repro_slo_error_budget_remaining", "gauge",
+            "Fraction of the SLO error budget left over the slow window.",
+            status.get("error_budget_remaining", 1.0), **slo_label,
+        )
+        for window in ("fast", "slow"):
+            burn = status.get(f"burn_{window}")
+            if burn is not None:
+                exp.add(
+                    "repro_slo_burn_rate", "gauge",
+                    "Error-budget burn rate (error fraction / budget).",
+                    burn, window=window, **slo_label,
+                )
+        exp.add(
+            "repro_slo_firing", "gauge",
+            "1 while the SLO's multi-window burn alert is firing.",
+            int(bool(status.get("firing"))), **slo_label,
+        )
     return exp.render()

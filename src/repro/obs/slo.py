@@ -1,0 +1,359 @@
+"""Declarative SLOs with SRE-style multi-window burn-rate alerting.
+
+An SLO here is a *target fraction of good service* over time —
+"99.9% of samples keep p99 submit latency under 25 ms", "99.9% of
+offered requests are neither shed nor expired" — and the quantity that
+matters operationally is how fast the error budget (the allowed
+``1 - target`` bad fraction) is being spent.  **Burn rate** is that
+speed, normalized: observed error fraction divided by the budget, so
+burn 1.0 spends exactly the budget over the objective window and burn
+10 spends it ten times too fast.
+
+Alerting follows the multi-window rule from the SRE workbook: page only
+when the burn rate exceeds the threshold over **both** a fast window
+(default 5 minutes — catches the onset quickly) *and* a slow window
+(default 1 hour — proves it is sustained, not a blip).  The alert
+clears when the fast window recovers.  Both windows and the threshold
+are injectable — the benchmark runs them in subseconds on a fake clock.
+
+:class:`SLOEngine` evaluates a set of SLOs against a
+:class:`~repro.obs.history.MetricsHistory` (typically as an
+``on_sample`` listener, so every fresh collection re-evaluates), emits
+``slo_burn`` / ``slo_ok`` transition events into the flight recorder —
+the ``slo_burn`` event carries the **offending pipeline stage**,
+attributed by diffing the stage profiler's histograms across the fast
+window — and publishes per-SLO status the Prometheus exposition renders
+as ``repro_slo_error_budget_remaining`` and ``repro_slo_burn_rate``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.history import MetricsHistory
+from repro.obs.profile import STAGE_SPECIFICITY, StageProfiler
+
+__all__ = ["AvailabilitySLO", "BurnRatePolicy", "LatencySLO", "SLOEngine"]
+
+#: Default bad-event counter paths for :class:`AvailabilitySLO`: every
+#: way the service refuses or abandons an offered request.
+DEFAULT_BAD_PATHS = (
+    "fleet.shed.queue_full",
+    "fleet.shed.quota",
+    "fleet.shed.expired",
+)
+
+
+class BurnRatePolicy:
+    """The multi-window rule: windows and the shared burn threshold.
+
+    ``fast_window_s`` / ``slow_window_s`` default to the classic
+    5 m / 1 h pairing; ``threshold`` is the burn rate both windows must
+    exceed to fire.  All three are plain floats so tests and benchmarks
+    shrink them to subsecond scales under a fake clock.
+    """
+
+    def __init__(
+        self,
+        fast_window_s: float = 300.0,
+        slow_window_s: float = 3600.0,
+        threshold: float = 10.0,
+    ) -> None:
+        if not 0 < fast_window_s <= slow_window_s:
+            raise ValueError(
+                "windows must satisfy 0 < fast_window_s <= slow_window_s, "
+                f"got {fast_window_s} / {slow_window_s}"
+            )
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.threshold = float(threshold)
+
+
+class _SLO:
+    """Shared shape: a name, a target, and an error-fraction query."""
+
+    kind = "slo"
+
+    def __init__(self, name: str, target: float) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        self.name = str(name)
+        self.target = float(target)
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction: ``1 - target``."""
+        return 1.0 - self.target
+
+    def error_fraction(
+        self, history: MetricsHistory, window_s: float
+    ) -> float | None:
+        """Observed bad fraction over the trailing window, or ``None``
+        when the history cannot answer yet (too few samples)."""
+        raise NotImplementedError
+
+
+class LatencySLO(_SLO):
+    """"``point`` submit latency stays under ``threshold_s``".
+
+    Each history sample is judged good or bad by its instantaneous
+    latency quantile (``deployment=None`` takes the worst across
+    deployments); the error fraction over a window is the bad-sample
+    fraction.  ``target`` is the required good fraction.
+    """
+
+    kind = "latency"
+
+    def __init__(
+        self,
+        name: str,
+        threshold_s: float,
+        target: float = 0.999,
+        point: str = "p99",
+        deployment: str | None = None,
+    ) -> None:
+        super().__init__(name, target)
+        if threshold_s <= 0:
+            raise ValueError(f"threshold_s must be > 0, got {threshold_s}")
+        self.threshold_s = float(threshold_s)
+        self.point = str(point)
+        self.deployment = deployment
+
+    def error_fraction(
+        self, history: MetricsHistory, window_s: float
+    ) -> float | None:
+        points = history.percentile_series(
+            deployment=self.deployment, point=self.point, window_s=window_s
+        )
+        if not points:
+            return None
+        bad = sum(1 for _, value in points if value > self.threshold_s)
+        return bad / len(points)
+
+
+class AvailabilitySLO(_SLO):
+    """"The shed+expired fraction of offered requests stays under
+    ``1 - target``".
+
+    Counter-delta math over the history: bad events are the increases
+    of ``bad_paths`` over the window, the denominator the increase of
+    ``total_path`` (offered load).  Zero offered load means zero error
+    — an idle fleet is not failing.  The paths are injectable so the
+    same class expresses a server-side view (``fleet.servers.errors``
+    over ``fleet.servers.executes``) for scrape-only consumers like
+    ``repro.obs.top``.
+    """
+
+    kind = "availability"
+
+    def __init__(
+        self,
+        name: str,
+        target: float = 0.999,
+        bad_paths: tuple[str, ...] = DEFAULT_BAD_PATHS,
+        total_path: str = "fleet.arrivals",
+    ) -> None:
+        super().__init__(name, target)
+        if not bad_paths:
+            raise ValueError("bad_paths must name at least one counter")
+        self.bad_paths = tuple(bad_paths)
+        self.total_path = str(total_path)
+
+    def error_fraction(
+        self, history: MetricsHistory, window_s: float
+    ) -> float | None:
+        total = history.delta(self.total_path, window_s)
+        if total is None:
+            return None
+        if total <= 0:
+            return 0.0
+        bad = 0.0
+        for path in self.bad_paths:
+            increase = history.delta(path, window_s)
+            if increase is not None:
+                bad += increase
+        return min(1.0, bad / total)
+
+
+class SLOEngine:
+    """Evaluate SLOs over a history; emit transitions; expose status.
+
+    Args:
+        history: the :class:`MetricsHistory` to read (evaluation uses
+            its clock, so fake-clock histories evaluate deterministically).
+        slos: the objectives; each needs a distinct ``name``.
+        policy: the shared :class:`BurnRatePolicy` (default 5 m / 1 h,
+            burn 10).
+        recorder: optional flight recorder receiving ``slo_burn`` /
+            ``slo_ok`` events on firing transitions — *transitions*
+            only, one event per edge, so a sustained burn is one event
+            and a flapping SLO is legible as alternating pairs.
+
+    Use as a sampler listener (``history.add_listener(lambda _:
+    engine.evaluate())``) or call :meth:`evaluate` on your own cadence.
+    """
+
+    def __init__(
+        self,
+        history: MetricsHistory,
+        slos: list[_SLO],
+        policy: BurnRatePolicy | None = None,
+        recorder: Any = None,
+    ) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"SLO names must be unique, got {names}")
+        self.history = history
+        self.slos = list(slos)
+        self.policy = policy if policy is not None else BurnRatePolicy()
+        self.recorder = recorder
+        self._firing: dict[str, bool] = {}
+        self._statuses: list[dict[str, Any]] = []
+
+    # -- evaluation ----------------------------------------------------------
+
+    @staticmethod
+    def _burn(fraction: float | None, budget: float) -> float | None:
+        if fraction is None:
+            return None
+        return fraction / budget
+
+    def evaluate(self) -> list[dict[str, Any]]:
+        """Re-evaluate every SLO against the history now.
+
+        Returns (and retains, see :attr:`statuses`) one status dict per
+        SLO: burn rates over both windows, error budget remaining over
+        the slow window, firing state, and — while firing — the
+        offending stage from the profiler history.
+        """
+        policy = self.policy
+        statuses: list[dict[str, Any]] = []
+        for slo in self.slos:
+            fast = slo.error_fraction(self.history, policy.fast_window_s)
+            slow = slo.error_fraction(self.history, policy.slow_window_s)
+            burn_fast = self._burn(fast, slo.budget)
+            burn_slow = self._burn(slow, slo.budget)
+            was_firing = self._firing.get(slo.name, False)
+            if was_firing:
+                # Clear when the fast window recovers: the slow window
+                # keeps the stale burn long after mitigation, and
+                # holding the page open on it teaches operators to
+                # ignore it.
+                firing = burn_fast is not None and burn_fast > policy.threshold
+            else:
+                firing = (
+                    burn_fast is not None
+                    and burn_slow is not None
+                    and burn_fast > policy.threshold
+                    and burn_slow > policy.threshold
+                )
+            remaining = 1.0
+            if slow is not None:
+                remaining = max(0.0, min(1.0, 1.0 - slow / slo.budget))
+            stage = (
+                self.offending_stage(policy.fast_window_s) if firing else None
+            )
+            status = {
+                "slo": slo.name,
+                "kind": slo.kind,
+                "target": slo.target,
+                "burn_fast": round(burn_fast, 6) if burn_fast is not None else None,
+                "burn_slow": round(burn_slow, 6) if burn_slow is not None else None,
+                "error_budget_remaining": round(remaining, 6),
+                "firing": firing,
+                "offending_stage": stage,
+                "fast_window_s": policy.fast_window_s,
+                "slow_window_s": policy.slow_window_s,
+                "threshold": policy.threshold,
+            }
+            statuses.append(status)
+            if firing != was_firing and self.recorder is not None:
+                if firing:
+                    self.recorder.record(
+                        "slo_burn",
+                        slo=slo.name,
+                        slo_kind=slo.kind,
+                        burn_fast=status["burn_fast"],
+                        burn_slow=status["burn_slow"],
+                        error_budget_remaining=status["error_budget_remaining"],
+                        threshold=policy.threshold,
+                        stage=stage,
+                    )
+                else:
+                    self.recorder.record(
+                        "slo_ok",
+                        slo=slo.name,
+                        slo_kind=slo.kind,
+                        burn_fast=status["burn_fast"],
+                        error_budget_remaining=status["error_budget_remaining"],
+                    )
+            self._firing[slo.name] = firing
+        self._statuses = statuses
+        return statuses
+
+    def listener(self) -> Callable[[dict[str, Any]], None]:
+        """An ``on_sample`` callback re-evaluating after every sample."""
+        return lambda _entry: self.evaluate()
+
+    @property
+    def statuses(self) -> list[dict[str, Any]]:
+        """The most recent :meth:`evaluate` result (empty before one)."""
+        return list(self._statuses)
+
+    def attach(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """Merge the latest statuses into a collected document (under
+        ``"slo"``) so ``to_prometheus`` renders the SLO families."""
+        doc["slo"] = self.statuses
+        return doc
+
+    # -- stage attribution ---------------------------------------------------
+
+    def offending_stage(self, window_s: float) -> str | None:
+        """Which pipeline stage a fresh regression lives in.
+
+        Diffs the merged profiler histograms carried in the history
+        samples: each stage's *total recorded seconds* over the trailing
+        window, minus the same total over the preceding equal-length
+        window, is its regression score.  Nested stages move together —
+        ``shard_dispatch`` contains ``wire`` contains
+        ``server_execute`` — so among stages whose scores are within
+        25% of the best, the most *specific* stage wins
+        (:data:`~repro.obs.profile.STAGE_SPECIFICITY`): a chaos-delayed
+        link is attributed to ``wire``, a slow kernel to
+        ``server_execute``.  ``None`` without profile data.
+        """
+        entries = self.history.samples(2.0 * window_s)
+        if len(entries) < 2:
+            return None
+        now = entries[-1]["ts"]
+        recent_start = None
+        for entry in entries:
+            if entry["ts"] >= now - window_s:
+                recent_start = entry
+                break
+        if recent_start is None or recent_start is entries[-1]:
+            return None
+
+        def totals(entry: dict[str, Any]) -> dict[str, dict[str, float]]:
+            return StageProfiler.stage_totals(entry["doc"].get("profile"))
+
+        first, mid, last = totals(entries[0]), totals(recent_start), totals(entries[-1])
+        scores: dict[str, float] = {}
+        for stage, end in last.items():
+            recent = end["sum"] - mid.get(stage, {"sum": 0.0})["sum"]
+            previous = (
+                mid.get(stage, {"sum": 0.0})["sum"]
+                - first.get(stage, {"sum": 0.0})["sum"]
+            )
+            scores[stage] = recent - previous
+        positive = {s: v for s, v in scores.items() if v > 0}
+        if not positive:
+            return None
+        best = max(positive.values())
+        contenders = [s for s, v in positive.items() if v >= 0.75 * best]
+        return max(
+            contenders,
+            key=lambda s: (STAGE_SPECIFICITY.get(s, 1), positive[s]),
+        )

@@ -20,6 +20,17 @@ watch loop with ``--watch``:
 merged document — so the same command backs a human, a scraper, and a
 script.  Exit status is 0 when every server answered, 1 when any
 scrape failed (watchable by a cron probe).
+
+Watch mode keeps a :class:`~repro.obs.history.MetricsHistory` across
+iterations, which buys two things a one-shot scrape cannot produce:
+
+* an **EXEC/s** column (and a fleet-wide exec/s on the FLEET line) —
+  true per-endpoint execute rates over the trailing watch window;
+* optional **SLO status lines** — ``--slo-availability 0.999`` runs a
+  server-side availability SLO (errors + expired skips over executes)
+  through the burn-rate engine every collection and prints
+  ``SLO <name> OK|FIRING`` lines under the table (``--slo-fast`` /
+  ``--slo-slow`` / ``--slo-threshold`` tune the rule).
 """
 
 from __future__ import annotations
@@ -30,9 +41,10 @@ import sys
 import time
 from typing import Any
 
+from repro.obs.history import MetricsHistory
 from repro.obs.metrics import FleetMetrics, to_prometheus
 
-__all__ = ["main", "parse_endpoints", "render_table"]
+__all__ = ["exec_rates", "main", "parse_endpoints", "render_table"]
 
 
 def parse_endpoints(text: str) -> list[tuple[str, int]]:
@@ -61,37 +73,96 @@ def _engines(stats: dict[str, Any]) -> str:
     return ",".join(f"{k}:{v}" for k, v in sorted(batches.items()))
 
 
-def render_table(doc: dict[str, Any]) -> str:
-    """The human rendering of one collected metrics document."""
+def exec_rates(history: MetricsHistory) -> dict[str, float]:
+    """Per-endpoint execute rates (per second) over the history span.
+
+    ``{"hostA:9401": 12.5, ...}`` from the first and last samples in
+    the ring; empty with fewer than two samples (a one-shot run has no
+    rates).  Down endpoints simply carry no counter and are skipped.
+    """
+    entries = history.samples()
+    if len(entries) < 2:
+        return {}
+    span = entries[-1]["ts"] - entries[0]["ts"]
+    if span <= 0:
+        return {}
+
+    def per_endpoint(entry: dict[str, Any]) -> dict[str, float]:
+        return {
+            stats["endpoint"]: float(stats.get("executes", 0))
+            for stats in entry["doc"].get("servers", [])
+            if "error" not in stats and "endpoint" in stats
+        }
+
+    first, last = per_endpoint(entries[0]), per_endpoint(entries[-1])
+    return {
+        endpoint: max(0.0, executes - first.get(endpoint, 0.0)) / span
+        for endpoint, executes in sorted(last.items())
+    }
+
+
+def render_table(
+    doc: dict[str, Any], rates: dict[str, float] | None = None
+) -> str:
+    """The human rendering of one collected metrics document.
+
+    ``rates`` (from :func:`exec_rates`) adds the EXEC/s column and the
+    fleet-wide exec/s figure; SLO statuses attached to the document
+    (``doc["slo"]``) render as trailing ``SLO ...`` lines.
+    """
     servers = doc.get("servers", [])
     fleet = doc.get("fleet", {}).get("servers", {})
-    lines = [
+    fleet_line = (
         f"FLEET  {fleet.get('reachable', 0)}/{fleet.get('configured', 0)} up"
         f"   executes {fleet.get('executes', 0)}"
         f"   loads {fleet.get('loads', 0)}"
-    ]
-    rows = [("ENDPOINT", "SERVER", "UP", "UPTIME", "LOADS", "EXECUTES", "ENGINES")]
+    )
+    if rates:
+        fleet_line += f"   exec/s {sum(rates.values()):.1f}"
+    lines = [fleet_line]
+    header = ["ENDPOINT", "SERVER", "UP", "UPTIME", "LOADS", "EXECUTES"]
+    if rates is not None:
+        header.append("EXEC/s")
+    header.append("ENGINES")
+    rows = [tuple(header)]
     for stats in servers:
+        endpoint = stats.get("endpoint", "?")
         if "error" in stats:
-            rows.append(
-                (stats.get("endpoint", "?"), "-", "DOWN", "-", "-", "-",
-                 stats["error"][:40])
-            )
+            row = [endpoint, "-", "DOWN", "-", "-", "-"]
+            if rates is not None:
+                row.append("-")
+            row.append(stats["error"][:40])
+            rows.append(tuple(row))
             continue
-        rows.append(
-            (
-                stats.get("endpoint", "?"),
-                str(stats.get("name", "-")),
-                "up",
-                f"{stats.get('uptime_s', 0.0):.1f}s",
-                str(stats.get("loads", 0)),
-                str(stats.get("executes", 0)),
-                _engines(stats),
-            )
-        )
+        row = [
+            endpoint,
+            str(stats.get("name", "-")),
+            "up",
+            f"{stats.get('uptime_s', 0.0):.1f}s",
+            str(stats.get("loads", 0)),
+            str(stats.get("executes", 0)),
+        ]
+        if rates is not None:
+            rate = rates.get(endpoint)
+            row.append(f"{rate:.1f}" if rate is not None else "-")
+        row.append(_engines(stats))
+        rows.append(tuple(row))
     widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
     for row in rows:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    for status in doc.get("slo", []):
+        state = "OK"
+        if status.get("firing"):
+            stage = status.get("offending_stage")
+            state = f"FIRING stage={stage}" if stage else "FIRING"
+        burn_fast = status.get("burn_fast")
+        burn_slow = status.get("burn_slow")
+        lines.append(
+            f"SLO {status.get('slo', '?')}  {state}"
+            f"   burn fast={burn_fast if burn_fast is not None else '-'}"
+            f" slow={burn_slow if burn_slow is not None else '-'}"
+            f"   budget left {status.get('error_budget_remaining', 1.0):.1%}"
+        )
     return "\n".join(lines)
 
 
@@ -132,6 +203,35 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="per-server scrape timeout in seconds (default 2.0)",
     )
+    parser.add_argument(
+        "--slo-availability",
+        type=float,
+        default=None,
+        metavar="TARGET",
+        help="run a server-side availability SLO (errors + expired skips "
+        "over executes) at this target, e.g. 0.999; statuses render as "
+        "SLO lines (table), doc['slo'] (json), repro_slo_* (prom)",
+    )
+    parser.add_argument(
+        "--slo-fast",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="burn-rate fast window (default 300)",
+    )
+    parser.add_argument(
+        "--slo-slow",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="burn-rate slow window (default 3600)",
+    )
+    parser.add_argument(
+        "--slo-threshold",
+        type=float,
+        default=10.0,
+        help="burn rate both windows must exceed to fire (default 10)",
+    )
     args = parser.parse_args(argv)
     try:
         endpoints = parse_endpoints(args.endpoints)
@@ -139,18 +239,46 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
 
     metrics = FleetMetrics(endpoints=endpoints, timeout_s=args.timeout)
+    history = MetricsHistory(metrics)
+    engine = None
+    if args.slo_availability is not None:
+        from repro.obs.slo import AvailabilitySLO, BurnRatePolicy, SLOEngine
+
+        engine = SLOEngine(
+            history,
+            [
+                AvailabilitySLO(
+                    "fleet-availability",
+                    target=args.slo_availability,
+                    bad_paths=(
+                        "fleet.servers.errors",
+                        "fleet.servers.expired_skips",
+                    ),
+                    total_path="fleet.servers.executes",
+                )
+            ],
+            policy=BurnRatePolicy(
+                fast_window_s=args.slo_fast,
+                slow_window_s=args.slo_slow,
+                threshold=args.slo_threshold,
+            ),
+        )
     iterations = 1 if args.watch is None else args.count
     all_up = True
     done = 0
     try:
         while iterations is None or done < iterations:
-            doc = metrics.collect()
+            doc = history.sample()["doc"]
+            if engine is not None:
+                engine.evaluate()
+                engine.attach(doc)
+            rates = exec_rates(history) if args.watch is not None else None
             if args.format == "json":
                 print(json.dumps(doc, indent=2))
             elif args.format == "prom":
                 print(to_prometheus(doc), end="")
             else:
-                print(render_table(doc))
+                print(render_table(doc, rates=rates))
             sys.stdout.flush()
             all_up = all(
                 "error" not in s for s in doc.get("servers", [])

@@ -69,6 +69,7 @@ class MicroBatcher:
         max_delay_s: float = 0.002,
         validate: Callable[[np.ndarray], None] | None = None,
         tracer=None,
+        profiler=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -84,17 +85,26 @@ class MicroBatcher:
         # it.  Untraced submits call ``execute(vectors)`` exactly as
         # before.
         self._tracer = tracer
+        # Optional repro.obs.profile.StageProfiler: every request's
+        # queue_wait (enqueue -> flush) is histogrammed per batch —
+        # unlike the tracer this needs no per-request span, so it
+        # covers *all* traffic at the cost of one perf_counter read per
+        # submit and one vectorized binning per flush.
+        self._profiler = profiler
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.stats = BatcherStats()
-        # Pending entries: (vector, future, trace_info, deadline) where
-        # trace_info is None or (parent SpanContext, enqueue
-        # perf_counter) for the queue_wait span; the wall-clock start
-        # is reconstructed once per flush rather than sampled per
+        # Pending entries: (vector, future, trace_info, deadline,
+        # enq_pc) where trace_info is None or (parent SpanContext,
+        # enqueue perf_counter) for the queue_wait span; the wall-clock
+        # start is reconstructed once per flush rather than sampled per
         # submit.  ``deadline`` is an absolute ``time.monotonic()``
         # instant (or None); expired entries are dropped at flush.
+        # ``enq_pc`` is the enqueue perf_counter for the profiler's
+        # queue_wait histogram (None when unprofiled).
         self._pending: list[
-            tuple[np.ndarray, asyncio.Future, tuple | None, float | None]
+            tuple[np.ndarray, asyncio.Future, tuple | None, float | None,
+                  float | None]
         ] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -138,7 +148,8 @@ class MicroBatcher:
         trace_info = None
         if self._tracer is not None and span is not None:
             trace_info = (span, time.perf_counter())
-        self._pending.append((arr, future, trace_info, deadline))
+        enq_pc = time.perf_counter() if self._profiler is not None else None
+        self._pending.append((arr, future, trace_info, deadline, enq_pc))
         self.stats.requests += 1
         if len(self._pending) >= self.max_batch:
             self._flush("full")
@@ -200,7 +211,8 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
-        for _, future, _, _ in pending:
+        for entry in pending:
+            future = entry[1]
             if not future.done():
                 future.set_exception(exc)
 
@@ -318,11 +330,22 @@ class MicroBatcher:
 
     async def _run(
         self,
-        batch: list[tuple[np.ndarray, asyncio.Future, tuple | None, float | None]],
+        batch: list[
+            tuple[np.ndarray, asyncio.Future, tuple | None, float | None,
+                  float | None]
+        ],
         reason: str,
         budget: float | None = None,
     ) -> None:
         loop = asyncio.get_running_loop()
+        if self._profiler is not None:
+            # One vectorized binning per dispatched batch covers every
+            # request's enqueue -> dispatch wait, traced or not.
+            now_pc = time.perf_counter()
+            self._profiler.record_many(
+                "queue_wait",
+                [now_pc - entry[4] for entry in batch if entry[4] is not None],
+            )
         coalesce = (
             self._start_batch_spans(batch, reason)
             if self._tracer is not None

@@ -217,10 +217,12 @@ class MatMulService:
         probe_clock=time.monotonic,
         tracer=None,
         recorder=None,
+        profiler=None,
         slow_request_s: float | None = None,
         admission: AdmissionController | None = None,
         auth_secret: str | None = None,
         trip_threshold: int = 1,
+        telemetry_window: int = 4096,
     ) -> None:
         """``backend``/``endpoints``/``store``/``request_timeout_s`` are
         service-wide deployment defaults: a service constructed with
@@ -241,8 +243,15 @@ class MatMulService:
         ``service_close``), shard-link health transitions, and — with
         ``slow_request_s`` set — ``slow_request`` exemplars carrying
         the trace id of each request whose end-to-end latency crossed
-        the threshold.  Both default to ``None``: the uninstrumented
-        hot path pays only ``None`` checks.
+        the threshold.  ``profiler`` (a
+        :class:`~repro.obs.profile.StageProfiler`) continuously
+        histograms per-stage durations — ``queue_wait`` and
+        ``coalesce`` here and in the batcher, ``shard_dispatch`` /
+        ``wire`` in the shard executor — keyed by the executor variant
+        label.  All default to ``None``: the uninstrumented hot path
+        pays only ``None`` checks.  ``telemetry_window`` sizes each
+        deployment's latency reservoir (smaller windows track SLO
+        recoveries faster; the default keeps the historical 4096).
 
         ``admission`` is an optional
         :class:`~repro.serve.admission.AdmissionController` shared by
@@ -274,10 +283,12 @@ class MatMulService:
         self.probe_clock = probe_clock
         self.tracer = tracer
         self.recorder = recorder
+        self.profiler = profiler
         self.slow_request_s = slow_request_s
         self.admission = admission
         self.auth_secret = auth_secret
         self.trip_threshold = trip_threshold
+        self.telemetry_window = int(telemetry_window)
         self._deployments: dict[str, Deployment] = {}
 
     def _record_event(self, kind: str, **fields) -> None:
@@ -356,13 +367,18 @@ class MatMulService:
             probe_clock=self.probe_clock,
             tracer=self.tracer,
             recorder=self.recorder,
+            profiler=self.profiler,
             auth_secret=self.auth_secret,
             trip_threshold=self.trip_threshold,
         )
         sharded = ShardedMultiplier(arr, **shard_config)
         batch_limit = max_batch if max_batch is not None else self.max_batch
         delay = max_delay_s if max_delay_s is not None else self.max_delay_s
-        telemetry = DeploymentTelemetry(max_batch=batch_limit, max_delay_s=delay)
+        telemetry = DeploymentTelemetry(
+            max_batch=batch_limit,
+            window=self.telemetry_window,
+            max_delay_s=delay,
+        )
 
         # Execute and validate read the executor through the handle on
         # every call (late binding): swap() re-points deployment.sharded
@@ -373,10 +389,18 @@ class MatMulService:
         def _execute(
             batch: np.ndarray, trace=None, deadline_s: float | None = None
         ) -> np.ndarray:
+            start = time.perf_counter() if self.profiler is not None else 0.0
             effective, out = _resolved_multiply(
                 deployment.sharded, engine, batch, trace=trace,
                 deadline_s=deadline_s,
             )
+            if self.profiler is not None:
+                # The batch's coalesced execution, keyed by the engine
+                # it actually resolved to — the per-variant cost
+                # distribution the profiler exists to expose.
+                self.profiler.record(
+                    "coalesce", time.perf_counter() - start, variant=effective
+                )
             telemetry.record_batch(batch.shape[0], engine=effective)
             return out
 
@@ -399,6 +423,7 @@ class MatMulService:
                 max_delay_s=delay,
                 validate=_validate,
                 tracer=self.tracer,
+                profiler=self.profiler,
             ),
             telemetry=telemetry,
             engine=engine,
@@ -827,6 +852,8 @@ class MatMulService:
             obs["tracer"] = self.tracer.stats()
         if self.recorder is not None:
             obs["flight_recorder"] = self.recorder.stats()
+        if self.profiler is not None:
+            obs["profiler"] = self.profiler.stats()
         if obs:
             doc["observability"] = obs
         return doc

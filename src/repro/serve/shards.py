@@ -258,6 +258,13 @@ class ShardedMultiplier:
         recorder: optional :class:`repro.obs.recorder.FlightRecorder`
             receiving shard-link health events (``shard_unhealthy``,
             ``shard_revived``, ``probe_failed``, ``local_fallback``).
+        profiler: optional :class:`repro.obs.profile.StageProfiler`
+            histogramming every shard execution (``shard_dispatch``,
+            and ``wire`` for the remote round-trip) keyed by the
+            variant-qualified engine label.  Unlike the tracer it needs
+            no per-call ``trace=`` context — with a profiler set, *all*
+            traffic is histogrammed.  ``None`` (default) records
+            nothing.
         auth_secret: remote backend only — shared secret for fleets
             whose servers demand the HELLO challenge/response handshake
             (``--auth-secret``); ``None`` against open fleets.
@@ -285,6 +292,7 @@ class ShardedMultiplier:
         probe_clock=time.monotonic,
         tracer=None,
         recorder=None,
+        profiler=None,
         auth_secret: str | None = None,
         trip_threshold: int = 1,
     ) -> None:
@@ -318,6 +326,7 @@ class ShardedMultiplier:
         self.backend = backend
         self.tracer = tracer
         self.recorder = recorder
+        self.profiler = profiler
         if lut_budget is not None:
             ranges = plan_column_tiles(arr, lut_budget, scheme=scheme)
         else:
@@ -580,13 +589,20 @@ class ShardedMultiplier:
         """
         return self.executor_label(self.resolve_engine(engine))
 
+    def _shard_label(self, shard: Shard, engine: str) -> str:
+        """Per-shard variant-qualified label (shards of one deployment
+        can resolve to different fused variants)."""
+        return f"fused:{shard.fast.fused_variant}" if engine == "fused" else engine
+
+    def _profile(self, stage: str, elapsed: float, label: str) -> None:
+        if self.profiler is not None:
+            self.profiler.record(stage, elapsed, variant=label)
+
     def _dispatch_span(self, shard: Shard, engine: str, trace):
         """Open a ``shard_dispatch`` span, or ``None`` when untraced."""
         if self.tracer is None or trace is None:
             return None
-        label = (
-            f"fused:{shard.fast.fused_variant}" if engine == "fused" else engine
-        )
+        label = self._shard_label(shard, engine)
         return self.tracer.start_span(
             "shard_dispatch",
             parent=trace,
@@ -611,7 +627,12 @@ class ShardedMultiplier:
         finally:
             if dispatch is not None:
                 dispatch.finish()
-        self._record(shard, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._record(shard, elapsed)
+        if self.profiler is not None:
+            self._profile(
+                "shard_dispatch", elapsed, self._shard_label(shard, engine)
+            )
         return out
 
     def _run_remote_shard(
@@ -643,9 +664,15 @@ class ShardedMultiplier:
         remote = self._remotes[shard.index]
         overrides = shard.fast.fault_overrides()
         dispatch = self._dispatch_span(shard, engine, trace)
+        label = (
+            self._shard_label(shard, engine)
+            if self.profiler is not None
+            else ""
+        )
         start = time.perf_counter()
         try:
             try:
+                wire_start = time.perf_counter()
                 if dispatch is not None:
                     with self.tracer.start_span(
                         "wire",
@@ -667,6 +694,13 @@ class ShardedMultiplier:
                     out, _, _, _ = remote.execute(
                         batch, engine, overrides, deadline_s=deadline_s
                     )
+                if self.profiler is not None:
+                    # The successful round-trip only: a fallback's time
+                    # belongs to its local shard_dispatch, not to a wire
+                    # that was never completed.
+                    self._profile(
+                        "wire", time.perf_counter() - wire_start, label
+                    )
             except RemoteShardError as exc:
                 remote.local_fallbacks += 1
                 if self.recorder is not None:
@@ -684,7 +718,10 @@ class ShardedMultiplier:
         finally:
             if dispatch is not None:
                 dispatch.finish()
-        self._record(shard, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._record(shard, elapsed)
+        if self.profiler is not None:
+            self._profile("shard_dispatch", elapsed, label)
         return out
 
     def _run_process_backend(self, batch: np.ndarray, engine: str) -> np.ndarray:
@@ -732,6 +769,10 @@ class ShardedMultiplier:
         wide_pieces = []
         for shard, (payload, elapsed) in zip(self.shards, results):
             self._record(shard, elapsed)
+            if self.profiler is not None:
+                self._profile(
+                    "shard_dispatch", elapsed, self._shard_label(shard, engine)
+                )
             if payload is not None:
                 meta, blob = payload
                 wide_pieces.append((shard, array_from_payload(meta, blob)))

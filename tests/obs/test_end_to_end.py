@@ -263,3 +263,56 @@ class TestFleetTracing:
                 assert remote.healthy is True
                 (revival,) = recorder.events(kind="shard_revived")
                 assert revival["via"] == "probe"
+
+
+class TestFleetProfiling:
+    def test_server_profiles_merge_into_one_fleet_histogram(self, tmp_path):
+        from repro.obs import FleetMetrics, StageProfiler, to_prometheus
+
+        matrix = _matrix()
+        profiler = StageProfiler()
+        with ClusterController(
+            tmp_path / "store", profile_servers=True
+        ) as controller:
+            controller.start_local_fleet(3)
+            with controller.remote_service(profiler=profiler) as service:
+                handle = controller.deploy_fleet(service, matrix)
+                vector = np.arange(20, dtype=np.int64) - 9
+                row = asyncio.run(service.submit(handle, vector))
+                assert np.array_equal(row, vector @ matrix)
+                doc = FleetMetrics(service=service).collect()
+        # Every server's STATS carried its own server_execute histogram.
+        profiled = [s for s in doc["servers"] if "profile" in s]
+        assert len(profiled) == 3
+        for stats in profiled:
+            (entry,) = stats["profile"]["stages"]
+            assert entry["stage"] == "server_execute"
+            assert entry["variant"].startswith("fused:")
+            assert entry["count"] >= 1
+        # The merged fleet profile holds client stages AND the summed
+        # server-side execute histogram.
+        totals = StageProfiler.stage_totals(doc["profile"])
+        assert {"queue_wait", "coalesce", "shard_dispatch", "wire",
+                "server_execute"} <= set(totals)
+        assert totals["server_execute"]["count"] == sum(
+            e["profile"]["stages"][0]["count"] for e in profiled
+        )
+        # Containment sanity: the wire round-trip includes the server
+        # execute, the dispatch includes the wire.
+        assert totals["shard_dispatch"]["sum"] >= totals["wire"]["sum"]
+        assert totals["wire"]["sum"] >= totals["server_execute"]["sum"]
+        text = to_prometheus(doc)
+        assert 'stage="server_execute"' in text
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+
+    def test_unprofiled_fleet_stats_carry_no_profile(self, fleet):
+        from repro.obs import FleetMetrics
+
+        with fleet.remote_service() as service:
+            handle = fleet.deploy_fleet(service, _matrix())
+            asyncio.run(
+                service.submit(handle, np.arange(20, dtype=np.int64))
+            )
+            doc = FleetMetrics(service=service).collect()
+        assert all("profile" not in s for s in doc["servers"])
+        assert "profile" not in doc

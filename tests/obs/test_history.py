@@ -1,0 +1,201 @@
+"""MetricsHistory: ring, windowed queries, persistence, sampler loop."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.history import MetricsHistory
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class SequenceMetrics:
+    """collect() replays a scripted list of documents (last one sticks)."""
+
+    def __init__(self, docs):
+        self.docs = list(docs)
+        self.calls = 0
+
+    def collect(self):
+        doc = self.docs[min(self.calls, len(self.docs) - 1)]
+        self.calls += 1
+        return doc
+
+
+def _doc(executes=0, sheds=0, p99=0.001, arrivals=0):
+    return {
+        "service": {
+            "deployments": {
+                "m0": {"latency_s": {"p50": p99 / 2, "p99": p99}},
+            },
+        },
+        "fleet": {
+            "arrivals": arrivals,
+            "shed": {"queue_full": sheds},
+            "servers": {"executes": executes, "errors": 0},
+        },
+    }
+
+
+class TestRing:
+    def test_capacity_must_allow_deltas(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MetricsHistory(SequenceMetrics([{}]), capacity=1)
+
+    def test_ring_drops_oldest(self):
+        clock = FakeClock()
+        history = MetricsHistory(
+            SequenceMetrics([_doc(executes=k) for k in range(5)]),
+            capacity=3,
+            clock=clock,
+        )
+        for _ in range(5):
+            history.sample()
+            clock.advance(1.0)
+        assert len(history) == 3
+        values = [
+            MetricsHistory.value(e["doc"], "fleet.servers.executes")
+            for e in history.samples()
+        ]
+        assert values == [2, 3, 4]
+
+    def test_windowed_samples_use_the_clock(self):
+        clock = FakeClock()
+        history = MetricsHistory(SequenceMetrics([_doc()]), clock=clock)
+        for _ in range(4):
+            history.sample()
+            clock.advance(10.0)
+        assert len(history.samples()) == 4
+        # clock is now 40; a 15s window keeps ts=30 only.
+        assert len(history.samples(15.0)) == 1
+        assert history.latest()["ts"] == 30.0
+
+
+class TestQueries:
+    def _history(self, docs, step=1.0):
+        clock = FakeClock()
+        history = MetricsHistory(SequenceMetrics(docs), clock=clock)
+        for _ in docs:
+            history.sample()
+            clock.advance(step)
+        return history
+
+    def test_delta_and_rate(self):
+        history = self._history(
+            [_doc(executes=0), _doc(executes=10), _doc(executes=30)]
+        )
+        assert history.delta("fleet.servers.executes") == 30
+        # Span is 2s of samples (ts 0 and 2), not the nominal window.
+        assert history.rate("fleet.servers.executes") == pytest.approx(15.0)
+
+    def test_counter_reset_clamps_to_zero(self):
+        history = self._history([_doc(executes=100), _doc(executes=3)])
+        assert history.delta("fleet.servers.executes") == 0.0
+
+    def test_single_sample_has_no_delta(self):
+        history = self._history([_doc(executes=5)])
+        assert history.delta("fleet.servers.executes") is None
+        assert history.rate("fleet.servers.executes") is None
+
+    def test_missing_path_is_skipped(self):
+        history = self._history([_doc(), _doc()])
+        assert history.series("fleet.no.such.counter") == []
+        assert history.delta("fleet.no.such.counter") is None
+
+    def test_counter_rates_cover_every_fleet_leaf(self):
+        history = self._history(
+            [_doc(executes=0, sheds=0), _doc(executes=20, sheds=4)],
+            step=2.0,
+        )
+        rates = history.counter_rates()
+        assert rates["fleet.servers.executes"] == pytest.approx(10.0)
+        assert rates["fleet.shed.queue_full"] == pytest.approx(2.0)
+        assert rates["fleet.servers.errors"] == 0.0
+
+    def test_percentile_series_takes_worst_deployment(self):
+        doc = _doc(p99=0.002)
+        doc["service"]["deployments"]["m1"] = {
+            "latency_s": {"p99": 0.009}
+        }
+        history = self._history([doc, doc])
+        series = history.percentile_series()
+        assert [v for _, v in series] == [0.009, 0.009]
+        only_m0 = history.percentile_series(deployment="m0")
+        assert [v for _, v in only_m0] == [0.002, 0.002]
+        assert history.percentile_series(deployment="absent") == []
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        history = MetricsHistory(
+            SequenceMetrics([_doc(executes=k) for k in range(3)]),
+            clock=FakeClock(100.0),
+        )
+        for _ in range(3):
+            history.sample()
+        path = tmp_path / "history.jsonl"
+        assert history.dump_jsonl(path) == 3
+        reloaded = MetricsHistory(SequenceMetrics([{}]))
+        assert reloaded.load_jsonl(path) == 3
+        assert [
+            MetricsHistory.value(e["doc"], "fleet.servers.executes")
+            for e in reloaded.samples()
+        ] == [0, 1, 2]
+
+    def test_malformed_lines_raise(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            MetricsHistory(SequenceMetrics([{}])).load_jsonl(path)
+        path.write_text(json.dumps({"ts": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="'ts' and 'doc'"):
+            MetricsHistory(SequenceMetrics([{}])).load_jsonl(path)
+
+
+class TestSampler:
+    def test_listeners_fire_per_sample(self):
+        seen = []
+        history = MetricsHistory(
+            SequenceMetrics([_doc()]), on_sample=[seen.append]
+        )
+        history.add_listener(seen.append)
+        entry = history.sample()
+        assert seen == [entry, entry]
+
+    def test_background_loop_survives_collect_errors(self):
+        class Flaky:
+            calls = 0
+
+            def collect(self):
+                self.calls += 1
+                if self.calls % 2:
+                    raise ConnectionError("fleet mid-restart")
+                return _doc()
+
+        with MetricsHistory(Flaky()) as history:
+            history.start(interval_s=0.005)
+            deadline = time.time() + 5.0
+            while len(history) < 2 and time.time() < deadline:
+                time.sleep(0.005)
+            assert len(history) >= 2
+        stats = history.stats()
+        assert stats["running"] is False
+        assert stats["sample_errors"] >= 1
+        assert "ConnectionError" in stats["last_error"]
+        history.close()  # idempotent
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            MetricsHistory(SequenceMetrics([{}])).start(0.0)

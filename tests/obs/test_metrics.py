@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import socket
+import time
+
 import numpy as np
 import pytest
 
 from repro.obs.metrics import FleetMetrics, to_prometheus
+from repro.obs.profile import StageProfiler
 from repro.obs.top import parse_endpoints, render_table
 from repro.serve import CompileCache, MatMulService
 
@@ -77,12 +81,14 @@ class TestRollup:
         # Only shards with a remote link carry "healthy"; the local m1
         # shard must not count as a link.
         assert fleet["remote_links"] == {
-            "total": 2, "healthy": 1, "local_fallbacks": 7,
+            "total": 2, "healthy": 1, "local_fallbacks": 7, "revivals": 0,
         }
         assert fleet["servers"] == {
             "configured": 2, "reachable": 1, "executes": 30, "loads": 2,
+            "errors": 0, "expired_skips": 0, "auth_failures": 0,
             "engine_batches": {"fused": 30},
         }
+        assert fleet["arrivals"] == 0
 
     def test_rollup_of_nothing(self):
         fleet = FleetMetrics._rollup(None, [])
@@ -197,3 +203,105 @@ class TestTopHelpers:
         assert "executes 30" in lines[0]
         assert any("srv-a" in line and "up" in line for line in lines)
         assert any("h:2" in line and "DOWN" in line for line in lines)
+
+    def test_render_table_with_rates_and_slo_lines(self):
+        doc = _doc()
+        doc["fleet"] = FleetMetrics._rollup(doc["service"], doc["servers"])
+        doc["slo"] = [
+            {"slo": "avail", "firing": True, "offending_stage": "wire",
+             "burn_fast": 4.0, "burn_slow": 2.5,
+             "error_budget_remaining": 0.25},
+            {"slo": "lat", "firing": False, "burn_fast": 0.0,
+             "burn_slow": None, "error_budget_remaining": 1.0},
+        ]
+        table = render_table(doc, rates={"h:1": 12.5})
+        lines = table.splitlines()
+        assert "exec/s 12.5" in lines[0]
+        assert "EXEC/s" in lines[1]
+        assert any("h:1" in line and "12.5" in line for line in lines)
+        assert any(
+            line.startswith("SLO avail  FIRING stage=wire") for line in lines
+        )
+        assert any(
+            line.startswith("SLO lat  OK") and "slow=-" in line
+            for line in lines
+        )
+
+
+class TestParallelScrape:
+    def test_hung_endpoints_cost_one_timeout_not_one_each(self):
+        # Listening sockets that never answer: each scrape connects
+        # (the backlog accepts it) and then times out waiting for the
+        # HELLO reply.  Three of them must cost ~one timeout wall-clock,
+        # not three — the scrapes run on one thread per endpoint.
+        socks = []
+        try:
+            for _ in range(3):
+                sock = socket.socket()
+                sock.bind(("127.0.0.1", 0))
+                sock.listen(1)
+                socks.append(sock)
+            endpoints = [s.getsockname() for s in socks]
+            metrics = FleetMetrics(endpoints=endpoints, timeout_s=0.5)
+            start = time.perf_counter()
+            reports = metrics.scrape_servers()
+            elapsed = time.perf_counter() - start
+        finally:
+            for sock in socks:
+                sock.close()
+        assert [r["endpoint"] for r in reports] == [
+            f"{h}:{p}" for h, p in endpoints
+        ]
+        assert all("error" in r for r in reports)
+        # Serial scraping would take >= 1.5s here; leave generous slack
+        # for slow CI while still distinguishing the two shapes.
+        assert elapsed < 1.2
+
+
+class TestHostileLabels:
+    def test_engine_label_round_trips_escaped(self):
+        hostile = 'fused:"evil"\\variant\nnewline'
+        doc = {
+            "servers": [
+                {"endpoint": "h:1", "name": hostile, "executes": 1,
+                 "engine_batches": {hostile: 1}},
+            ]
+        }
+        text = to_prometheus(doc)
+        escaped = 'fused:\\"evil\\"\\\\variant\\nnewline'
+        assert f'engine="{escaped}"' in text
+        assert f'server="{escaped}"' in text
+        # The raw newline must never split an exposition line: every
+        # line is either a comment or starts with a metric name.
+        assert all(
+            line.startswith(("#", "repro_"))
+            for line in text.splitlines()
+            if line
+        )
+
+
+class TestProfileCollection:
+    def test_collect_merges_service_profiler(self):
+        import asyncio
+
+        profiler = StageProfiler()
+        with MatMulService(cache=CompileCache(), profiler=profiler) as service:
+            matrix = np.arange(12).reshape(4, 3) - 5
+            handle = service.deploy(matrix, name="m0", shards=2)
+            asyncio.run(
+                service.submit(handle, np.arange(4, dtype=np.int64))
+            )
+            doc = FleetMetrics(service=service).collect()
+        stages = {e["stage"] for e in doc["profile"]["stages"]}
+        assert {"queue_wait", "coalesce", "shard_dispatch"} <= stages
+        obs = doc["service"]["observability"]["profiler"]
+        assert obs["samples"] >= 3
+        text = to_prometheus(doc)
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+        assert 'repro_stage_duration_seconds_bucket{le="+Inf"' in text
+
+    def test_collect_without_profiler_has_no_profile_section(self):
+        with MatMulService(cache=CompileCache()) as service:
+            service.deploy(np.eye(3, dtype=np.int64), name="m0")
+            doc = FleetMetrics(service=service).collect()
+        assert "profile" not in doc

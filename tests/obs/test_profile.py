@@ -1,0 +1,149 @@
+"""StageProfiler: binning semantics, merging, Prometheus rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import to_prometheus
+from repro.obs.profile import DEFAULT_EDGES, STAGE_SPECIFICITY, StageProfiler
+
+
+class TestRecording:
+    def test_le_bucket_semantics(self):
+        # An exact edge hit belongs to that bucket (Prometheus `le`).
+        prof = StageProfiler(edges=[0.001, 0.01, 0.1])
+        prof.record("wire", 0.001)
+        prof.record("wire", 0.0011)
+        prof.record("wire", 5.0)  # overflow -> +Inf bucket
+        (entry,) = prof.snapshot()["stages"]
+        assert entry["counts"] == [1, 1, 0, 1]
+        assert entry["count"] == 3
+
+    def test_record_many_matches_repeated_record(self):
+        durations = [1e-6, 3e-4, 0.002, 0.002, 0.7, 20.0]
+        one = StageProfiler()
+        many = StageProfiler()
+        for d in durations:
+            one.record("coalesce", d, variant="fused:dense")
+        many.record_many("coalesce", durations, variant="fused:dense")
+        assert one.snapshot() == many.snapshot()
+
+    def test_record_many_of_nothing_is_a_noop(self):
+        prof = StageProfiler()
+        prof.record_many("queue_wait", [])
+        assert prof.snapshot()["stages"] == []
+        assert prof.stats()["samples"] == 0
+
+    def test_variants_are_separate_series(self):
+        prof = StageProfiler()
+        prof.record("server_execute", 0.01, variant="fused:dense")
+        prof.record("server_execute", 0.01, variant="bitplane")
+        stages = prof.snapshot()["stages"]
+        assert [(e["stage"], e["variant"]) for e in stages] == [
+            ("server_execute", "bitplane"),
+            ("server_execute", "fused:dense"),
+        ]
+        assert prof.stats() == {
+            "series": 2, "samples": 2, "buckets": DEFAULT_EDGES.size + 1,
+        }
+
+    def test_edges_must_be_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            StageProfiler(edges=[0.1, 0.1, 0.2])
+        with pytest.raises(ValueError, match="non-empty"):
+            StageProfiler(edges=[])
+
+    def test_concurrent_recording_loses_nothing(self):
+        prof = StageProfiler()
+
+        def pound():
+            for _ in range(500):
+                prof.record("queue_wait", 0.001)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (entry,) = prof.snapshot()["stages"]
+        assert entry["count"] == 2000
+        assert sum(entry["counts"]) == 2000
+
+
+class TestMerge:
+    def test_merge_adds_compatible_snapshots(self):
+        a, b = StageProfiler(), StageProfiler()
+        a.record("wire", 0.003, variant="fused:dense")
+        b.record("wire", 0.003, variant="fused:dense")
+        b.record("server_execute", 0.001)
+        merged = StageProfiler.merge([a.snapshot(), b.snapshot()])
+        totals = StageProfiler.stage_totals(merged)
+        assert totals["wire"]["count"] == 2
+        assert totals["wire"]["sum"] == pytest.approx(0.006)
+        assert totals["server_execute"]["count"] == 1
+        assert "skipped" not in merged
+
+    def test_merge_skips_mismatched_edges(self):
+        a = StageProfiler()
+        a.record("wire", 0.003)
+        alien = StageProfiler(edges=[0.5, 1.0])
+        alien.record("wire", 0.7)
+        merged = StageProfiler.merge([a.snapshot(), alien.snapshot()])
+        assert merged["skipped"] == 1
+        assert StageProfiler.stage_totals(merged)["wire"]["count"] == 1
+
+    def test_merge_of_nothing_is_none(self):
+        assert StageProfiler.merge([]) is None
+        assert StageProfiler.merge([{"not": "a snapshot"}, None]) is None
+
+    def test_stage_totals_sums_across_variants(self):
+        prof = StageProfiler()
+        prof.record("shard_dispatch", 0.01, variant="fused:dense")
+        prof.record("shard_dispatch", 0.03, variant="bitplane")
+        totals = StageProfiler.stage_totals(prof.snapshot())
+        assert totals["shard_dispatch"]["count"] == 2
+        assert totals["shard_dispatch"]["sum"] == pytest.approx(0.04)
+        assert StageProfiler.stage_totals(None) == {}
+
+    def test_specificity_orders_the_pipeline(self):
+        order = ["request", "queue_wait", "shard_dispatch", "wire",
+                 "server_execute"]
+        ranks = [STAGE_SPECIFICITY[s] for s in order]
+        assert ranks == sorted(ranks)
+        assert STAGE_SPECIFICITY["server_execute"] > STAGE_SPECIFICITY["wire"]
+
+
+class TestPrometheusHistogram:
+    def test_renders_cumulative_buckets(self):
+        prof = StageProfiler(edges=[0.001, 0.01])
+        prof.record("wire", 0.0005, variant="fused:dense")
+        prof.record("wire", 0.005, variant="fused:dense")
+        prof.record("wire", 3.0, variant="fused:dense")
+        text = to_prometheus({"profile": prof.snapshot()})
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+        assert (
+            'repro_stage_duration_seconds_bucket{le="0.001",stage="wire",'
+            'variant="fused:dense"} 1' in text
+        )
+        assert (
+            'repro_stage_duration_seconds_bucket{le="0.01",stage="wire",'
+            'variant="fused:dense"} 2' in text
+        )
+        assert (
+            'repro_stage_duration_seconds_bucket{le="+Inf",stage="wire",'
+            'variant="fused:dense"} 3' in text
+        )
+        assert (
+            'repro_stage_duration_seconds_count{stage="wire",'
+            'variant="fused:dense"} 3' in text
+        )
+        # One TYPE header for the whole family, buckets included.
+        assert text.count("# TYPE repro_stage_duration_seconds") == 1
+
+    def test_default_edges_cover_microseconds_to_seconds(self):
+        assert DEFAULT_EDGES[0] == pytest.approx(1e-5)
+        assert DEFAULT_EDGES[-1] == pytest.approx(10.0)
+        assert np.all(np.diff(DEFAULT_EDGES) > 0)

@@ -1,0 +1,214 @@
+"""SLO engine: burn-rate math, multi-window firing, stage attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.obs.history import MetricsHistory
+from repro.obs.metrics import to_prometheus
+from repro.obs.slo import (
+    AvailabilitySLO,
+    BurnRatePolicy,
+    LatencySLO,
+    SLOEngine,
+)
+
+from tests.obs.test_history import FakeClock, SequenceMetrics
+
+
+def _doc(p99=0.001, arrivals=0, sheds=0, profile=None):
+    doc = {
+        "service": {
+            "deployments": {"m0": {"latency_s": {"p99": p99}}},
+        },
+        "fleet": {
+            "arrivals": arrivals,
+            "shed": {"queue_full": sheds, "quota": 0, "expired": 0},
+        },
+    }
+    if profile is not None:
+        doc["profile"] = profile
+    return doc
+
+
+def _profile(**sums):
+    """A merged profiler snapshot with given cumulative per-stage sums."""
+    return {
+        "edges": [0.001, 1.0],
+        "stages": [
+            {"stage": stage, "variant": "", "counts": [0, 1, 0],
+             "sum": total, "count": 1}
+            for stage, total in sorted(sums.items())
+        ],
+    }
+
+
+class TestValidation:
+    def test_policy_windows_and_threshold(self):
+        with pytest.raises(ValueError, match="windows"):
+            BurnRatePolicy(fast_window_s=10.0, slow_window_s=5.0)
+        with pytest.raises(ValueError, match="threshold"):
+            BurnRatePolicy(threshold=0.0)
+
+    def test_slo_target_range(self):
+        with pytest.raises(ValueError, match="target"):
+            LatencySLO("lat", threshold_s=0.01, target=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            LatencySLO("lat", threshold_s=0.0)
+        with pytest.raises(ValueError, match="bad_paths"):
+            AvailabilitySLO("avail", bad_paths=())
+
+    def test_slo_names_must_be_unique(self):
+        history = MetricsHistory(SequenceMetrics([{}]))
+        with pytest.raises(ValueError, match="unique"):
+            SLOEngine(
+                history,
+                [LatencySLO("x", 0.01), AvailabilitySLO("x")],
+            )
+
+
+class TestErrorFractions:
+    def _history(self, docs, step=1.0):
+        clock = FakeClock()
+        history = MetricsHistory(SequenceMetrics(docs), clock=clock)
+        for _ in docs:
+            history.sample()
+            clock.advance(step)
+        return history
+
+    def test_latency_bad_sample_fraction(self):
+        history = self._history(
+            [_doc(p99=0.001), _doc(p99=0.1), _doc(p99=0.1), _doc(p99=0.001)]
+        )
+        slo = LatencySLO("lat", threshold_s=0.025, target=0.9)
+        assert slo.error_fraction(history, 1e9) == pytest.approx(0.5)
+        assert slo.budget == pytest.approx(0.1)
+
+    def test_latency_without_samples_is_none(self):
+        history = MetricsHistory(SequenceMetrics([{}]))
+        assert LatencySLO("lat", 0.01).error_fraction(history, 10.0) is None
+
+    def test_availability_counter_deltas(self):
+        history = self._history(
+            [_doc(arrivals=0, sheds=0), _doc(arrivals=100, sheds=5)]
+        )
+        slo = AvailabilitySLO("avail", target=0.9)
+        assert slo.error_fraction(history, 1e9) == pytest.approx(0.05)
+
+    def test_idle_fleet_is_not_failing(self):
+        history = self._history([_doc(arrivals=7), _doc(arrivals=7)])
+        slo = AvailabilitySLO("avail")
+        assert slo.error_fraction(history, 1e9) == 0.0
+
+
+class TestMultiWindowFiring:
+    def _run(self):
+        """Healthy traffic, then a latency fault, then recovery."""
+        clock = FakeClock()
+        docs = [_doc(p99=0.001)] * 9 + [_doc(p99=0.1)] * 6 + [_doc(p99=0.001)] * 8
+        history = MetricsHistory(SequenceMetrics(docs), clock=clock)
+        recorder = FlightRecorder()
+        engine = SLOEngine(
+            history,
+            [LatencySLO("p99-under-25ms", threshold_s=0.025, target=0.9)],
+            policy=BurnRatePolicy(
+                fast_window_s=1.0, slow_window_s=2.0, threshold=2.0
+            ),
+            recorder=recorder,
+        )
+        history.add_listener(engine.listener())
+        timeline = []
+        for _ in docs:
+            history.sample()
+            (status,) = engine.statuses
+            timeline.append(status)
+            clock.advance(0.25)
+        return timeline, recorder
+
+    def test_fires_within_two_bad_samples_and_clears(self):
+        timeline, recorder = self._run()
+        # Healthy phase: nine samples, never firing, budget intact.
+        for status in timeline[:9]:
+            assert status["firing"] is False
+            assert status["error_budget_remaining"] == 1.0
+        # First bad sample: fast burn hits exactly the threshold — the
+        # rule needs strictly-greater, so still quiet.
+        assert timeline[9]["firing"] is False
+        # Second bad sample: both windows exceed the threshold.
+        assert timeline[10]["firing"] is True
+        assert timeline[10]["burn_fast"] > 2.0
+        assert timeline[10]["burn_slow"] > 2.0
+        # Recovery: bad samples age out of the fast window, alert clears
+        # even while the slow window still carries the stale burn.
+        assert timeline[-1]["firing"] is False
+        burns = recorder.events("slo_burn")
+        oks = recorder.events("slo_ok")
+        assert len(burns) == 1 and len(oks) == 1
+        assert burns[0]["slo"] == "p99-under-25ms"
+        assert burns[0]["threshold"] == 2.0
+        # One transition pair: sustained burn is one event, not a storm.
+        assert timeline[10]["error_budget_remaining"] < 1.0
+
+    def test_statuses_render_as_prometheus_families(self):
+        timeline, _ = self._run()
+        text = to_prometheus({"slo": [timeline[10]]})
+        assert (
+            'repro_slo_error_budget_remaining{slo="p99-under-25ms"}' in text
+        )
+        assert 'repro_slo_burn_rate{slo="p99-under-25ms",window="fast"}' in text
+        assert 'repro_slo_firing{slo="p99-under-25ms"} 1' in text
+
+    def test_attach_merges_statuses_into_a_document(self):
+        timeline, _ = self._run()
+        history = MetricsHistory(SequenceMetrics([{}]))
+        engine = SLOEngine(history, [LatencySLO("lat", 0.01)])
+        engine.evaluate()
+        doc = engine.attach({"collected_at": 0.0})
+        (status,) = doc["slo"]
+        assert status["slo"] == "lat"
+        assert status["burn_fast"] is None  # no samples yet
+        assert status["firing"] is False
+
+
+class TestStageAttribution:
+    def _engine(self, profiles, step=10.0):
+        clock = FakeClock()
+        docs = [_doc(profile=p) for p in profiles]
+        history = MetricsHistory(SequenceMetrics(docs), clock=clock)
+        for k in range(len(docs)):
+            history.sample()
+            if k < len(docs) - 1:
+                clock.advance(step)
+        return SLOEngine(history, [LatencySLO("lat", 0.01)])
+
+    def test_nested_stages_resolve_to_the_specific_one(self):
+        # A wire delay drags shard_dispatch along (it contains the wire
+        # round-trip): both regress by ~the same seconds, and the tie
+        # must resolve to the more specific stage.
+        engine = self._engine([
+            _profile(wire=1.0, shard_dispatch=2.0, coalesce=0.5),
+            _profile(wire=2.0, shard_dispatch=4.0, coalesce=1.0),
+            _profile(wire=10.0, shard_dispatch=12.0, coalesce=1.5),
+        ])
+        assert engine.offending_stage(10.0) == "wire"
+
+    def test_clean_single_stage_regression(self):
+        engine = self._engine([
+            _profile(coalesce=1.0, wire=1.0),
+            _profile(coalesce=2.0, wire=2.0),
+            _profile(coalesce=9.0, wire=3.0),
+        ])
+        assert engine.offending_stage(10.0) == "coalesce"
+
+    def test_steady_state_blames_nothing(self):
+        engine = self._engine([
+            _profile(wire=1.0), _profile(wire=2.0), _profile(wire=3.0),
+        ])
+        assert engine.offending_stage(10.0) is None
+
+    def test_no_profile_data_is_none(self):
+        engine = self._engine([None, None, None])
+        assert engine.offending_stage(10.0) is None
+        short = self._engine([_profile(wire=1.0)])
+        assert short.offending_stage(10.0) is None

@@ -89,6 +89,53 @@ class TestRateWindow:
             RateWindow(window_s=1.0, bucket_s=2.0)
 
 
+class TestWindowEdgeCases:
+    """The boundary shapes the SLO history leans on (single samples,
+    long-idle wraparound) must hold exactly — burn-rate math reads these
+    numbers raw."""
+
+    def test_single_sample_percentiles_are_that_sample(self):
+        window = LatencyWindow()
+        window.record(0.042)
+        pct = window.percentiles(50, 99, 99.9)
+        assert all(v == pytest.approx(0.042) for v in pct.values())
+        summary = window.summary()
+        assert summary["samples"] == 1
+        assert summary["p50"] == summary["p99_9"] == pytest.approx(0.042)
+
+    def test_tiny_latency_window_keeps_only_the_newest(self):
+        window = LatencyWindow(window=1)
+        window.record(1.0)
+        window.record(2.0)
+        assert len(window) == 1
+        assert window.percentiles(50)["p50"] == 2.0
+        with pytest.raises(ValueError, match="window"):
+            LatencyWindow(window=0)
+
+    def test_long_idle_wraps_bucket_ring_on_record(self):
+        # After an idle stretch many windows long, the first record must
+        # trim every stale bucket — the ring holds one live bucket, and
+        # the rate reflects only the new event.
+        clock = FakeClock()
+        window = RateWindow(window_s=10.0, bucket_s=1.0, clock=clock)
+        for _ in range(10):
+            window.record(7)
+            clock.advance(1.0)
+        clock.advance(10_000.0)
+        window.record(3)
+        assert len(window._buckets) == 1
+        assert window.rate() == pytest.approx(3 / 10.0)
+        assert window.total == 73  # lifetime counter survives the trim
+
+    def test_rate_query_alone_trims_stale_buckets(self):
+        clock = FakeClock()
+        window = RateWindow(window_s=5.0, bucket_s=1.0, clock=clock)
+        window.record(9)
+        clock.advance(6.0)
+        assert window.rate() == 0.0
+        assert len(window._buckets) == 0
+
+
 class TestWindowedTelemetryRates:
     def test_snapshot_reports_both_lifetime_and_windowed_throughput(self):
         clock = FakeClock()
